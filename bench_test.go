@@ -1,0 +1,210 @@
+// Root-level benchmark harness: one benchmark per figure/claim of the
+// paper, as indexed in DESIGN.md §4. Each benchmark re-runs the registered
+// experiment end-to-end (instance construction, scheduling, reference
+// optimum, checks) and reports the experiment's headline number as a custom
+// metric so `go test -bench=.` output reads like the paper's evaluation:
+//
+//	BenchmarkFigure3LowerBound    ... ratio=5.1667 (the Figure 3 ratio 31/6)
+//
+// Scale note: quick-mode grids are used so a full bench sweep stays under a
+// minute; `cmd/resexp -run all` runs the full grids.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/expt"
+	"repro/internal/instances"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/threepart"
+	"repro/internal/workload"
+)
+
+// benchCfg is the shared experiment configuration for benches.
+func benchCfg() expt.Config { return expt.Config{Seed: 20070326, Quick: true} }
+
+// runExperiment executes a registered experiment b.N times, failing the
+// bench if any paper-vs-measured check fails.
+func runExperiment(b *testing.B, id string) *expt.Report {
+	b.Helper()
+	e, ok := expt.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var last *expt.Report
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.AllPassed() {
+			b.Fatalf("%s: checks failed:\n%s", id, r.Render())
+		}
+		last = r
+	}
+	return last
+}
+
+// BenchmarkFigure1Theorem1 regenerates Figure 1 / Theorem 1: the
+// 3-PARTITION reduction on which LSRC's ratio grows without bound. The
+// reported metric is the LSRC-LPT ratio at rho=2 on the fixed hard
+// instance.
+func BenchmarkFigure1Theorem1(b *testing.B) {
+	runExperiment(b, "fig1")
+	tp := &threepart.Instance{Items: []int64{12, 10, 10, 10, 9, 9}, B: 30}
+	inst, err := instances.FromThreePartition(tp, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sched.NewLSRC(sched.LPT).Schedule(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(s.Makespan())/float64(instances.Theorem1Optimum(tp)), "ratio@rho=2")
+}
+
+// BenchmarkFigure2NonIncreasing regenerates Proposition 1 / Figure 2:
+// random non-increasing staircases never push LSRC beyond
+// (2 - 1/m(C*))·C*.
+func BenchmarkFigure2NonIncreasing(b *testing.B) {
+	runExperiment(b, "fig2")
+}
+
+// BenchmarkFigure3LowerBound regenerates Proposition 2 / Figure 3 and
+// reports the k=6 ratio (the paper's 31/6).
+func BenchmarkFigure3LowerBound(b *testing.B) {
+	runExperiment(b, "fig3")
+	inst, err := instances.Prop2Instance(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sched.NewLSRC(sched.FIFO).Schedule(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(s.Makespan())/float64(instances.Prop2Optimum(6)), "figure3-ratio")
+}
+
+// BenchmarkFigure4Bounds regenerates the Figure 4 curves and reports the
+// upper/lower gap at α = 1/2.
+func BenchmarkFigure4Bounds(b *testing.B) {
+	runExperiment(b, "fig4")
+	b.ReportMetric(bounds.Gap(0.5), "gap@alpha=0.5")
+}
+
+// BenchmarkGrahamBound regenerates Theorem 2 (appendix): the 2 - 1/m
+// guarantee, tight on the adversarial family.
+func BenchmarkGrahamBound(b *testing.B) {
+	runExperiment(b, "graham")
+	b.ReportMetric(bounds.Graham(8), "bound@m=8")
+}
+
+// BenchmarkFCFSNoGuarantee regenerates the §2.2 remark: FCFS ratio
+// approaches m. Reports the measured FCFS ratio at m=6, D=1000.
+func BenchmarkFCFSNoGuarantee(b *testing.B) {
+	runExperiment(b, "fcfs")
+	m, d := 6, core.Time(1000)
+	ratio := float64(instances.FCFSPathologicalMakespan(m, d)) /
+		float64(instances.FCFSPathologicalOptimum(m, d))
+	b.ReportMetric(ratio, "fcfs-ratio@m=6")
+}
+
+// BenchmarkAlphaSweep regenerates the Proposition 3 sweep: empirical LSRC
+// ratios vs the 2/α guarantee across the α grid.
+func BenchmarkAlphaSweep(b *testing.B) {
+	runExperiment(b, "alpha")
+	b.ReportMetric(bounds.AlphaUpper(0.5), "guarantee@alpha=0.5")
+}
+
+// BenchmarkPriorityAblation regenerates the conclusion's ablation: priority
+// rules and shelf packing on realistic workloads.
+func BenchmarkPriorityAblation(b *testing.B) {
+	runExperiment(b, "ablation")
+}
+
+// BenchmarkOnlineBatch regenerates the §2.1 batch-doubling claim.
+func BenchmarkOnlineBatch(b *testing.B) {
+	runExperiment(b, "online")
+}
+
+// BenchmarkAdversarialSearch runs the extension experiment that hill-climbs
+// for worst-case LSRC ratios on small α-restricted instances.
+func BenchmarkAdversarialSearch(b *testing.B) {
+	runExperiment(b, "search")
+}
+
+// BenchmarkScaleSweep runs the implementation-scale experiment (LSRC
+// quality and throughput at growing m and n).
+func BenchmarkScaleSweep(b *testing.B) {
+	runExperiment(b, "scale")
+}
+
+// --- micro-benchmarks of the core machinery at realistic scale ---
+
+// BenchmarkLSRCLargeWorkload measures offline LSRC throughput on a
+// 1024-processor cluster with 5000 synthetic jobs and reservations.
+func BenchmarkLSRCLargeWorkload(b *testing.B) {
+	r := rng.New(1)
+	inst, err := workload.SyntheticInstance(r.Split(), workload.SynthConfig{
+		M: 1024, N: 5000, MinRun: 10, MaxRun: 5000, MaxWidthFrac: 0.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst.Res = workload.ReservationStream(r.Split(), 1024, 0.5, 50, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sched.NewLSRC(sched.LPT).Schedule(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Makespan() == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+	b.ReportMetric(float64(len(inst.Jobs)), "jobs")
+}
+
+// BenchmarkBackfillVariantsLargeWorkload compares the policies' cost on a
+// shared 512-proc workload.
+func BenchmarkBackfillVariantsLargeWorkload(b *testing.B) {
+	r := rng.New(2)
+	inst, err := workload.SyntheticInstance(r.Split(), workload.SynthConfig{
+		M: 512, N: 2000, MinRun: 10, MaxRun: 2000, MaxWidthFrac: 0.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sc := range []sched.Scheduler{
+		sched.NewLSRC(sched.FIFO), sched.FCFS{}, sched.Conservative{}, sched.EASY{},
+		&sched.Shelf{Fit: sched.FirstFit},
+	} {
+		b.Run(sc.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.Schedule(inst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExactSolver measures the branch-and-bound on a 9-job instance.
+func BenchmarkExactSolver(b *testing.B) {
+	r := rng.New(3)
+	inst := instances.RandomRigid(r, instances.RigidConfig{M: 5, N: 9, MaxLen: 9})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exact.Solve(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Optimal {
+			b.Fatal("not optimal")
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command resbounds prints the paper's closed-form performance guarantees:
+// single values for a given α or m, or the whole Figure 4 table/chart.
+//
+// Usage:
+//
+//	resbounds -alpha 0.5
+//	resbounds -m 180
+//	resbounds -fig4 -points 100 [-csv] [-chart]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bounds"
+	"repro/internal/plot"
+	"repro/internal/stats"
+)
+
+func run() error {
+	alpha := flag.Float64("alpha", 0, "print bounds at this α in (0,1]")
+	m := flag.Int("m", 0, "print the Graham bound 2-1/m for this m")
+	fig4 := flag.Bool("fig4", false, "print the Figure 4 table")
+	points := flag.Int("points", 50, "α grid size for -fig4")
+	csv := flag.Bool("csv", false, "emit CSV instead of a text table")
+	chart := flag.Bool("chart", false, "also draw an ASCII chart for -fig4")
+	flag.Parse()
+
+	did := false
+	if *alpha > 0 {
+		did = true
+		fmt.Printf("alpha = %.4f\n", *alpha)
+		fmt.Printf("  upper bound (Prop 3, 2/α):      %.4f\n", bounds.AlphaUpper(*alpha))
+		fmt.Printf("  lower bound B1:                 %.4f\n", bounds.B1(*alpha))
+		fmt.Printf("  lower bound B2:                 %.4f\n", bounds.B2(*alpha))
+		if bounds.IsProp2Alpha(*alpha) {
+			fmt.Printf("  Prop 2 bound (2/α is integer):  %.4f\n", bounds.Prop2(*alpha))
+		}
+		fmt.Printf("  upper/B1 gap:                   %.4f\n", bounds.Gap(*alpha))
+	}
+	if *m > 0 {
+		did = true
+		fmt.Printf("m = %d\n  Graham/LSRC bound (2 - 1/m): %.6f\n", *m, bounds.Graham(*m))
+	}
+	if *fig4 {
+		did = true
+		rows := bounds.Figure4(*points)
+		t := stats.NewTable("alpha", "upper_2_over_alpha", "B1", "B2")
+		var xs, us, b1s, b2s []float64
+		for _, r := range rows {
+			t.AddRow(r.Alpha, r.Upper, r.B1, r.B2)
+			xs = append(xs, r.Alpha)
+			us = append(us, r.Upper)
+			b1s = append(b1s, r.B1)
+			b2s = append(b2s, r.B2)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.String())
+		}
+		if *chart {
+			c := &plot.Chart{
+				Title: "Figure 4: LSRC bounds on α-RESASCHEDULING", XLabel: "alpha",
+				YMax: 10,
+				Series: []plot.Series{
+					{Name: "upper 2/α", X: xs, Y: us},
+					{Name: "B1", X: xs, Y: b1s},
+					{Name: "B2", X: xs, Y: b2s},
+				},
+			}
+			fmt.Println(c.ASCII(72, 24))
+		}
+	}
+	if !did {
+		return fmt.Errorf("pass -alpha, -m or -fig4")
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "resbounds:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,115 @@
+// Command resgen generates RESASCHEDULING instances: the paper's
+// adversarial constructions or random/synthetic workloads, written as
+// instance JSON (or SWF for synthetic traces).
+//
+// Usage:
+//
+//	resgen -kind prop2 -k 6 > fig3.json
+//	resgen -kind theorem1 -k 3 -B 40 -rho 2 -seed 7 > thm1.json
+//	resgen -kind graham -m 8 > graham.json
+//	resgen -kind fcfs-path -m 6 -D 100 > path.json
+//	resgen -kind rigid -m 32 -n 50 -seed 1 > rigid.json
+//	resgen -kind alpha -m 32 -n 40 -alpha 0.5 -seed 1 > alpha.json
+//	resgen -kind staircase -m 16 -n 20 -seed 1 > stair.json
+//	resgen -kind synth -m 128 -n 200 -seed 1 -swf trace.swf > synth.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/instances"
+	"repro/internal/rng"
+	"repro/internal/threepart"
+	"repro/internal/workload"
+)
+
+func run() error {
+	kind := flag.String("kind", "rigid", "prop2|theorem1|graham|fcfs-path|rigid|alpha|staircase|synth")
+	k := flag.Int("k", 6, "k for prop2/theorem1")
+	b := flag.Int64("B", 40, "B for theorem1")
+	rho := flag.Int("rho", 2, "hypothetical ratio for theorem1")
+	m := flag.Int("m", 16, "machine size")
+	n := flag.Int("n", 20, "job count")
+	d := flag.Int64("D", 100, "D for fcfs-path")
+	alpha := flag.Float64("alpha", 0.5, "alpha for alpha instances")
+	maxLen := flag.Int64("maxlen", 50, "max job length (random kinds)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	swf := flag.String("swf", "", "also write the synthetic workload as SWF here (kind=synth)")
+	flag.Parse()
+
+	r := rng.New(*seed)
+	var inst *core.Instance
+	var err error
+	switch *kind {
+	case "prop2":
+		inst, err = instances.Prop2Instance(*k)
+	case "theorem1":
+		tp := threepart.GenerateYes(r, *k, *b)
+		inst, err = instances.FromThreePartition(tp, *rho)
+	case "graham":
+		inst, err = instances.GrahamAdversarial(*m)
+	case "fcfs-path":
+		inst, err = instances.FCFSPathological(*m, core.Time(*d))
+	case "rigid":
+		inst = instances.RandomRigid(r, instances.RigidConfig{
+			M: *m, N: *n, MaxLen: core.Time(*maxLen), PowerOfTwo: true,
+		})
+	case "alpha":
+		inst = instances.RandomAlpha(r, instances.AlphaConfig{
+			M: *m, N: *n, Alpha: *alpha, MaxLen: core.Time(*maxLen),
+			NRes: *n / 4, Horizon: core.Time(*maxLen) * 8,
+		})
+	case "staircase":
+		inst = instances.RandomStaircase(r, instances.StaircaseConfig{
+			M: *m, N: *n, MaxLen: core.Time(*maxLen),
+			Steps: 3, MaxStepLen: core.Time(*maxLen) * 2,
+		})
+	case "synth":
+		arr, aerr := workload.Synthetic(r, workload.SynthConfig{M: *m, N: *n})
+		if aerr != nil {
+			return aerr
+		}
+		if *swf != "" {
+			tr := &workload.Trace{MaxProcs: *m}
+			for i, a := range arr {
+				tr.Jobs = append(tr.Jobs, workload.SWFJob{
+					ID: i + 1, Submit: int64(a.At), Wait: -1,
+					Run: int64(a.Job.Len), Procs: a.Job.Procs,
+					ReqProcs: a.Job.Procs, ReqTime: int64(a.Job.Len), Status: 1,
+				})
+			}
+			f, ferr := os.Create(*swf)
+			if ferr != nil {
+				return ferr
+			}
+			defer f.Close()
+			if err := workload.WriteSWF(f, tr); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *swf)
+		}
+		inst = &core.Instance{Name: "synth", M: *m}
+		for _, a := range arr {
+			inst.Jobs = append(inst.Jobs, a.Job)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	if err := inst.Validate(); err != nil {
+		return err
+	}
+	return inst.WriteJSON(os.Stdout)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "resgen:", err)
+		os.Exit(1)
+	}
+}

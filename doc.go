@@ -1,0 +1,19 @@
+// Package repro is a production-quality Go reproduction of
+//
+//	Lionel Eyraud-Dubois, Grégory Mounié, Denis Trystram,
+//	"Analysis of Scheduling Algorithms with Reservations", IPDPS 2007.
+//
+// The repository implements the paper's model (rigid parallel jobs on m
+// identical processors around advance reservations), the algorithm family
+// it analyses (LSRC list scheduling, FCFS, conservative and EASY
+// back-filling, shelf packing), exact solvers and lower bounds used as
+// ratio references, every adversarial construction from the proofs, a
+// workload substrate (SWF + synthetic), a discrete-event simulator, and an
+// experiment harness that regenerates all four figures and every claim.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root-level benchmarks (bench_test.go) regenerate one figure each:
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,58 @@
+// Cluster day: simulate a 64-processor cluster over a synthetic workload
+// (power-of-two widths, log-uniform runtimes, Poisson arrivals) with an
+// α=1/2 advance-reservation stream, and compare the online policies the
+// paper discusses — FCFS, EASY back-filling, and greedy list scheduling —
+// on makespan, utilisation, waiting time and bounded slowdown.
+//
+// Run with: go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		m     = 64
+		nJobs = 300
+		alpha = 0.5
+		seed  = 7
+	)
+	r := rng.New(seed)
+	arrivals, err := workload.Synthetic(r.Split(), workload.SynthConfig{
+		M: m, N: nJobs,
+		MinRun: 10, MaxRun: 2000,
+		MeanInterArrival: 40,
+		MaxWidthFrac:     alpha, // α-restricted jobs
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reservations := workload.ReservationStream(r.Split(), m, alpha, 12, 20000)
+	fmt.Printf("cluster: m=%d, %d jobs, %d reservations (α=%.1f admission rule)\n\n",
+		m, len(arrivals), len(reservations), alpha)
+
+	table := stats.NewTable("policy", "makespan", "util", "eff-util", "avg wait", "max wait", "avg BSLD")
+	for _, p := range []sim.Policy{sim.FCFSPolicy{}, sim.EASYPolicy{}, sim.GreedyPolicy{}} {
+		res, err := sim.Run(m, reservations, arrivals, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mt := res.Metrics
+		table.AddRow(mt.Policy, int64(mt.Makespan),
+			fmt.Sprintf("%.3f", mt.Utilization),
+			fmt.Sprintf("%.3f", mt.EffectiveUtilization),
+			fmt.Sprintf("%.1f", mt.AvgWait), int64(mt.MaxWait),
+			fmt.Sprintf("%.2f", mt.AvgBoundedSlowdown))
+	}
+	fmt.Println(table)
+	fmt.Println("FCFS pays head-of-line blocking; EASY protects the queue head;")
+	fmt.Println("greedy LSRC maximises utilisation — and §4 of the paper bounds its")
+	fmt.Println("makespan by 2/α × optimal under this reservation admission rule.")
+}

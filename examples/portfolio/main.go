@@ -1,0 +1,63 @@
+// Portfolio and exact solving: on small instances the repository can
+// compute true optima, so this example races the scheduling portfolio
+// (every LSRC priority rule plus ordered conservative back-filling)
+// against the exact branch-and-bound — sequential and parallel — and
+// reports who closed the gap.
+//
+// Run with: go run ./examples/portfolio
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	r := rng.New(17)
+	table := stats.NewTable("instance", "portfolio", "exact C*", "gap", "seq nodes", "par nodes", "par time")
+	for trial := 0; trial < 6; trial++ {
+		inst, err := workload.SyntheticInstance(r.Split(), workload.SynthConfig{
+			M: 6, N: 9, MinRun: 1, MaxRun: 12,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst.Res = workload.ReservationStream(r.Split(), 6, 0.5, 2, 40)
+
+		best, err := sched.DefaultPortfolio().Schedule(inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seq, err := exact.Solve(inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		par, err := (&exact.ParallelSolver{}).Solve(inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parTime := time.Since(t0)
+		if par.Cmax != seq.Cmax {
+			log.Fatalf("solvers disagree: %v vs %v", par.Cmax, seq.Cmax)
+		}
+		gap := float64(best.Makespan()) / float64(seq.Cmax)
+		table.AddRow(fmt.Sprintf("#%d (n=%d)", trial+1, len(inst.Jobs)),
+			int64(best.Makespan()), int64(seq.Cmax),
+			fmt.Sprintf("%.3f", gap),
+			seq.Nodes, par.Nodes, parTime.Round(time.Microsecond).String())
+	}
+	fmt.Println("portfolio (all LSRC priorities + ordered conservative BF) vs exact optimum:")
+	fmt.Println()
+	fmt.Print(table.String())
+	fmt.Println()
+	fmt.Println("gap = portfolio makespan / optimum. The paper's guarantees bound this by")
+	fmt.Println("2/α in the worst case; on typical instances the portfolio is near-optimal.")
+}

@@ -1,0 +1,170 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gantt"
+	"repro/internal/lower"
+	"repro/internal/online"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// TestEndToEndPipeline exercises the whole stack the way a downstream user
+// would: synthesise a workload, serialise it as SWF, read it back, schedule
+// the offline instance with every registered algorithm, verify and render
+// each schedule, round-trip one through JSON, and simulate the online
+// policies over the same arrivals.
+func TestEndToEndPipeline(t *testing.T) {
+	const m = 48
+	r := rng.New(112233)
+	arrivals, err := workload.Synthetic(r.Split(), workload.SynthConfig{
+		M: m, N: 80, MinRun: 5, MaxRun: 400, MaxWidthFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reservations := workload.ReservationStream(r.Split(), m, 0.5, 5, 4000)
+
+	// SWF round trip.
+	tr := &workload.Trace{MaxProcs: m}
+	for i, a := range arrivals {
+		tr.Jobs = append(tr.Jobs, workload.SWFJob{
+			ID: i + 1, Submit: int64(a.At), Wait: -1, Run: int64(a.Job.Len),
+			Procs: a.Job.Procs, ReqProcs: a.Job.Procs, ReqTime: int64(a.Job.Len), Status: 1,
+		})
+	}
+	var buf bytes.Buffer
+	if err := workload.WriteSWF(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := workload.ParseSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := parsed.Instance(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Res = reservations
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Jobs) != len(arrivals) {
+		t.Fatalf("SWF round trip lost jobs: %d vs %d", len(inst.Jobs), len(arrivals))
+	}
+
+	// Offline: every registered algorithm schedules, verifies, renders.
+	lb := lower.Best(inst)
+	for _, name := range sched.Names() {
+		sc, err := sched.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sc.Schedule(inst)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := verify.Verify(s); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Makespan() < lb {
+			t.Fatalf("%s beat the lower bound: %v < %v", name, s.Makespan(), lb)
+		}
+		chart, err := gantt.ASCII(s, 60)
+		if err != nil {
+			t.Fatalf("%s: gantt: %v", name, err)
+		}
+		if !strings.Contains(chart, "Cmax") {
+			t.Fatalf("%s: malformed chart", name)
+		}
+	}
+
+	// JSON round trip of one schedule.
+	s, err := sched.NewLSRC(sched.LPT).Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sbuf bytes.Buffer
+	if err := s.WriteJSON(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.ReadScheduleJSON(&sbuf, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Makespan() != s.Makespan() {
+		t.Fatalf("schedule JSON round trip changed makespan: %v vs %v",
+			back.Makespan(), s.Makespan())
+	}
+
+	// Online: simulate all policies over the same arrivals; batch-doubling
+	// wrapper stays within its bound.
+	for _, p := range []sim.Policy{sim.FCFSPolicy{}, sim.EASYPolicy{}, sim.GreedyPolicy{}} {
+		res, err := sim.Run(m, reservations, arrivals, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if err := verify.Verify(res.AsSchedule()); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+	}
+	batch, err := online.BatchSchedule(m, reservations, arrivals, sched.NewLSRC(sched.LPT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := online.OfflineReference(m, reservations, arrivals, sched.NewLSRC(sched.LPT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastArr core.Time
+	for _, a := range arrivals {
+		if a.At > lastArr {
+			lastArr = a.At
+		}
+	}
+	if batch.Makespan > lastArr+2*ref {
+		t.Fatalf("doubling bound violated: %v > %v + 2*%v", batch.Makespan, lastArr, ref)
+	}
+}
+
+// TestExactAgreesWithPortfolioOnSmallPipelines cross-checks the solvers on
+// a derived small instance: the exact optimum never exceeds any heuristic
+// and the parallel solver agrees with the sequential one.
+func TestExactAgreesWithPortfolioOnSmallPipelines(t *testing.T) {
+	r := rng.New(445566)
+	for trial := 0; trial < 15; trial++ {
+		inst, err := workload.SyntheticInstance(r.Split(), workload.SynthConfig{
+			M: 6, N: 7, MinRun: 1, MaxRun: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := exact.Solve(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := (&exact.ParallelSolver{}).Solve(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Cmax != par.Cmax {
+			t.Fatalf("trial %d: solvers disagree: %v vs %v", trial, seq.Cmax, par.Cmax)
+		}
+		best, err := sched.DefaultPortfolio().Schedule(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Makespan() < seq.Cmax {
+			t.Fatalf("trial %d: portfolio %v beat the exact optimum %v",
+				trial, best.Makespan(), seq.Cmax)
+		}
+	}
+}

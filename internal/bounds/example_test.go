@@ -1,0 +1,31 @@
+package bounds_test
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+)
+
+// ExampleAlphaUpper reproduces the §4.2 remark: for α = 1/2 the LSRC
+// guarantee is 4.
+func ExampleAlphaUpper() {
+	fmt.Printf("%.0f\n", bounds.AlphaUpper(0.5))
+	// Output:
+	// 4
+}
+
+// ExampleProp2 computes the Figure 3 ratio: at α = 1/3 the adversarial
+// family reaches 2/α - 1 + α/2 = 31/6.
+func ExampleProp2() {
+	fmt.Printf("%.4f\n", bounds.Prop2(1.0/3))
+	// Output:
+	// 5.1667
+}
+
+// ExampleGraham is Theorem 2's guarantee for the paper's Figure 3 machine
+// size.
+func ExampleGraham() {
+	fmt.Printf("%.4f\n", bounds.Graham(180))
+	// Output:
+	// 1.9944
+}

@@ -1,0 +1,17 @@
+// Package core defines the domain model of the RESASCHEDULING problem
+// studied by Eyraud-Dubois, Mounié and Trystram, "Analysis of Scheduling
+// Algorithms with Reservations" (IPDPS 2007): rigid parallel jobs scheduled
+// on m identical processors in the presence of advance reservations.
+//
+// An Instance bundles the processor count m, a set of rigid Jobs (each
+// needing a fixed number of processors Procs for a fixed duration Len) and a
+// set of Reservations (fixed blocks of processors unavailable over fixed
+// time windows). A Schedule assigns a start time to every job; feasibility
+// requires that at every instant the processors used by running jobs plus
+// the processors held by active reservations never exceed m.
+//
+// Time is integral (Time, an int64 tick count). Every construction from the
+// paper that uses rational times (for example durations of 1/k in the
+// Proposition 2 family) is scaled by its denominator before being
+// materialised here; makespan ratios are unaffected by scaling.
+package core

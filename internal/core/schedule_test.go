@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestScheduleBasics(t *testing.T) {
+	in := validInstance()
+	s := NewSchedule(in)
+	if s.Complete() {
+		t.Fatal("fresh schedule should be incomplete")
+	}
+	if s.Makespan() != 0 {
+		t.Fatalf("empty makespan = %v", s.Makespan())
+	}
+	s.SetStart(0, 0)  // job 0: procs 4 len 10 -> ends 10
+	s.SetStart(1, 7)  // job 1: procs 2 len 5 -> ends 12
+	s.SetStart(2, 30) // job 2: procs 8 len 1 -> ends 31
+	if !s.Complete() {
+		t.Fatal("schedule should be complete")
+	}
+	if got := s.Makespan(); got != 31 {
+		t.Fatalf("Makespan = %v, want 31", got)
+	}
+	if s.StartOf(1) != 7 || s.EndOf(1) != 12 {
+		t.Fatalf("StartOf/EndOf wrong: %v %v", s.StartOf(1), s.EndOf(1))
+	}
+}
+
+func TestEndOfUnscheduled(t *testing.T) {
+	s := NewSchedule(validInstance())
+	if s.EndOf(0) != Unscheduled {
+		t.Fatal("EndOf of unscheduled job should be Unscheduled")
+	}
+}
+
+func TestScheduleUsage(t *testing.T) {
+	in := &Instance{M: 8, Jobs: []Job{
+		{ID: 0, Procs: 3, Len: 10},
+		{ID: 1, Procs: 2, Len: 5},
+	}}
+	s := NewSchedule(in)
+	s.SetStart(0, 0)
+	s.SetStart(1, 5)
+	u := s.Usage()
+	cases := []struct {
+		t    Time
+		want int
+	}{{0, 3}, {4, 3}, {5, 5}, {9, 5}, {10, 0}, {11, 0}}
+	for _, c := range cases {
+		if got := u.At(c.t); got != c.want {
+			t.Errorf("usage(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestScheduleTotalUsage(t *testing.T) {
+	in := &Instance{
+		M:    8,
+		Jobs: []Job{{ID: 0, Procs: 3, Len: 10}},
+		Res:  []Reservation{{ID: 0, Procs: 4, Start: 2, Len: 3}},
+	}
+	s := NewSchedule(in)
+	s.SetStart(0, 0)
+	tu := s.TotalUsage()
+	if tu.At(0) != 3 || tu.At(2) != 7 || tu.At(5) != 3 || tu.At(10) != 0 {
+		t.Fatalf("TotalUsage wrong: %v", tu)
+	}
+	if tu.Max() != 7 {
+		t.Fatalf("peak = %d, want 7", tu.Max())
+	}
+}
+
+func TestScheduleCloneIndependent(t *testing.T) {
+	s := NewSchedule(validInstance())
+	s.SetStart(0, 5)
+	cp := s.Clone()
+	cp.SetStart(0, 9)
+	if s.StartOf(0) != 5 {
+		t.Fatal("Clone shares Start slice")
+	}
+	if cp.Inst != s.Inst {
+		t.Fatal("Clone should share the instance")
+	}
+}
+
+func TestByStartTime(t *testing.T) {
+	in := &Instance{M: 8, Jobs: []Job{
+		{ID: 0, Procs: 1, Len: 1},
+		{ID: 1, Procs: 1, Len: 1},
+		{ID: 2, Procs: 1, Len: 1},
+	}}
+	s := NewSchedule(in)
+	s.SetStart(0, 10)
+	s.SetStart(2, 5)
+	// Job 1 left unscheduled.
+	order := s.ByStartTime()
+	if len(order) != 2 || order[0] != 2 || order[1] != 0 {
+		t.Fatalf("ByStartTime = %v", order)
+	}
+}
+
+func TestByStartTimeTieBreaksByID(t *testing.T) {
+	in := &Instance{M: 8, Jobs: []Job{
+		{ID: 5, Procs: 1, Len: 1},
+		{ID: 2, Procs: 1, Len: 1},
+	}}
+	s := NewSchedule(in)
+	s.SetStart(0, 0)
+	s.SetStart(1, 0)
+	order := s.ByStartTime()
+	if in.Jobs[order[0]].ID != 2 || in.Jobs[order[1]].ID != 5 {
+		t.Fatalf("tie break by ID failed: %v", order)
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	in := validInstance()
+	s := NewSchedule(in)
+	s.Algorithm = "lsrc"
+	s.SetStart(0, 0)
+	s.SetStart(1, 4)
+	s.SetStart(2, 9)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScheduleJSON(&buf, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != "lsrc" {
+		t.Fatalf("algorithm lost: %q", back.Algorithm)
+	}
+	for i := range s.Start {
+		if back.Start[i] != s.Start[i] {
+			t.Fatalf("start %d mismatch: %v vs %v", i, back.Start[i], s.Start[i])
+		}
+	}
+}
+
+func TestReadScheduleJSONUnknownJob(t *testing.T) {
+	in := validInstance()
+	_, err := ReadScheduleJSON(strings.NewReader(`{"starts":{"99":0}}`), in)
+	if !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("got %v, want ErrUnknownJob", err)
+	}
+}
+
+func TestScheduleJSONSkipsUnscheduled(t *testing.T) {
+	in := validInstance()
+	s := NewSchedule(in)
+	s.SetStart(1, 3)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScheduleJSON(bytes.NewReader(buf.Bytes()), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Start[0] != Unscheduled || back.Start[1] != 3 || back.Start[2] != Unscheduled {
+		t.Fatalf("round trip of partial schedule wrong: %v", back.Start)
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a point in (or length of) scheduling time, in integral ticks.
+// All model quantities — job durations, reservation windows, start times,
+// makespans — are expressed in ticks. The mapping from ticks to seconds is
+// up to the caller; the paper's analysis is scale-invariant.
+type Time int64
+
+// Infinity is a sentinel representing an unbounded time horizon. It is
+// strictly larger than any representable schedule time and arithmetic on it
+// is avoided by the packages that use it.
+const Infinity Time = math.MaxInt64
+
+// MinTime returns the smaller of a and b.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxTime returns the larger of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders the time, printing the Infinity sentinel as "inf".
+func (t Time) String() string {
+	if t == Infinity {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", int64(t))
+}

@@ -1,0 +1,318 @@
+package exact
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/verify"
+)
+
+// bruteForce enumerates all start-time combinations on the integer grid
+// [0, horizon] and returns the optimal makespan. Exponential; only for
+// cross-checking tiny instances.
+func bruteForce(inst *core.Instance, horizon core.Time) core.Time {
+	n := len(inst.Jobs)
+	starts := make([]core.Time, n)
+	best := core.Infinity
+	u := inst.Unavailability()
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			var cmax core.Time
+			for k, s := range starts {
+				if e := s + inst.Jobs[k].Len; e > cmax {
+					cmax = e
+				}
+			}
+			// Feasibility via per-tick usage.
+			for t := core.Time(0); t < cmax; t++ {
+				use := u.At(t)
+				for k, s := range starts {
+					if s <= t && t < s+inst.Jobs[k].Len {
+						use += inst.Jobs[k].Procs
+					}
+				}
+				if use > inst.M {
+					return
+				}
+			}
+			if cmax < best {
+				best = cmax
+			}
+			return
+		}
+		for s := core.Time(0); s <= horizon; s++ {
+			starts[i] = s
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestSolveTrivial(t *testing.T) {
+	inst := &core.Instance{M: 2, Jobs: []core.Job{{ID: 0, Procs: 1, Len: 5}}}
+	res, err := Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cmax != 5 || !res.Optimal {
+		t.Fatalf("Cmax = %v optimal=%v", res.Cmax, res.Optimal)
+	}
+	if err := verify.Verify(res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	res, err := Solve(&core.Instance{M: 3})
+	if err != nil || res.Cmax != 0 || !res.Optimal {
+		t.Fatalf("empty solve: %+v, %v", res, err)
+	}
+}
+
+func TestSolveProp2K3Optimum(t *testing.T) {
+	// The k=3 Proposition 2 instance (see sched tests): optimal makespan 3
+	// (scaled): big tasks at 0 beside one small; smalls chain on the same
+	// processors.
+	inst := &core.Instance{
+		M: 18,
+		Jobs: []core.Job{
+			{ID: 0, Procs: 4, Len: 1},
+			{ID: 1, Procs: 4, Len: 1},
+			{ID: 2, Procs: 4, Len: 1},
+			{ID: 3, Procs: 7, Len: 3},
+			{ID: 4, Procs: 7, Len: 3},
+		},
+		Res: []core.Reservation{{ID: 0, Procs: 6, Start: 3, Len: 18}},
+	}
+	res, err := Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.Cmax != 3 {
+		t.Fatalf("Cmax = %v optimal=%v, want 3", res.Cmax, res.Optimal)
+	}
+	if err := verify.Verify(res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	r := rng.New(60601)
+	for trial := 0; trial < 60; trial++ {
+		m := r.IntRange(1, 4)
+		inst := &core.Instance{M: m}
+		n := r.IntRange(1, 4)
+		for i := 0; i < n; i++ {
+			inst.Jobs = append(inst.Jobs, core.Job{
+				ID: i, Procs: r.IntRange(1, m), Len: core.Time(r.IntRange(1, 4)),
+			})
+		}
+		if r.Bool(0.6) {
+			inst.Res = append(inst.Res, core.Reservation{
+				ID: 0, Procs: r.IntRange(1, m), Start: core.Time(r.Intn(5)),
+				Len: core.Time(r.IntRange(1, 4)),
+			})
+		}
+		res, err := Solve(inst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := bruteForce(inst, 20)
+		if res.Cmax != want {
+			t.Fatalf("trial %d: Solve=%v bruteForce=%v\ninstance: %+v",
+				trial, res.Cmax, want, inst)
+		}
+		if err := verify.Verify(res.Schedule); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSolveBudgetExhaustion(t *testing.T) {
+	// Many distinct jobs with a tiny budget: must return ErrBudget and an
+	// upper bound at least as good as the heuristics.
+	inst := &core.Instance{M: 5}
+	r := rng.New(3)
+	for i := 0; i < 12; i++ {
+		inst.Jobs = append(inst.Jobs, core.Job{
+			ID: i, Procs: r.IntRange(1, 5), Len: core.Time(100 + r.Intn(900)),
+		})
+	}
+	res, err := (&Solver{MaxNodes: 50}).Solve(inst)
+	if !errors.Is(err, ErrBudget) {
+		// A budget of 50 nodes cannot close a 12-distinct-job search
+		// unless bounds prove optimality immediately; accept both but
+		// require a valid schedule.
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if res.Schedule == nil || verify.Verify(res.Schedule) != nil {
+		t.Fatal("budget-exhausted result must still be feasible")
+	}
+}
+
+func TestSolveInvalidInstance(t *testing.T) {
+	if _, err := Solve(&core.Instance{M: 0}); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func TestSolveM1Basic(t *testing.T) {
+	// Jobs 3,2,2 around reservations cutting windows [0,3),[4,6),[7,+inf).
+	inst := &core.Instance{
+		M: 1,
+		Jobs: []core.Job{
+			{ID: 0, Procs: 1, Len: 3},
+			{ID: 1, Procs: 1, Len: 2},
+			{ID: 2, Procs: 1, Len: 2},
+		},
+		Res: []core.Reservation{
+			{ID: 0, Procs: 1, Start: 3, Len: 1},
+			{ID: 1, Procs: 1, Start: 6, Len: 1},
+		},
+	}
+	res, err := SolveM1(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 fills [0,3); one 2 fills [4,6); other 2 at [7,9).
+	if res.Cmax != 9 {
+		t.Fatalf("Cmax = %v, want 9", res.Cmax)
+	}
+	if err := verify.Verify(res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveM1OrderMatters(t *testing.T) {
+	// Window [0,2) then blocked [2,3): the length-2 job must go first or
+	// it cannot use the early window.
+	inst := &core.Instance{
+		M: 1,
+		Jobs: []core.Job{
+			{ID: 0, Procs: 1, Len: 1},
+			{ID: 1, Procs: 1, Len: 2},
+		},
+		Res: []core.Reservation{{ID: 0, Procs: 1, Start: 2, Len: 1}},
+	}
+	res, err := SolveM1(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: len-2 at [0,2), len-1 at [3,4) -> 4.
+	if res.Cmax != 4 {
+		t.Fatalf("Cmax = %v, want 4", res.Cmax)
+	}
+}
+
+func TestSolveM1MatchesSolve(t *testing.T) {
+	r := rng.New(808)
+	for trial := 0; trial < 40; trial++ {
+		inst := &core.Instance{M: 1}
+		n := r.IntRange(1, 6)
+		for i := 0; i < n; i++ {
+			inst.Jobs = append(inst.Jobs, core.Job{ID: i, Procs: 1, Len: core.Time(r.IntRange(1, 5))})
+		}
+		for k := 0; k < r.IntRange(0, 2); k++ {
+			inst.Res = append(inst.Res, core.Reservation{
+				ID: k, Procs: 1, Start: core.Time(2 + r.Intn(10) + 12*k), Len: core.Time(r.IntRange(1, 3)),
+			})
+		}
+		if inst.Validate() != nil {
+			continue
+		}
+		dp, err := SolveM1(inst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bb, err := Solve(inst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if dp.Cmax != bb.Cmax {
+			t.Fatalf("trial %d: DP %v vs BB %v\ninstance: %+v", trial, dp.Cmax, bb.Cmax, inst)
+		}
+		if err := verify.Verify(dp.Schedule); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSolveM1Limits(t *testing.T) {
+	if _, err := SolveM1(&core.Instance{M: 2}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("m=2 accepted: %v", err)
+	}
+	big := &core.Instance{M: 1}
+	for i := 0; i < maxM1Jobs+1; i++ {
+		big.Jobs = append(big.Jobs, core.Job{ID: i, Procs: 1, Len: 1})
+	}
+	if _, err := SolveM1(big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized accepted: %v", err)
+	}
+}
+
+func TestSolveM1Unschedulable(t *testing.T) {
+	inst := &core.Instance{
+		M:    1,
+		Jobs: []core.Job{{ID: 0, Procs: 1, Len: 5}},
+		Res:  []core.Reservation{{ID: 0, Procs: 1, Start: 2, Len: core.Infinity}},
+	}
+	if _, err := SolveM1(inst); !errors.Is(err, ErrUnschedulable) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSolveIdenticalJobsFast(t *testing.T) {
+	// 16 identical jobs: the class collapse must make this instant
+	// (a single chain, no branching).
+	inst := &core.Instance{M: 4}
+	for i := 0; i < 16; i++ {
+		inst.Jobs = append(inst.Jobs, core.Job{ID: i, Procs: 2, Len: 3})
+	}
+	res, err := (&Solver{MaxNodes: 10_000}).Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.Cmax != 24 { // 2 per shelf, 8 shelves of 3
+		t.Fatalf("Cmax = %v optimal=%v, want 24", res.Cmax, res.Optimal)
+	}
+}
+
+func BenchmarkSolve8Jobs(b *testing.B) {
+	r := rng.New(5150)
+	inst := &core.Instance{M: 4}
+	for i := 0; i < 8; i++ {
+		inst.Jobs = append(inst.Jobs, core.Job{
+			ID: i, Procs: r.IntRange(1, 4), Len: core.Time(r.IntRange(1, 9)),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveM1_14Jobs(b *testing.B) {
+	r := rng.New(6)
+	inst := &core.Instance{M: 1}
+	for i := 0; i < 14; i++ {
+		inst.Jobs = append(inst.Jobs, core.Job{ID: i, Procs: 1, Len: core.Time(r.IntRange(1, 9))})
+	}
+	inst.Res = []core.Reservation{
+		{ID: 0, Procs: 1, Start: 10, Len: 2},
+		{ID: 1, Procs: 1, Start: 30, Len: 3},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveM1(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

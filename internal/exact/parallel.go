@@ -1,0 +1,228 @@
+package exact
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/lower"
+	"repro/internal/profile"
+	"repro/internal/sched"
+)
+
+// ParallelSolver runs the same branch-and-bound as Solver but fans the
+// first branching level out across worker goroutines. Each first-level
+// subtree (one per job class) is an independent search sharing only the
+// incumbent, which workers read optimistically (atomic) and update under a
+// mutex. The returned optimum is identical to the sequential solver's; node
+// counts vary slightly with scheduling because a better incumbent found in
+// one subtree prunes the others earlier.
+type ParallelSolver struct {
+	// MaxNodes caps the *total* node count across workers; 0 means
+	// DefaultMaxNodes.
+	MaxNodes int64
+	// Workers bounds the goroutine count; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// sharedBest is the incumbent shared across workers.
+type sharedBest struct {
+	mu    sync.Mutex
+	cmax  atomic.Int64
+	start []core.Time
+}
+
+// offer installs a new incumbent if it improves on the current one.
+func (sb *sharedBest) offer(cmax core.Time, starts []core.Time) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if int64(cmax) < sb.cmax.Load() {
+		sb.cmax.Store(int64(cmax))
+		copy(sb.start, starts)
+	}
+}
+
+// Solve finds the optimal makespan (subject to the shared node budget).
+func (ps *ParallelSolver) Solve(inst *core.Instance) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("exact: %w", err)
+	}
+	maxNodes := ps.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	workers := ps.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Incumbent from heuristics (same portfolio as the sequential solver).
+	var bestS *core.Schedule
+	for _, s := range []sched.Scheduler{
+		sched.NewLSRC(sched.FIFO), sched.NewLSRC(sched.LPT),
+		sched.NewLSRC(sched.WidestFirst), sched.Conservative{},
+	} {
+		cand, err := s.Schedule(inst)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnschedulable, err)
+		}
+		if bestS == nil || cand.Makespan() < bestS.Makespan() {
+			bestS = cand
+		}
+	}
+	res := &Result{Schedule: bestS, Cmax: bestS.Makespan(), Optimal: true}
+	if lower.Best(inst) >= res.Cmax || len(inst.Jobs) == 0 {
+		return res, nil
+	}
+
+	shared := &sharedBest{start: append([]core.Time(nil), bestS.Start...)}
+	shared.cmax.Store(int64(bestS.Makespan()))
+	classes := classify(inst, false)
+	var totalNodes atomic.Int64
+	var exhausted atomic.Bool
+
+	// One task per first-level class choice.
+	type task struct{ classIdx int }
+	tasks := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				st := &parState{
+					bbState: bbState{
+						inst:     inst,
+						tl:       profile.MustFromReservations(inst.M, inst.Res),
+						starts:   make([]core.Time, len(inst.Jobs)),
+						remWork:  inst.TotalWork(),
+						maxNodes: maxNodes,
+					},
+					shared:     shared,
+					totalNodes: &totalNodes,
+					exhausted:  &exhausted,
+				}
+				for i := range st.starts {
+					st.starts[i] = core.Unscheduled
+				}
+				// Each worker owns a private copy of the class table.
+				st.classes = make([]jobClass, len(classes))
+				copy(st.classes, classes)
+				for i := range st.classes {
+					st.classes[i].idxs = classes[i].idxs // read-only
+					st.classes[i].left = len(classes[i].idxs)
+				}
+				st.descendInto(tk.classIdx)
+			}
+		}()
+	}
+	for ci := range classes {
+		tasks <- task{classIdx: ci}
+	}
+	close(tasks)
+	wg.Wait()
+
+	s := core.NewSchedule(inst)
+	s.Algorithm = "exact-bb-par"
+	copy(s.Start, shared.start)
+	res.Schedule = s
+	res.Cmax = core.Time(shared.cmax.Load())
+	res.Nodes = totalNodes.Load()
+	res.Optimal = !exhausted.Load()
+	if !res.Optimal {
+		return res, ErrBudget
+	}
+	return res, nil
+}
+
+// parState extends bbState with the shared incumbent plumbing.
+type parState struct {
+	bbState
+	shared     *sharedBest
+	totalNodes *atomic.Int64
+	exhausted  *atomic.Bool
+}
+
+// descendInto commits the first-level choice ci and explores its subtree.
+func (st *parState) descendInto(ci int) {
+	c := &st.classes[ci]
+	s, ok := st.tl.FindSlot(0, c.procs, c.len)
+	if !ok {
+		return
+	}
+	end := s + c.len
+	if int64(end) >= st.shared.cmax.Load() {
+		return
+	}
+	idx := c.idxs[len(c.idxs)-c.left]
+	if err := st.tl.Commit(s, c.len, c.procs); err != nil {
+		panic(fmt.Sprintf("exact: parallel commit: %v", err))
+	}
+	c.left--
+	st.starts[idx] = s
+	st.remWork -= int64(c.procs) * int64(c.len)
+	st.partCmax = end
+	st.pdfs()
+}
+
+// pdfs mirrors bbState.dfs with the shared incumbent.
+func (st *parState) pdfs() {
+	if st.exhausted.Load() {
+		return
+	}
+	if st.totalNodes.Add(1) > st.maxNodes {
+		st.exhausted.Store(true)
+		return
+	}
+	best := core.Time(st.shared.cmax.Load())
+	if st.remWork == 0 {
+		if st.partCmax < best {
+			st.shared.offer(st.partCmax, st.starts)
+		}
+		return
+	}
+	st.bestCmax = best // nodeLB compares against the snapshot
+	if st.nodeLB() >= best {
+		return
+	}
+	for ci := range st.classes {
+		c := &st.classes[ci]
+		if c.left == 0 {
+			continue
+		}
+		s, ok := st.tl.FindSlot(0, c.procs, c.len)
+		if !ok {
+			continue
+		}
+		end := s + c.len
+		if int64(end) >= st.shared.cmax.Load() {
+			continue
+		}
+		idx := c.idxs[len(c.idxs)-c.left]
+		if err := st.tl.Commit(s, c.len, c.procs); err != nil {
+			panic(fmt.Sprintf("exact: parallel commit: %v", err))
+		}
+		c.left--
+		st.starts[idx] = s
+		st.remWork -= int64(c.procs) * int64(c.len)
+		prevCmax := st.partCmax
+		if end > st.partCmax {
+			st.partCmax = end
+		}
+
+		st.pdfs()
+
+		st.partCmax = prevCmax
+		st.remWork += int64(c.procs) * int64(c.len)
+		st.starts[idx] = core.Unscheduled
+		c.left++
+		if err := st.tl.Release(s, c.len, c.procs); err != nil {
+			panic(fmt.Sprintf("exact: parallel release: %v", err))
+		}
+		if st.exhausted.Load() {
+			return
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package exact
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/verify"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	r := rng.New(181818)
+	for trial := 0; trial < 60; trial++ {
+		m := r.IntRange(2, 5)
+		inst := &core.Instance{M: m}
+		n := r.IntRange(2, 7)
+		for i := 0; i < n; i++ {
+			inst.Jobs = append(inst.Jobs, core.Job{
+				ID: i, Procs: r.IntRange(1, m), Len: core.Time(r.IntRange(1, 7)),
+			})
+		}
+		if r.Bool(0.5) {
+			inst.Res = append(inst.Res, core.Reservation{
+				ID: 0, Procs: r.IntRange(1, m), Start: core.Time(r.Intn(8)),
+				Len: core.Time(r.IntRange(1, 6)),
+			})
+		}
+		seq, err := Solve(inst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		par, err := (&ParallelSolver{Workers: 4}).Solve(inst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !par.Optimal || par.Cmax != seq.Cmax {
+			t.Fatalf("trial %d: parallel %v (optimal=%v) vs sequential %v\ninstance: %+v",
+				trial, par.Cmax, par.Optimal, seq.Cmax, inst)
+		}
+		if err := verify.Verify(par.Schedule); err != nil {
+			t.Fatalf("trial %d: parallel schedule infeasible: %v", trial, err)
+		}
+	}
+}
+
+func TestParallelDeterministicOptimum(t *testing.T) {
+	// The schedule found may differ between runs (race on equal optima)
+	// but the optimal VALUE must be stable.
+	r := rng.New(191919)
+	inst := &core.Instance{M: 4}
+	for i := 0; i < 9; i++ {
+		inst.Jobs = append(inst.Jobs, core.Job{
+			ID: i, Procs: r.IntRange(1, 4), Len: core.Time(r.IntRange(1, 8)),
+		})
+	}
+	first, err := (&ParallelSolver{}).Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		again, err := (&ParallelSolver{Workers: 8}).Solve(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Cmax != first.Cmax {
+			t.Fatalf("run %d: optimum %v != %v", k, again.Cmax, first.Cmax)
+		}
+	}
+}
+
+func TestParallelTrivialCases(t *testing.T) {
+	res, err := (&ParallelSolver{}).Solve(&core.Instance{M: 3})
+	if err != nil || res.Cmax != 0 || !res.Optimal {
+		t.Fatalf("empty: %+v %v", res, err)
+	}
+	if _, err := (&ParallelSolver{}).Solve(&core.Instance{M: 0}); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func TestParallelBudget(t *testing.T) {
+	r := rng.New(202020)
+	inst := &core.Instance{M: 5}
+	for i := 0; i < 12; i++ {
+		inst.Jobs = append(inst.Jobs, core.Job{
+			ID: i, Procs: r.IntRange(1, 5), Len: core.Time(100 + r.Intn(900)),
+		})
+	}
+	res, err := (&ParallelSolver{MaxNodes: 100, Workers: 4}).Solve(inst)
+	if err != nil && !errors.Is(err, ErrBudget) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if res == nil || res.Schedule == nil {
+		t.Fatal("no result under budget exhaustion")
+	}
+	if err := verify.Verify(res.Schedule); err != nil {
+		t.Fatalf("budget result infeasible: %v", err)
+	}
+}
+
+func BenchmarkExactParallelVsSequential(b *testing.B) {
+	r := rng.New(3) // the hard seed from the ablation bench
+	inst := &core.Instance{M: 4}
+	for i := 0; i < 10; i++ {
+		inst.Jobs = append(inst.Jobs, core.Job{
+			ID: i, Procs: r.IntRange(1, 4), Len: core.Time(r.IntRange(1, 7)),
+		})
+	}
+	inst.Res = []core.Reservation{{ID: 0, Procs: 2, Start: 4, Len: 6}}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Solve(inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (&ParallelSolver{}).Solve(inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

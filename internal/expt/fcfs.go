@@ -1,0 +1,80 @@
+package expt
+
+import (
+	"repro/internal/core"
+	"repro/internal/instances"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fcfs",
+		Title: "§2.2 remark: FCFS has no constant guarantee",
+		Paper: "§2.2 — FCFS ratio approaches m; LSRC stays at the optimum on the same family",
+		Run:   runFCFS,
+	})
+}
+
+func runFCFS(cfg Config) (*Report, error) {
+	r := &Report{
+		ID:    "fcfs",
+		Title: "§2.2 remark: FCFS has no constant guarantee",
+		Paper: "§2.2 (discussion of classical algorithms)",
+	}
+	r.Notes = append(r.Notes,
+		"family: m thin jobs (length D+i) interleaved with m full-width unit jobs",
+		"optimum D+2m-1 by the disjointness argument (wide jobs never overlap thin ones)")
+
+	ms := []int{2, 4, 6, 8}
+	ds := []core.Time{10, 100, 1000}
+	if cfg.Quick {
+		ms = []int{2, 4}
+		ds = []core.Time{10, 100}
+	}
+	t := stats.NewTable("m", "D", "C*", "FCFS", "EASY", "LSRC", "FCFS ratio", "LSRC ratio")
+	formula := true
+	lsrcOptimal := true
+	ratioGrows := true
+	for _, m := range ms {
+		prev := 0.0
+		for _, d := range ds {
+			inst, err := instances.FCFSPathological(m, d)
+			if err != nil {
+				return nil, err
+			}
+			opt := instances.FCFSPathologicalOptimum(m, d)
+			fs, err := (sched.FCFS{}).Schedule(inst)
+			if err != nil {
+				return nil, err
+			}
+			es, err := (sched.EASY{}).Schedule(inst)
+			if err != nil {
+				return nil, err
+			}
+			ls, err := sched.NewLSRC(sched.FIFO).Schedule(inst)
+			if err != nil {
+				return nil, err
+			}
+			if fs.Makespan() != instances.FCFSPathologicalMakespan(m, d) {
+				formula = false
+			}
+			if ls.Makespan() != opt {
+				lsrcOptimal = false
+			}
+			fr := float64(fs.Makespan()) / float64(opt)
+			lr := float64(ls.Makespan()) / float64(opt)
+			if fr <= prev {
+				ratioGrows = false
+			}
+			prev = fr
+			t.AddRow(m, int64(d), int64(opt), int64(fs.Makespan()), int64(es.Makespan()),
+				int64(ls.Makespan()), fr, lr)
+		}
+	}
+	r.Tables = append(r.Tables, NamedTable{Caption: "FCFS pathological family", Table: t})
+	r.check("FCFS makespan matches the closed form m(D+1)+m(m-1)/2", formula, "all (m,D) cells")
+	r.check("LSRC schedules the family optimally", lsrcOptimal, "ratio exactly 1 in every cell")
+	r.check("FCFS ratio grows toward m as D grows", ratioGrows, "monotone in D for every m")
+	return r, nil
+}

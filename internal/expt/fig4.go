@@ -1,0 +1,103 @@
+package expt
+
+import (
+	"repro/internal/bounds"
+	"repro/internal/instances"
+	"repro/internal/plot"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Figure 4: bound curves vs alpha",
+		Paper: "Figure 4 — upper bound 2/α and lower bounds B1, B2 as functions of α",
+		Run:   runFig4,
+	})
+}
+
+func runFig4(cfg Config) (*Report, error) {
+	r := &Report{
+		ID:    "fig4",
+		Title: "Figure 4: bound curves vs alpha",
+		Paper: "Figure 4",
+	}
+	r.Notes = append(r.Notes,
+		"y-axis clipped at 10, matching the paper's figure",
+		"measured points: LSRC ratio on the Proposition 2 family at α = 2/k")
+
+	n := 100
+	if cfg.Quick {
+		n = 25
+	}
+	rows := bounds.Figure4(n)
+	t := stats.NewTable("alpha", "upper 2/a", "B1", "B2")
+	var xs, upper, b1s, b2s []float64
+	step := 1
+	if n > 25 {
+		step = n / 25 // keep the printed table readable; chart uses all points
+	}
+	for i, row := range rows {
+		if i%step == 0 || i == len(rows)-1 {
+			t.AddRow(row.Alpha, row.Upper, row.B1, row.B2)
+		}
+		xs = append(xs, row.Alpha)
+		upper = append(upper, row.Upper)
+		b1s = append(b1s, row.B1)
+		b2s = append(b2s, row.B2)
+	}
+	r.Tables = append(r.Tables, NamedTable{Caption: "Figure 4 series (sampled rows)", Table: t})
+
+	// Measured LSRC worst-case points on the Prop 2 family.
+	var mx, my []float64
+	ks := []int{2, 3, 4, 5, 6, 8, 10}
+	if cfg.Quick {
+		ks = []int{2, 3, 4}
+	}
+	for _, k := range ks {
+		inst, err := instances.Prop2Instance(k)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sched.NewLSRC(sched.FIFO).Schedule(inst)
+		if err != nil {
+			return nil, err
+		}
+		mx = append(mx, instances.Prop2Alpha(k))
+		my = append(my, float64(s.Makespan())/float64(instances.Prop2Optimum(k)))
+	}
+	r.Charts = append(r.Charts, &plot.Chart{
+		Title:  "Figure 4: performance guarantees for LSRC on α-RESASCHEDULING",
+		XLabel: "alpha",
+		YLabel: "performance guarantee",
+		YMax:   10,
+		Series: []plot.Series{
+			{Name: "Upper bound 2/α", X: xs, Y: upper},
+			{Name: "B1", X: xs, Y: b1s},
+			{Name: "B2", X: xs, Y: b2s},
+			{Name: "measured LSRC (Prop 2 family)", X: mx, Y: my},
+		},
+	})
+
+	// Structural checks on the curves.
+	ordered, sandwich := true, true
+	for i, row := range rows {
+		if row.Upper < row.B1-1e-9 || row.B1 < row.B2-1e-9 {
+			ordered = false
+		}
+		_ = i
+	}
+	for i := range mx {
+		lo := bounds.B1(mx[i])
+		hi := bounds.AlphaUpper(mx[i])
+		if my[i] < lo-1e-9 || my[i] > hi+1e-9 {
+			sandwich = false
+		}
+	}
+	r.check("curves ordered: 2/α >= B1 >= B2 on the whole grid", ordered, "%d grid points", len(rows))
+	r.check("measured LSRC points lie between B1 and 2/α", sandwich, "α = 2/k for k in %v", ks)
+	r.check("upper and lower bounds arbitrarily close at α=2/k", bounds.Gap(2.0/64) < 1.02,
+		"gap at k=64 is %.4f", bounds.Gap(2.0/64))
+	return r, nil
+}

@@ -1,0 +1,63 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func sampleReport() *Report {
+	r := &Report{ID: "fig9", Title: "sample", Paper: "imaginary"}
+	r.Notes = append(r.Notes, "a note")
+	t := stats.NewTable("k", "ratio")
+	t.AddRow(3, 2.5)
+	r.Tables = append(r.Tables, NamedTable{Caption: "caption", Table: t})
+	r.check("passes", true, "detail %d", 7)
+	r.check("fails", false, "boom")
+	return r
+}
+
+func TestMarkdownStructure(t *testing.T) {
+	md := sampleReport().Markdown()
+	for _, want := range []string{
+		"## fig9 — sample",
+		"*Paper artifact:* imaginary",
+		"> a note",
+		"**caption**",
+		"| k | ratio |",
+		"| --- | --- |",
+		"| 3 | 2.5 |",
+		"- [x] passes — detail 7",
+		"- [ ] fails — boom",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("missing %q in:\n%s", want, md)
+		}
+	}
+}
+
+func TestMarkdownAllCountsChecks(t *testing.T) {
+	doc := MarkdownAll([]*Report{sampleReport()}, Config{Seed: 5})
+	if !strings.Contains(doc, "1/2 checks passed") {
+		t.Fatalf("check counter wrong:\n%s", doc)
+	}
+	if !strings.Contains(doc, "seed 5") {
+		t.Fatal("seed missing")
+	}
+}
+
+func TestMarkdownFromRealExperiment(t *testing.T) {
+	e, _ := Get("fig3")
+	rep, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := rep.Markdown()
+	if !strings.Contains(md, "## fig3") || !strings.Contains(md, "| k |") {
+		t.Fatalf("real markdown malformed:\n%s", md)
+	}
+	if strings.Contains(md, "- [ ]") {
+		t.Fatal("fig3 should have no failing checks")
+	}
+}

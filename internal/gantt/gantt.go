@@ -1,0 +1,176 @@
+// Package gantt renders schedules as Gantt charts — the visual language of
+// the paper's Figures 1-3 — in ASCII (terminal) and SVG (files). Jobs and
+// reservations are drawn over processor rows using the concrete processor
+// assignment from the verify package, so overlaps in the picture are
+// impossible for feasible schedules.
+package gantt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/verify"
+)
+
+// jobGlyphs label jobs in ASCII charts, cycling when exhausted.
+const jobGlyphs = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+// reservationGlyph marks reserved cells in ASCII charts.
+const reservationGlyph = '▒'
+
+// ASCII renders the schedule with one row per processor and one column per
+// time bucket; width controls the number of columns. Returns an error only
+// when the schedule is infeasible (no processor assignment exists).
+func ASCII(s *core.Schedule, width int) (string, error) {
+	asg, err := verify.AssignProcessors(s)
+	if err != nil {
+		return "", err
+	}
+	if width < 10 {
+		width = 80
+	}
+	horizon := chartHorizon(s)
+	if horizon == 0 {
+		return "(empty schedule)\n", nil
+	}
+	m := s.Inst.M
+	col := func(t core.Time) int {
+		c := int(int64(t) * int64(width) / int64(horizon))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	runes := make([][]rune, m)
+	for p := range runes {
+		runes[p] = []rune(strings.Repeat(".", width))
+	}
+	for i, r := range s.Inst.Res {
+		end := r.End()
+		if end == core.Infinity || end > horizon {
+			end = horizon
+		}
+		if r.Start >= horizon {
+			continue
+		}
+		c0, c1 := col(r.Start), col(end-1)
+		for _, p := range asg.ResProcs[i] {
+			for c := c0; c <= c1; c++ {
+				runes[p][c] = reservationGlyph
+			}
+		}
+	}
+	for i := range s.Inst.Jobs {
+		g := rune(jobGlyphs[i%len(jobGlyphs)])
+		t0 := s.StartOf(i)
+		t1 := s.EndOf(i)
+		c0, c1 := col(t0), col(t1-1)
+		for _, p := range asg.JobProcs[i] {
+			for c := c0; c <= c1; c++ {
+				runes[p][c] = g
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "m=%d  Cmax=%v  (one row per processor, %v ticks/col)\n",
+		m, s.Makespan(), float64(horizon)/float64(width))
+	for p := m - 1; p >= 0; p-- {
+		fmt.Fprintf(&b, "P%-3d |%s|\n", p, string(runes[p]))
+	}
+	fmt.Fprintf(&b, "     0%s%v\n", strings.Repeat(" ", width-1-len(horizon.String())), horizon)
+	// Legend.
+	var legend []string
+	for i, j := range s.Inst.Jobs {
+		legend = append(legend, fmt.Sprintf("%c=%s", jobGlyphs[i%len(jobGlyphs)], j.Label()))
+		if len(legend) >= 16 {
+			legend = append(legend, "...")
+			break
+		}
+	}
+	if len(s.Inst.Res) > 0 {
+		legend = append(legend, fmt.Sprintf("%c=reserved", reservationGlyph))
+	}
+	fmt.Fprintf(&b, "     %s\n", strings.Join(legend, " "))
+	return b.String(), nil
+}
+
+// chartHorizon is the drawing horizon: max of makespan and last finite
+// reservation end.
+func chartHorizon(s *core.Schedule) core.Time {
+	h := s.Makespan()
+	for _, r := range s.Inst.Res {
+		if e := r.End(); e != core.Infinity && e > h {
+			h = e
+		}
+	}
+	return h
+}
+
+// SVG renders the schedule as an SVG document with one lane per processor.
+func SVG(s *core.Schedule, width, rowH int) (string, error) {
+	asg, err := verify.AssignProcessors(s)
+	if err != nil {
+		return "", err
+	}
+	if width < 100 {
+		width = 800
+	}
+	if rowH < 4 {
+		rowH = 14
+	}
+	horizon := chartHorizon(s)
+	if horizon == 0 {
+		horizon = 1
+	}
+	m := s.Inst.M
+	const marginL, marginT = 44, 28
+	h := marginT + m*rowH + 30
+	tx := func(t core.Time) float64 {
+		return float64(marginL) + float64(t)/float64(horizon)*float64(width-marginL-10)
+	}
+	py := func(p int) int { return marginT + (m-1-p)*rowH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", width, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, h)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13">m=%d, Cmax=%v</text>`+"\n", marginL, m, s.Makespan())
+	// Reservations.
+	for i, r := range s.Inst.Res {
+		end := r.End()
+		if end == core.Infinity || end > horizon {
+			end = horizon
+		}
+		for _, p := range asg.ResProcs[i] {
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="#bbb" stroke="#888" stroke-width="0.5"/>`+"\n",
+				tx(r.Start), py(p), tx(end)-tx(r.Start), rowH-1)
+		}
+	}
+	// Jobs.
+	colors := []string{"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+		"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac"}
+	for i, j := range s.Inst.Jobs {
+		color := colors[i%len(colors)]
+		t0, t1 := s.StartOf(i), s.EndOf(i)
+		for _, p := range asg.JobProcs[i] {
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="#333" stroke-width="0.5"/>`+"\n",
+				tx(t0), py(p), tx(t1)-tx(t0), rowH-1, color)
+		}
+		// Label at the vertical middle of the job's processor block.
+		if len(asg.JobProcs[i]) > 0 {
+			mid := asg.JobProcs[i][len(asg.JobProcs[i])/2]
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" fill="white">%s</text>`+"\n",
+				tx(t0)+3, py(mid)+rowH-4, j.Label())
+		}
+	}
+	// Axis.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+m*rowH, width-10, marginT+m*rowH)
+	for i := 0; i <= 5; i++ {
+		t := core.Time(int64(horizon) * int64(i) / 5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%v</text>`+"\n",
+			tx(t), marginT+m*rowH+14, t)
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}

@@ -1,0 +1,121 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+func scheduledFixture(t *testing.T) *core.Schedule {
+	t.Helper()
+	inst := &core.Instance{
+		M: 4,
+		Jobs: []core.Job{
+			{ID: 0, Name: "conv", Procs: 2, Len: 10},
+			{ID: 1, Procs: 4, Len: 5},
+		},
+		Res: []core.Reservation{{ID: 0, Procs: 2, Start: 12, Len: 4}},
+	}
+	s, err := sched.NewLSRC(sched.FIFO).Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestASCIIRendersRowsPerProcessor(t *testing.T) {
+	s := scheduledFixture(t)
+	out, err := ASCII(s, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"P0", "P1", "P2", "P3", "Cmax", "A=conv", "B=J1", "reserved"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatalf("job glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, string(reservationGlyph)) {
+		t.Fatalf("reservation glyph missing:\n%s", out)
+	}
+}
+
+func TestASCIIEmptySchedule(t *testing.T) {
+	inst := &core.Instance{M: 2}
+	s := core.NewSchedule(inst)
+	out, err := ASCII(s, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "empty") {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestASCIIInfeasibleScheduleErrors(t *testing.T) {
+	inst := &core.Instance{M: 1, Jobs: []core.Job{
+		{ID: 0, Procs: 1, Len: 5},
+		{ID: 1, Procs: 1, Len: 5},
+	}}
+	s := core.NewSchedule(inst)
+	s.SetStart(0, 0)
+	s.SetStart(1, 0) // overlap on a 1-proc machine
+	if _, err := ASCII(s, 40); err == nil {
+		t.Fatal("infeasible schedule rendered")
+	}
+}
+
+func TestSVGContainsJobRects(t *testing.T) {
+	s := scheduledFixture(t)
+	out, err := SVG(s, 800, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LSRC: job0 [0,10); job1 cannot overlap the reservation window, so it
+	// runs [16,21) and the makespan is 21.
+	for _, want := range []string{"<svg", "</svg>", "conv", "Cmax=21"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	// 2 procs * job0 + 4 procs * job1 + 2 procs * reservation = 8 rects
+	// plus the background rect.
+	if got := strings.Count(out, "<rect"); got != 9 {
+		t.Fatalf("rect count = %d, want 9", got)
+	}
+}
+
+func TestSVGDefaults(t *testing.T) {
+	s := scheduledFixture(t)
+	out, err := SVG(s, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `width="800"`) {
+		t.Fatal("default width not applied")
+	}
+}
+
+func TestChartHorizonIncludesReservationTail(t *testing.T) {
+	s := scheduledFixture(t)
+	// Makespan 21 dominates the reservation end 16.
+	if h := chartHorizon(s); h != 21 {
+		t.Fatalf("horizon = %v, want 21", h)
+	}
+	// A schedule ending before its reservations: horizon is the
+	// reservation end.
+	inst := &core.Instance{
+		M:    2,
+		Jobs: []core.Job{{ID: 0, Procs: 1, Len: 2}},
+		Res:  []core.Reservation{{ID: 0, Procs: 1, Start: 30, Len: 10}},
+	}
+	s2 := core.NewSchedule(inst)
+	s2.SetStart(0, 0)
+	if h := chartHorizon(s2); h != 40 {
+		t.Fatalf("horizon = %v, want 40", h)
+	}
+}

@@ -1,0 +1,134 @@
+package instances
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Transformation errors.
+var (
+	// ErrNotNonIncreasing reports that the instance's unavailability
+	// function increases somewhere, so the Figure 2 transformation does
+	// not apply.
+	ErrNotNonIncreasing = errors.New("instances: unavailability is not non-increasing")
+	// ErrUnboundedReservation reports reservations that never release.
+	ErrUnboundedReservation = errors.New("instances: reservations never fully release")
+)
+
+// ReservationsToTasks performs the transformation in the proof of
+// Proposition 1 (Figure 2 of the paper): an instance whose unavailability
+// function U is non-increasing, taking values U_1 > U_2 > ... > U_k = 0
+// with U(t) = U_j on [t_j, t_{j+1}), is rewritten as a RIGIDSCHEDULING
+// instance (no reservations) by prepending k-1 staircase tasks
+//
+//	T'_j: q = U_j - U_{j+1},  p = t_{j+1}   (j = 1..k-1)
+//
+// placed at the head of the job list. When LSRC processes the transformed
+// list it starts every staircase task at time 0 (they stack to exactly U_1
+// <= m processors), recreating the original availability for the real jobs
+// — so LSRC yields the same schedule on both instances, which is what lets
+// the paper inherit Theorem 2's bound.
+//
+// Staircase tasks receive IDs above the original jobs'; original jobs keep
+// their IDs and appear after the staircase in the returned instance.
+func ReservationsToTasks(inst *core.Instance) (*core.Instance, error) {
+	u := inst.Unavailability()
+	if !u.NonIncreasing() {
+		return nil, fmt.Errorf("%w: %v", ErrNotNonIncreasing, u)
+	}
+	if u.FinalValue() != 0 {
+		return nil, fmt.Errorf("%w: final unavailability %d", ErrUnboundedReservation, u.FinalValue())
+	}
+	out := &core.Instance{Name: inst.Name + "+staircase", M: inst.M}
+	maxID := -1
+	for _, j := range inst.Jobs {
+		if j.ID > maxID {
+			maxID = j.ID
+		}
+	}
+	// Build staircase tasks from the step function's segments.
+	for i := 0; i+1 < u.Len(); i++ {
+		_, end, v := u.Segment(i)
+		_, _, next := u.Segment(i + 1)
+		drop := v - next
+		if drop <= 0 {
+			// NonIncreasing with canonical segments means strict drops
+			// everywhere; guard anyway.
+			return nil, fmt.Errorf("%w: non-canonical step at segment %d", ErrNotNonIncreasing, i)
+		}
+		maxID++
+		out.Jobs = append(out.Jobs, core.Job{
+			ID:    maxID,
+			Name:  fmt.Sprintf("staircase-%d", i),
+			Procs: drop,
+			Len:   end,
+		})
+	}
+	out.Jobs = append(out.Jobs, inst.Jobs...)
+	return out, nil
+}
+
+// TruncateTail performs the first step of Proposition 1's proof (I → I'):
+// given an instance with non-increasing unavailability U and a reference
+// time T (the proof uses T = C*max), it returns the instance on
+// m' = m - U(T) machines whose unavailability is U(t) - U(T) before T and 0
+// afterwards. The proof's observations hold by construction: both instances
+// have the same optimal makespan when T = C*max, and any feasible schedule
+// of I' is feasible for I.
+//
+// Combined with ReservationsToTasks (I' → I”), this makes the whole proof
+// chain of Proposition 1 executable; the fig2 experiment checks it on
+// random staircases.
+func TruncateTail(inst *core.Instance, t core.Time) (*core.Instance, error) {
+	u := inst.Unavailability()
+	if !u.NonIncreasing() {
+		return nil, fmt.Errorf("%w: %v", ErrNotNonIncreasing, u)
+	}
+	floor := u.At(t)
+	if inst.M-floor < 1 {
+		return nil, fmt.Errorf("instances: truncation at %v leaves no machines (U=%d of m=%d)",
+			t, floor, inst.M)
+	}
+	out := &core.Instance{Name: inst.Name + "+truncated", M: inst.M - floor}
+	out.Jobs = append([]core.Job(nil), inst.Jobs...)
+	// Rebuild the reduced unavailability as one reservation per remaining
+	// staircase level: level v = U(t') - floor on [0, end).
+	for i := 0; i+1 < u.Len(); i++ {
+		_, end, v := u.Segment(i)
+		_, _, next := u.Segment(i + 1)
+		if end > t {
+			// Levels at or beyond T are absorbed into the floor.
+			break
+		}
+		drop := v - next
+		if v-floor < drop {
+			drop = v - floor
+		}
+		if drop <= 0 {
+			continue
+		}
+		out.Res = append(out.Res, core.Reservation{
+			ID: len(out.Res), Procs: drop, Start: 0, Len: end,
+		})
+	}
+	return out, nil
+}
+
+// StaircaseCount returns how many staircase tasks ReservationsToTasks
+// prepends for the given instance (k-1 in the paper's notation).
+func StaircaseCount(inst *core.Instance) int {
+	u := inst.Unavailability()
+	n := u.Len() - 1
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// MachinesAtTime returns m(t) = m - U(t), the paper's notation for the
+// availability at time t.
+func MachinesAtTime(inst *core.Instance, t core.Time) int {
+	return inst.M - inst.Unavailability().At(t)
+}

@@ -1,0 +1,147 @@
+package instances
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func TestTruncateTailBasic(t *testing.T) {
+	// U: 5 on [0,4), 2 on [4,10), 0 after. Truncate at T=6 (floor = 2):
+	// m' = 6, U' = 3 on [0,4), 0 after.
+	inst := staircaseFixture()
+	out, err := TruncateTail(inst, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.M != 6 {
+		t.Fatalf("m' = %d, want 6", out.M)
+	}
+	u := out.Unavailability()
+	if u.At(0) != 3 || u.At(3) != 3 || u.At(4) != 0 || u.At(100) != 0 {
+		t.Fatalf("U' wrong: %v", u)
+	}
+	// Jobs may now be wider than m' (the 8-wide job): Validate fails, which
+	// is fine — the proof only uses T = C*max where this cannot happen.
+	if err := out.Validate(); err == nil {
+		t.Log("instance validates (8-wide job must have been narrower than m')")
+	}
+}
+
+func TestTruncateTailAtZeroLevels(t *testing.T) {
+	// Truncating beyond all reservations (floor 0) keeps U intact.
+	inst := staircaseFixture()
+	out, err := TruncateTail(inst, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.M != inst.M {
+		t.Fatalf("m changed: %d", out.M)
+	}
+	a, b := inst.Unavailability(), out.Unavailability()
+	for _, tm := range []core.Time{0, 3, 4, 9, 10, 50} {
+		if a.At(tm) != b.At(tm) {
+			t.Fatalf("U differs at %v: %d vs %d", tm, a.At(tm), b.At(tm))
+		}
+	}
+}
+
+func TestTruncateTailRejects(t *testing.T) {
+	increasing := &core.Instance{
+		M:    4,
+		Jobs: []core.Job{{ID: 0, Procs: 1, Len: 1}},
+		Res:  []core.Reservation{{ID: 0, Procs: 2, Start: 5, Len: 5}},
+	}
+	if _, err := TruncateTail(increasing, 3); !errors.Is(err, ErrNotNonIncreasing) {
+		t.Fatalf("got %v", err)
+	}
+	blockade := &core.Instance{
+		M:   2,
+		Res: []core.Reservation{{ID: 0, Procs: 2, Start: 0, Len: 10}},
+	}
+	if _, err := TruncateTail(blockade, 5); err == nil {
+		t.Fatal("full blockade truncation accepted")
+	}
+}
+
+// TestProposition1ProofChain executes the proof of Proposition 1 end to
+// end on random staircases: I --TruncateTail(C*)--> I' --Reservations
+// ToTasks--> I” and checks each claim the proof makes:
+//
+//  1. C*(I') = C*(I) (truncation beyond the optimum is irrelevant);
+//  2. LSRC(I) <= LSRC(I') (less capacity late can only help the original);
+//  3. LSRC job placements coincide between I' and I” (staircase tasks
+//     recreate the availability);
+//  4. the final Graham bound: LSRC(I) <= (2 - 1/m')·C*(I).
+func TestProposition1ProofChain(t *testing.T) {
+	r := rng.New(161616)
+	for trial := 0; trial < 120; trial++ {
+		inst := RandomStaircase(r, StaircaseConfig{
+			M: r.IntRange(2, 6), N: r.IntRange(2, 6),
+			MaxLen: 6, Steps: r.IntRange(1, 3), MaxStepLen: 10,
+		})
+		res, err := exact.Solve(inst)
+		if err != nil || !res.Optimal {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt := res.Cmax
+		if opt == 0 {
+			continue
+		}
+		iPrime, err := TruncateTail(inst, opt)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := iPrime.Validate(); err != nil {
+			t.Fatalf("trial %d: I' invalid (should be impossible at T=C*): %v", trial, err)
+		}
+		// Claim 1: same optimum.
+		resPrime, err := exact.Solve(iPrime)
+		if err != nil || !resPrime.Optimal {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if resPrime.Cmax != opt {
+			t.Fatalf("trial %d: C*(I') = %v != C*(I) = %v", trial, resPrime.Cmax, opt)
+		}
+		// Claim 2: LSRC(I) <= LSRC(I').
+		sI, err := sched.NewLSRC(sched.FIFO).Schedule(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sP, err := sched.NewLSRC(sched.FIFO).Schedule(iPrime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sI.Makespan() > sP.Makespan() {
+			t.Fatalf("trial %d: LSRC(I)=%v > LSRC(I')=%v\nI: %+v",
+				trial, sI.Makespan(), sP.Makespan(), inst)
+		}
+		// Claim 3: I' and I'' give identical placements.
+		iDouble, err := ReservationsToTasks(iPrime)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sD, err := sched.NewLSRC(sched.FIFO).Schedule(iDouble)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := StaircaseCount(iPrime)
+		for ji := range iPrime.Jobs {
+			if sD.StartOf(sc+ji) != sP.StartOf(ji) {
+				t.Fatalf("trial %d: job %d: I'' start %v vs I' start %v",
+					trial, ji, sD.StartOf(sc+ji), sP.StartOf(ji))
+			}
+		}
+		// Claim 4: the bound itself.
+		mPrime := iPrime.M
+		bound := (2 - 1/float64(mPrime)) * float64(opt)
+		if float64(sI.Makespan()) > bound+1e-9 {
+			t.Fatalf("trial %d: LSRC(I)=%v exceeds (2-1/%d)·%v = %v",
+				trial, sI.Makespan(), mPrime, opt, bound)
+		}
+	}
+}

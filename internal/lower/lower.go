@@ -1,0 +1,135 @@
+// Package lower computes lower bounds on the optimal makespan C*max of a
+// RESASCHEDULING instance. Experiments use these bounds as the reference
+// denominator for performance ratios whenever the exact solver is too
+// expensive. Since LB <= C*max, the measured ratio Cmax/LB over-estimates
+// the true ratio Cmax/C*max, so observing "measured ratio <= guarantee"
+// validates the theorem a fortiori; the harness reports which reference
+// (exact or bound) produced each number.
+//
+// All bounds account for the reservations: they are computed on the
+// availability timeline m - U(t), not on the raw machine.
+package lower
+
+import (
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// Bounds collects the individual lower bounds on C*max.
+type Bounds struct {
+	// Area is the earliest time by which the free area (integral of
+	// m - U(t)) can cover the instance's total work W(I).
+	Area core.Time
+	// JobFit is the maximum over jobs of the earliest possible completion
+	// time of that job alone on the reservation-only timeline.
+	JobFit core.Time
+	// Tall accounts for jobs wider than m/2: no two can ever overlap, so
+	// their total duration must fit in instants with enough availability.
+	Tall core.Time
+	// Best is the maximum of the above.
+	Best core.Time
+}
+
+// Compute returns all lower bounds for the instance. It panics if the
+// instance is invalid (validate first).
+func Compute(inst *core.Instance) Bounds {
+	tl := profile.MustFromReservations(inst.M, inst.Res)
+	b := Bounds{
+		Area:   areaBound(inst, tl),
+		JobFit: jobFitBound(inst, tl),
+		Tall:   tallBound(inst, tl),
+	}
+	b.Best = core.MaxTime(b.Area, core.MaxTime(b.JobFit, b.Tall))
+	return b
+}
+
+// Best is shorthand for Compute(inst).Best.
+func Best(inst *core.Instance) core.Time {
+	return Compute(inst).Best
+}
+
+// areaBound: any schedule finishing at T has used at most FreeArea(0,T)
+// processor-ticks, which must cover W(I).
+func areaBound(inst *core.Instance, tl *profile.Timeline) core.Time {
+	w := inst.TotalWork()
+	if w == 0 {
+		return 0
+	}
+	t, ok := tl.FirstTimeWithFreeArea(w)
+	if !ok {
+		// Machine permanently dead under reservations; no finite bound.
+		return core.Infinity
+	}
+	return t
+}
+
+// jobFitBound: each job individually cannot complete before its earliest
+// feasible slot plus its length on the empty (reservation-only) machine.
+func jobFitBound(inst *core.Instance, tl *profile.Timeline) core.Time {
+	var best core.Time
+	for _, j := range inst.Jobs {
+		s, ok := tl.FindSlot(0, j.Procs, j.Len)
+		if !ok {
+			return core.Infinity
+		}
+		if end := s + j.Len; end > best {
+			best = end
+		}
+	}
+	return best
+}
+
+// tallBound: jobs with q > m/2 are pairwise non-overlapping in any feasible
+// schedule. Let L be their total duration and qmin the smallest width among
+// them; every instant during which a tall job runs must offer availability
+// >= qmin, so C*max is at least the earliest time T such that the measure
+// of {t < T : avail(t) >= qmin} reaches L.
+func tallBound(inst *core.Instance, tl *profile.Timeline) core.Time {
+	var total core.Time
+	qmin := inst.M + 1
+	for _, j := range inst.Jobs {
+		if 2*j.Procs > inst.M {
+			total += j.Len
+			if j.Procs < qmin {
+				qmin = j.Procs
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	// Walk segments accumulating eligible time.
+	var acc core.Time
+	bps := tl.Breakpoints()
+	for i, start := range bps {
+		var end core.Time = core.Infinity
+		if i+1 < len(bps) {
+			end = bps[i+1]
+		}
+		if tl.AvailableAt(start) < qmin {
+			continue
+		}
+		if end == core.Infinity {
+			return start + (total - acc)
+		}
+		seg := end - start
+		if acc+seg >= total {
+			return start + (total - acc)
+		}
+		acc += seg
+	}
+	return core.Infinity
+}
+
+// Ratio returns the performance ratio of a schedule against the given
+// reference optimum (or bound). It returns +Inf semantics via a large
+// float; callers format it. Reference 0 (empty instance) returns 1.
+func Ratio(cmax, reference core.Time) float64 {
+	if reference == 0 {
+		if cmax == 0 {
+			return 1
+		}
+		return float64(cmax)
+	}
+	return float64(cmax) / float64(reference)
+}

@@ -1,0 +1,153 @@
+package lower
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func TestAreaBoundNoReservations(t *testing.T) {
+	inst := &core.Instance{M: 4, Jobs: []core.Job{
+		{ID: 0, Procs: 2, Len: 10},
+		{ID: 1, Procs: 2, Len: 10},
+	}}
+	b := Compute(inst)
+	// W = 40, m = 4 -> area bound 10.
+	if b.Area != 10 {
+		t.Errorf("Area = %v, want 10", b.Area)
+	}
+	if b.JobFit != 10 {
+		t.Errorf("JobFit = %v, want 10", b.JobFit)
+	}
+	if b.Best != 10 {
+		t.Errorf("Best = %v, want 10", b.Best)
+	}
+}
+
+func TestAreaBoundWithReservation(t *testing.T) {
+	// Machine fully reserved on [0,5): no work fits before 5.
+	inst := &core.Instance{
+		M:    4,
+		Jobs: []core.Job{{ID: 0, Procs: 4, Len: 10}},
+		Res:  []core.Reservation{{ID: 0, Procs: 4, Start: 0, Len: 5}},
+	}
+	b := Compute(inst)
+	if b.Area != 15 {
+		t.Errorf("Area = %v, want 15", b.Area)
+	}
+	if b.JobFit != 15 {
+		t.Errorf("JobFit = %v, want 15", b.JobFit)
+	}
+}
+
+func TestJobFitDominatesArea(t *testing.T) {
+	// One long thin job on a big machine: the area bound is tiny but the
+	// job itself needs its full length.
+	inst := &core.Instance{M: 100, Jobs: []core.Job{{ID: 0, Procs: 1, Len: 50}}}
+	b := Compute(inst)
+	if b.Area != 1 {
+		t.Errorf("Area = %v, want 1 (W=50 vs m=100 over 1 tick... ceil(50/100)=1)", b.Area)
+	}
+	if b.JobFit != 50 || b.Best != 50 {
+		t.Errorf("JobFit/Best = %v/%v, want 50/50", b.JobFit, b.Best)
+	}
+}
+
+func TestTallBound(t *testing.T) {
+	// Two jobs of width 3 on m=4: pairwise exclusive, total length 20.
+	inst := &core.Instance{M: 4, Jobs: []core.Job{
+		{ID: 0, Procs: 3, Len: 10},
+		{ID: 1, Procs: 3, Len: 10},
+	}}
+	b := Compute(inst)
+	if b.Tall != 20 {
+		t.Errorf("Tall = %v, want 20", b.Tall)
+	}
+	if b.Best != 20 {
+		t.Errorf("Best = %v, want 20", b.Best)
+	}
+}
+
+func TestTallBoundSkipsLowSegments(t *testing.T) {
+	// Tall job of width 3 on m=4; reservation leaves only 2 procs on
+	// [0,10): tall time cannot accumulate there.
+	inst := &core.Instance{
+		M:    4,
+		Jobs: []core.Job{{ID: 0, Procs: 3, Len: 5}},
+		Res:  []core.Reservation{{ID: 0, Procs: 2, Start: 0, Len: 10}},
+	}
+	b := Compute(inst)
+	if b.Tall != 15 {
+		t.Errorf("Tall = %v, want 15", b.Tall)
+	}
+}
+
+func TestInfiniteBlockade(t *testing.T) {
+	inst := &core.Instance{
+		M:    4,
+		Jobs: []core.Job{{ID: 0, Procs: 3, Len: 5}},
+		Res:  []core.Reservation{{ID: 0, Procs: 2, Start: 0, Len: core.Infinity}},
+	}
+	b := Compute(inst)
+	if b.JobFit != core.Infinity || b.Tall != core.Infinity {
+		t.Errorf("blockaded bounds should be infinite: %+v", b)
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	b := Compute(&core.Instance{M: 4})
+	if b.Best != 0 {
+		t.Errorf("empty Best = %v", b.Best)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 5) != 2 {
+		t.Error("Ratio(10,5) != 2")
+	}
+	if Ratio(0, 0) != 1 {
+		t.Error("Ratio(0,0) != 1")
+	}
+	if Ratio(7, 0) != 7 {
+		t.Error("Ratio(7,0) != 7")
+	}
+}
+
+// TestBoundsNeverExceedAnySchedule is the soundness property: every lower
+// bound must be <= the makespan of every feasible schedule produced by any
+// scheduler.
+func TestBoundsNeverExceedAnySchedule(t *testing.T) {
+	r := rng.New(90210)
+	schedulers := []sched.Scheduler{
+		sched.NewLSRC(sched.FIFO), sched.NewLSRC(sched.LPT),
+		sched.FCFS{}, sched.Conservative{}, sched.EASY{}, &sched.Shelf{},
+	}
+	for trial := 0; trial < 120; trial++ {
+		m := r.IntRange(1, 8)
+		inst := &core.Instance{M: m}
+		for i := 0; i < r.IntRange(1, 10); i++ {
+			inst.Jobs = append(inst.Jobs, core.Job{
+				ID: i, Procs: r.IntRange(1, m), Len: core.Time(r.IntRange(1, 15)),
+			})
+		}
+		if r.Bool(0.5) {
+			q := r.IntRange(1, m)
+			inst.Res = append(inst.Res, core.Reservation{
+				ID: 0, Procs: q, Start: core.Time(r.Intn(20)), Len: core.Time(r.IntRange(1, 15)),
+			})
+		}
+		b := Compute(inst)
+		for _, sc := range schedulers {
+			s, err := sc.Schedule(inst)
+			if err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, sc.Name(), err)
+			}
+			if s.Makespan() < b.Best {
+				t.Fatalf("trial %d: %s makespan %v below lower bound %v\ninstance: %+v",
+					trial, sc.Name(), s.Makespan(), b.Best, inst)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package online implements the batch-doubling technique referenced in
+// §2.1 of the paper (Shmoys, Wein & Williamson): any offline scheduling
+// algorithm can be run online — jobs arriving over time — by scheduling in
+// successive batches, where all jobs arriving during the execution of the
+// current batch wait and form the next batch. The makespan is at most twice
+// what the offline algorithm would achieve with full knowledge (per batch,
+// every job in it arrived before the batch started, so the offline run over
+// the same jobs starting at the batch boundary is within the offline
+// guarantee; batching at most doubles the horizon).
+package online
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Result is the outcome of a batch-doubling run.
+type Result struct {
+	// Starts[i] is the start time assigned to arrivals[i].
+	Starts []core.Time
+	// Makespan is the overall completion time.
+	Makespan core.Time
+	// Batches records the [start, end) execution window of each batch.
+	Batches []Batch
+}
+
+// Batch records one batch's window and members.
+type Batch struct {
+	// ReleasedAt is when the batch's jobs were handed to the offline
+	// algorithm (the completion time of the previous batch).
+	ReleasedAt core.Time
+	// CompletedAt is the batch's makespan.
+	CompletedAt core.Time
+	// JobIdxs are arrival indices in the batch.
+	JobIdxs []int
+}
+
+// shiftReservations restricts the reservation set to [from, inf) and
+// shifts it so 'from' becomes 0 — the offline scheduler then naturally
+// schedules "no earlier than from".
+func shiftReservations(res []core.Reservation, from core.Time) []core.Reservation {
+	var out []core.Reservation
+	for _, r := range res {
+		end := r.End()
+		if end != core.Infinity && end <= from {
+			continue
+		}
+		start := r.Start
+		if start < from {
+			start = from
+		}
+		nr := core.Reservation{ID: len(out), Name: r.Name, Procs: r.Procs, Start: start - from}
+		if end == core.Infinity {
+			nr.Len = core.Infinity
+		} else {
+			nr.Len = end - start
+		}
+		out = append(out, nr)
+	}
+	return out
+}
+
+// BatchSchedule runs the offline algorithm in batches over the arrival
+// stream on an m-machine cluster with reservations.
+func BatchSchedule(m int, res []core.Reservation, arrivals []workload.Arrival, offline sched.Scheduler) (*Result, error) {
+	starts := make([]core.Time, len(arrivals))
+	for i := range starts {
+		starts[i] = core.Unscheduled
+	}
+	result := &Result{Starts: starts}
+
+	pending := make([]int, len(arrivals))
+	for i := range pending {
+		pending[i] = i
+	}
+	now := core.Time(0)
+	for len(pending) > 0 {
+		// Batch = pending jobs that have arrived by now. If none have,
+		// jump to the next arrival.
+		var batch, rest []int
+		var nextArrival core.Time = core.Infinity
+		for _, i := range pending {
+			if arrivals[i].At <= now {
+				batch = append(batch, i)
+			} else {
+				rest = append(rest, i)
+				if arrivals[i].At < nextArrival {
+					nextArrival = arrivals[i].At
+				}
+			}
+		}
+		if len(batch) == 0 {
+			now = nextArrival
+			continue
+		}
+		inst := &core.Instance{
+			Name: fmt.Sprintf("batch@%v", now),
+			M:    m,
+			Res:  shiftReservations(res, now),
+		}
+		for bi, i := range batch {
+			j := arrivals[i].Job
+			j.ID = bi // dense IDs within the batch instance
+			inst.Jobs = append(inst.Jobs, j)
+		}
+		s, err := offline.Schedule(inst)
+		if err != nil {
+			return nil, fmt.Errorf("online: batch at %v: %w", now, err)
+		}
+		b := Batch{ReleasedAt: now, JobIdxs: batch}
+		for bi, i := range batch {
+			starts[i] = now + s.StartOf(bi)
+		}
+		b.CompletedAt = now + s.Makespan()
+		if b.CompletedAt > result.Makespan {
+			result.Makespan = b.CompletedAt
+		}
+		result.Batches = append(result.Batches, b)
+		pending = rest
+		if len(pending) > 0 {
+			// Next batch opens when this one completes — the doubling
+			// discipline — or at the next arrival if that is later.
+			now = b.CompletedAt
+			if nextArrival != core.Infinity && nextArrival > now {
+				now = nextArrival
+			}
+		}
+	}
+	return result, nil
+}
+
+// OfflineReference schedules all jobs as if they were available at time 0
+// (the clairvoyant baseline the doubling argument compares against).
+func OfflineReference(m int, res []core.Reservation, arrivals []workload.Arrival, offline sched.Scheduler) (core.Time, error) {
+	inst := &core.Instance{Name: "offline-ref", M: m, Res: append([]core.Reservation(nil), res...)}
+	for i, a := range arrivals {
+		j := a.Job
+		j.ID = i
+		inst.Jobs = append(inst.Jobs, j)
+	}
+	s, err := offline.Schedule(inst)
+	if err != nil {
+		return 0, err
+	}
+	return s.Makespan(), nil
+}

@@ -1,0 +1,168 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func TestBatchScheduleSingleBatch(t *testing.T) {
+	arr := []workload.Arrival{
+		{Job: core.Job{ID: 0, Procs: 2, Len: 10}, At: 0},
+		{Job: core.Job{ID: 1, Procs: 2, Len: 10}, At: 0},
+	}
+	res, err := BatchSchedule(4, nil, arr, sched.NewLSRC(sched.FIFO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Batches) != 1 {
+		t.Fatalf("batches = %d", len(res.Batches))
+	}
+	if res.Makespan != 10 {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestBatchScheduleTwoBatches(t *testing.T) {
+	// Second job arrives while the first batch runs: it must wait for the
+	// batch boundary (the doubling discipline).
+	arr := []workload.Arrival{
+		{Job: core.Job{ID: 0, Procs: 4, Len: 10}, At: 0},
+		{Job: core.Job{ID: 1, Procs: 1, Len: 2}, At: 3},
+	}
+	res, err := BatchSchedule(4, nil, arr, sched.NewLSRC(sched.FIFO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Batches) != 2 {
+		t.Fatalf("batches = %d", len(res.Batches))
+	}
+	if res.Starts[1] != 10 {
+		t.Fatalf("second batch start = %v, want 10", res.Starts[1])
+	}
+	if res.Makespan != 12 {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestBatchScheduleIdleJump(t *testing.T) {
+	// Nothing arrives until t=100: the scheduler jumps, no busy waiting.
+	arr := []workload.Arrival{{Job: core.Job{ID: 0, Procs: 1, Len: 5}, At: 100}}
+	res, err := BatchSchedule(4, nil, arr, sched.NewLSRC(sched.FIFO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Starts[0] != 100 || res.Makespan != 105 {
+		t.Fatalf("starts=%v makespan=%v", res.Starts, res.Makespan)
+	}
+}
+
+func TestBatchRespectsReservations(t *testing.T) {
+	arr := []workload.Arrival{
+		{Job: core.Job{ID: 0, Procs: 4, Len: 4}, At: 0},
+		// Arrives during batch 1; batch 2 opens at 4 but the reservation
+		// blocks [5,10) for a wide job.
+		{Job: core.Job{ID: 1, Procs: 3, Len: 4}, At: 1},
+	}
+	rsv := []core.Reservation{{ID: 0, Procs: 2, Start: 5, Len: 5}}
+	res, err := BatchSchedule(4, rsv, arr, sched.NewLSRC(sched.FIFO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch 1: job 0 at 0 (fits before the reservation? window [0,4) free).
+	if res.Starts[0] != 0 {
+		t.Fatalf("job 0 start = %v", res.Starts[0])
+	}
+	// Batch 2 opens at 4: job 1 needs 3 procs for 4 ticks; [4,8) overlaps
+	// the reservation (only 2 free): must wait until 10.
+	if res.Starts[1] != 10 {
+		t.Fatalf("job 1 start = %v, want 10", res.Starts[1])
+	}
+}
+
+func TestShiftReservations(t *testing.T) {
+	rsv := []core.Reservation{
+		{ID: 0, Procs: 1, Start: 0, Len: 5},             // entirely before: dropped
+		{ID: 1, Procs: 2, Start: 3, Len: 10},            // trimmed to [7,13) -> [0,6) shifted
+		{ID: 2, Procs: 3, Start: 20, Len: 5},            // shifted to [13,18)
+		{ID: 3, Procs: 1, Start: 2, Len: core.Infinity}, // trimmed, infinite
+	}
+	out := shiftReservations(rsv, 7)
+	if len(out) != 3 {
+		t.Fatalf("len = %d: %+v", len(out), out)
+	}
+	if out[0].Start != 0 || out[0].Len != 6 || out[0].Procs != 2 {
+		t.Fatalf("out[0] = %+v", out[0])
+	}
+	if out[1].Start != 13 || out[1].Len != 5 {
+		t.Fatalf("out[1] = %+v", out[1])
+	}
+	if out[2].Start != 0 || out[2].Len != core.Infinity {
+		t.Fatalf("out[2] = %+v", out[2])
+	}
+}
+
+// TestBatchFeasibleAndWithinDoubling checks, on random streams, that the
+// combined schedule is feasible, respects arrivals and batch boundaries,
+// and that its makespan stays within 2x the clairvoyant offline LSRC
+// reference plus the last arrival time (the doubling argument's bound
+// shape).
+func TestBatchFeasibleAndWithinDoubling(t *testing.T) {
+	r := rng.New(97531)
+	for trial := 0; trial < 40; trial++ {
+		m := r.IntRange(2, 12)
+		arr, err := workload.Synthetic(r.Split(), workload.SynthConfig{
+			M: m, N: r.IntRange(1, 20), MinRun: 1, MaxRun: 40, MeanInterArrival: 15,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsv := workload.ReservationStream(r.Split(), m, 0.5, r.IntRange(0, 2), 300)
+		res, err := BatchSchedule(m, rsv, arr, sched.NewLSRC(sched.FIFO))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Feasibility of the combined schedule.
+		inst := &core.Instance{M: m, Res: rsv}
+		for i, a := range arr {
+			j := a.Job
+			j.ID = i
+			inst.Jobs = append(inst.Jobs, j)
+		}
+		s := core.NewSchedule(inst)
+		copy(s.Start, res.Starts)
+		if err := verify.Verify(s); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range arr {
+			if res.Starts[i] < arr[i].At {
+				t.Fatalf("trial %d: job %d before arrival", trial, i)
+			}
+		}
+		// Batches do not overlap: batch b+1 released at >= batch b's
+		// completion.
+		for b := 1; b < len(res.Batches); b++ {
+			if res.Batches[b].ReleasedAt < res.Batches[b-1].CompletedAt {
+				t.Fatalf("trial %d: batch %d released early", trial, b)
+			}
+		}
+		// Doubling-shaped bound: makespan <= lastArrival + 2*offlineRef.
+		offline, err := OfflineReference(m, rsv, arr, sched.NewLSRC(sched.FIFO))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lastArr core.Time
+		for _, a := range arr {
+			if a.At > lastArr {
+				lastArr = a.At
+			}
+		}
+		if res.Makespan > lastArr+2*offline {
+			t.Fatalf("trial %d: makespan %v exceeds %v + 2*%v", trial, res.Makespan, lastArr, offline)
+		}
+	}
+}

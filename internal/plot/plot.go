@@ -1,0 +1,179 @@
+// Package plot renders simple line charts as ASCII (for terminal output)
+// and SVG (for files), using only the standard library. It regenerates the
+// paper's Figure 4 — bound curves as a function of α — and any other
+// experiment series.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	// Name labels the curve in the legend.
+	Name string
+	// X and Y are the sample coordinates (equal length).
+	X, Y []float64
+}
+
+// Chart is a collection of curves with axis labels.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// YMax optionally clips the y-axis (0 = auto). The paper's Figure 4
+	// clips at 10.
+	YMax float64
+}
+
+// bounds computes the data range across all series.
+func (c *Chart) bounds() (x0, x1, y0, y1 float64) {
+	x0, y0 = math.Inf(1), math.Inf(1)
+	x1, y1 = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if c.YMax > 0 && y > c.YMax {
+				y = c.YMax
+			}
+			x0, x1 = math.Min(x0, x), math.Max(x1, x)
+			y0, y1 = math.Min(y0, y), math.Max(y1, y)
+		}
+	}
+	if math.IsInf(x0, 1) { // no data
+		x0, x1, y0, y1 = 0, 1, 0, 1
+	}
+	if x0 == x1 {
+		x1 = x0 + 1
+	}
+	if y0 == y1 {
+		y1 = y0 + 1
+	}
+	return
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// ASCII renders the chart on a character grid of the given size (plot area
+// excluding the axes). Series are overlaid with per-series markers.
+func (c *Chart) ASCII(width, height int) string {
+	if width < 8 {
+		width = 60
+	}
+	if height < 4 {
+		height = 20
+	}
+	x0, x1, y0, y1 := c.bounds()
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			y := s.Y[i]
+			if c.YMax > 0 && y > c.YMax {
+				y = c.YMax
+			}
+			cx := int((s.X[i] - x0) / (x1 - x0) * float64(width-1))
+			cy := int((y - y0) / (y1 - y0) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = mk
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, row := range grid {
+		yv := y1 - (y1-y0)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%8.2f |%s\n", yv, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*.2f%*.2f\n", "", width/2, x0, width-width/2, x1)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%8s  %s\n", "", c.XLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// svgColors are assigned to series in order.
+var svgColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// SVG renders the chart as a standalone SVG document.
+func (c *Chart) SVG(width, height int) string {
+	if width < 100 {
+		width = 640
+	}
+	if height < 80 {
+		height = 420
+	}
+	const margin = 50
+	pw, ph := float64(width-2*margin), float64(height-2*margin)
+	x0, x1, y0, y1 := c.bounds()
+	tx := func(x float64) float64 { return float64(margin) + (x-x0)/(x1-x0)*pw }
+	ty := func(y float64) float64 {
+		if c.YMax > 0 && y > c.YMax {
+			y = c.YMax
+		}
+		return float64(height-margin) - (y-y0)/(y1-y0)*ph
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, height-margin, width-margin, height-margin)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, margin, margin, height-margin)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 5; i++ {
+		fx := x0 + (x1-x0)*float64(i)/5
+		fy := y0 + (y1-y0)*float64(i)/5
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%.2g</text>`+"\n",
+			tx(fx), height-margin+16, fx)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%.2g</text>`+"\n",
+			margin-6, ty(fy)+4, fy)
+	}
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" text-anchor="middle">%s</text>`+"\n",
+			width/2, escape(c.Title))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			width/2, height-8, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+			height/2, height/2, escape(c.YLabel))
+	}
+	for si, s := range c.Series {
+		color := svgColors[si%len(svgColors)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", tx(s.X[i]), ty(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="%s">%s</text>`+"\n",
+			width-margin-150, margin+16*si, color, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// escape sanitises text for SVG embedding.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

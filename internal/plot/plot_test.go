@@ -1,0 +1,97 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoSeriesChart() *Chart {
+	return &Chart{
+		Title:  "bounds",
+		XLabel: "alpha",
+		YLabel: "ratio",
+		Series: []Series{
+			{Name: "upper", X: []float64{0.2, 0.5, 1}, Y: []float64{10, 4, 2}},
+			{Name: "B2", X: []float64{0.2, 0.5, 1}, Y: []float64{9.1, 3.5, 1.5}},
+		},
+	}
+}
+
+func TestASCIIContainsMarkersAndLegend(t *testing.T) {
+	out := twoSeriesChart().ASCII(60, 20)
+	if !strings.Contains(out, "bounds") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("missing series markers")
+	}
+	if !strings.Contains(out, "upper") || !strings.Contains(out, "B2") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "alpha") {
+		t.Error("missing x label")
+	}
+}
+
+func TestASCIIYMaxClips(t *testing.T) {
+	c := &Chart{
+		YMax:   10,
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{5, 1e9}}},
+	}
+	out := c.ASCII(40, 10)
+	// The axis should top out at 10, not 1e9.
+	if !strings.Contains(out, "10.00") {
+		t.Fatalf("clip failed:\n%s", out)
+	}
+}
+
+func TestASCIIEmptyChart(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.ASCII(40, 10)
+	if !strings.Contains(out, "empty") {
+		t.Fatal("empty chart should still render axes")
+	}
+}
+
+func TestASCIIDefaultsOnTinySize(t *testing.T) {
+	out := twoSeriesChart().ASCII(1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out := twoSeriesChart().SVG(640, 420)
+	for _, want := range []string{"<svg", "</svg>", "polyline", "upper", "B2", "bounds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in SVG:\n%s", want, out[:200])
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatal("expected two polylines")
+	}
+}
+
+func TestSVGEscapesText(t *testing.T) {
+	c := &Chart{
+		Title:  `a<b & "c"`,
+		Series: []Series{{Name: "x>y", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	out := c.SVG(200, 120)
+	if strings.Contains(out, "a<b &") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b &amp; &quot;c&quot;") {
+		t.Fatalf("escape wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "x&gt;y") {
+		t.Fatal("series name not escaped")
+	}
+}
+
+func TestSVGDefaultSize(t *testing.T) {
+	out := twoSeriesChart().SVG(0, 0)
+	if !strings.Contains(out, `width="640"`) || !strings.Contains(out, `height="420"`) {
+		t.Fatal("default size not applied")
+	}
+}

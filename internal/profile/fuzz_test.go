@@ -1,0 +1,91 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzTimelineOps drives a Timeline through an op stream decoded from the
+// fuzz input and cross-checks every observation against an array-backed
+// reference over a finite horizon. This complements the seeded random
+// tests with coverage-guided exploration of the segment algebra (splits,
+// merges, boundary cases).
+func FuzzTimelineOps(f *testing.F) {
+	f.Add([]byte{1, 0, 5, 2, 0, 10, 3, 1})
+	f.Add([]byte{2, 3, 3, 1, 1, 3, 3, 1, 0, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const horizon = 48
+		const m = 5
+		tl := New(m)
+		ref := newRef(m, horizon)
+		type iv struct {
+			s, d core.Time
+			q    int
+		}
+		var committed []iv
+		for len(ops) >= 4 {
+			op, a, b, c := ops[0]%3, ops[1], ops[2], ops[3]
+			ops = ops[4:]
+			start := core.Time(a % horizon)
+			dur := core.Time(b%16 + 1)
+			q := int(c%m + 1)
+			if start+dur > horizon {
+				dur = horizon - start
+				if dur <= 0 {
+					continue
+				}
+			}
+			switch op {
+			case 0: // commit
+				refOK := ref.commit(start, dur, q)
+				err := tl.Commit(start, dur, q)
+				if refOK != (err == nil) {
+					t.Fatalf("commit(%v,%v,%d): ref=%v err=%v\n%v", start, dur, q, refOK, err, tl)
+				}
+				if err == nil {
+					committed = append(committed, iv{start, dur, q})
+				}
+			case 1: // release the oldest commitment
+				if len(committed) == 0 {
+					continue
+				}
+				cmt := committed[0]
+				committed = committed[1:]
+				if err := tl.Release(cmt.s, cmt.d, cmt.q); err != nil {
+					t.Fatalf("release of prior commit failed: %v", err)
+				}
+				for tm := cmt.s; tm < cmt.s+cmt.d; tm++ {
+					ref.cap[tm] += cmt.q
+				}
+			case 2: // probe
+				if got, want := tl.AvailableAt(start), ref.cap[start]; got != want {
+					t.Fatalf("avail(%v) = %d, ref %d", start, got, want)
+				}
+				gotT, gotOK := tl.FindSlot(start, q, dur)
+				refT, refOK := ref.findSlot(start, q, dur)
+				if refOK && (!gotOK || gotT != refT) {
+					t.Fatalf("FindSlot(%v,%d,%v) = %v,%v; ref %v", start, q, dur, gotT, gotOK, refT)
+				}
+				if !refOK && gotOK && gotT+dur <= horizon {
+					t.Fatalf("FindSlot found %v inside horizon; ref found none", gotT)
+				}
+			}
+		}
+		// Invariant: canonical segments (strictly increasing, no equal
+		// neighbours) and capacity within [0, m].
+		for i := 0; i < tl.NumSegments(); i++ {
+			if tl.avail[i] < 0 || tl.avail[i] > m {
+				t.Fatalf("segment %d capacity %d out of range", i, tl.avail[i])
+			}
+			if i > 0 {
+				if tl.times[i] <= tl.times[i-1] {
+					t.Fatalf("breakpoints not increasing: %v", tl.times)
+				}
+				if tl.avail[i] == tl.avail[i-1] {
+					t.Fatalf("uncoalesced segments at %d: %v", i, tl)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// constructors maps CLI algorithm names to scheduler factories. Each call
+// returns a fresh value so callers can't share mutable state.
+var constructors = map[string]func() Scheduler{
+	"lsrc":           func() Scheduler { return NewLSRC(FIFO) },
+	"lsrc-fifo":      func() Scheduler { return NewLSRC(FIFO) },
+	"lsrc-lpt":       func() Scheduler { return NewLSRC(LPT) },
+	"lsrc-spt":       func() Scheduler { return NewLSRC(SPT) },
+	"lsrc-widest":    func() Scheduler { return NewLSRC(WidestFirst) },
+	"lsrc-narrowest": func() Scheduler { return NewLSRC(NarrowestFirst) },
+	"lsrc-maxwork":   func() Scheduler { return NewLSRC(MaxWorkFirst) },
+	"fcfs":           func() Scheduler { return FCFS{} },
+	"cons-bf":        func() Scheduler { return Conservative{} },
+	"easy-bf":        func() Scheduler { return EASY{} },
+	"shelf-nfdh":     func() Scheduler { return &Shelf{Fit: NextFit} },
+	"shelf-ffdh":     func() Scheduler { return &Shelf{Fit: FirstFit} },
+}
+
+// ByName returns the scheduler registered under the given CLI name.
+func ByName(name string) (Scheduler, error) {
+	mk, ok := constructors[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown algorithm %q (available: %v)", name, Names())
+	}
+	return mk(), nil
+}
+
+// Names lists the registered algorithm names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(constructors))
+	for n := range constructors {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/verify"
+)
+
+func TestEASYBackfillsAroundHead(t *testing.T) {
+	// Job 1 (head after job 0 starts) needs the whole machine at t=10.
+	// Job 2 fits entirely before that shadow: EASY starts it immediately.
+	inst := &core.Instance{
+		M: 4,
+		Jobs: []core.Job{
+			{ID: 0, Procs: 2, Len: 10},
+			{ID: 1, Procs: 4, Len: 5},
+			{ID: 2, Procs: 2, Len: 5}, // ends at 5 < 10: no delay to head
+		},
+	}
+	s, err := EASY{}.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.StartOf(2) != 0 {
+		t.Fatalf("backfill candidate start = %v, want 0", s.StartOf(2))
+	}
+	if s.StartOf(1) != 10 {
+		t.Fatalf("head start = %v, want 10", s.StartOf(1))
+	}
+}
+
+func TestEASYRefusesDelayingBackfill(t *testing.T) {
+	// Job 2 would fit beside job 0 now, but it runs 20 ticks, crossing the
+	// head's shadow start at t=10 and using procs the head needs: EASY must
+	// hold it back. (LSRC would greedily start it — that is the whole
+	// difference between the two policies.)
+	inst := &core.Instance{
+		M: 4,
+		Jobs: []core.Job{
+			{ID: 0, Procs: 2, Len: 10},
+			{ID: 1, Procs: 4, Len: 5},
+			{ID: 2, Procs: 2, Len: 20},
+		},
+	}
+	s, err := EASY{}.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.StartOf(1) != 10 {
+		t.Fatalf("head start = %v, want 10 (must not be delayed)", s.StartOf(1))
+	}
+	if s.StartOf(2) != 15 {
+		t.Fatalf("long job start = %v, want 15 (after the head)", s.StartOf(2))
+	}
+	// Contrast: LSRC starts the long job at 0 and pushes the wide head to
+	// 20 — the aggressive behaviour the paper analyses.
+	lsrc, err := NewLSRC(FIFO).Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsrc.StartOf(2) != 0 || lsrc.StartOf(1) != 20 {
+		t.Fatalf("LSRC contrast wrong: job2=%v job1=%v", lsrc.StartOf(2), lsrc.StartOf(1))
+	}
+}
+
+func TestEASYHeadMatchesFCFSFirstJob(t *testing.T) {
+	// The first queued job can never be delayed by anything: its start
+	// equals the FCFS placement.
+	inst := prop2K3()
+	easy, err := EASY{}.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs, err := FCFS{}.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if easy.StartOf(0) != fcfs.StartOf(0) {
+		t.Fatalf("first job: EASY %v vs FCFS %v", easy.StartOf(0), fcfs.StartOf(0))
+	}
+}
+
+func TestEASYRespectsReservations(t *testing.T) {
+	inst := &core.Instance{
+		M: 4,
+		Jobs: []core.Job{
+			{ID: 0, Procs: 3, Len: 10},
+			{ID: 1, Procs: 1, Len: 2},
+		},
+		Res: []core.Reservation{{ID: 0, Procs: 2, Start: 5, Len: 5}},
+	}
+	s, err := EASY{}.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	// Head cannot run before t=10; the thin job backfills at 0 (it ends at
+	// 2, well before the shadow at 10).
+	if s.StartOf(0) != 10 || s.StartOf(1) != 0 {
+		t.Fatalf("starts = %v", s.Start)
+	}
+}
+
+func TestEASYStuck(t *testing.T) {
+	inst := &core.Instance{
+		M:    4,
+		Jobs: []core.Job{{ID: 0, Procs: 4, Len: 2}},
+		Res:  []core.Reservation{{ID: 0, Procs: 1, Start: 0, Len: core.Infinity}},
+	}
+	if _, err := (EASY{}).Schedule(inst); !errors.Is(err, ErrStuck) {
+		t.Fatalf("got %v, want ErrStuck", err)
+	}
+}
+
+func TestEASYEmptyAndInvalid(t *testing.T) {
+	s, err := EASY{}.Schedule(&core.Instance{M: 2})
+	if err != nil || s.Makespan() != 0 {
+		t.Fatalf("empty: %v %v", s, err)
+	}
+	if _, err := (EASY{}).Schedule(&core.Instance{M: -1}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("invalid accepted: %v", err)
+	}
+}

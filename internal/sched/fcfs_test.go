@@ -1,0 +1,179 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/verify"
+)
+
+// fcfsBlockFixture: a wide job at the head of the queue blocks a thin one
+// under FCFS; LSRC and the back-filling variants let the thin one through.
+func fcfsBlockFixture() *core.Instance {
+	return &core.Instance{
+		M: 4,
+		Jobs: []core.Job{
+			{ID: 0, Procs: 2, Len: 10}, // running first
+			{ID: 1, Procs: 4, Len: 5},  // head blocker: must wait for 0
+			{ID: 2, Procs: 2, Len: 5},  // could run beside 0 right now
+		},
+	}
+}
+
+func TestFCFSHeadOfLineBlocking(t *testing.T) {
+	s, err := FCFS{}.Schedule(fcfsBlockFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.StartOf(0) != 0 {
+		t.Fatalf("job 0 start = %v", s.StartOf(0))
+	}
+	// Job 1 needs the whole machine: waits until 10.
+	if s.StartOf(1) != 10 {
+		t.Fatalf("job 1 start = %v, want 10", s.StartOf(1))
+	}
+	// Job 2 must NOT start before job 1 (head-of-line): earliest is 10,
+	// but job 1 occupies everything until 15.
+	if s.StartOf(2) != 15 {
+		t.Fatalf("job 2 start = %v, want 15 (blocked behind the wide job)", s.StartOf(2))
+	}
+	if s.Makespan() != 20 {
+		t.Fatalf("makespan = %v, want 20", s.Makespan())
+	}
+}
+
+func TestLSRCBeatsFCFSOnBlockFixture(t *testing.T) {
+	inst := fcfsBlockFixture()
+	lsrc, err := NewLSRC(FIFO).Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LSRC starts job 2 at 0 beside job 0; job 1 still waits until 10.
+	if lsrc.StartOf(2) != 0 {
+		t.Fatalf("LSRC job 2 start = %v, want 0", lsrc.StartOf(2))
+	}
+	if lsrc.Makespan() != 15 {
+		t.Fatalf("LSRC makespan = %v, want 15", lsrc.Makespan())
+	}
+}
+
+func TestFCFSRespectsReservations(t *testing.T) {
+	inst := &core.Instance{
+		M:    4,
+		Jobs: []core.Job{{ID: 0, Procs: 4, Len: 6}},
+		Res:  []core.Reservation{{ID: 0, Procs: 1, Start: 3, Len: 4}},
+	}
+	s, err := FCFS{}.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StartOf(0) != 7 {
+		t.Fatalf("start = %v, want 7 (after the reservation)", s.StartOf(0))
+	}
+}
+
+func TestFCFSStuck(t *testing.T) {
+	inst := &core.Instance{
+		M:    4,
+		Jobs: []core.Job{{ID: 0, Procs: 4, Len: 1}},
+		Res:  []core.Reservation{{ID: 0, Procs: 1, Start: 0, Len: core.Infinity}},
+	}
+	if _, err := (FCFS{}).Schedule(inst); !errors.Is(err, ErrStuck) {
+		t.Fatalf("got %v, want ErrStuck", err)
+	}
+}
+
+func TestFCFSPathologicalRatioM(t *testing.T) {
+	// §2.2: an instance with optimal makespan ~1 whose FCFS schedule has
+	// makespan ~m. Alternate m unit-width jobs of length 1 with full-width
+	// tiny jobs: FCFS serialises everything.
+	m := 6
+	inst := &core.Instance{M: m}
+	id := 0
+	for i := 0; i < m; i++ {
+		inst.Jobs = append(inst.Jobs, core.Job{ID: id, Procs: 1, Len: core.Time(m)})
+		id++
+		inst.Jobs = append(inst.Jobs, core.Job{ID: id, Procs: m, Len: 1})
+		id++
+	}
+	fcfs, err := FCFS{}.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsrc, err := NewLSRC(FIFO).Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FCFS: each (thin, wide) pair costs m+1 -> m(m+1). LSRC packs all
+	// thin jobs together.
+	if fcfs.Makespan() != core.Time(m*(m+1)) {
+		t.Fatalf("FCFS makespan = %v, want %v", fcfs.Makespan(), m*(m+1))
+	}
+	if lsrc.Makespan() >= fcfs.Makespan() {
+		t.Fatalf("LSRC (%v) should beat FCFS (%v)", lsrc.Makespan(), fcfs.Makespan())
+	}
+}
+
+func TestConservativePlacesIntoGaps(t *testing.T) {
+	inst := fcfsBlockFixture()
+	s, err := Conservative{}.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	// Conservative lets job 2 fill the hole beside job 0 because it does
+	// not delay job 1 (which needs the full machine anyway).
+	if s.StartOf(2) != 0 {
+		t.Fatalf("job 2 start = %v, want 0", s.StartOf(2))
+	}
+	if s.Makespan() != 15 {
+		t.Fatalf("makespan = %v, want 15", s.Makespan())
+	}
+}
+
+func TestConservativePrefixStability(t *testing.T) {
+	// Defining property: adding later jobs never changes earlier jobs'
+	// start times.
+	inst := prop2K3()
+	full, err := Conservative{}.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(inst.Jobs); k++ {
+		prefix := &core.Instance{M: inst.M, Jobs: inst.Jobs[:k], Res: inst.Res}
+		ps, err := Conservative{}.Schedule(prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < k; i++ {
+			if ps.StartOf(i) != full.StartOf(i) {
+				t.Fatalf("prefix %d: job %d moved from %v to %v",
+					k, i, full.StartOf(i), ps.StartOf(i))
+			}
+		}
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	cases := []struct {
+		s    Scheduler
+		want string
+	}{
+		{FCFS{}, "fcfs"},
+		{Conservative{}, "cons-bf"},
+		{EASY{}, "easy-bf"},
+		{&Shelf{}, "shelf-nfdh"},
+		{&Shelf{Fit: FirstFit}, "shelf-ffdh"},
+	}
+	for _, c := range cases {
+		if got := c.s.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/verify"
+)
+
+// prop2K3 is the Proposition 2 adversarial instance for k=3 (α=2/3),
+// scaled by k so all times are integral:
+//
+//	m = k²(k-1) = 18
+//	k=3 small tasks: q=(k-1)²=4, p=1 (unscaled 1/k)
+//	k-1=2 big tasks:  q=k(k-1)+1=7, p=3 (unscaled 1)
+//	one reservation: q=k(k-1)(k-2)=6, start=3, len=18 (unscaled 2k)
+//
+// Optimal (scaled) makespan is 3; LSRC with the FIFO list achieves 7.
+func prop2K3() *core.Instance {
+	return &core.Instance{
+		Name: "prop2-k3",
+		M:    18,
+		Jobs: []core.Job{
+			{ID: 0, Procs: 4, Len: 1},
+			{ID: 1, Procs: 4, Len: 1},
+			{ID: 2, Procs: 4, Len: 1},
+			{ID: 3, Procs: 7, Len: 3},
+			{ID: 4, Procs: 7, Len: 3},
+		},
+		Res: []core.Reservation{{ID: 0, Procs: 6, Start: 3, Len: 18}},
+	}
+}
+
+func TestLSRCEmptyInstance(t *testing.T) {
+	inst := &core.Instance{M: 4}
+	s, err := NewLSRC(FIFO).Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 0 {
+		t.Fatalf("empty makespan = %v", s.Makespan())
+	}
+}
+
+func TestLSRCSimplePacking(t *testing.T) {
+	inst := &core.Instance{M: 4, Jobs: []core.Job{
+		{ID: 0, Procs: 2, Len: 10},
+		{ID: 1, Procs: 2, Len: 10},
+		{ID: 2, Procs: 4, Len: 5},
+	}}
+	s, err := NewLSRC(FIFO).Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	// Jobs 0,1 at 0; job 2 after them.
+	if s.StartOf(0) != 0 || s.StartOf(1) != 0 || s.StartOf(2) != 10 {
+		t.Fatalf("starts = %v", s.Start)
+	}
+	if s.Makespan() != 15 {
+		t.Fatalf("makespan = %v, want 15", s.Makespan())
+	}
+}
+
+func TestLSRCAvoidsFutureReservation(t *testing.T) {
+	// One job that would collide with a reservation if started eagerly.
+	inst := &core.Instance{
+		M:    4,
+		Jobs: []core.Job{{ID: 0, Procs: 3, Len: 10}},
+		Res:  []core.Reservation{{ID: 0, Procs: 2, Start: 5, Len: 5}},
+	}
+	s, err := NewLSRC(FIFO).Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	// Cannot start in [0,5) (would overlap the reservation window with only
+	// 2 procs free); earliest start is 10.
+	if s.StartOf(0) != 10 {
+		t.Fatalf("start = %v, want 10", s.StartOf(0))
+	}
+}
+
+func TestLSRCBackfillsThinJobThroughReservation(t *testing.T) {
+	inst := &core.Instance{
+		M: 4,
+		Jobs: []core.Job{
+			{ID: 0, Procs: 3, Len: 10}, // must wait for the reservation
+			{ID: 1, Procs: 1, Len: 3},  // fits alongside everything now
+		},
+		Res: []core.Reservation{{ID: 0, Procs: 2, Start: 5, Len: 5}},
+	}
+	s, err := NewLSRC(FIFO).Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StartOf(1) != 0 {
+		t.Fatalf("thin job should start immediately, got %v", s.StartOf(1))
+	}
+	if s.StartOf(0) != 10 {
+		t.Fatalf("wide job start = %v, want 10", s.StartOf(0))
+	}
+}
+
+func TestLSRCProposition2Trace(t *testing.T) {
+	// The FIFO list must reproduce the paper's worst case exactly:
+	// smalls at 0, then the two big tasks serialised through the
+	// reservation window, makespan 1 + (k-1)*k = 7 (scaled).
+	inst := prop2K3()
+	s, err := NewLSRC(FIFO).Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if s.StartOf(i) != 0 {
+			t.Fatalf("small task %d start = %v, want 0", i, s.StartOf(i))
+		}
+	}
+	if s.StartOf(3) != 1 || s.StartOf(4) != 4 {
+		t.Fatalf("big task starts = %v, %v; want 1, 4", s.StartOf(3), s.StartOf(4))
+	}
+	if s.Makespan() != 7 {
+		t.Fatalf("LSRC makespan = %v, want 7 (= (2/α - 1 + α/2)·C*)", s.Makespan())
+	}
+}
+
+func TestLSRCLPTFixesProposition2(t *testing.T) {
+	// With LPT priority the big tasks go first and the instance schedules
+	// optimally (makespan 3): the conclusion's suggested improvement.
+	inst := prop2K3()
+	s, err := NewLSRC(LPT).Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 3 {
+		t.Fatalf("LSRC-LPT makespan = %v, want optimal 3", s.Makespan())
+	}
+}
+
+func TestLSRCStuckOnInfiniteReservation(t *testing.T) {
+	inst := &core.Instance{
+		M:    4,
+		Jobs: []core.Job{{ID: 0, Procs: 3, Len: 5}},
+		Res:  []core.Reservation{{ID: 0, Procs: 2, Start: 2, Len: core.Infinity}},
+	}
+	// Job is 3-wide and needs 5 ticks; only [0,2) has 4 procs, after that
+	// 2 forever: unschedulable.
+	_, err := NewLSRC(FIFO).Schedule(inst)
+	if !errors.Is(err, ErrStuck) {
+		t.Fatalf("got %v, want ErrStuck", err)
+	}
+}
+
+func TestLSRCFitsBeforeInfiniteReservation(t *testing.T) {
+	inst := &core.Instance{
+		M:    4,
+		Jobs: []core.Job{{ID: 0, Procs: 3, Len: 2}},
+		Res:  []core.Reservation{{ID: 0, Procs: 2, Start: 2, Len: core.Infinity}},
+	}
+	s, err := NewLSRC(FIFO).Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StartOf(0) != 0 {
+		t.Fatalf("start = %v", s.StartOf(0))
+	}
+}
+
+func TestLSRCRejectsInvalidInstance(t *testing.T) {
+	inst := &core.Instance{M: 0}
+	if _, err := NewLSRC(FIFO).Schedule(inst); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("got %v, want ErrInvalid", err)
+	}
+}
+
+func TestLSRCDeterministic(t *testing.T) {
+	inst := prop2K3()
+	a, err := NewLSRC(FIFO).Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLSRC(FIFO).Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Start {
+		if a.Start[i] != b.Start[i] {
+			t.Fatalf("nondeterministic schedule at job %d", i)
+		}
+	}
+}
+
+func TestLSRCName(t *testing.T) {
+	if got := NewLSRC(FIFO).Name(); got != "lsrc-fifo" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := (&LSRC{}).Name(); got != "lsrc-fifo" {
+		t.Errorf("zero-order Name = %q", got)
+	}
+	if got := NewLSRC(LPT).Name(); got != "lsrc-lpt" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestLSRCGrahamTwoMinusOneOverM(t *testing.T) {
+	// Classic Graham anomaly family (no reservations): m-1 unit jobs plus
+	// one long job; FIFO list runs the long job last. C* = p, LSRC = 1+p
+	// with p = m-1... here widths are 1 so this is the sequential case:
+	// m(m-1) unit jobs then one job of length m. C* = m (perfect packing),
+	// LSRC-FIFO = 2m - 1, ratio exactly 2 - 1/m.
+	m := 4
+	inst := &core.Instance{M: m}
+	id := 0
+	for i := 0; i < m*(m-1); i++ {
+		inst.Jobs = append(inst.Jobs, core.Job{ID: id, Procs: 1, Len: 1})
+		id++
+	}
+	inst.Jobs = append(inst.Jobs, core.Job{ID: id, Procs: 1, Len: core.Time(m)})
+	s, err := NewLSRC(FIFO).Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Makespan(), core.Time(2*m-1); got != want {
+		t.Fatalf("makespan = %v, want %v (ratio 2-1/m)", got, want)
+	}
+}

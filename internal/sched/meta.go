@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// OrderedConservative is conservative back-filling driven by a priority
+// rule instead of submission order: jobs are placed at their earliest
+// non-disturbing slot in priority order. With FIFO it equals Conservative.
+type OrderedConservative struct {
+	// Order is the placement priority; FIFO when zero.
+	Order Order
+}
+
+// Name implements Scheduler.
+func (c *OrderedConservative) Name() string {
+	o := c.Order
+	if o.Indices == nil {
+		o = FIFO
+	}
+	return "cons-bf-" + o.Name
+}
+
+// Schedule implements Scheduler.
+func (c *OrderedConservative) Schedule(inst *core.Instance) (*core.Schedule, error) {
+	tl, err := prep(inst)
+	if err != nil {
+		return nil, err
+	}
+	o := c.Order
+	if o.Indices == nil {
+		o = FIFO
+	}
+	s := core.NewSchedule(inst)
+	s.Algorithm = c.Name()
+	for _, idx := range o.Indices(inst) {
+		j := inst.Jobs[idx]
+		start, ok := tl.FindSlot(0, j.Procs, j.Len)
+		if !ok {
+			return nil, stuckErr(j)
+		}
+		if err := tl.Commit(start, j.Len, j.Procs); err != nil {
+			return nil, err
+		}
+		s.SetStart(idx, start)
+	}
+	return s, nil
+}
+
+// BestOf runs several schedulers and keeps the schedule with the smallest
+// makespan — the cheap portfolio heuristic practitioners actually deploy
+// (the guarantees of §4 hold for it a fortiori, since LSRC variants are
+// among the candidates).
+type BestOf struct {
+	// Candidates are the schedulers to race; must be non-empty.
+	Candidates []Scheduler
+}
+
+// DefaultPortfolio returns a BestOf over every LSRC priority rule plus
+// ordered conservative back-filling with LPT.
+func DefaultPortfolio() *BestOf {
+	b := &BestOf{}
+	for _, o := range Orders() {
+		b.Candidates = append(b.Candidates, NewLSRC(o))
+	}
+	b.Candidates = append(b.Candidates, &OrderedConservative{Order: LPT})
+	return b
+}
+
+// Name implements Scheduler.
+func (b *BestOf) Name() string { return fmt.Sprintf("best-of-%d", len(b.Candidates)) }
+
+// Schedule implements Scheduler. Candidate errors are tolerated as long as
+// at least one candidate succeeds (e.g. shelves may report ErrStuck on
+// instances with infinite reservations that list variants handle).
+func (b *BestOf) Schedule(inst *core.Instance) (*core.Schedule, error) {
+	if len(b.Candidates) == 0 {
+		return nil, fmt.Errorf("%w: BestOf with no candidates", ErrInvalid)
+	}
+	var best *core.Schedule
+	var firstErr error
+	for _, c := range b.Candidates {
+		s, err := c.Schedule(inst)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", c.Name(), err)
+			}
+			continue
+		}
+		if best == nil || s.Makespan() < best.Makespan() {
+			best = s
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	best.Algorithm = b.Name() + "/" + best.Algorithm
+	return best, nil
+}

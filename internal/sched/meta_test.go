@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/verify"
+)
+
+func TestOrderedConservativeMatchesConservativeOnFIFO(t *testing.T) {
+	r := rng.New(808080)
+	for trial := 0; trial < 50; trial++ {
+		inst := randInstance(r, 8, 10)
+		a, err := (&OrderedConservative{}).Schedule(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Conservative{}.Schedule(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Start {
+			if a.Start[i] != b.Start[i] {
+				t.Fatalf("trial %d job %d: %v vs %v", trial, i, a.Start[i], b.Start[i])
+			}
+		}
+	}
+}
+
+func TestOrderedConservativeLPTOnProp2(t *testing.T) {
+	// LPT placement order also solves the Prop-2 fixture optimally.
+	s, err := (&OrderedConservative{Order: LPT}).Schedule(prop2K3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 3 {
+		t.Fatalf("makespan = %v, want 3", s.Makespan())
+	}
+}
+
+func TestOrderedConservativeName(t *testing.T) {
+	if got := (&OrderedConservative{}).Name(); got != "cons-bf-fifo" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := (&OrderedConservative{Order: LPT}).Name(); got != "cons-bf-lpt" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestBestOfPicksMinimum(t *testing.T) {
+	inst := prop2K3() // FIFO gives 7, LPT gives 3
+	b := &BestOf{Candidates: []Scheduler{NewLSRC(FIFO), NewLSRC(LPT)}}
+	s, err := b.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 3 {
+		t.Fatalf("best-of makespan = %v, want 3", s.Makespan())
+	}
+	if s.Algorithm != "best-of-2/lsrc-lpt" {
+		t.Fatalf("algorithm tag = %q", s.Algorithm)
+	}
+}
+
+func TestBestOfNeverWorseThanAnyCandidate(t *testing.T) {
+	r := rng.New(909090)
+	for trial := 0; trial < 40; trial++ {
+		inst := randInstance(r, 8, 10)
+		p := DefaultPortfolio()
+		best, err := p.Schedule(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.Verify(best); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range p.Candidates {
+			s, err := c.Schedule(inst)
+			if err != nil {
+				continue
+			}
+			if best.Makespan() > s.Makespan() {
+				t.Fatalf("trial %d: best-of %v worse than %s %v",
+					trial, best.Makespan(), c.Name(), s.Makespan())
+			}
+		}
+	}
+}
+
+func TestBestOfToleratesCandidateFailure(t *testing.T) {
+	// An instance with an infinite reservation: the shelf gives up, LSRC
+	// succeeds; BestOf must still return the LSRC schedule.
+	inst := &core.Instance{
+		M: 4,
+		Jobs: []core.Job{
+			{ID: 0, Procs: 2, Len: 5},
+			{ID: 1, Procs: 2, Len: 3},
+		},
+		Res: []core.Reservation{{ID: 0, Procs: 2, Start: 20, Len: core.Infinity}},
+	}
+	b := &BestOf{Candidates: []Scheduler{&Shelf{}, NewLSRC(FIFO)}}
+	s, err := b.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Complete() {
+		t.Fatal("incomplete schedule")
+	}
+}
+
+func TestBestOfAllFail(t *testing.T) {
+	inst := &core.Instance{
+		M:    4,
+		Jobs: []core.Job{{ID: 0, Procs: 4, Len: 5}},
+		Res:  []core.Reservation{{ID: 0, Procs: 1, Start: 0, Len: core.Infinity}},
+	}
+	b := &BestOf{Candidates: []Scheduler{NewLSRC(FIFO), FCFS{}}}
+	if _, err := b.Schedule(inst); !errors.Is(err, ErrStuck) {
+		t.Fatalf("got %v, want wrapped ErrStuck", err)
+	}
+}
+
+func TestBestOfEmpty(t *testing.T) {
+	if _, err := (&BestOf{}).Schedule(&core.Instance{M: 1}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestLemma1GrahamArgument checks the paper's Lemma 1 (appendix) on real
+// LSRC schedules without reservations: for any two instants t, t' in
+// [0, Cmax) with t' >= t + pmax, the processor usage satisfies
+// r(t) + r(t') >= m + 1. (The lemma drives the continuous proof of
+// Theorem 2.) Checking at usage breakpoints suffices: r is piecewise
+// constant, and we evaluate every segment-pair spanning >= pmax.
+func TestLemma1GrahamArgument(t *testing.T) {
+	r := rng.New(515151)
+	for trial := 0; trial < 120; trial++ {
+		m := r.IntRange(2, 8)
+		inst := &core.Instance{M: m}
+		n := r.IntRange(2, 12)
+		var pmax core.Time
+		for i := 0; i < n; i++ {
+			j := core.Job{ID: i, Procs: r.IntRange(1, m), Len: core.Time(r.IntRange(1, 9))}
+			if j.Len > pmax {
+				pmax = j.Len
+			}
+			inst.Jobs = append(inst.Jobs, j)
+		}
+		s, err := NewLSRC(RandomOrder(uint64(trial))).Schedule(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		usage := s.Usage()
+		cmax := s.Makespan()
+		// Sample each segment at its start plus, defensively, one interior
+		// point; segments are constant so starts suffice.
+		var samples []core.Time
+		for i := 0; i < usage.Len(); i++ {
+			st, _, _ := usage.Segment(i)
+			if st < cmax {
+				samples = append(samples, st)
+			}
+		}
+		for _, t0 := range samples {
+			for _, t1 := range samples {
+				if t1 < t0+pmax {
+					continue
+				}
+				if got := usage.At(t0) + usage.At(t1); got < m+1 {
+					t.Fatalf("trial %d: Lemma 1 violated: r(%v)+r(%v) = %d < m+1 = %d\nstarts: %v",
+						trial, t0, t1, got, m+1, s.Start)
+				}
+			}
+		}
+	}
+}

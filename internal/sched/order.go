@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Order produces the priority list used by a list scheduler: a permutation
+// of job indices, highest priority first. Orders must be deterministic
+// functions of the instance (RandomOrder carries its own seeded generator
+// state in the closure, reseeded per call for reproducibility).
+type Order struct {
+	// Name identifies the rule in experiment tables (e.g. "fifo", "lpt").
+	Name string
+	// Indices returns the job indices in priority order.
+	Indices func(inst *core.Instance) []int
+}
+
+// identity returns 0..n-1.
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// sortBy returns indices sorted by the given less function, with ties broken
+// by instance position so orders are total and deterministic.
+func sortBy(inst *core.Instance, less func(a, b core.Job) bool) []int {
+	idx := identity(len(inst.Jobs))
+	sort.SliceStable(idx, func(x, y int) bool {
+		return less(inst.Jobs[idx[x]], inst.Jobs[idx[y]])
+	})
+	return idx
+}
+
+// FIFO preserves instance (submission) order. This is the order used by the
+// paper's constructions: "the list ordered by increasing i".
+var FIFO = Order{Name: "fifo", Indices: func(inst *core.Instance) []int {
+	return identity(len(inst.Jobs))
+}}
+
+// LPT orders by decreasing processing time (the conclusion's suggested
+// priority: "sorting the jobs by decreasing durations").
+var LPT = Order{Name: "lpt", Indices: func(inst *core.Instance) []int {
+	return sortBy(inst, func(a, b core.Job) bool { return a.Len > b.Len })
+}}
+
+// SPT orders by increasing processing time.
+var SPT = Order{Name: "spt", Indices: func(inst *core.Instance) []int {
+	return sortBy(inst, func(a, b core.Job) bool { return a.Len < b.Len })
+}}
+
+// WidestFirst orders by decreasing processor requirement.
+var WidestFirst = Order{Name: "widest", Indices: func(inst *core.Instance) []int {
+	return sortBy(inst, func(a, b core.Job) bool { return a.Procs > b.Procs })
+}}
+
+// NarrowestFirst orders by increasing processor requirement.
+var NarrowestFirst = Order{Name: "narrowest", Indices: func(inst *core.Instance) []int {
+	return sortBy(inst, func(a, b core.Job) bool { return a.Procs < b.Procs })
+}}
+
+// MaxWorkFirst orders by decreasing area p*q.
+var MaxWorkFirst = Order{Name: "maxwork", Indices: func(inst *core.Instance) []int {
+	return sortBy(inst, func(a, b core.Job) bool { return a.Work() > b.Work() })
+}}
+
+// RandomOrder returns a rule that shuffles the list with the given seed.
+// Each call to Indices reseeds, so the same Order value always produces the
+// same permutation for the same instance size.
+func RandomOrder(seed uint64) Order {
+	return Order{
+		Name: "random",
+		Indices: func(inst *core.Instance) []int {
+			r := rng.New(seed)
+			return r.Perm(len(inst.Jobs))
+		},
+	}
+}
+
+// Orders lists the deterministic rules, used by ablation experiments.
+func Orders() []Order {
+	return []Order{FIFO, LPT, SPT, WidestFirst, NarrowestFirst, MaxWorkFirst}
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// GreedyPolicy is online LSRC: every queued job that fits now is started,
+// in queue (arrival) order — the most aggressive back-filling.
+type GreedyPolicy struct{}
+
+// Name implements Policy.
+func (GreedyPolicy) Name() string { return "greedy-lsrc" }
+
+// Dispatch implements Policy.
+func (GreedyPolicy) Dispatch(now core.Time, queue []Queued, tl *profile.Timeline) []int {
+	scratch := tl.Clone()
+	var picks []int
+	for p, q := range queue {
+		if scratch.CanPlace(now, q.Job.Len, q.Job.Procs) {
+			if scratch.Commit(now, q.Job.Len, q.Job.Procs) != nil {
+				continue
+			}
+			picks = append(picks, p)
+		}
+	}
+	return picks
+}
+
+// FCFSPolicy starts only the head of the queue (and successors while each
+// head fits): strict head-of-line order.
+type FCFSPolicy struct{}
+
+// Name implements Policy.
+func (FCFSPolicy) Name() string { return "fcfs" }
+
+// Dispatch implements Policy.
+func (FCFSPolicy) Dispatch(now core.Time, queue []Queued, tl *profile.Timeline) []int {
+	scratch := tl.Clone()
+	var picks []int
+	for p := 0; p < len(queue); p++ {
+		j := queue[p].Job
+		if !scratch.CanPlace(now, j.Len, j.Procs) {
+			break
+		}
+		if scratch.Commit(now, j.Len, j.Procs) != nil {
+			break
+		}
+		picks = append(picks, p)
+	}
+	return picks
+}
+
+// EASYPolicy starts head jobs while they fit, then back-fills any later job
+// that fits now without delaying the earliest possible start of the blocked
+// head.
+type EASYPolicy struct{}
+
+// Name implements Policy.
+func (EASYPolicy) Name() string { return "easy-bf" }
+
+// Dispatch implements Policy.
+func (EASYPolicy) Dispatch(now core.Time, queue []Queued, tl *profile.Timeline) []int {
+	scratch := tl.Clone()
+	var picks []int
+	p := 0
+	for ; p < len(queue); p++ {
+		j := queue[p].Job
+		if !scratch.CanPlace(now, j.Len, j.Procs) {
+			break
+		}
+		if scratch.Commit(now, j.Len, j.Procs) != nil {
+			break
+		}
+		picks = append(picks, p)
+	}
+	if p >= len(queue) {
+		return picks
+	}
+	// Shadow hold for the blocked head.
+	head := queue[p].Job
+	shadow, ok := scratch.FindSlot(now, head.Procs, head.Len)
+	if !ok {
+		return picks
+	}
+	if scratch.Commit(shadow, head.Len, head.Procs) != nil {
+		return picks
+	}
+	for q := p + 1; q < len(queue); q++ {
+		j := queue[q].Job
+		if scratch.CanPlace(now, j.Len, j.Procs) {
+			if scratch.Commit(now, j.Len, j.Procs) != nil {
+				continue
+			}
+			picks = append(picks, q)
+		}
+	}
+	return picks
+}

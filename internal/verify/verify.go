@@ -1,0 +1,271 @@
+// Package verify checks schedules for feasibility and materialises concrete
+// per-processor assignments.
+//
+// Feasibility in the RESASCHEDULING model (§3.1 of the paper) requires that
+// at every instant the processors used by running jobs plus the processors
+// held by active reservations never exceed m. Because the model is
+// non-contiguous, an aggregate capacity check is equivalent to the existence
+// of a concrete processor assignment: job executions are time intervals, the
+// interval graph they induce is perfect, and its chromatic number equals the
+// peak overlap. AssignProcessors constructs such an assignment greedily and
+// Verify double-checks the two views against each other.
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Violation describes one way a schedule fails feasibility.
+type Violation struct {
+	// Kind classifies the violation.
+	Kind ViolationKind
+	// JobIdx is the index of the offending job, or -1.
+	JobIdx int
+	// At is the time of the violation, if applicable.
+	At core.Time
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// ViolationKind enumerates feasibility failures.
+type ViolationKind int
+
+// The feasibility failure classes detected by Check.
+const (
+	// VUnscheduled: a job has no start time.
+	VUnscheduled ViolationKind = iota
+	// VNegativeStart: a job starts before time 0.
+	VNegativeStart
+	// VOverCapacity: jobs plus reservations exceed m processors.
+	VOverCapacity
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case VUnscheduled:
+		return "unscheduled"
+	case VNegativeStart:
+		return "negative-start"
+	case VOverCapacity:
+		return "over-capacity"
+	}
+	return "unknown"
+}
+
+// ErrInfeasible is wrapped by all verification failures.
+var ErrInfeasible = errors.New("verify: schedule infeasible")
+
+// Check returns all violations of the schedule (empty means feasible and
+// complete).
+func Check(s *core.Schedule) []Violation {
+	var out []Violation
+	for i, t := range s.Start {
+		switch {
+		case t == core.Unscheduled:
+			out = append(out, Violation{Kind: VUnscheduled, JobIdx: i,
+				Detail: fmt.Sprintf("job %d has no start time", s.Inst.Jobs[i].ID)})
+		case t < 0:
+			out = append(out, Violation{Kind: VNegativeStart, JobIdx: i, At: t,
+				Detail: fmt.Sprintf("job %d starts at %v", s.Inst.Jobs[i].ID, t)})
+		}
+	}
+	usage := s.TotalUsage()
+	for i := 0; i < usage.Len(); i++ {
+		start, _, v := usage.Segment(i)
+		if v > s.Inst.M {
+			out = append(out, Violation{Kind: VOverCapacity, JobIdx: -1, At: start,
+				Detail: fmt.Sprintf("usage %d > m=%d from t=%v", v, s.Inst.M, start)})
+		}
+	}
+	return out
+}
+
+// Verify returns nil when the schedule is complete and feasible, and a
+// descriptive error (wrapping ErrInfeasible) otherwise. It additionally
+// cross-checks the aggregate capacity view by constructing a concrete
+// processor assignment.
+func Verify(s *core.Schedule) error {
+	if vs := Check(s); len(vs) > 0 {
+		return fmt.Errorf("%w: %d violation(s), first: %s", ErrInfeasible, len(vs), vs[0].Detail)
+	}
+	if _, err := AssignProcessors(s); err != nil {
+		return fmt.Errorf("%w: capacity check passed but assignment failed: %v", ErrInfeasible, err)
+	}
+	return nil
+}
+
+// Assignment maps every job and reservation of a schedule to the concrete
+// processor IDs (0..m-1) it occupies.
+type Assignment struct {
+	// JobProcs[i] lists the processors used by Inst.Jobs[i], sorted.
+	JobProcs [][]int
+	// ResProcs[i] lists the processors held by Inst.Res[i], sorted.
+	ResProcs [][]int
+}
+
+// event is a start or end of an occupation interval during the sweep.
+type event struct {
+	at    core.Time
+	start bool
+	isJob bool
+	idx   int
+}
+
+// AssignProcessors builds a concrete processor assignment for a feasible
+// complete schedule by a left-to-right sweep: at each interval start it
+// takes the lowest-numbered free processors; at each end it frees them.
+// Ends are processed before starts at equal times (intervals are half-open).
+// It fails exactly when the schedule oversubscribes capacity at some time.
+func AssignProcessors(s *core.Schedule) (*Assignment, error) {
+	inst := s.Inst
+	events := make([]event, 0, 2*(len(inst.Jobs)+len(inst.Res)))
+	for i, t := range s.Start {
+		if t == core.Unscheduled {
+			return nil, fmt.Errorf("%w: job %d unscheduled", ErrInfeasible, inst.Jobs[i].ID)
+		}
+		events = append(events,
+			event{t, true, true, i},
+			event{t + inst.Jobs[i].Len, false, true, i})
+	}
+	for i, r := range inst.Res {
+		events = append(events, event{r.Start, true, false, i})
+		if r.End() != core.Infinity {
+			events = append(events, event{r.End(), false, false, i})
+		}
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		// Frees before takes at equal time.
+		return !events[a].start && events[b].start
+	})
+
+	// Free processor pool: min-heap semantics via sorted stack is overkill;
+	// a simple boolean array plus a scan pointer keeps allocation lowest-ID.
+	free := make([]bool, inst.M)
+	for i := range free {
+		free[i] = true
+	}
+	takeLowest := func(q int) ([]int, bool) {
+		out := make([]int, 0, q)
+		for p := 0; p < inst.M && len(out) < q; p++ {
+			if free[p] {
+				out = append(out, p)
+				free[p] = false
+			}
+		}
+		if len(out) < q {
+			for _, p := range out {
+				free[p] = true
+			}
+			return nil, false
+		}
+		return out, true
+	}
+
+	asg := &Assignment{
+		JobProcs: make([][]int, len(inst.Jobs)),
+		ResProcs: make([][]int, len(inst.Res)),
+	}
+	for _, ev := range events {
+		var q int
+		if ev.isJob {
+			q = inst.Jobs[ev.idx].Procs
+		} else {
+			q = inst.Res[ev.idx].Procs
+		}
+		if ev.start {
+			procs, ok := takeLowest(q)
+			if !ok {
+				what := "job"
+				id := 0
+				if ev.isJob {
+					id = inst.Jobs[ev.idx].ID
+				} else {
+					what = "reservation"
+					id = inst.Res[ev.idx].ID
+				}
+				return nil, fmt.Errorf("%w: no %d free processors for %s %d at t=%v",
+					ErrInfeasible, q, what, id, ev.at)
+			}
+			if ev.isJob {
+				asg.JobProcs[ev.idx] = procs
+			} else {
+				asg.ResProcs[ev.idx] = procs
+			}
+		} else {
+			var procs []int
+			if ev.isJob {
+				procs = asg.JobProcs[ev.idx]
+			} else {
+				procs = asg.ResProcs[ev.idx]
+			}
+			for _, p := range procs {
+				free[p] = true
+			}
+		}
+	}
+	return asg, nil
+}
+
+// CheckAssignment validates that an assignment is consistent with its
+// schedule: every job/reservation holds exactly its required number of
+// distinct processors, and no processor is held by two overlapping
+// occupations.
+func CheckAssignment(s *core.Schedule, a *Assignment) error {
+	inst := s.Inst
+	if len(a.JobProcs) != len(inst.Jobs) || len(a.ResProcs) != len(inst.Res) {
+		return fmt.Errorf("%w: assignment shape mismatch", ErrInfeasible)
+	}
+	type hold struct {
+		t0, t1 core.Time
+		what   string
+	}
+	perProc := make(map[int][]hold)
+	add := func(procs []int, q int, t0, t1 core.Time, what string) error {
+		if len(procs) != q {
+			return fmt.Errorf("%w: %s holds %d processors, needs %d", ErrInfeasible, what, len(procs), q)
+		}
+		seen := map[int]bool{}
+		for _, p := range procs {
+			if p < 0 || p >= inst.M {
+				return fmt.Errorf("%w: %s uses invalid processor %d", ErrInfeasible, what, p)
+			}
+			if seen[p] {
+				return fmt.Errorf("%w: %s uses processor %d twice", ErrInfeasible, what, p)
+			}
+			seen[p] = true
+			perProc[p] = append(perProc[p], hold{t0, t1, what})
+		}
+		return nil
+	}
+	for i, j := range inst.Jobs {
+		t := s.Start[i]
+		if t == core.Unscheduled {
+			return fmt.Errorf("%w: job %d unscheduled", ErrInfeasible, j.ID)
+		}
+		if err := add(a.JobProcs[i], j.Procs, t, t+j.Len, fmt.Sprintf("job %d", j.ID)); err != nil {
+			return err
+		}
+	}
+	for i, r := range inst.Res {
+		if err := add(a.ResProcs[i], r.Procs, r.Start, r.End(), fmt.Sprintf("reservation %d", r.ID)); err != nil {
+			return err
+		}
+	}
+	for p, holds := range perProc {
+		sort.Slice(holds, func(a, b int) bool { return holds[a].t0 < holds[b].t0 })
+		for i := 1; i < len(holds); i++ {
+			if holds[i].t0 < holds[i-1].t1 {
+				return fmt.Errorf("%w: processor %d double-booked by %s and %s",
+					ErrInfeasible, p, holds[i-1].what, holds[i].what)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSWF checks the SWF parser never panics and that every accepted
+// trace round-trips through WriteSWF back to the same retained fields.
+func FuzzParseSWF(f *testing.F) {
+	f.Add(sampleSWF)
+	f.Add("; MaxProcs: 4\n1 0 0 10 2 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+	f.Add("garbage\n")
+	f.Add("1 2 3\n")
+	f.Add("; only comments\n;; more\n")
+	f.Add("9223372036854775807 0 0 1 1 -1 -1 1 1 -1 1 x x x x x x x\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseSWF(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteSWF(&buf, tr); err != nil {
+			t.Fatalf("write of accepted trace failed: %v", err)
+		}
+		back, err := ParseSWF(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v\noutput:\n%s", err, buf.String())
+		}
+		if len(back.Jobs) != len(tr.Jobs) {
+			t.Fatalf("round trip lost jobs: %d -> %d", len(tr.Jobs), len(back.Jobs))
+		}
+		for i := range tr.Jobs {
+			a, b := tr.Jobs[i], back.Jobs[i]
+			if a.ID != b.ID || a.Submit != b.Submit || a.Run != b.Run || a.Procs != b.Procs {
+				t.Fatalf("job %d changed: %+v -> %+v", i, a, b)
+			}
+		}
+	})
+}
