@@ -11,6 +11,10 @@
 package repro
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/bounds"
@@ -18,6 +22,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/expt"
 	"repro/internal/instances"
+	"repro/internal/profile"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/threepart"
@@ -190,6 +195,136 @@ func BenchmarkBackfillVariantsLargeWorkload(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- capacity-index backend comparison (array Timeline vs restree) ---
+
+// capacityBenchSizes are the pre-loaded reservation counts for the
+// backend comparison (the BENCH_restree.json trajectory).
+var capacityBenchSizes = []int{1_000, 10_000, 100_000}
+
+// capacityBenchM is the machine size for the backend benches: large enough
+// that reservation widths vary by three orders of magnitude.
+const capacityBenchM = 1024
+
+// loadedIndex builds a capacity index pre-loaded with nRes reservations at
+// increasing times (so setup itself stays cheap on the array backend —
+// appends, not mid-array inserts) and returns it with the loaded horizon.
+// A tenth of the reservations are near-full-machine holds, so wide queries
+// see real blocking segments and earliest-fit pruning has work to skip.
+func loadedIndex(tb testing.TB, backend string, nRes int) (profile.CapacityIndex, core.Time) {
+	tb.Helper()
+	idx, err := profile.NewIndex(backend, capacityBenchM)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r := rng.New(0xC0FFEE)
+	at := core.Time(0)
+	for i := 0; i < nRes; i++ {
+		at += core.Time(r.Intn(20) + 1)
+		length := core.Time(r.Intn(50) + 1)
+		q := r.Intn(capacityBenchM/2) + 1
+		if i%10 == 0 {
+			q = capacityBenchM - r.Intn(8) - 1 // near-full hold
+		}
+		if err := idx.Commit(at, length, q); err != nil {
+			tb.Fatal(err)
+		}
+		at += length
+	}
+	return idx, at
+}
+
+// earliestFitCommitLoop is one op of the benchmark workload: an
+// earliest-fit query from a random ready time followed by a commit at the
+// found slot and a release (so the index stays at steady state).
+func earliestFitCommitLoop(tb testing.TB, idx profile.CapacityIndex, r *rng.PCG, horizon core.Time) {
+	q := r.Intn(capacityBenchM) + 1
+	dur := core.Time(r.Intn(100) + 1)
+	ready := core.Time(r.Int63n(int64(horizon)))
+	s, ok := idx.FindSlot(ready, q, dur)
+	if !ok {
+		tb.Fatalf("no slot for q=%d", q)
+	}
+	if err := idx.Commit(s, dur, q); err != nil {
+		tb.Fatal(err)
+	}
+	if err := idx.Release(s, dur, q); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// BenchmarkCapacityIndex compares the two backends on the hot scheduling
+// loop — EarliestFit + Commit + Release — at growing reservation counts.
+// The array backend pays O(n) per op (linear slot scans, mid-array
+// memmoves); the tree backend pays O(log n) plus the blocking segments
+// actually skipped, which is the ≥5× win recorded in BENCH_restree.json.
+func BenchmarkCapacityIndex(b *testing.B) {
+	for _, backend := range []string{"array", "tree"} {
+		for _, n := range capacityBenchSizes {
+			b.Run(fmt.Sprintf("backend=%s/n=%d", backend, n), func(b *testing.B) {
+				idx, horizon := loadedIndex(b, backend, n)
+				r := rng.New(7)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					earliestFitCommitLoop(b, idx, r, horizon)
+				}
+			})
+		}
+	}
+}
+
+// TestEmitRestreeBenchJSON records the backend comparison as
+// BENCH_restree.json at the repository root. It is opt-in (set
+// REPRO_EMIT_BENCH=1) because it runs seconds of measured benchmarks.
+func TestEmitRestreeBenchJSON(t *testing.T) {
+	if os.Getenv("REPRO_EMIT_BENCH") == "" {
+		t.Skip("set REPRO_EMIT_BENCH=1 to measure backends and write BENCH_restree.json")
+	}
+	type row struct {
+		Reservations int     `json:"reservations"`
+		ArrayNsPerOp float64 `json:"array_ns_per_op"`
+		TreeNsPerOp  float64 `json:"tree_ns_per_op"`
+		Speedup      float64 `json:"speedup"`
+	}
+	out := struct {
+		Benchmark string `json:"benchmark"`
+		M         int    `json:"m"`
+		Workload  string `json:"workload"`
+		GoVersion string `json:"go_version"`
+		Rows      []row  `json:"rows"`
+	}{
+		Benchmark: "capacity-index backends: array Timeline vs restree balanced tree",
+		M:         capacityBenchM,
+		Workload:  "EarliestFit + Commit + Release at a random ready time, steady state",
+		GoVersion: runtime.Version(),
+	}
+	measure := func(backend string, n int) float64 {
+		idx, horizon := loadedIndex(t, backend, n)
+		r := rng.New(7)
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				earliestFitCommitLoop(b, idx, r, horizon)
+			}
+		})
+		return float64(res.NsPerOp())
+	}
+	for _, n := range capacityBenchSizes {
+		a, tr := measure("array", n), measure("tree", n)
+		out.Rows = append(out.Rows, row{Reservations: n, ArrayNsPerOp: a, TreeNsPerOp: tr, Speedup: a / tr})
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_restree.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	last := out.Rows[len(out.Rows)-1]
+	t.Logf("wrote BENCH_restree.json; speedup at n=%d: %.1f×", last.Reservations, last.Speedup)
+	if last.Speedup < 5 {
+		t.Errorf("tree backend is %.1f× the array backend at n=%d, want >= 5×", last.Speedup, last.Reservations)
 	}
 }
 

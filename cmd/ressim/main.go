@@ -9,6 +9,7 @@
 //	ressim -m 64 -n 300 -seed 7                 # synthetic workload
 //	ressim -swf trace.swf [-m 128]              # real trace
 //	ressim -m 64 -n 300 -alpha 0.5 -nres 12     # with reservations
+//	ressim -m 64 -n 300 -backend tree           # balanced-tree capacity index
 package main
 
 import (
@@ -31,6 +32,7 @@ func run() error {
 	alpha := flag.Float64("alpha", 0.5, "reservation admission rule (α)")
 	nres := flag.Int("nres", 0, "number of reservations to draw")
 	meanIat := flag.Float64("iat", 0, "mean inter-arrival time (0 = auto)")
+	backend := flag.String("backend", "array", "capacity index backend (array or tree)")
 	flag.Parse()
 
 	var arrivals []workload.Arrival
@@ -74,10 +76,11 @@ func run() error {
 		reservations = workload.ReservationStream(rng.New(*seed^0xBEEF), machine, *alpha, *nres, horizon)
 	}
 
-	fmt.Printf("simulating m=%d, %d jobs, %d reservations\n\n", machine, len(arrivals), len(reservations))
+	fmt.Printf("simulating m=%d, %d jobs, %d reservations (backend %s)\n\n",
+		machine, len(arrivals), len(reservations), *backend)
 	table := stats.NewTable("policy", "makespan", "util", "eff-util", "avg wait", "max wait", "avg BSLD")
 	for _, p := range []sim.Policy{sim.FCFSPolicy{}, sim.EASYPolicy{}, sim.GreedyPolicy{}} {
-		res, err := sim.Run(machine, reservations, arrivals, p)
+		res, err := sim.RunOn(*backend, machine, reservations, arrivals, p)
 		if err != nil {
 			return fmt.Errorf("%s: %w", p.Name(), err)
 		}

@@ -5,10 +5,11 @@
 // across two clusters (each already loaded with local work), books the
 // paired reservations, and shows local scheduling flowing around them.
 //
-// Run with: go run ./examples/grid
+// Run with: go run ./examples/grid [-backend tree]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -29,6 +30,9 @@ type site struct {
 }
 
 func main() {
+	backend := flag.String("backend", profile.DefaultBackend,
+		"capacity index backend (array or tree)")
+	flag.Parse()
 	r := rng.New(3)
 	sites := []*site{
 		{name: "cluster-A", m: 16},
@@ -54,7 +58,10 @@ func main() {
 	const needProcs, needLen = 8, core.Time(60)
 	var start core.Time
 	for _, s := range sites {
-		tl := profile.MustFromReservations(s.m, s.inst.Res)
+		tl, err := profile.IndexFromReservations(*backend, s.m, s.inst.Res)
+		if err != nil {
+			log.Fatal(err)
+		}
 		slot, ok := tl.FindSlot(0, needProcs, needLen)
 		if !ok {
 			log.Fatalf("%s can never host the co-allocation", s.name)
@@ -63,8 +70,8 @@ func main() {
 			start = slot
 		}
 	}
-	fmt.Printf("co-allocation: %d procs × %v ticks on both sites, start t=%v\n\n",
-		needProcs, needLen, start)
+	fmt.Printf("co-allocation: %d procs × %v ticks on both sites, start t=%v (backend %s)\n\n",
+		needProcs, needLen, start, *backend)
 
 	// Book the paired reservations and run each site's local scheduler.
 	for _, s := range sites {
@@ -74,7 +81,8 @@ func main() {
 		if err := s.inst.Validate(); err != nil {
 			log.Fatal(err)
 		}
-		sc, err := sched.NewLSRC(sched.LPT).Schedule(s.inst)
+		lsrc := &sched.LSRC{Order: sched.LPT, Backend: *backend}
+		sc, err := lsrc.Schedule(s.inst)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -2,10 +2,11 @@
 // schedule it with list scheduling (LSRC), verify feasibility, and print an
 // ASCII Gantt chart plus the relevant performance guarantee.
 //
-// Run with: go run ./examples/quickstart
+// Run with: go run ./examples/quickstart [-backend tree]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,11 +14,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/gantt"
 	"repro/internal/lower"
+	"repro/internal/profile"
 	"repro/internal/sched"
 	"repro/internal/verify"
 )
 
 func main() {
+	backend := flag.String("backend", profile.DefaultBackend,
+		"capacity index backend (array or tree)")
+	flag.Parse()
 	// A 8-processor cluster. One afternoon reservation holds 3 processors
 	// for a demo (the §1.2 motivation), and six jobs are queued.
 	inst := &core.Instance{
@@ -47,13 +52,19 @@ func main() {
 		fmt.Printf("LSRC guarantee (Proposition 3): Cmax <= %.2f × C*max\n", bounds.AlphaUpper(alpha))
 	}
 
-	s, err := sched.NewLSRC(sched.LPT).Schedule(inst)
+	sc, err := sched.ByNameOn("lsrc-lpt", *backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := sc.Schedule(inst)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := verify.Verify(s); err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("\ncapacity backend: %s (of %v; both give identical schedules)\n",
+		*backend, profile.Backends())
 
 	lb := lower.Best(inst)
 	fmt.Printf("\nalgorithm: %s\nmakespan:  %v\nC*max lower bound: %v  (ratio <= %.3f)\n\n",

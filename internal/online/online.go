@@ -7,6 +7,12 @@
 // every job in it arrived before the batch started, so the offline run over
 // the same jobs starting at the batch boundary is within the offline
 // guarantee; batching at most doubles the horizon).
+//
+// The offline scheduler carries its own capacity backend (the
+// profile.CapacityIndex seam): hand BatchSchedule a scheduler constructed
+// with sched.ByNameOn(name, "tree") and every per-batch run uses the
+// balanced-tree index, which pays off when batches accumulate thousands of
+// jobs and reservations.
 package online
 
 import (

@@ -1,0 +1,111 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestShiftReservationsStraddling pins the edge cases of the batch-window
+// rebasing: a reservation straddling the shift point must be clipped to
+// start at the new origin with only its remaining length.
+func TestShiftReservationsStraddling(t *testing.T) {
+	res := []core.Reservation{
+		{ID: 0, Name: "past", Procs: 2, Start: 0, Len: 10},      // ends before the shift
+		{ID: 1, Name: "straddle", Procs: 3, Start: 5, Len: 20},  // covers the shift point
+		{ID: 2, Name: "boundary", Procs: 1, Start: 10, Len: 5},  // ends exactly at the shift
+		{ID: 3, Name: "future", Procs: 4, Start: 40, Len: 7},    // entirely after
+		{ID: 4, Name: "at-shift", Procs: 2, Start: 15, Len: 10}, // starts exactly at the shift
+	}
+	out := shiftReservations(res, 15)
+	want := []struct {
+		name  string
+		procs int
+		start core.Time
+		len   core.Time
+	}{
+		{"straddle", 3, 0, 10}, // [5,25) → [0,10) after rebasing
+		{"future", 4, 25, 7},
+		{"at-shift", 2, 0, 10},
+	}
+	if len(out) != len(want) {
+		t.Fatalf("kept %d reservations, want %d: %v", len(out), len(want), out)
+	}
+	for i, w := range want {
+		r := out[i]
+		if r.Name != w.name || r.Procs != w.procs || r.Start != w.start || r.Len != w.len {
+			t.Errorf("out[%d] = %+v, want %+v", i, r, w)
+		}
+		if r.ID != i {
+			t.Errorf("out[%d] has stale ID %d; shifted sets must be densely re-IDed", i, r.ID)
+		}
+	}
+}
+
+// TestShiftReservationsInfiniteEnd covers core.Infinity reservations: an
+// infinite hold active at the shift point stays infinite and is clipped to
+// the new origin.
+func TestShiftReservationsInfiniteEnd(t *testing.T) {
+	res := []core.Reservation{
+		{ID: 0, Procs: 2, Start: 3, Len: core.Infinity},
+		{ID: 1, Procs: 1, Start: 50, Len: core.Infinity},
+	}
+	out := shiftReservations(res, 20)
+	if len(out) != 2 {
+		t.Fatalf("kept %d reservations, want 2", len(out))
+	}
+	if out[0].Start != 0 || out[0].Len != core.Infinity {
+		t.Errorf("active infinite hold = %+v, want start 0, infinite length", out[0])
+	}
+	if out[1].Start != 30 || out[1].Len != core.Infinity {
+		t.Errorf("future infinite hold = %+v, want start 30, infinite length", out[1])
+	}
+}
+
+func TestShiftReservationsNoShift(t *testing.T) {
+	res := []core.Reservation{{ID: 0, Procs: 2, Start: 7, Len: 5}}
+	out := shiftReservations(res, 0)
+	if len(out) != 1 || out[0].Start != 7 || out[0].Len != 5 {
+		t.Fatalf("shift by 0 must be the identity, got %v", out)
+	}
+}
+
+// TestBatchScheduleBackendEquivalence threads the tree backend through the
+// batch-doubling wrapper: per-batch offline runs on the balanced index
+// must reproduce the array result start-for-start.
+func TestBatchScheduleBackendEquivalence(t *testing.T) {
+	r := rng.New(11)
+	arrivals, err := workload.Synthetic(r.Split(), workload.SynthConfig{M: 16, N: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := workload.ReservationStream(r.Split(), 16, 0.5, 5, 3000)
+	array, err := sched.ByNameOn("lsrc-lpt", "array")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := sched.ByNameOn("lsrc-lpt", "tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := BatchSchedule(16, res, arrivals, array)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := BatchSchedule(16, res, arrivals, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Makespan != rt.Makespan || len(ra.Batches) != len(rt.Batches) {
+		t.Fatalf("array makespan %v/%d batches, tree %v/%d",
+			ra.Makespan, len(ra.Batches), rt.Makespan, len(rt.Batches))
+	}
+	for i := range ra.Starts {
+		if ra.Starts[i] != rt.Starts[i] {
+			t.Fatalf("arrival %d starts at %v (array) vs %v (tree)", i, ra.Starts[i], rt.Starts[i])
+		}
+	}
+}

@@ -12,6 +12,17 @@
 // everywhere. This matters: Proposition 2's adversarial schedule only
 // arises because the list scheduler refuses placements that would collide
 // with a reservation later in the job's window.
+//
+// Those semantics are captured by the CapacityIndex interface (index.go),
+// which Timeline implements as the "array" backend: a flat sorted array of
+// segments, ideal for the paper's instance sizes but O(n) per mutation and
+// slot scan. internal/restree implements the same interface as the "tree"
+// backend — a balanced augmented interval tree with O(log n) admission and
+// aggregate-pruned earliest-fit — registered here via RegisterBackend.
+// Choose array below ~10^4 segments (lower constants, perfect locality),
+// tree above it (asymptotics win; see BENCH_restree.json). Both maintain
+// the identical canonical segment form, so schedules are bit-for-bit equal
+// whichever backend runs them.
 package profile
 
 import (
@@ -231,6 +242,11 @@ func (tl *Timeline) apply(start, dur core.Time, deltaQ int) error {
 		return ErrBadWindow
 	}
 	end := windowEnd(start, dur)
+	if end != core.Infinity && end <= start {
+		// start+dur overflowed past the Infinity sentinel; reject before
+		// any mutation rather than operate on an inverted window.
+		return ErrBadWindow
+	}
 	if deltaQ < 0 && tl.MinAvailable(start, end) < -deltaQ {
 		return fmt.Errorf("%w: need %d on [%v,%v), min available %d",
 			ErrInsufficient, -deltaQ, start, end, tl.MinAvailable(start, end))

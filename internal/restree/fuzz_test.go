@@ -1,0 +1,86 @@
+package restree
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// FuzzTreeMatchesTimeline is the differential twin of
+// profile.FuzzTimelineOps: the same op-stream decoding drives the tree and
+// the array timeline side by side, and every observation — commit/release
+// outcomes, point capacities, earliest-fit slots, breakpoints and the full
+// canonical segment rendering — must agree exactly. Coverage-guided
+// exploration shakes out the segment-algebra corners (splits at existing
+// breakpoints, boundary merges, infinite tails) that seeded random streams
+// reach rarely.
+func FuzzTreeMatchesTimeline(f *testing.F) {
+	f.Add([]byte{1, 0, 5, 2, 0, 10, 3, 1})
+	f.Add([]byte{2, 3, 3, 1, 1, 3, 3, 1, 0, 0, 1, 1})
+	f.Add([]byte{0, 0, 15, 4, 0, 5, 7, 2, 2, 1, 9, 3})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const horizon = 48
+		const m = 5
+		tr := New(m)
+		tl := profile.New(m)
+		type iv struct {
+			s, d core.Time
+			q    int
+		}
+		var committed []iv
+		for len(ops) >= 4 {
+			op, a, b, c := ops[0]%3, ops[1], ops[2], ops[3]
+			ops = ops[4:]
+			start := core.Time(a % horizon)
+			dur := core.Time(b%16 + 1)
+			q := int(c%m + 1)
+			if start+dur > horizon {
+				dur = horizon - start
+				if dur <= 0 {
+					continue
+				}
+			}
+			switch op {
+			case 0: // commit on both
+				errT := tr.Commit(start, dur, q)
+				errA := tl.Commit(start, dur, q)
+				if (errT == nil) != (errA == nil) {
+					t.Fatalf("commit(%v,%v,%d): tree %v, array %v", start, dur, q, errT, errA)
+				}
+				if errT == nil {
+					committed = append(committed, iv{start, dur, q})
+				}
+			case 1: // release the oldest commitment on both
+				if len(committed) == 0 {
+					continue
+				}
+				cmt := committed[0]
+				committed = committed[1:]
+				if err := tr.Release(cmt.s, cmt.d, cmt.q); err != nil {
+					t.Fatalf("tree release of prior commit failed: %v", err)
+				}
+				if err := tl.Release(cmt.s, cmt.d, cmt.q); err != nil {
+					t.Fatalf("array release of prior commit failed: %v", err)
+				}
+			case 2: // probe
+				if got, want := tr.CapacityAt(start), tl.AvailableAt(start); got != want {
+					t.Fatalf("CapacityAt(%v) = %d, array %d", start, got, want)
+				}
+				gotT, gotOK := tr.EarliestFit(q, dur, start)
+				refT, refOK := tl.FindSlot(start, q, dur)
+				if gotOK != refOK || (gotOK && gotT != refT) {
+					t.Fatalf("EarliestFit(q=%d,dur=%v,from=%v) = %v,%v; array %v,%v",
+						q, dur, start, gotT, gotOK, refT, refOK)
+				}
+				if got, want := tr.MinIn(start, start+dur), tl.MinAvailable(start, start+dur); got != want {
+					t.Fatalf("MinIn(%v,%v) = %d, array %d", start, start+dur, got, want)
+				}
+			}
+			if tr.String() != tl.String() {
+				t.Fatalf("canonical forms diverge:\ntree:  %v\narray: %v", tr, tl)
+			}
+		}
+		checkInvariants(t, tr)
+	})
+}

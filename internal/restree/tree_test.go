@@ -1,0 +1,264 @@
+package restree
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// checkInvariants verifies the structural invariants of the tree: AVL
+// balance, correct aggregates, contiguous tiling of [0, +inf) by strictly
+// increasing canonical (uncoalescable) segments, and capacities in [0, m].
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	if tr.root == nil {
+		t.Fatal("empty tree")
+	}
+	var segs []*node
+	var verify func(n *node) (h, mn, mx int, lo, hi core.Time)
+	verify = func(n *node) (int, int, int, core.Time, core.Time) {
+		h, mn, mx, lo, hi := 1, n.avail, n.avail, n.start, n.end
+		if n.left != nil {
+			lh, lmn, lmx, llo, lhi := verify(n.left)
+			if lhi != n.start {
+				t.Fatalf("left subtree of [%v,%v) ends at %v, want %v", n.start, n.end, lhi, n.start)
+			}
+			h = max(h, lh+1)
+			mn, mx, lo = min(mn, lmn), max(mx, lmx), llo
+		}
+		segs = append(segs, n)
+		if n.right != nil {
+			rh, rmn, rmx, rlo, rhi := verify(n.right)
+			if rlo != n.end {
+				t.Fatalf("right subtree of [%v,%v) starts at %v, want %v", n.start, n.end, rlo, n.end)
+			}
+			h = max(h, rh+1)
+			mn, mx, hi = min(mn, rmn), max(mx, rmx), rhi
+		}
+		if bf := height(n.left) - height(n.right); bf < -1 || bf > 1 {
+			t.Fatalf("unbalanced node [%v,%v): bf=%d", n.start, n.end, bf)
+		}
+		if n.height != h || n.mn != mn || n.mx != mx || n.spanLo != lo || n.spanHi != hi {
+			t.Fatalf("stale aggregates at [%v,%v): h=%d/%d mn=%d/%d mx=%d/%d span=[%v,%v)/[%v,%v)",
+				n.start, n.end, n.height, h, n.mn, mn, n.mx, mx, n.spanLo, n.spanHi, lo, hi)
+		}
+		return h, mn, mx, lo, hi
+	}
+	_, _, _, lo, hi := verify(tr.root)
+	if lo != 0 || hi != core.Infinity {
+		t.Fatalf("tree tiles [%v,%v), want [0,inf)", lo, hi)
+	}
+	if len(segs) != tr.size {
+		t.Fatalf("size=%d but %d segments", tr.size, len(segs))
+	}
+	for i, n := range segs {
+		if n.start >= n.end {
+			t.Fatalf("degenerate segment [%v,%v)", n.start, n.end)
+		}
+		if n.avail < 0 || n.avail > tr.m {
+			t.Fatalf("segment [%v,%v) capacity %d outside [0,%d]", n.start, n.end, n.avail, tr.m)
+		}
+		if i > 0 && segs[i-1].avail == n.avail {
+			t.Fatalf("uncoalesced neighbours at %v: %v", n.start, tr)
+		}
+	}
+}
+
+func TestNewTree(t *testing.T) {
+	tr := New(16)
+	checkInvariants(t, tr)
+	if tr.CapacityAt(0) != 16 || tr.CapacityAt(1<<40) != 16 {
+		t.Fatal("constant tree wrong")
+	}
+	if tr.M() != 16 || tr.NumSegments() != 1 {
+		t.Fatal("metadata wrong")
+	}
+	if _, ok := tr.NextBreakpoint(0); ok {
+		t.Fatal("constant tree has no breakpoint after 0")
+	}
+}
+
+func TestCommitReleaseRoundTrip(t *testing.T) {
+	tr := New(10)
+	if err := tr.Commit(5, 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, tr)
+	if tr.CapacityAt(4) != 10 || tr.CapacityAt(5) != 6 || tr.CapacityAt(14) != 6 || tr.CapacityAt(15) != 10 {
+		t.Fatalf("after commit: %v", tr)
+	}
+	if tr.NumSegments() != 3 {
+		t.Fatalf("want 3 segments, got %v", tr)
+	}
+	if err := tr.Release(5, 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, tr)
+	if tr.NumSegments() != 1 || tr.CapacityAt(7) != 10 {
+		t.Fatalf("release did not restore: %v", tr)
+	}
+}
+
+func TestCommitInsufficientLeavesTreeUnchanged(t *testing.T) {
+	tr := New(4)
+	if err := tr.Commit(0, 10, 3); err != nil {
+		t.Fatal(err)
+	}
+	before := tr.String()
+	if err := tr.Commit(5, 10, 2); !errors.Is(err, profile.ErrInsufficient) {
+		t.Fatalf("got %v, want ErrInsufficient", err)
+	}
+	if tr.String() != before {
+		t.Fatalf("failed commit mutated tree: %v", tr)
+	}
+	checkInvariants(t, tr)
+}
+
+func TestOverRelease(t *testing.T) {
+	tr := New(4)
+	if err := tr.Release(0, 10, 1); !errors.Is(err, profile.ErrOverRelease) {
+		t.Fatalf("got %v, want ErrOverRelease", err)
+	}
+	checkInvariants(t, tr)
+}
+
+func TestInfiniteCommit(t *testing.T) {
+	tr := New(8)
+	if err := tr.Commit(100, core.Infinity, 3); err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, tr)
+	if tr.CapacityAt(99) != 8 || tr.CapacityAt(1<<50) != 5 {
+		t.Fatalf("infinite commit wrong: %v", tr)
+	}
+	if got, ok := tr.EarliestFit(6, 10, 0); !ok || got != 0 {
+		// [0,100) has 8 free, so a width-6 job fits immediately.
+		t.Fatalf("EarliestFit(6,10,0) = %v,%v want 0,true", got, ok)
+	}
+	if _, ok := tr.EarliestFit(6, 10, 95); ok {
+		// Past t=95 every window touches the infinite 5-capacity tail.
+		t.Fatal("width 6 can never fit from t=95")
+	}
+}
+
+func TestEarliestFitSkipsBlockedSegments(t *testing.T) {
+	tr := New(8)
+	// Reservations leaving capacity 2 on [10,20) and [40,50).
+	for _, w := range []core.Time{10, 40} {
+		if err := tr.Commit(w, 10, 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		q         int
+		dur, from core.Time
+		want      core.Time
+	}{
+		{2, 5, 0, 0},    // fits immediately at low width
+		{3, 12, 5, 20},  // straddles the first reservation → the [20,40) gap
+		{8, 5, 6, 20},   // full machine: earliest window clear of reservation 1
+		{8, 25, 0, 50},  // long full-machine job must clear both
+		{3, 25, 0, 50},  // [20,40) gap too short for dur=25, must clear both
+		{3, 10, 35, 50}, // notBefore too deep in the gap to finish by 40
+		{6, 1, 0, 0},    // short job before the first reservation
+	}
+	for _, c := range cases {
+		got, ok := tr.EarliestFit(c.q, c.dur, c.from)
+		if !ok || got != c.want {
+			t.Errorf("EarliestFit(q=%d,dur=%v,from=%v) = %v,%v want %v", c.q, c.dur, c.from, got, ok, c.want)
+		}
+	}
+	if _, ok := tr.EarliestFit(9, 1, 0); ok {
+		t.Error("width 9 cannot ever fit on m=8")
+	}
+}
+
+// TestOverflowingWindowRejected pins the overflow guard: a finite window
+// whose end wraps past the Infinity sentinel is refused with ErrBadWindow
+// before any mutation, identically on both backends.
+func TestOverflowingWindowRejected(t *testing.T) {
+	tr := New(8)
+	tl := profile.New(8)
+	for _, op := range []struct {
+		name string
+		f    func() (error, error)
+	}{
+		{"commit", func() (error, error) {
+			return tr.Commit(core.Infinity-2, 5, 1), tl.Commit(core.Infinity-2, 5, 1)
+		}},
+		{"release", func() (error, error) {
+			return tr.Release(core.Infinity-2, 5, 1), tl.Release(core.Infinity-2, 5, 1)
+		}},
+	} {
+		errT, errA := op.f()
+		if !errors.Is(errT, profile.ErrBadWindow) || !errors.Is(errA, profile.ErrBadWindow) {
+			t.Fatalf("%s near Infinity: tree %v, array %v; want ErrBadWindow from both", op.name, errT, errA)
+		}
+	}
+	if tr.NumSegments() != 1 || tl.NumSegments() != 1 {
+		t.Fatalf("rejected windows must not mutate: tree %v, array %v", tr, tl)
+	}
+	checkInvariants(t, tr)
+}
+
+func TestFromReservationsOversubscribed(t *testing.T) {
+	res := []core.Reservation{
+		{ID: 0, Procs: 5, Start: 0, Len: 10},
+		{ID: 1, Procs: 4, Start: 5, Len: 10},
+	}
+	if _, err := FromReservations(8, res); !errors.Is(err, profile.ErrInsufficient) {
+		t.Fatalf("got %v, want ErrInsufficient", err)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	tr := New(6)
+	if err := tr.Commit(3, 7, 2); err != nil {
+		t.Fatal(err)
+	}
+	cp := tr.Clone()
+	if err := cp.Commit(0, 100, 4); err != nil {
+		t.Fatal(err)
+	}
+	if tr.CapacityAt(0) != 6 || tr.String() == cp.String() {
+		t.Fatalf("clone shares state: %v vs %v", tr, cp)
+	}
+	checkInvariants(t, tr)
+	checkInvariants(t, cp)
+}
+
+func TestBackendRegistered(t *testing.T) {
+	idx, err := profile.NewIndex("tree", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := idx.(*Tree); !ok {
+		t.Fatalf("backend %q built %T, want *restree.Tree", "tree", idx)
+	}
+	if idx.M() != 12 {
+		t.Fatal("wrong machine size")
+	}
+}
+
+func TestFreeAreaAndFirstTime(t *testing.T) {
+	tr := New(4)
+	if err := tr.Commit(2, 3, 4); err != nil { // capacity 0 on [2,5)
+		t.Fatal(err)
+	}
+	if got := tr.FreeArea(0, 10); got != 2*4+5*4 {
+		t.Fatalf("FreeArea(0,10) = %d", got)
+	}
+	at, ok := tr.FirstTimeWithFreeArea(9)
+	if !ok || at != 6 { // 8 by t=2, stalled to t=5, 9th unit during [5,6)
+		t.Fatalf("FirstTimeWithFreeArea(9) = %v,%v", at, ok)
+	}
+	tr2 := New(3)
+	if err := tr2.Commit(0, core.Infinity, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr2.FirstTimeWithFreeArea(1); ok {
+		t.Fatal("zero-capacity tree cannot accumulate area")
+	}
+}

@@ -12,14 +12,17 @@ import (
 // feasible time and any later job may be back-filled now provided it does
 // not delay that shadow. Only the head job's start is protected, so EASY
 // sits between FCFS (everything protected) and LSRC (nothing protected).
-type EASY struct{}
+type EASY struct {
+	// Backend selects the capacity-index implementation ("" = array).
+	Backend string
+}
 
 // Name implements Scheduler.
 func (EASY) Name() string { return "easy-bf" }
 
 // Schedule implements Scheduler.
-func (EASY) Schedule(inst *core.Instance) (*core.Schedule, error) {
-	tl, err := prep(inst)
+func (e EASY) Schedule(inst *core.Instance) (*core.Schedule, error) {
+	tl, err := prep(inst, e.Backend)
 	if err != nil {
 		return nil, err
 	}

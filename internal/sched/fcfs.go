@@ -8,7 +8,10 @@ import "repro/internal/core"
 // before the job ahead of it has started**. The paper notes this policy has
 // no constant performance guarantee — a wide job at the head of the queue
 // idles almost the whole machine (reproduced by the EXP-FC experiment).
-type FCFS struct{}
+type FCFS struct {
+	// Backend selects the capacity-index implementation ("" = array).
+	Backend string
+}
 
 // Name implements Scheduler.
 func (FCFS) Name() string { return "fcfs" }
@@ -16,8 +19,8 @@ func (FCFS) Name() string { return "fcfs" }
 // Schedule implements Scheduler. Since job i+1 may start no earlier than
 // job i, the greedy earliest placement is simply a FindSlot chain where the
 // ready time is the previous job's start.
-func (FCFS) Schedule(inst *core.Instance) (*core.Schedule, error) {
-	tl, err := prep(inst)
+func (f FCFS) Schedule(inst *core.Instance) (*core.Schedule, error) {
+	tl, err := prep(inst, f.Backend)
 	if err != nil {
 		return nil, err
 	}
@@ -43,14 +46,17 @@ func (FCFS) Schedule(inst *core.Instance) (*core.Schedule, error) {
 // moving any previously placed job** (earlier-submitted jobs keep their
 // placements; later jobs may still slot into gaps before them, which is
 // exactly what distinguishes it from FCFS).
-type Conservative struct{}
+type Conservative struct {
+	// Backend selects the capacity-index implementation ("" = array).
+	Backend string
+}
 
 // Name implements Scheduler.
 func (Conservative) Name() string { return "cons-bf" }
 
 // Schedule implements Scheduler.
-func (Conservative) Schedule(inst *core.Instance) (*core.Schedule, error) {
-	tl, err := prep(inst)
+func (c Conservative) Schedule(inst *core.Instance) (*core.Schedule, error) {
+	tl, err := prep(inst, c.Backend)
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,8 @@ import (
 type LSRC struct {
 	// Order is the priority rule; FIFO when zero.
 	Order Order
+	// Backend selects the capacity-index implementation ("" = array).
+	Backend string
 }
 
 // NewLSRC returns an LSRC scheduler with the given priority order.
@@ -48,7 +50,7 @@ func (l *LSRC) order() Order {
 // last under-capacity segment blocking it). Scanning the list at every
 // breakpoint therefore reproduces the continuous-time list scheduler.
 func (l *LSRC) Schedule(inst *core.Instance) (*core.Schedule, error) {
-	tl, err := prep(inst)
+	tl, err := prep(inst, l.Backend)
 	if err != nil {
 		return nil, err
 	}

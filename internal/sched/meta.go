@@ -12,6 +12,8 @@ import (
 type OrderedConservative struct {
 	// Order is the placement priority; FIFO when zero.
 	Order Order
+	// Backend selects the capacity-index implementation ("" = array).
+	Backend string
 }
 
 // Name implements Scheduler.
@@ -25,7 +27,7 @@ func (c *OrderedConservative) Name() string {
 
 // Schedule implements Scheduler.
 func (c *OrderedConservative) Schedule(inst *core.Instance) (*core.Schedule, error) {
-	tl, err := prep(inst)
+	tl, err := prep(inst, c.Backend)
 	if err != nil {
 		return nil, err
 	}

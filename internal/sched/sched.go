@@ -26,6 +26,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/profile"
+
+	// Ensure the "tree" capacity backend is registered so every scheduler
+	// (and ByNameOn) can be parameterised with Backend: "tree".
+	_ "repro/internal/restree"
 )
 
 // Scheduler is a policy that turns an instance into a complete schedule.
@@ -47,13 +51,20 @@ var (
 	ErrInvalid = errors.New("sched: invalid instance")
 )
 
-// prep validates the instance and builds the initial availability timeline
-// (m minus reservations).
-func prep(inst *core.Instance) (*profile.Timeline, error) {
+// prep validates the instance and builds the initial availability index
+// (m minus reservations) on the named capacity backend ("" selects the
+// default array Timeline; "tree" selects the restree balanced index —
+// identical results, different asymptotics).
+func prep(inst *core.Instance, backend string) (profile.CapacityIndex, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	tl, err := profile.FromReservations(inst.M, inst.Res)
+	// A bad backend name is a configuration error, not an instance error:
+	// surface it as-is rather than wrapped in ErrInvalid.
+	if _, err := profile.NewIndex(backend, 0); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	tl, err := profile.IndexFromReservations(backend, inst.M, inst.Res)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}

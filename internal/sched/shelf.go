@@ -30,6 +30,8 @@ type Shelf struct {
 	Fit ShelfFit
 	// MaxWidth optionally caps a shelf's total width; 0 means m.
 	MaxWidth int
+	// Backend selects the capacity-index implementation ("" = array).
+	Backend string
 }
 
 // Name implements Scheduler.
@@ -48,7 +50,7 @@ type shelf struct {
 
 // Schedule implements Scheduler.
 func (sh *Shelf) Schedule(inst *core.Instance) (*core.Schedule, error) {
-	tl, err := prep(inst)
+	tl, err := prep(inst, sh.Backend)
 	if err != nil {
 		return nil, err
 	}

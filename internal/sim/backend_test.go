@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// TestRunOnBackendEquivalence runs every policy on both capacity backends
+// over the same arrival stream and requires identical start vectors: the
+// discrete-event engine must be insensitive to the index implementation.
+func TestRunOnBackendEquivalence(t *testing.T) {
+	r := rng.New(5)
+	arrivals, err := workload.Synthetic(r.Split(), workload.SynthConfig{M: 32, N: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := workload.ReservationStream(r.Split(), 32, 0.5, 6, 5000)
+	for _, p := range []Policy{FCFSPolicy{}, EASYPolicy{}, GreedyPolicy{}} {
+		ra, err := RunOn("array", 32, res, arrivals, p)
+		if err != nil {
+			t.Fatalf("%s on array: %v", p.Name(), err)
+		}
+		rt, err := RunOn("tree", 32, res, arrivals, p)
+		if err != nil {
+			t.Fatalf("%s on tree: %v", p.Name(), err)
+		}
+		if ra.Metrics.Makespan != rt.Metrics.Makespan {
+			t.Fatalf("%s: makespan %v (array) vs %v (tree)",
+				p.Name(), ra.Metrics.Makespan, rt.Metrics.Makespan)
+		}
+		for i := range ra.Starts {
+			if ra.Starts[i] != rt.Starts[i] {
+				t.Fatalf("%s: arrival %d starts at %v (array) vs %v (tree)",
+					p.Name(), i, ra.Starts[i], rt.Starts[i])
+			}
+		}
+	}
+}
+
+func TestRunOnUnknownBackend(t *testing.T) {
+	if _, err := RunOn("no-such-backend", 4, nil, nil, GreedyPolicy{}); err == nil {
+		t.Fatal("want error for unknown backend")
+	}
+}

@@ -1,9 +1,58 @@
 package sim
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/profile"
 )
+
+// scratch overlays trial commitments on the engine's live capacity index
+// and rolls them back before Dispatch returns. Policies need scratch state
+// so that each pick accounts for the picks before it; cloning the whole
+// index per event is O(n) (and allocation-heavy on the tree backend),
+// whereas commit+rollback costs only the picked windows. Rolling back an
+// exact prior commit cannot fail — the differential fuzz harness pins that
+// invariant for both backends — so a rollback error is a programming
+// error, not a runtime condition.
+type scratch struct {
+	idx profile.CapacityIndex
+	ops []struct {
+		s, d core.Time
+		q    int
+	}
+}
+
+func (sc *scratch) canPlace(start, dur core.Time, q int) bool {
+	return sc.idx.CanPlace(start, dur, q)
+}
+
+func (sc *scratch) commit(start, dur core.Time, q int) error {
+	if err := sc.idx.Commit(start, dur, q); err != nil {
+		return err
+	}
+	sc.ops = append(sc.ops, struct {
+		s, d core.Time
+		q    int
+	}{start, dur, q})
+	return nil
+}
+
+func (sc *scratch) findSlot(ready core.Time, q int, dur core.Time) (core.Time, bool) {
+	return sc.idx.FindSlot(ready, q, dur)
+}
+
+// undo releases the trial commitments in reverse order, restoring the
+// index to its pre-Dispatch state.
+func (sc *scratch) undo() {
+	for i := len(sc.ops) - 1; i >= 0; i-- {
+		op := sc.ops[i]
+		if err := sc.idx.Release(op.s, op.d, op.q); err != nil {
+			panic(fmt.Sprintf("sim: scratch rollback failed: %v", err))
+		}
+	}
+	sc.ops = sc.ops[:0]
+}
 
 // GreedyPolicy is online LSRC: every queued job that fits now is started,
 // in queue (arrival) order — the most aggressive back-filling.
@@ -13,12 +62,13 @@ type GreedyPolicy struct{}
 func (GreedyPolicy) Name() string { return "greedy-lsrc" }
 
 // Dispatch implements Policy.
-func (GreedyPolicy) Dispatch(now core.Time, queue []Queued, tl *profile.Timeline) []int {
-	scratch := tl.Clone()
+func (GreedyPolicy) Dispatch(now core.Time, queue []Queued, tl profile.CapacityIndex) []int {
+	sc := &scratch{idx: tl}
+	defer sc.undo()
 	var picks []int
 	for p, q := range queue {
-		if scratch.CanPlace(now, q.Job.Len, q.Job.Procs) {
-			if scratch.Commit(now, q.Job.Len, q.Job.Procs) != nil {
+		if sc.canPlace(now, q.Job.Len, q.Job.Procs) {
+			if sc.commit(now, q.Job.Len, q.Job.Procs) != nil {
 				continue
 			}
 			picks = append(picks, p)
@@ -35,15 +85,16 @@ type FCFSPolicy struct{}
 func (FCFSPolicy) Name() string { return "fcfs" }
 
 // Dispatch implements Policy.
-func (FCFSPolicy) Dispatch(now core.Time, queue []Queued, tl *profile.Timeline) []int {
-	scratch := tl.Clone()
+func (FCFSPolicy) Dispatch(now core.Time, queue []Queued, tl profile.CapacityIndex) []int {
+	sc := &scratch{idx: tl}
+	defer sc.undo()
 	var picks []int
 	for p := 0; p < len(queue); p++ {
 		j := queue[p].Job
-		if !scratch.CanPlace(now, j.Len, j.Procs) {
+		if !sc.canPlace(now, j.Len, j.Procs) {
 			break
 		}
-		if scratch.Commit(now, j.Len, j.Procs) != nil {
+		if sc.commit(now, j.Len, j.Procs) != nil {
 			break
 		}
 		picks = append(picks, p)
@@ -60,16 +111,17 @@ type EASYPolicy struct{}
 func (EASYPolicy) Name() string { return "easy-bf" }
 
 // Dispatch implements Policy.
-func (EASYPolicy) Dispatch(now core.Time, queue []Queued, tl *profile.Timeline) []int {
-	scratch := tl.Clone()
+func (EASYPolicy) Dispatch(now core.Time, queue []Queued, tl profile.CapacityIndex) []int {
+	sc := &scratch{idx: tl}
+	defer sc.undo()
 	var picks []int
 	p := 0
 	for ; p < len(queue); p++ {
 		j := queue[p].Job
-		if !scratch.CanPlace(now, j.Len, j.Procs) {
+		if !sc.canPlace(now, j.Len, j.Procs) {
 			break
 		}
-		if scratch.Commit(now, j.Len, j.Procs) != nil {
+		if sc.commit(now, j.Len, j.Procs) != nil {
 			break
 		}
 		picks = append(picks, p)
@@ -79,17 +131,17 @@ func (EASYPolicy) Dispatch(now core.Time, queue []Queued, tl *profile.Timeline) 
 	}
 	// Shadow hold for the blocked head.
 	head := queue[p].Job
-	shadow, ok := scratch.FindSlot(now, head.Procs, head.Len)
+	shadow, ok := sc.findSlot(now, head.Procs, head.Len)
 	if !ok {
 		return picks
 	}
-	if scratch.Commit(shadow, head.Len, head.Procs) != nil {
+	if sc.commit(shadow, head.Len, head.Procs) != nil {
 		return picks
 	}
 	for q := p + 1; q < len(queue); q++ {
 		j := queue[q].Job
-		if scratch.CanPlace(now, j.Len, j.Procs) {
-			if scratch.Commit(now, j.Len, j.Procs) != nil {
+		if sc.canPlace(now, j.Len, j.Procs) {
+			if sc.commit(now, j.Len, j.Procs) != nil {
 				continue
 			}
 			picks = append(picks, q)

@@ -19,6 +19,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/profile"
 	"repro/internal/workload"
+
+	// Ensure the "tree" capacity backend is registered for RunOn.
+	_ "repro/internal/restree"
 )
 
 // Queued is a job visible to the policy: its arrival-index identity, the
@@ -35,13 +38,16 @@ type Queued struct {
 // Policy selects, at the current instant, which queued jobs start now.
 // Dispatch must return indices into the queue slice (not arrival indices)
 // of jobs that fit at now on tl; the engine validates and commits them.
-// The timeline must be treated as read-only; policies needing scratch
-// space clone it.
+// The capacity index must be returned in the state it was handed over;
+// policies needing scratch state either clone it (CloneIndex) or overlay
+// trial commitments and roll them back (see scratch in policies.go).
+// Policies see only the CapacityIndex seam, so the engine can run them on
+// either the array or the tree backend unchanged.
 type Policy interface {
 	// Name identifies the policy in metrics tables.
 	Name() string
 	// Dispatch picks queue positions to start at now.
-	Dispatch(now core.Time, queue []Queued, tl *profile.Timeline) []int
+	Dispatch(now core.Time, queue []Queued, tl profile.CapacityIndex) []int
 }
 
 // Metrics summarises a simulation run.
@@ -116,9 +122,17 @@ var (
 const bsldTau = 10.0
 
 // Run simulates the policy on the arrival stream over an m-processor
-// machine with the given reservations.
+// machine with the given reservations, on the default (array) capacity
+// backend.
 func Run(m int, res []core.Reservation, arrivals []workload.Arrival, policy Policy) (*Result, error) {
-	tl, err := profile.FromReservations(m, res)
+	return RunOn("", m, res, arrivals, policy)
+}
+
+// RunOn is Run on the named capacity backend ("" = array, "tree" = the
+// restree balanced index). Results are identical across backends; only the
+// asymptotics of the event loop's placement queries change.
+func RunOn(backend string, m int, res []core.Reservation, arrivals []workload.Arrival, policy Policy) (*Result, error) {
+	tl, err := profile.IndexFromReservations(backend, m, res)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
