@@ -1,0 +1,204 @@
+// Command benchgate is the CI bench-regression gate: it parses `go test
+// -bench` output and compares the tree-backend ns/op figures against the
+// numbers recorded in BENCH_restree.json and BENCH_resd.json, failing
+// (exit 1) when any measured figure exceeds its recorded baseline by more
+// than the threshold factor.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'CapacityIndex|ResdThroughput' -benchtime=0.2s . | tee bench.out
+//	benchgate -bench bench.out -restree BENCH_restree.json -resd BENCH_resd.json -threshold 2
+//
+// The threshold is deliberately generous (default 2×): the gate exists to
+// catch algorithmic regressions — an accidental O(n) scan reintroduced on
+// the tree path shows up as 10×+ — not to police machine-to-machine
+// noise. A missing benchmark is also a failure, so the gate cannot pass
+// vacuously when a rename silently empties the -bench filter.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result line, e.g.
+//
+//	BenchmarkCapacityIndex/backend=tree/n=10000-8   175087   6587 ns/op
+//
+// The trailing -N (GOMAXPROCS) is optional: Go omits it when procs is 1.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts name → ns/op from `go test -bench` output. Names
+// keep their sub-benchmark path but drop the -GOMAXPROCS suffix.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		out[m[1]] = ns
+	}
+	return out, sc.Err()
+}
+
+// baseline is one expected benchmark with its recorded figure.
+type baseline struct {
+	name string
+	ns   float64
+}
+
+// restreeBaselines loads the tree-backend rows of BENCH_restree.json as
+// expectations on BenchmarkCapacityIndex sub-benchmarks.
+func restreeBaselines(path string) ([]baseline, error) {
+	var doc struct {
+		Rows []struct {
+			Reservations int     `json:"reservations"`
+			TreeNsPerOp  float64 `json:"tree_ns_per_op"`
+		} `json:"rows"`
+	}
+	if err := readJSON(path, &doc); err != nil {
+		return nil, err
+	}
+	var out []baseline
+	for _, r := range doc.Rows {
+		out = append(out, baseline{
+			name: fmt.Sprintf("BenchmarkCapacityIndex/backend=tree/n=%d", r.Reservations),
+			ns:   r.TreeNsPerOp,
+		})
+	}
+	return out, nil
+}
+
+// resdBaselines loads the tree-backend rows of BENCH_resd.json as
+// expectations on BenchmarkResdThroughput sub-benchmarks.
+func resdBaselines(path string) ([]baseline, error) {
+	var doc struct {
+		Rows []struct {
+			Backend string  `json:"backend"`
+			Shards  int     `json:"shards"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"rows"`
+	}
+	if err := readJSON(path, &doc); err != nil {
+		return nil, err
+	}
+	var out []baseline
+	for _, r := range doc.Rows {
+		if r.Backend != "tree" {
+			continue
+		}
+		out = append(out, baseline{
+			name: fmt.Sprintf("BenchmarkResdThroughput/backend=tree/shards=%d", r.Shards),
+			ns:   r.NsPerOp,
+		})
+	}
+	return out, nil
+}
+
+func readJSON(path string, v any) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		return fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	return nil
+}
+
+// gate compares measured figures against baselines and returns one line
+// per baseline plus the verdict.
+func gate(measured map[string]float64, baselines []baseline, threshold float64) (report []string, ok bool) {
+	ok = true
+	for _, b := range baselines {
+		got, found := measured[b.name]
+		switch {
+		case !found:
+			report = append(report, fmt.Sprintf("MISSING %s (baseline %.0f ns/op, not in bench output)", b.name, b.ns))
+			ok = false
+		case got > b.ns*threshold:
+			report = append(report, fmt.Sprintf("FAIL    %s: %.0f ns/op vs baseline %.0f (%.2f× > %.2f×)",
+				b.name, got, b.ns, got/b.ns, threshold))
+			ok = false
+		default:
+			report = append(report, fmt.Sprintf("ok      %s: %.0f ns/op vs baseline %.0f (%.2f×)",
+				b.name, got, b.ns, got/b.ns))
+		}
+	}
+	return report, ok
+}
+
+func run() error {
+	benchPath := flag.String("bench", "", "go test -bench output file (required; - for stdin)")
+	restree := flag.String("restree", "BENCH_restree.json", "capacity-index baseline ('' to skip)")
+	resd := flag.String("resd", "BENCH_resd.json", "admission-service baseline ('' to skip)")
+	threshold := flag.Float64("threshold", 2.0, "allowed slowdown factor vs baseline")
+	flag.Parse()
+
+	if *benchPath == "" {
+		return fmt.Errorf("benchgate: -bench is required")
+	}
+	if *threshold <= 0 {
+		return fmt.Errorf("benchgate: -threshold must be positive, got %v", *threshold)
+	}
+	var in io.Reader = os.Stdin
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+
+	var baselines []baseline
+	if *restree != "" {
+		bs, err := restreeBaselines(*restree)
+		if err != nil {
+			return err
+		}
+		baselines = append(baselines, bs...)
+	}
+	if *resd != "" {
+		bs, err := resdBaselines(*resd)
+		if err != nil {
+			return err
+		}
+		baselines = append(baselines, bs...)
+	}
+	if len(baselines) == 0 {
+		return fmt.Errorf("benchgate: no baselines loaded")
+	}
+
+	report, ok := gate(measured, baselines, *threshold)
+	fmt.Println(strings.Join(report, "\n"))
+	if !ok {
+		return fmt.Errorf("benchgate: bench regression gate failed (threshold %.2f×)", *threshold)
+	}
+	fmt.Printf("benchgate: %d baselines within %.2f×\n", len(baselines), *threshold)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCapacityIndex/backend=array/n=1000-8         	  265486	      4508 ns/op
+BenchmarkCapacityIndex/backend=tree/n=1000            	  388441	      3080 ns/op
+BenchmarkCapacityIndex/backend=tree/n=10000-8         	  175087	      6587 ns/op
+BenchmarkResdThroughput/backend=tree/shards=8-4       	   39044	      6569 ns/op
+BenchmarkResdThroughput/backend=tree/shards=1         	   10000	     24906.5 ns/op
+PASS
+ok  	repro	5.701s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		ns   float64
+	}{
+		// -GOMAXPROCS suffix stripped:
+		{"BenchmarkCapacityIndex/backend=array/n=1000", 4508},
+		// no suffix (GOMAXPROCS=1):
+		{"BenchmarkCapacityIndex/backend=tree/n=1000", 3080},
+		{"BenchmarkCapacityIndex/backend=tree/n=10000", 6587},
+		{"BenchmarkResdThroughput/backend=tree/shards=8", 6569},
+		// fractional ns/op:
+		{"BenchmarkResdThroughput/backend=tree/shards=1", 24906.5},
+	}
+	if len(got) != len(cases) {
+		t.Fatalf("parsed %d entries, want %d: %v", len(got), len(cases), got)
+	}
+	for _, c := range cases {
+		if got[c.name] != c.ns {
+			t.Errorf("%s = %v, want %v", c.name, got[c.name], c.ns)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	baselines := []baseline{
+		{"BenchmarkCapacityIndex/backend=tree/n=1000", 3000},
+		{"BenchmarkCapacityIndex/backend=tree/n=10000", 6500},
+	}
+	cases := []struct {
+		name      string
+		measured  map[string]float64
+		threshold float64
+		wantOK    bool
+		wantMark  string
+	}{
+		{
+			name: "within threshold",
+			measured: map[string]float64{
+				"BenchmarkCapacityIndex/backend=tree/n=1000":  5900,
+				"BenchmarkCapacityIndex/backend=tree/n=10000": 6400,
+			},
+			threshold: 2, wantOK: true, wantMark: "ok",
+		},
+		{
+			name: "regression fails",
+			measured: map[string]float64{
+				"BenchmarkCapacityIndex/backend=tree/n=1000":  6100,
+				"BenchmarkCapacityIndex/backend=tree/n=10000": 6400,
+			},
+			threshold: 2, wantOK: false, wantMark: "FAIL",
+		},
+		{
+			name: "missing benchmark fails",
+			measured: map[string]float64{
+				"BenchmarkCapacityIndex/backend=tree/n=1000": 3000,
+			},
+			threshold: 2, wantOK: false, wantMark: "MISSING",
+		},
+		{
+			name: "tight threshold",
+			measured: map[string]float64{
+				"BenchmarkCapacityIndex/backend=tree/n=1000":  3200,
+				"BenchmarkCapacityIndex/backend=tree/n=10000": 6500,
+			},
+			threshold: 1.05, wantOK: false, wantMark: "FAIL",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			report, ok := gate(c.measured, baselines, c.threshold)
+			if ok != c.wantOK {
+				t.Fatalf("ok = %v, want %v\n%s", ok, c.wantOK, strings.Join(report, "\n"))
+			}
+			if len(report) != len(baselines) {
+				t.Fatalf("report has %d lines, want %d", len(report), len(baselines))
+			}
+			joined := strings.Join(report, "\n")
+			if !strings.Contains(joined, c.wantMark) {
+				t.Fatalf("report lacks %q:\n%s", c.wantMark, joined)
+			}
+		})
+	}
+}
+
+func TestBaselineLoaders(t *testing.T) {
+	// Loaded from the real recorded files at the repository root, so a
+	// schema drift in either JSON breaks this test before it breaks CI.
+	rs, err := restreeBaselines("../../BENCH_restree.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 || !strings.Contains(rs[0].name, "backend=tree/n=1000") || rs[0].ns <= 0 {
+		t.Fatalf("restree baselines: %+v", rs)
+	}
+	rd, err := resdBaselines("../../BENCH_resd.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rd) != 4 || !strings.Contains(rd[3].name, "backend=tree/shards=8") || rd[3].ns <= 0 {
+		t.Fatalf("resd baselines: %+v", rd)
+	}
+	for _, b := range rd {
+		if strings.Contains(b.name, "backend=array") {
+			t.Fatalf("array rows must be skipped: %+v", b)
+		}
+	}
+}

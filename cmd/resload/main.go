@@ -1,0 +1,270 @@
+// Command resload is the load generator for the internal/resd
+// reservation-admission service: it replays a synthetic or SWF-derived
+// request stream against an in-process sharded service at a target rate
+// and reports admission throughput and latency percentiles — the
+// operational view of the paper's admission rule under heavy concurrent
+// traffic.
+//
+// Usage:
+//
+//	resload -shards 4 -m 64 -n 20000 -placement p2c -backend tree
+//	resload -swf trace.swf -shards 8 -alpha 0.5 -rate 50000
+//	resload -shards 1 -clients 16 -cancelfrac 0.8       # churn-heavy
+//
+// Each request asks for the earliest admissible slot at or after its
+// arrival time; -cancelfrac controls how much of the admitted load is
+// cancelled again by the clients, which keeps the shard indexes at a
+// steady state instead of growing without bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cliflag"
+	"repro/internal/core"
+	"repro/internal/resd"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func run() error {
+	shards := flag.Int("shards", 4, "cluster partitions")
+	m := flag.Int("m", 64, "processors per partition")
+	n := flag.Int("n", 10000, "number of reservation requests")
+	nres := flag.Int("nres", 0, "pre-existing reservations per shard (maintenance windows)")
+	alpha := flag.Float64("alpha", 0.5, "α admission rule: ⌊α·m⌋ processors stay free per shard")
+	backend := flag.String("backend", "array", "capacity index backend (array or tree)")
+	placement := flag.String("placement", "least-loaded", "shard routing policy (first-fit, least-loaded, p2c)")
+	clients := flag.Int("clients", 8, "concurrent client goroutines")
+	rate := flag.Float64("rate", 0, "target request rate per second (0 = unthrottled)")
+	cancelfrac := flag.Float64("cancelfrac", 0.5, "fraction of admissions the clients cancel again")
+	batch := flag.Int("batch", 64, "max requests group-committed per event-loop turn")
+	seed := flag.Uint64("seed", 1, "workload generator seed")
+	swf := flag.String("swf", "", "SWF trace file (overrides synthetic generation)")
+	flag.Parse()
+
+	if err := cliflag.First(
+		cliflag.Positive("shards", *shards),
+		cliflag.Positive("m", *m),
+		cliflag.Positive("n", *n),
+		cliflag.NonNegative("nres", *nres),
+		cliflag.Unit("alpha", *alpha),
+		cliflag.Positive("clients", *clients),
+		cliflag.NonNegativeF("rate", *rate),
+		cliflag.Unit("cancelfrac", *cancelfrac),
+		cliflag.Positive("batch", *batch),
+	); err != nil {
+		return err
+	}
+	if *nres > 0 {
+		if err := cliflag.PositiveUnit("alpha", *alpha); err != nil {
+			return fmt.Errorf("%w (α must be positive when -nres > 0)", err)
+		}
+	}
+
+	reqs, err := requestStream(*swf, *m, *n, *alpha, *seed)
+	if err != nil {
+		return err
+	}
+
+	var pre []core.Reservation
+	if *nres > 0 {
+		pre = workload.ReservationStream(rng.New(*seed^0xBEEF), *m, *alpha, *nres, horizonOf(reqs))
+	}
+	svc, err := resd.New(resd.Config{
+		Shards: *shards, M: *m, Alpha: *alpha, Backend: *backend,
+		Placement: *placement, Batch: *batch, Seed: *seed, Pre: pre,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	fmt.Printf("resload: %d requests, %d shards × m=%d (α=%.2f, floor %d), backend %s, placement %s, %d clients\n",
+		len(reqs), *shards, *m, *alpha, svc.Floor(), *backend, *placement, *clients)
+
+	lat, elapsed, rejected := replay(svc, reqs, *clients, *rate, *cancelfrac, *seed)
+
+	sort.Float64s(lat)
+	admitted := len(lat)
+	fmt.Printf("\n%d admitted, %d rejected in %v (%.0f req/s achieved",
+		admitted, rejected, elapsed.Round(time.Millisecond), float64(len(reqs))/elapsed.Seconds())
+	if *rate > 0 {
+		fmt.Printf(", target %.0f", *rate)
+	}
+	fmt.Println(")")
+
+	if admitted > 0 {
+		tbl := stats.NewTable("metric", "latency")
+		for _, p := range []struct {
+			label string
+			p     float64
+		}{{"p50", 50}, {"p90", 90}, {"p99", 99}} {
+			tbl.AddRow(p.label, time.Duration(stats.Percentile(lat, p.p)).Round(time.Microsecond).String())
+		}
+		tbl.AddRow("max", time.Duration(stats.MaxFloat(lat)).Round(time.Microsecond).String())
+		fmt.Print(tbl.String())
+	}
+
+	shtbl := stats.NewTable("shard", "active", "area", "admitted", "cancelled", "batches", "ops/batch")
+	for i, st := range svc.Stats() {
+		opb := 0.0
+		if st.Batches > 0 {
+			opb = float64(st.Ops) / float64(st.Batches)
+		}
+		shtbl.AddRow(i, st.Active, st.CommittedArea, int64(st.Admitted), int64(st.Cancelled),
+			int64(st.Batches), fmt.Sprintf("%.2f", opb))
+	}
+	fmt.Print(shtbl.String())
+	return nil
+}
+
+// request is one generated admission request.
+type request struct {
+	ready core.Time
+	q     int
+	dur   core.Time
+}
+
+// requestStream derives the request stream: each workload arrival becomes
+// "earliest admissible slot of q processors for dur ticks at or after the
+// arrival instant".
+func requestStream(swf string, m, n int, alpha float64, seed uint64) ([]request, error) {
+	var arrivals []workload.Arrival
+	if swf != "" {
+		f, err := os.Open(swf)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, err := workload.ParseSWF(f)
+		if err != nil {
+			return nil, err
+		}
+		if tr.MaxProcs > 0 && tr.MaxProcs < m {
+			m = tr.MaxProcs
+		}
+		arrivals, err = tr.Arrivals(m)
+		if err != nil {
+			return nil, err
+		}
+		if len(arrivals) > n {
+			arrivals = arrivals[:n]
+		}
+	} else {
+		var err error
+		arrivals, err = workload.Synthetic(rng.New(seed), workload.SynthConfig{
+			M: m, N: n, MaxWidthFrac: maxWidth(alpha),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	reqs := make([]request, 0, len(arrivals))
+	for _, a := range arrivals {
+		q := a.Job.Procs
+		if q > m {
+			q = m
+		}
+		reqs = append(reqs, request{ready: a.At, q: q, dur: a.Job.Len})
+	}
+	return reqs, nil
+}
+
+// maxWidth caps generated widths so requests stay admissible under the α
+// floor (width + ⌊α·m⌋ <= m).
+func maxWidth(alpha float64) float64 {
+	w := 1 - alpha
+	if w <= 0 {
+		w = 0.01
+	}
+	return w
+}
+
+func horizonOf(reqs []request) core.Time {
+	h := core.Time(1)
+	for _, r := range reqs {
+		if end := r.ready + r.dur; end > h {
+			h = end
+		}
+	}
+	return h
+}
+
+// replay pushes the request stream through the service from the given
+// number of client goroutines, pacing the aggregate at rate requests per
+// second when positive, and returns per-admission latencies (ns, as
+// float64 for the stats helpers), the wall time, and the rejected count.
+func replay(svc *resd.Service, reqs []request, clients int, rate, cancelfrac float64, seed uint64) ([]float64, time.Duration, int) {
+	work := make(chan request, 4*clients)
+	lats := make([][]float64, clients)
+	rejects := make([]int, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rng.NewStream(seed, uint64(c))
+			var held []resd.Reservation
+			for req := range work {
+				t0 := time.Now()
+				resv, err := svc.Reserve(req.ready, req.q, req.dur)
+				lat := time.Since(t0)
+				if err != nil {
+					rejects[c]++
+					continue
+				}
+				lats[c] = append(lats[c], float64(lat))
+				held = append(held, resv)
+				if r.Bool(cancelfrac) {
+					k := r.Intn(len(held))
+					if err := svc.Cancel(held[k].ID); err == nil {
+						held[k] = held[len(held)-1]
+						held = held[:len(held)-1]
+					}
+				}
+			}
+		}(c)
+	}
+
+	start := time.Now()
+	if rate > 0 {
+		interval := time.Duration(float64(time.Second) / rate)
+		next := start
+		for _, req := range reqs {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			work <- req
+			next = next.Add(interval)
+		}
+	} else {
+		for _, req := range reqs {
+			work <- req
+		}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []float64
+	rejected := 0
+	for c := 0; c < clients; c++ {
+		all = append(all, lats[c]...)
+		rejected += rejects[c]
+	}
+	return all, elapsed, rejected
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "resload:", err)
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflag"
 	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -34,6 +35,23 @@ func run() error {
 	meanIat := flag.Float64("iat", 0, "mean inter-arrival time (0 = auto)")
 	backend := flag.String("backend", "array", "capacity index backend (array or tree)")
 	flag.Parse()
+
+	// Fail malformed flags here with a named message; downstream the same
+	// values would panic (ReservationStream) or quietly generate garbage.
+	if err := cliflag.First(
+		cliflag.Positive("m", *m),
+		cliflag.Positive("n", *n),
+		cliflag.NonNegative("nres", *nres),
+		cliflag.Unit("alpha", *alpha),
+		cliflag.NonNegativeF("iat", *meanIat),
+	); err != nil {
+		return err
+	}
+	if *nres > 0 {
+		if err := cliflag.PositiveUnit("alpha", *alpha); err != nil {
+			return fmt.Errorf("%w (α must be positive when -nres > 0)", err)
+		}
+	}
 
 	var arrivals []workload.Arrival
 	machine := *m

@@ -21,6 +21,22 @@
 // the root-level BenchmarkCapacityIndex (results in BENCH_restree.json —
 // the tree is ~46× faster at 10^5 reservations).
 //
+// On top of that seam sits internal/resd, the concurrent
+// reservation-admission service: S shards, each one cluster partition
+// owning its own CapacityIndex behind a single-writer event loop
+// (shard-local admission takes no locks), requests group-committed in
+// batches per loop turn, and Reserve traffic routed across shards by
+// pluggable placement policies (first-fit, least-loaded,
+// power-of-two-choices on free area) with the paper's α-admission rule
+// enforced per shard. profile.Synchronized wraps an index for safe
+// cross-goroutine reads (service snapshots), cmd/resload replays
+// synthetic or SWF-derived request streams at a target rate and reports
+// throughput and latency percentiles, and BenchmarkResdThroughput
+// records the shard-scaling curve in BENCH_resd.json (≥3.5× admission
+// throughput at 8 shards vs 1 on the tree backend, single-core). See
+// examples/service for a walkthrough and the internal/resd package
+// comment for the shard and placement model.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The root-level benchmarks (bench_test.go) regenerate one figure each:

@@ -1,0 +1,59 @@
+// Package resd is the reservation-admission service: the paper's offline
+// model turned into a concurrent subsystem that admits a live stream of
+// advance-reservation requests against a sharded cluster.
+//
+// # Shard model
+//
+// A Service owns S shards, each modelling one cluster partition of M
+// processors. A shard's entire mutable state — its profile.CapacityIndex
+// (array or tree backend), the table of admitted reservations, load
+// counters — is confined to a single event-loop goroutine, so shard-local
+// admission takes no locks: correctness comes from confinement, not
+// mutual exclusion. Requests (Reserve, Cancel, Query, Snapshot) arrive on
+// the shard's channel and are group-committed in batches: each event-loop
+// turn drains up to Config.Batch pending requests, applies them all
+// against the index, publishes the shard's load summary once, and only
+// then releases the replies. Batching amortises the cross-goroutine
+// synchronisation over many admissions, which is what lets throughput
+// track the index cost rather than the channel cost under heavy traffic.
+//
+// # Placement
+//
+// Reserve requests are routed across shards by a pluggable placement
+// policy, selected by Config.Placement (the names Placements lists):
+//
+//   - "first-fit" — scan shards in index order and admit on the first that
+//     accepts. Simple, deterministic, and deliberately naive: it piles
+//     load onto low-index shards.
+//   - "least-loaded" — route to the shard with the smallest committed
+//     area (the exact global minimum at the instant of routing).
+//   - "p2c" — power-of-two-choices on free area: sample two distinct
+//     shards and route to the one with more uncommitted area. The classic
+//     load-balancing result applies: two random choices remove almost all
+//     of the imbalance of one while touching O(1) shards per request.
+//
+// Policies read only the atomically published per-shard load summaries, so
+// routing itself is lock-free; the routed shard re-validates inside its
+// event loop, which makes stale routing information harmless (a shard
+// never over-admits, a request at worst lands on a busier shard).
+//
+// # Admission rule
+//
+// Each shard enforces the paper's α-restriction (§4.2): a reservation is
+// admitted only if, over its whole window, the capacity remaining after
+// the admission stays at least ⌊α·M⌋ — the same floor
+// workload.ReservationStream uses when drawing α-restricted streams. The
+// earliest admissible start is found with a single FindSlot for
+// q + ⌊α·M⌋ processors, so the α head-room falls out of the ordinary
+// earliest-fit machinery.
+//
+// The package is exercised three ways: a determinism test replays a
+// request stream serially through one shard and checks the placements are
+// bit-for-bit the schedules sched.FCFS computes offline; a stress test
+// hammers a service from many goroutines under -race and asserts
+// conservation of committed capacity; and FuzzResdAdmission drives random
+// op streams against a sequential oracle. cmd/resload replays synthetic
+// or SWF-derived streams at a target rate and reports throughput and
+// latency percentiles; BenchmarkResdThroughput (repository root) records
+// the shard-scaling curve in BENCH_resd.json.
+package resd

@@ -1,0 +1,117 @@
+package resd
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// placement orders the shards a Reserve request should try. The returned
+// order is a preference list: the service walks it until a shard admits.
+// Implementations read only the shards' atomic load summaries, never the
+// event-loop state, so routing is lock-free and may be (harmlessly) stale:
+// the routed shard re-validates inside its loop.
+type placement interface {
+	name() string
+	order(shards []*shard, q int, dur core.Time) []int
+}
+
+// Placements lists the routing policies PlacementByName accepts.
+func Placements() []string { return []string{"first-fit", "least-loaded", "p2c"} }
+
+// placementByName builds the named policy. seed feeds p2c's sampling.
+func placementByName(name string, seed uint64) (placement, error) {
+	switch name {
+	case "first-fit":
+		return firstFit{}, nil
+	case "least-loaded":
+		return leastLoaded{}, nil
+	case "p2c":
+		return &powerOfTwo{state: seed}, nil
+	default:
+		return nil, fmt.Errorf("resd: unknown placement %q (available: %v)", name, Placements())
+	}
+}
+
+// firstFit scans shards in index order: deterministic and deliberately
+// naive — all load lands on the lowest-index shard that admits, which for
+// earliest-fit admission is almost always shard 0. It is the baseline the
+// balancing policies are measured against.
+type firstFit struct{}
+
+func (firstFit) name() string { return "first-fit" }
+
+func (firstFit) order(shards []*shard, q int, dur core.Time) []int {
+	out := make([]int, len(shards))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// leastLoaded routes to the shard with the smallest committed area,
+// breaking ties by index; the rest follow in load order as fallbacks.
+type leastLoaded struct{}
+
+func (leastLoaded) name() string { return "least-loaded" }
+
+func (leastLoaded) order(shards []*shard, q int, dur core.Time) []int {
+	out := make([]int, len(shards))
+	loads := make([]int64, len(shards))
+	for i, sh := range shards {
+		out[i] = i
+		loads[i] = sh.committedArea.Load()
+	}
+	sort.SliceStable(out, func(a, b int) bool { return loads[out[a]] < loads[out[b]] })
+	return out
+}
+
+// powerOfTwo is power-of-two-choices on free area: sample two distinct
+// shards, prefer the one with the smaller committed area (= larger free
+// area over any common horizon). O(1) loads read per request, and by the
+// classic balls-into-bins result the max load stays within
+// O(log log S) of the mean — almost all the benefit of least-loaded
+// without scanning every shard.
+type powerOfTwo struct {
+	state uint64 // splitmix64 state advanced atomically per request
+}
+
+func (*powerOfTwo) name() string { return "p2c" }
+
+// next advances the shared state and returns a splitmix64 output. Atomic
+// add keeps the sampler lock-free under concurrent Reserves; the exact
+// sequence interleaving is irrelevant, only uniformity matters.
+func (p *powerOfTwo) next() uint64 {
+	z := atomic.AddUint64(&p.state, 0x9E3779B97F4A7C15)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (p *powerOfTwo) order(shards []*shard, q int, dur core.Time) []int {
+	n := len(shards)
+	if n == 1 {
+		return []int{0}
+	}
+	r := p.next()
+	a := int(r % uint64(n))
+	b := int((r >> 32) % uint64(n-1))
+	if b >= a {
+		b++
+	}
+	if shards[b].committedArea.Load() < shards[a].committedArea.Load() {
+		a, b = b, a
+	}
+	out := make([]int, 0, n)
+	out = append(out, a, b)
+	for i := 0; i < n; i++ {
+		if i != a && i != b {
+			out = append(out, i)
+		}
+	}
+	return out
+}

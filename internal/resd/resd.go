@@ -1,0 +1,275 @@
+package resd
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+
+	// Ensure the "tree" capacity backend is registered so services can be
+	// configured with Backend: "tree".
+	_ "repro/internal/restree"
+)
+
+// Errors returned by the service.
+var (
+	// ErrClosed reports an operation on a closed service.
+	ErrClosed = errors.New("resd: service closed")
+	// ErrNeverFits reports that no shard can ever admit the request: the
+	// width plus the α head-room exceeds the partition size.
+	ErrNeverFits = errors.New("resd: request can never be admitted")
+	// ErrUnknownID reports a Cancel for a reservation that is not active
+	// (never admitted, or already cancelled).
+	ErrUnknownID = errors.New("resd: unknown reservation id")
+	// ErrBadRequest reports malformed request parameters.
+	ErrBadRequest = errors.New("resd: bad request")
+)
+
+// ID identifies an admitted reservation service-wide. The owning shard is
+// encoded in the top bits so Cancel routes without a global table.
+type ID uint64
+
+const shardBits = 16
+
+// Shard returns the index of the shard that admitted the reservation.
+func (id ID) Shard() int { return int(id >> (64 - shardBits)) }
+
+func makeID(shard int, seq uint64) ID {
+	return ID(uint64(shard)<<(64-shardBits) | (seq & (1<<(64-shardBits) - 1)))
+}
+
+// Reservation is an admitted reservation: the handle the service returns
+// from Reserve and accepts in Cancel.
+type Reservation struct {
+	// ID is the service-wide identity (encodes the shard).
+	ID ID
+	// Shard is the cluster partition holding the reservation.
+	Shard int
+	// Start is the admitted start time (earliest admissible >= the
+	// request's ready time).
+	Start core.Time
+	// Dur is the reservation length.
+	Dur core.Time
+	// Procs is the reservation width.
+	Procs int
+}
+
+// End returns Start+Dur.
+func (r Reservation) End() core.Time { return r.Start + r.Dur }
+
+// Config parameterises a Service.
+type Config struct {
+	// Shards is the number of cluster partitions (default 1).
+	Shards int
+	// M is the processor count of each partition (required, >= 1).
+	M int
+	// Alpha is the admission rule: every shard keeps at least ⌊Alpha·M⌋
+	// processors free of reservations at all times (0 disables the rule,
+	// 1 rejects everything — the paper's α ∈ (0,1]). Must lie in [0,1].
+	Alpha float64
+	// Backend selects the capacity-index implementation per shard
+	// ("" = array; "tree" = the restree balanced index).
+	Backend string
+	// Batch caps how many requests one event-loop turn group-commits
+	// (default 64).
+	Batch int
+	// Placement routes Reserve requests across shards: "first-fit",
+	// "least-loaded" or "p2c" (default "least-loaded").
+	Placement string
+	// Seed feeds the "p2c" policy's shard sampling (default 1).
+	Seed uint64
+	// Pre is a set of pre-existing reservations (maintenance windows,
+	// prior commitments) committed to every shard before the service
+	// starts, exempt from the α rule. An oversubscribing Pre fails New.
+	Pre []core.Reservation
+}
+
+// normalize fills defaults and validates.
+func (c Config) normalize() (Config, error) {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 1 || c.Shards > 1<<shardBits {
+		return c, fmt.Errorf("%w: Shards=%d outside [1,%d]", ErrBadRequest, c.Shards, 1<<shardBits)
+	}
+	if c.M < 1 {
+		return c, fmt.Errorf("%w: M=%d, need >= 1", ErrBadRequest, c.M)
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return c, fmt.Errorf("%w: Alpha=%v outside [0,1]", ErrBadRequest, c.Alpha)
+	}
+	if c.Batch == 0 {
+		c.Batch = 64
+	}
+	if c.Batch < 1 {
+		return c, fmt.Errorf("%w: Batch=%d, need >= 1", ErrBadRequest, c.Batch)
+	}
+	if c.Placement == "" {
+		c.Placement = "least-loaded"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c, nil
+}
+
+// Service is the sharded reservation-admission service. All methods are
+// safe for concurrent use; Close must be called exactly once, after which
+// every method returns ErrClosed.
+type Service struct {
+	cfg    Config
+	floor  int // ⌊α·M⌋ processors every shard keeps free of reservations
+	shards []*shard
+	place  placement
+	quit   chan struct{}
+}
+
+// New builds the shards (each pre-loaded with cfg.Pre), starts their event
+// loops, and returns the running service.
+func New(cfg Config) (*Service, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:   cfg,
+		floor: int(cfg.Alpha * float64(cfg.M)),
+		quit:  make(chan struct{}),
+	}
+	s.place, err = placementByName(cfg.Placement, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := newShard(i, cfg, s.floor, s.quit)
+		if err != nil {
+			close(s.quit)
+			for _, prev := range s.shards {
+				prev.wait()
+			}
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+// Shards returns the number of partitions.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// M returns the per-partition processor count.
+func (s *Service) M() int { return s.cfg.M }
+
+// Floor returns the α-rule capacity floor ⌊α·M⌋ enforced on every shard.
+func (s *Service) Floor() int { return s.floor }
+
+// Placement returns the routing policy's name.
+func (s *Service) Placement() string { return s.place.name() }
+
+// Reserve admits a reservation of q processors for dur ticks at the
+// earliest admissible start >= ready on a shard chosen by the placement
+// policy. It blocks until the routed shard's event loop has committed the
+// batch containing the request.
+func (s *Service) Reserve(ready core.Time, q int, dur core.Time) (Reservation, error) {
+	if ready < 0 || q < 1 || dur < 1 {
+		return Reservation{}, fmt.Errorf("%w: Reserve(ready=%v, q=%d, dur=%v)", ErrBadRequest, ready, q, dur)
+	}
+	if q+s.floor > s.cfg.M {
+		return Reservation{}, fmt.Errorf("%w: q=%d with α-floor %d exceeds m=%d", ErrNeverFits, q, s.floor, s.cfg.M)
+	}
+	var firstErr error
+	for _, si := range s.place.order(s.shards, q, dur) {
+		resp, err := s.shards[si].do(request{kind: opReserve, ready: ready, q: q, dur: dur})
+		if err == nil {
+			return resp.resv, nil
+		}
+		if !errors.Is(err, ErrNeverFits) {
+			return Reservation{}, err
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return Reservation{}, firstErr
+}
+
+// Cancel releases an admitted reservation, returning its capacity to the
+// owning shard. Cancelling an unknown or already-cancelled ID returns
+// ErrUnknownID.
+func (s *Service) Cancel(id ID) error {
+	si := id.Shard()
+	if si >= len(s.shards) {
+		return fmt.Errorf("%w: %#x names shard %d of %d", ErrUnknownID, uint64(id), si, len(s.shards))
+	}
+	_, err := s.shards[si].do(request{kind: opCancel, id: id})
+	return err
+}
+
+// Query returns the capacity available at time t on every shard (index i
+// is shard i). The per-shard answers are each exact at the instant their
+// shard's event loop served them; across shards the slice is a loose
+// snapshot, as any cross-partition view under concurrent traffic must be.
+func (s *Service) Query(t core.Time) ([]int, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("%w: Query(%v)", ErrBadRequest, t)
+	}
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		resp, err := sh.do(request{kind: opQuery, ready: t})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = resp.free
+	}
+	return out, nil
+}
+
+// Snapshot returns an independent copy of one shard's capacity index,
+// wrapped in profile.Synchronized so the caller may share it across
+// goroutines. The copy is consistent (taken inside the event loop, between
+// batches) and immediately stale, like any snapshot of a live system.
+func (s *Service) Snapshot(shard int) (*profile.Synchronized, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil, fmt.Errorf("%w: shard %d of %d", ErrBadRequest, shard, len(s.shards))
+	}
+	resp, err := s.shards[shard].do(request{kind: opSnapshot})
+	if err != nil {
+		return nil, err
+	}
+	return profile.NewSynchronized(resp.snap), nil
+}
+
+// ShardStats is one shard's load summary.
+type ShardStats struct {
+	// Active is the number of currently admitted reservations.
+	Active int
+	// CommittedArea is the processor-tick area held by active
+	// reservations (excluding Pre).
+	CommittedArea int64
+	// Admitted, Cancelled and Rejected count operations since start.
+	Admitted, Cancelled, Rejected uint64
+	// Batches and Ops count event-loop turns and requests served; Ops /
+	// Batches is the realised group-commit factor.
+	Batches, Ops uint64
+}
+
+// Stats returns per-shard load summaries from the atomically published
+// counters (no event-loop round trip; the numbers may trail in-flight
+// batches by one turn).
+func (s *Service) Stats() []ShardStats {
+	out := make([]ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.stats()
+	}
+	return out
+}
+
+// Close stops every shard's event loop and waits for them to exit.
+// In-flight and subsequent requests fail with ErrClosed.
+func (s *Service) Close() {
+	close(s.quit)
+	for _, sh := range s.shards {
+		sh.wait()
+	}
+}

@@ -1,0 +1,261 @@
+package resd
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// mustNew builds a service and registers its shutdown with the test.
+func mustNew(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{M: 0},
+		{M: -3},
+		{M: 8, Alpha: -0.1},
+		{M: 8, Alpha: 1.5},
+		{M: 8, Shards: -1},
+		{M: 8, Batch: -2},
+		{M: 8, Placement: "no-such-policy"},
+		{M: 8, Pre: []core.Reservation{{ID: 0, Procs: 9, Start: 0, Len: 5}}}, // oversubscribed
+	}
+	for _, cfg := range bad {
+		if s, err := New(cfg); err == nil {
+			s.Close()
+			t.Errorf("New(%+v) succeeded, want error", cfg)
+		}
+	}
+	s := mustNew(t, Config{M: 8})
+	if s.Shards() != 1 || s.M() != 8 || s.Floor() != 0 || s.Placement() != "least-loaded" {
+		t.Errorf("defaults wrong: shards=%d m=%d floor=%d placement=%q",
+			s.Shards(), s.M(), s.Floor(), s.Placement())
+	}
+}
+
+func TestReserveEnforcesAlphaRule(t *testing.T) {
+	// m=8, α=1/2: every shard must keep 4 processors free of reservations.
+	s := mustNew(t, Config{M: 8, Alpha: 0.5})
+	if s.Floor() != 4 {
+		t.Fatalf("floor = %d, want 4", s.Floor())
+	}
+	if _, err := s.Reserve(0, 5, 10); !errors.Is(err, ErrNeverFits) {
+		t.Fatalf("q=5 admitted past the α-floor: %v", err)
+	}
+	r1, err := s.Reserve(0, 4, 10)
+	if err != nil || r1.Start != 0 {
+		t.Fatalf("first q=4: %+v, %v", r1, err)
+	}
+	// A second q=4 in the same window would leave 0 free; the α rule
+	// forces it to start after the first ends.
+	r2, err := s.Reserve(0, 4, 10)
+	if err != nil || r2.Start != 10 {
+		t.Fatalf("second q=4: start=%v err=%v, want start=10", r2.Start, err)
+	}
+	// Narrow reservations still fit alongside r1 (4 committed + 1 <= 4 free
+	// is violated, so even q=1 must wait: 8-4-4=0 head-room remains).
+	r3, err := s.Reserve(0, 1, 5)
+	if err != nil || r3.Start != 20 {
+		t.Fatalf("q=1: start=%v err=%v, want start=20 (after both q=4 holds)", r3.Start, err)
+	}
+}
+
+func TestReserveBadArgs(t *testing.T) {
+	s := mustNew(t, Config{M: 8})
+	for _, c := range []struct {
+		ready core.Time
+		q     int
+		dur   core.Time
+	}{{-1, 1, 1}, {0, 0, 1}, {0, -2, 1}, {0, 1, 0}, {0, 1, -5}} {
+		if _, err := s.Reserve(c.ready, c.q, c.dur); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("Reserve(%v,%d,%v) err = %v, want ErrBadRequest", c.ready, c.q, c.dur, err)
+		}
+	}
+}
+
+func TestCancelReturnsCapacity(t *testing.T) {
+	s := mustNew(t, Config{M: 4})
+	r, err := s.Reserve(5, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := s.Query(7)
+	if err != nil || free[0] != 0 {
+		t.Fatalf("Query(7) = %v, %v; want [0]", free, err)
+	}
+	if err := s.Cancel(r.ID); err != nil {
+		t.Fatal(err)
+	}
+	free, err = s.Query(7)
+	if err != nil || free[0] != 4 {
+		t.Fatalf("Query(7) after cancel = %v, %v; want [4]", free, err)
+	}
+	if err := s.Cancel(r.ID); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("double cancel err = %v, want ErrUnknownID", err)
+	}
+	if err := s.Cancel(makeID(3, 0)); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("cancel on missing shard err = %v, want ErrUnknownID", err)
+	}
+}
+
+func TestPreReservationsAreExemptFromAlpha(t *testing.T) {
+	// Pre holds 6 of 8 on [0,10) — more than α=0.5 would admit — and new
+	// requests must work around it.
+	s := mustNew(t, Config{M: 8, Alpha: 0.5, Pre: []core.Reservation{
+		{ID: 0, Procs: 6, Start: 0, Len: 10},
+	}})
+	r, err := s.Reserve(0, 4, 5)
+	if err != nil || r.Start != 10 {
+		t.Fatalf("Reserve around Pre: start=%v err=%v, want 10", r.Start, err)
+	}
+}
+
+func TestFirstFitPilesOnShardZero(t *testing.T) {
+	s := mustNew(t, Config{M: 8, Shards: 4, Placement: "first-fit"})
+	for i := 0; i < 12; i++ {
+		r, err := s.Reserve(0, 2, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Shard != 0 {
+			t.Fatalf("first-fit routed to shard %d", r.Shard)
+		}
+	}
+	st := s.Stats()
+	if st[0].Active != 12 || st[1].Active != 0 {
+		t.Fatalf("load landed off shard 0: %+v", st)
+	}
+}
+
+func TestLeastLoadedSpreadsEvenly(t *testing.T) {
+	s := mustNew(t, Config{M: 8, Shards: 4, Placement: "least-loaded"})
+	for i := 0; i < 16; i++ {
+		if _, err := s.Reserve(0, 2, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, st := range s.Stats() {
+		if st.Active != 4 {
+			t.Fatalf("shard %d holds %d of 16 equal reservations, want 4 (stats %+v)",
+				i, st.Active, s.Stats())
+		}
+	}
+}
+
+func TestPowerOfTwoSpreads(t *testing.T) {
+	s := mustNew(t, Config{M: 8, Shards: 4, Placement: "p2c", Seed: 42})
+	for i := 0; i < 64; i++ {
+		if _, err := s.Reserve(0, 2, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	max := 0
+	touched := 0
+	for _, st := range s.Stats() {
+		if st.Active > max {
+			max = st.Active
+		}
+		if st.Active > 0 {
+			touched++
+		}
+	}
+	if touched < 3 {
+		t.Fatalf("p2c touched only %d of 4 shards: %+v", touched, s.Stats())
+	}
+	// Two-choice balancing: no shard should hold the majority.
+	if max > 32 {
+		t.Fatalf("p2c max load %d of 64: %+v", max, s.Stats())
+	}
+}
+
+func TestCloseRejectsFurtherRequests(t *testing.T) {
+	s, err := New(Config{M: 8, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reserve(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Reserve(0, 1, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Reserve after Close err = %v, want ErrClosed", err)
+	}
+	if err := s.Cancel(makeID(0, 0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Cancel after Close err = %v, want ErrClosed", err)
+	}
+	if _, err := s.Query(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Query after Close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestSnapshotIsIndependent(t *testing.T) {
+	s := mustNew(t, Config{M: 8})
+	if _, err := s.Reserve(0, 3, 10); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.AvailableAt(5); got != 5 {
+		t.Fatalf("snapshot avail(5) = %d, want 5", got)
+	}
+	// Mutating the live shard must not show through the snapshot.
+	if _, err := s.Reserve(0, 5, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.AvailableAt(5); got != 5 {
+		t.Fatalf("snapshot changed under live traffic: avail(5) = %d", got)
+	}
+	if _, err := s.Snapshot(7); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("Snapshot(7) err = %v, want ErrBadRequest", err)
+	}
+}
+
+// TestSerialReplayMatchesFCFS is the determinism bridge back to the
+// paper's offline world: a single-shard service, α=0, replaying a job
+// stream serially with each ready time chained to the previous start must
+// place every job exactly where sched.FCFS places it offline — on either
+// capacity backend.
+func TestSerialReplayMatchesFCFS(t *testing.T) {
+	r := rng.New(20260729)
+	inst, err := workload.SyntheticInstance(r.Split(), workload.SynthConfig{
+		M: 32, N: 200, MinRun: 5, MaxRun: 500, MaxWidthFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Res = workload.ReservationStream(r.Split(), 32, 0.5, 12, 20000)
+	for _, backend := range []string{"array", "tree"} {
+		t.Run(backend, func(t *testing.T) {
+			want, err := sched.FCFS{Backend: backend}.Schedule(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := mustNew(t, Config{M: inst.M, Backend: backend, Pre: inst.Res})
+			ready := core.Time(0)
+			for idx, j := range inst.Jobs {
+				resv, err := s.Reserve(ready, j.Procs, j.Len)
+				if err != nil {
+					t.Fatalf("job %d: %v", idx, err)
+				}
+				if resv.Start != want.Start[idx] {
+					t.Fatalf("job %d placed at %v, FCFS places it at %v", idx, resv.Start, want.Start[idx])
+				}
+				ready = resv.Start
+			}
+		})
+	}
+}

@@ -1,0 +1,253 @@
+package resd
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// opKind discriminates shard requests.
+type opKind uint8
+
+const (
+	opReserve opKind = iota
+	opCancel
+	opQuery
+	opSnapshot
+)
+
+// request is one operation submitted to a shard's event loop.
+type request struct {
+	kind  opKind
+	ready core.Time // Reserve: earliest start; Query: probe instant
+	q     int       // Reserve width
+	dur   core.Time // Reserve length
+	id    ID        // Cancel target
+	reply chan response
+}
+
+// response carries the result back to the caller. Exactly one of the
+// fields is meaningful per kind; err reports failure.
+type response struct {
+	resv Reservation
+	free int
+	snap profile.CapacityIndex
+	err  error
+}
+
+// active is a shard-local record of an admitted reservation.
+type active struct {
+	start, dur core.Time
+	q          int
+}
+
+// shard is one cluster partition: a capacity index plus the admission
+// bookkeeping, owned exclusively by the loop goroutine. The only state
+// other goroutines touch is the request channel and the atomic counters.
+type shard struct {
+	id    int
+	m     int
+	floor int // α-rule head-room every admission must leave free
+	batch int
+
+	idx     profile.CapacityIndex
+	live    map[ID]active
+	nextSeq uint64
+	area    int64 // running processor-tick area of live reservations
+
+	reqs chan request
+	quit <-chan struct{}
+	done chan struct{}
+
+	// Load summary published once per batch (group commit): placement
+	// policies and Stats read these without touching the loop.
+	activeCount   atomic.Int64
+	committedArea atomic.Int64
+	admitted      atomic.Uint64
+	cancelled     atomic.Uint64
+	rejected      atomic.Uint64
+	batches       atomic.Uint64
+	ops           atomic.Uint64
+}
+
+// newShard builds the partition's index (with the Pre reservations
+// committed) and starts its event loop. floor is the service-computed
+// α head-room, passed in so the Reserve pre-check in Service and the
+// enforcement here can never disagree.
+func newShard(id int, cfg Config, floor int, quit <-chan struct{}) (*shard, error) {
+	idx, err := profile.IndexFromReservations(cfg.Backend, cfg.M, cfg.Pre)
+	if err != nil {
+		return nil, fmt.Errorf("resd: shard %d: %w", id, err)
+	}
+	sh := &shard{
+		id:    id,
+		m:     cfg.M,
+		floor: floor,
+		batch: cfg.Batch,
+		idx:   idx,
+		live:  make(map[ID]active),
+		reqs:  make(chan request, cfg.Batch),
+		quit:  quit,
+		done:  make(chan struct{}),
+	}
+	go sh.loop()
+	return sh, nil
+}
+
+// do submits one request and blocks for its response. It never blocks past
+// service shutdown: enqueue and reply are both raced against quit.
+func (sh *shard) do(req request) (response, error) {
+	req.reply = make(chan response, 1)
+	select {
+	case sh.reqs <- req:
+	case <-sh.quit:
+		return response{}, ErrClosed
+	}
+	select {
+	case resp := <-req.reply:
+		return resp, resp.err
+	case <-sh.quit:
+		// The loop may still answer (reply is buffered); prefer the real
+		// answer if it already arrived, otherwise report the shutdown.
+		select {
+		case resp := <-req.reply:
+			return resp, resp.err
+		default:
+			return response{}, ErrClosed
+		}
+	}
+}
+
+// wait blocks until the event loop has exited (after quit is closed).
+func (sh *shard) wait() { <-sh.done }
+
+// loop is the shard's single writer. Each turn blocks for one request,
+// drains up to batch-1 more that are already pending, applies the whole
+// group against the index, publishes the load summary once, and only then
+// releases the replies — the group-commit that amortises synchronisation
+// under load while keeping single-request latency at one handoff.
+func (sh *shard) loop() {
+	defer close(sh.done)
+	pending := make([]request, 0, sh.batch)
+	results := make([]response, 0, sh.batch)
+	for {
+		var first request
+		select {
+		case <-sh.quit:
+			sh.drainClosed()
+			return
+		case first = <-sh.reqs:
+		}
+		pending = append(pending[:0], first)
+	drain:
+		for len(pending) < sh.batch {
+			select {
+			case r := <-sh.reqs:
+				pending = append(pending, r)
+			default:
+				break drain
+			}
+		}
+		results = results[:0]
+		for _, r := range pending {
+			results = append(results, sh.apply(r))
+		}
+		sh.publish(len(pending))
+		for i, r := range pending {
+			r.reply <- results[i]
+		}
+	}
+}
+
+// drainClosed answers every request still queued at shutdown.
+func (sh *shard) drainClosed() {
+	for {
+		select {
+		case r := <-sh.reqs:
+			r.reply <- response{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// apply executes one request against the shard-local state. Runs only on
+// the loop goroutine.
+func (sh *shard) apply(r request) response {
+	switch r.kind {
+	case opReserve:
+		return sh.reserve(r)
+	case opCancel:
+		return sh.cancel(r)
+	case opQuery:
+		return response{free: sh.idx.AvailableAt(r.ready)}
+	case opSnapshot:
+		return response{snap: sh.idx.CloneIndex()}
+	default:
+		return response{err: fmt.Errorf("%w: unknown op %d", ErrBadRequest, r.kind)}
+	}
+}
+
+// reserve admits at the earliest start >= ready that leaves the α-rule
+// head-room free across the whole window: one FindSlot for q+floor
+// processors, then a Commit of q.
+func (sh *shard) reserve(r request) response {
+	start, ok := sh.idx.FindSlot(r.ready, r.q+sh.floor, r.dur)
+	if !ok {
+		sh.rejected.Add(1)
+		return response{err: fmt.Errorf("%w: q=%d dur=%v with α-floor %d on shard %d",
+			ErrNeverFits, r.q, r.dur, sh.floor, sh.id)}
+	}
+	if err := sh.idx.Commit(start, r.dur, r.q); err != nil {
+		// Unreachable: FindSlot guarantees capacity and the loop is the
+		// only writer. Surface rather than panic so a backend bug turns
+		// into a failed request, not a dead shard.
+		sh.rejected.Add(1)
+		return response{err: fmt.Errorf("resd: shard %d commit after FindSlot: %w", sh.id, err)}
+	}
+	id := makeID(sh.id, sh.nextSeq)
+	sh.nextSeq++
+	sh.live[id] = active{start: start, dur: r.dur, q: r.q}
+	sh.area += int64(r.dur) * int64(r.q)
+	sh.admitted.Add(1)
+	return response{resv: Reservation{ID: id, Shard: sh.id, Start: start, Dur: r.dur, Procs: r.q}}
+}
+
+// cancel releases an admitted reservation.
+func (sh *shard) cancel(r request) response {
+	a, ok := sh.live[r.id]
+	if !ok {
+		return response{err: fmt.Errorf("%w: %#x on shard %d", ErrUnknownID, uint64(r.id), sh.id)}
+	}
+	if err := sh.idx.Release(a.start, a.dur, a.q); err != nil {
+		return response{err: fmt.Errorf("resd: shard %d release: %w", sh.id, err)}
+	}
+	delete(sh.live, r.id)
+	sh.area -= int64(a.dur) * int64(a.q)
+	sh.cancelled.Add(1)
+	return response{}
+}
+
+// publish stores the load summary for lock-free readers (placement
+// policies, Stats). Called once per batch — the group-commit point.
+func (sh *shard) publish(n int) {
+	sh.activeCount.Store(int64(len(sh.live)))
+	sh.committedArea.Store(sh.area)
+	sh.batches.Add(1)
+	sh.ops.Add(uint64(n))
+}
+
+// stats assembles the published summary.
+func (sh *shard) stats() ShardStats {
+	return ShardStats{
+		Active:        int(sh.activeCount.Load()),
+		CommittedArea: sh.committedArea.Load(),
+		Admitted:      sh.admitted.Load(),
+		Cancelled:     sh.cancelled.Load(),
+		Rejected:      sh.rejected.Load(),
+		Batches:       sh.batches.Load(),
+		Ops:           sh.ops.Load(),
+	}
+}
