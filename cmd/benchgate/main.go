@@ -1,13 +1,15 @@
 // Command benchgate is the CI bench-regression gate: it parses `go test
-// -bench` output and compares the tree-backend ns/op figures against the
-// numbers recorded in BENCH_restree.json and BENCH_resd.json, failing
-// (exit 1) when any measured figure exceeds its recorded baseline by more
-// than the threshold factor.
+// -bench` output and compares the recorded hot paths against their
+// baselines — the tree-backend figures in BENCH_restree.json and
+// BENCH_resd.json, and the wire-throughput matrix in BENCH_reswire.json —
+// failing (exit 1) when any measured figure exceeds its recorded baseline
+// by more than the threshold factor.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'CapacityIndex|ResdThroughput' -benchtime=0.2s . | tee bench.out
-//	benchgate -bench bench.out -restree BENCH_restree.json -resd BENCH_resd.json -threshold 2
+//	go test -run '^$' -bench 'CapacityIndex|ResdThroughput|WireThroughput' -benchtime=0.2s . | tee bench.out
+//	benchgate -bench bench.out -restree BENCH_restree.json -resd BENCH_resd.json \
+//	    -reswire BENCH_reswire.json -threshold 2
 //
 // The threshold is deliberately generous (default 2×): the gate exists to
 // catch algorithmic regressions — an accidental O(n) scan reintroduced on
@@ -108,6 +110,31 @@ func resdBaselines(path string) ([]baseline, error) {
 	return out, nil
 }
 
+// reswireBaselines loads BENCH_reswire.json rows as expectations on
+// BenchmarkWireThroughput sub-benchmarks (both pipelining settings: a
+// regression in the unpipelined RPC path is as real as one in the
+// pipelined path).
+func reswireBaselines(path string) ([]baseline, error) {
+	var doc struct {
+		Rows []struct {
+			Clients  int     `json:"clients"`
+			Pipeline string  `json:"pipeline"`
+			NsPerOp  float64 `json:"ns_per_op"`
+		} `json:"rows"`
+	}
+	if err := readJSON(path, &doc); err != nil {
+		return nil, err
+	}
+	var out []baseline
+	for _, r := range doc.Rows {
+		out = append(out, baseline{
+			name: fmt.Sprintf("BenchmarkWireThroughput/clients=%d/pipeline=%s", r.Clients, r.Pipeline),
+			ns:   r.NsPerOp,
+		})
+	}
+	return out, nil
+}
+
 func readJSON(path string, v any) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -145,6 +172,7 @@ func run() error {
 	benchPath := flag.String("bench", "", "go test -bench output file (required; - for stdin)")
 	restree := flag.String("restree", "BENCH_restree.json", "capacity-index baseline ('' to skip)")
 	resd := flag.String("resd", "BENCH_resd.json", "admission-service baseline ('' to skip)")
+	reswire := flag.String("reswire", "BENCH_reswire.json", "wire-throughput baseline ('' to skip)")
 	threshold := flag.Float64("threshold", 2.0, "allowed slowdown factor vs baseline")
 	flag.Parse()
 
@@ -178,6 +206,13 @@ func run() error {
 	}
 	if *resd != "" {
 		bs, err := resdBaselines(*resd)
+		if err != nil {
+			return err
+		}
+		baselines = append(baselines, bs...)
+	}
+	if *reswire != "" {
+		bs, err := reswireBaselines(*reswire)
 		if err != nil {
 			return err
 		}

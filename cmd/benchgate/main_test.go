@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -127,6 +128,24 @@ func TestBaselineLoaders(t *testing.T) {
 	for _, b := range rd {
 		if strings.Contains(b.name, "backend=array") {
 			t.Fatalf("array rows must be skipped: %+v", b)
+		}
+	}
+	rw, err := reswireBaselines("../../BENCH_reswire.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rw) != 6 {
+		t.Fatalf("reswire baselines: want 6 rows (3 client counts × on/off), got %+v", rw)
+	}
+	wantNames := map[string]bool{}
+	for _, clients := range []int{1, 4, 16} {
+		for _, p := range []string{"off", "on"} {
+			wantNames[fmt.Sprintf("BenchmarkWireThroughput/clients=%d/pipeline=%s", clients, p)] = true
+		}
+	}
+	for _, b := range rw {
+		if !wantNames[b.name] || b.ns <= 0 {
+			t.Fatalf("unexpected reswire baseline: %+v", b)
 		}
 	}
 }

@@ -1,0 +1,104 @@
+// Command resdsrv serves the internal/resd reservation-admission service
+// over the reswire protocol: it builds a sharded service from flags,
+// listens on a TCP address, and decodes wire frames straight into the
+// shard event loops, so remote clients get the same α-rule and
+// deadline-rejection semantics as in-process callers — over a socket.
+//
+// Usage:
+//
+//	resdsrv -addr :7433 -shards 8 -m 256 -alpha 0.5 -backend tree
+//	resdsrv -addr 127.0.0.1:0 -placement p2c    # ephemeral port, printed
+//
+// Drive it with cmd/resload's -addr flag, the examples/wire walkthrough,
+// or any reswire.Client. SIGINT/SIGTERM shut the listener and service
+// down cleanly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cliflag"
+	"repro/internal/core"
+	"repro/internal/resd"
+	"repro/internal/reswire"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7433", "TCP listen address")
+	shards := flag.Int("shards", 4, "cluster partitions")
+	m := flag.Int("m", 64, "processors per partition")
+	alpha := flag.Float64("alpha", 0.5, "α admission rule: ⌊α·m⌋ processors stay free per shard")
+	backend := flag.String("backend", "array", "capacity index backend (array or tree)")
+	placement := flag.String("placement", "least-loaded", "shard routing policy (first-fit, least-loaded, p2c)")
+	batch := flag.Int("batch", 64, "max requests group-committed per event-loop turn")
+	nres := flag.Int("nres", 0, "pre-existing reservations per shard (maintenance windows)")
+	horizon := flag.Int64("horizon", 1<<20, "time horizon the -nres pre-reservations are drawn over")
+	seed := flag.Uint64("seed", 1, "pre-reservation generator seed")
+	flag.Parse()
+
+	if err := cliflag.First(
+		cliflag.Positive("shards", *shards),
+		cliflag.Positive("m", *m),
+		cliflag.Unit("alpha", *alpha),
+		cliflag.Positive("batch", *batch),
+		cliflag.NonNegative("nres", *nres),
+	); err != nil {
+		return err
+	}
+	if *horizon < 1 {
+		return fmt.Errorf("%w: -horizon must be positive, got %d", cliflag.ErrFlag, *horizon)
+	}
+	if *nres > 0 {
+		if err := cliflag.PositiveUnit("alpha", *alpha); err != nil {
+			return fmt.Errorf("%w (α must be positive when -nres > 0)", err)
+		}
+	}
+
+	var pre []core.Reservation
+	if *nres > 0 {
+		pre = workload.ReservationStream(rng.New(*seed^0xBEEF), *m, *alpha, *nres, core.Time(*horizon))
+	}
+	svc, err := resd.New(resd.Config{
+		Shards: *shards, M: *m, Alpha: *alpha, Backend: *backend,
+		Placement: *placement, Batch: *batch, Seed: *seed, Pre: pre,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := reswire.NewServer(svc)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "resdsrv: %v, shutting down\n", s)
+		srv.Close()
+	}()
+
+	fmt.Printf("resdsrv: listening on %s — %d shards × m=%d (α=%.2f, floor %d), backend %s, placement %s\n",
+		ln.Addr(), svc.Shards(), svc.M(), *alpha, svc.Floor(), *backend, svc.Placement())
+	if err := srv.Serve(ln); err != reswire.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "resdsrv:", err)
+		os.Exit(1)
+	}
+}

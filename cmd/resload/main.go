@@ -1,40 +1,53 @@
 // Command resload is the load generator for the internal/resd
 // reservation-admission service: it replays a synthetic or SWF-derived
-// request stream against an in-process sharded service at a target rate
-// and reports admission throughput and latency percentiles — the
-// operational view of the paper's admission rule under heavy concurrent
-// traffic.
+// request stream at a target rate and reports admission throughput and
+// latency percentiles — the operational view of the paper's admission
+// rule under heavy concurrent traffic.
 //
-// Usage:
+// It drives either an in-process service (the default) or, with -addr, a
+// live resdsrv server over the reswire protocol, in which case the
+// reported percentiles are wire-level round-trip latencies:
 //
 //	resload -shards 4 -m 64 -n 20000 -placement p2c -backend tree
 //	resload -swf trace.swf -shards 8 -alpha 0.5 -rate 50000
-//	resload -shards 1 -clients 16 -cancelfrac 0.8       # churn-heavy
+//	resload -addr 127.0.0.1:7433 -n 100000 -clients 16 -conns 4
+//	resload -addr 127.0.0.1:7433 -pipeline=false           # RPC baseline
+//	resload -slack 500 -n 20000                            # SLA mode
 //
 // Each request asks for the earliest admissible slot at or after its
-// arrival time; -cancelfrac controls how much of the admitted load is
-// cancelled again by the clients, which keeps the shard indexes at a
-// steady state instead of growing without bound.
+// arrival time; -slack gives every request a deadline that many ticks
+// after its ready time, so admissions the service cannot start in time
+// come back as explicit REJECTED_DEADLINE answers. -cancelfrac controls
+// how much of the admitted load is cancelled again by the clients, which
+// keeps the shard indexes at a steady state instead of growing without
+// bound. The summary separates admissions, rejections (α rule and
+// deadline, expected under load) and hard errors (never expected).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/cliflag"
 	"repro/internal/core"
 	"repro/internal/resd"
+	"repro/internal/reswire"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
 func run() error {
-	shards := flag.Int("shards", 4, "cluster partitions")
+	addr := flag.String("addr", "", "drive a remote resdsrv at this address instead of an in-process service")
+	conns := flag.Int("conns", 2, "client connections to the remote server (with -addr)")
+	pipeline := flag.Bool("pipeline", true, "pipeline requests per connection (with -addr)")
+	shards := flag.Int("shards", 4, "cluster partitions (in-process mode)")
 	m := flag.Int("m", 64, "processors per partition")
 	n := flag.Int("n", 10000, "number of reservation requests")
 	nres := flag.Int("nres", 0, "pre-existing reservations per shard (maintenance windows)")
@@ -44,6 +57,7 @@ func run() error {
 	clients := flag.Int("clients", 8, "concurrent client goroutines")
 	rate := flag.Float64("rate", 0, "target request rate per second (0 = unthrottled)")
 	cancelfrac := flag.Float64("cancelfrac", 0.5, "fraction of admissions the clients cancel again")
+	slack := flag.Int64("slack", 0, "per-request deadline: ready+slack ticks (0 = no deadline)")
 	batch := flag.Int("batch", 64, "max requests group-committed per event-loop turn")
 	seed := flag.Uint64("seed", 1, "workload generator seed")
 	swf := flag.String("swf", "", "SWF trace file (overrides synthetic generation)")
@@ -59,8 +73,12 @@ func run() error {
 		cliflag.NonNegativeF("rate", *rate),
 		cliflag.Unit("cancelfrac", *cancelfrac),
 		cliflag.Positive("batch", *batch),
+		cliflag.Positive("conns", *conns),
 	); err != nil {
 		return err
+	}
+	if *slack < 0 {
+		return fmt.Errorf("%w: -slack must be >= 0, got %d", cliflag.ErrFlag, *slack)
 	}
 	if *nres > 0 {
 		if err := cliflag.PositiveUnit("alpha", *alpha); err != nil {
@@ -68,74 +86,140 @@ func run() error {
 		}
 	}
 
-	reqs, err := requestStream(*swf, *m, *n, *alpha, *seed)
+	reqs, err := requestStream(*swf, *m, *n, *alpha, *seed, core.Time(*slack))
 	if err != nil {
 		return err
 	}
 
-	var pre []core.Reservation
-	if *nres > 0 {
-		pre = workload.ReservationStream(rng.New(*seed^0xBEEF), *m, *alpha, *nres, horizonOf(reqs))
+	var target admitter
+	var svc *resd.Service
+	if *addr != "" {
+		if ignored := serverSideFlagsSet(); len(ignored) > 0 {
+			fmt.Fprintf(os.Stderr,
+				"resload: warning: %s configure the in-process service and are ignored with -addr "+
+					"(the server was configured by resdsrv's own flags)\n",
+				strings.Join(ignored, ", "))
+		}
+		client, err := reswire.Dial(*addr, reswire.Options{Conns: *conns, Pipeline: *pipeline})
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+		target = client
+		mode := "pipelined"
+		if !*pipeline {
+			mode = "unpipelined"
+		}
+		fmt.Printf("resload: %d requests against %s (%d conns, %s), %d clients\n",
+			len(reqs), *addr, *conns, mode, *clients)
+	} else {
+		var pre []core.Reservation
+		if *nres > 0 {
+			pre = workload.ReservationStream(rng.New(*seed^0xBEEF), *m, *alpha, *nres, horizonOf(reqs))
+		}
+		svc, err = resd.New(resd.Config{
+			Shards: *shards, M: *m, Alpha: *alpha, Backend: *backend,
+			Placement: *placement, Batch: *batch, Seed: *seed, Pre: pre,
+		})
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+		target = svc
+		fmt.Printf("resload: %d requests, %d shards × m=%d (α=%.2f, floor %d), backend %s, placement %s, %d clients\n",
+			len(reqs), *shards, *m, *alpha, svc.Floor(), *backend, *placement, *clients)
 	}
-	svc, err := resd.New(resd.Config{
-		Shards: *shards, M: *m, Alpha: *alpha, Backend: *backend,
-		Placement: *placement, Batch: *batch, Seed: *seed, Pre: pre,
-	})
-	if err != nil {
-		return err
-	}
-	defer svc.Close()
 
-	fmt.Printf("resload: %d requests, %d shards × m=%d (α=%.2f, floor %d), backend %s, placement %s, %d clients\n",
-		len(reqs), *shards, *m, *alpha, svc.Floor(), *backend, *placement, *clients)
+	res := replay(target, reqs, *clients, *rate, *cancelfrac, *seed)
 
-	lat, elapsed, rejected := replay(svc, reqs, *clients, *rate, *cancelfrac, *seed)
-
-	sort.Float64s(lat)
-	admitted := len(lat)
-	fmt.Printf("\n%d admitted, %d rejected in %v (%.0f req/s achieved",
-		admitted, rejected, elapsed.Round(time.Millisecond), float64(len(reqs))/elapsed.Seconds())
+	sort.Float64s(res.lats)
+	fmt.Printf("\n%d admitted, %d rejected (%d α-rule, %d deadline), %d errors in %v (%.0f req/s achieved",
+		len(res.admitted), res.rejectedAlpha+res.rejectedDeadline, res.rejectedAlpha, res.rejectedDeadline,
+		res.errored, res.elapsed.Round(time.Millisecond), float64(len(reqs))/res.elapsed.Seconds())
 	if *rate > 0 {
 		fmt.Printf(", target %.0f", *rate)
 	}
 	fmt.Println(")")
+	if res.errored > 0 {
+		fmt.Printf("WARNING: %d hard errors (first: %v) — these are failures, not load shedding\n",
+			res.errored, res.firstErr)
+	}
 
-	if admitted > 0 {
+	if len(res.lats) > 0 {
 		tbl := stats.NewTable("metric", "latency")
 		for _, p := range []struct {
 			label string
 			p     float64
 		}{{"p50", 50}, {"p90", 90}, {"p99", 99}} {
-			tbl.AddRow(p.label, time.Duration(stats.Percentile(lat, p.p)).Round(time.Microsecond).String())
+			tbl.AddRow(p.label, time.Duration(stats.Percentile(res.lats, p.p)).Round(time.Microsecond).String())
 		}
-		tbl.AddRow("max", time.Duration(stats.MaxFloat(lat)).Round(time.Microsecond).String())
+		tbl.AddRow("max", time.Duration(stats.MaxFloat(res.lats)).Round(time.Microsecond).String())
 		fmt.Print(tbl.String())
 	}
 
-	shtbl := stats.NewTable("shard", "active", "area", "admitted", "cancelled", "batches", "ops/batch")
-	for i, st := range svc.Stats() {
+	shardStats, err := shardStatsOf(target, svc)
+	if err != nil {
+		return err
+	}
+	shtbl := stats.NewTable("shard", "active", "area", "admitted", "cancelled", "rej-α", "rej-dl", "batches", "ops/batch")
+	for i, st := range shardStats {
 		opb := 0.0
 		if st.Batches > 0 {
 			opb = float64(st.Ops) / float64(st.Batches)
 		}
 		shtbl.AddRow(i, st.Active, st.CommittedArea, int64(st.Admitted), int64(st.Cancelled),
-			int64(st.Batches), fmt.Sprintf("%.2f", opb))
+			int64(st.Rejected), int64(st.RejectedDeadline), int64(st.Batches), fmt.Sprintf("%.2f", opb))
 	}
 	fmt.Print(shtbl.String())
 	return nil
 }
 
+// serverSideFlagsSet lists explicitly-set flags that only configure the
+// in-process service, so remote runs can warn instead of silently
+// measuring a different experiment than the command line describes.
+// (-m and -alpha stay meaningful remotely: they shape the generated
+// request stream.)
+func serverSideFlagsSet() []string {
+	serverOnly := map[string]bool{
+		"shards": true, "nres": true, "backend": true, "placement": true, "batch": true,
+	}
+	var set []string
+	flag.Visit(func(f *flag.Flag) {
+		if serverOnly[f.Name] {
+			set = append(set, "-"+f.Name)
+		}
+	})
+	return set
+}
+
+// admitter is the slice of the service the load generator drives; both
+// the in-process *resd.Service and the remote *reswire.Client satisfy it.
+type admitter interface {
+	ReserveBy(ready core.Time, q int, dur core.Time, deadline core.Time) (resd.Reservation, error)
+	Cancel(id resd.ID) error
+}
+
+// shardStatsOf reads the per-shard summaries from whichever side of the
+// wire the run targeted.
+func shardStatsOf(target admitter, svc *resd.Service) ([]resd.ShardStats, error) {
+	if svc != nil {
+		return svc.Stats(), nil
+	}
+	return target.(*reswire.Client).Stats()
+}
+
 // request is one generated admission request.
 type request struct {
-	ready core.Time
-	q     int
-	dur   core.Time
+	ready    core.Time
+	q        int
+	dur      core.Time
+	deadline core.Time
 }
 
 // requestStream derives the request stream: each workload arrival becomes
 // "earliest admissible slot of q processors for dur ticks at or after the
-// arrival instant".
-func requestStream(swf string, m, n int, alpha float64, seed uint64) ([]request, error) {
+// arrival instant", deadline-bounded when slack is positive.
+func requestStream(swf string, m, n int, alpha float64, seed uint64, slack core.Time) ([]request, error) {
 	var arrivals []workload.Arrival
 	if swf != "" {
 		f, err := os.Open(swf)
@@ -172,7 +256,11 @@ func requestStream(swf string, m, n int, alpha float64, seed uint64) ([]request,
 		if q > m {
 			q = m
 		}
-		reqs = append(reqs, request{ready: a.At, q: q, dur: a.Job.Len})
+		deadline := resd.NoDeadline
+		if slack > 0 {
+			deadline = a.At + slack
+		}
+		reqs = append(reqs, request{ready: a.At, q: q, dur: a.Job.Len, deadline: deadline})
 	}
 	return reqs, nil
 }
@@ -197,30 +285,68 @@ func horizonOf(reqs []request) core.Time {
 	return h
 }
 
-// replay pushes the request stream through the service from the given
+// result is one replay's outcome. Rejections (the α rule or a deadline
+// saying no, by design) are kept strictly apart from hard errors
+// (protocol failures, closed services): conflating them hides real
+// failures inside expected load shedding.
+type result struct {
+	lats             []float64 // per-admission latency, ns
+	admitted         []resd.Reservation
+	rejectedAlpha    int
+	rejectedDeadline int
+	errored          int
+	firstErr         error
+	elapsed          time.Duration
+}
+
+// classify buckets one Reserve outcome.
+func classify(err error) (alphaRej, deadlineRej, hard bool) {
+	switch {
+	case err == nil:
+		return false, false, false
+	case errors.Is(err, resd.ErrDeadline):
+		return false, true, false
+	case errors.Is(err, resd.ErrNeverFits):
+		return true, false, false
+	default:
+		return false, false, true
+	}
+}
+
+// replay pushes the request stream through the admitter from the given
 // number of client goroutines, pacing the aggregate at rate requests per
-// second when positive, and returns per-admission latencies (ns, as
-// float64 for the stats helpers), the wall time, and the rejected count.
-func replay(svc *resd.Service, reqs []request, clients int, rate, cancelfrac float64, seed uint64) ([]float64, time.Duration, int) {
+// second when positive.
+func replay(svc admitter, reqs []request, clients int, rate, cancelfrac float64, seed uint64) result {
 	work := make(chan request, 4*clients)
-	lats := make([][]float64, clients)
-	rejects := make([]int, clients)
+	perClient := make([]result, clients)
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			res := &perClient[c]
 			r := rng.NewStream(seed, uint64(c))
 			var held []resd.Reservation
 			for req := range work {
 				t0 := time.Now()
-				resv, err := svc.Reserve(req.ready, req.q, req.dur)
+				resv, err := svc.ReserveBy(req.ready, req.q, req.dur, req.deadline)
 				lat := time.Since(t0)
-				if err != nil {
-					rejects[c]++
+				if alphaRej, deadlineRej, hard := classify(err); err != nil {
+					switch {
+					case alphaRej:
+						res.rejectedAlpha++
+					case deadlineRej:
+						res.rejectedDeadline++
+					case hard:
+						res.errored++
+						if res.firstErr == nil {
+							res.firstErr = err
+						}
+					}
 					continue
 				}
-				lats[c] = append(lats[c], float64(lat))
+				res.lats = append(res.lats, float64(lat))
+				res.admitted = append(res.admitted, resv)
 				held = append(held, resv)
 				if r.Bool(cancelfrac) {
 					k := r.Intn(len(held))
@@ -251,15 +377,21 @@ func replay(svc *resd.Service, reqs []request, clients int, rate, cancelfrac flo
 	}
 	close(work)
 	wg.Wait()
-	elapsed := time.Since(start)
 
-	var all []float64
-	rejected := 0
-	for c := 0; c < clients; c++ {
-		all = append(all, lats[c]...)
-		rejected += rejects[c]
+	var total result
+	total.elapsed = time.Since(start)
+	for c := range perClient {
+		pc := &perClient[c]
+		total.lats = append(total.lats, pc.lats...)
+		total.admitted = append(total.admitted, pc.admitted...)
+		total.rejectedAlpha += pc.rejectedAlpha
+		total.rejectedDeadline += pc.rejectedDeadline
+		total.errored += pc.errored
+		if total.firstErr == nil {
+			total.firstErr = pc.firstErr
+		}
 	}
-	return all, elapsed, rejected
+	return total
 }
 
 func main() {

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"testing"
+
+	"repro/internal/resd"
+	"repro/internal/reswire"
+)
+
+func TestClassifySeparatesRejectionsFromErrors(t *testing.T) {
+	cases := []struct {
+		name                     string
+		err                      error
+		alphaRej, dlRej, hardErr bool
+	}{
+		{"success", nil, false, false, false},
+		{"alpha rejection", fmt.Errorf("wrapped: %w", resd.ErrNeverFits), true, false, false},
+		{"deadline rejection", fmt.Errorf("wrapped: %w", resd.ErrDeadline), false, true, false},
+		{"closed service", resd.ErrClosed, false, false, true},
+		{"bad request", resd.ErrBadRequest, false, false, true},
+		{"client death", reswire.ErrClientClosed, false, false, true},
+		{"unknown", errors.New("socket exploded"), false, false, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a, d, h := classify(c.err)
+			if a != c.alphaRej || d != c.dlRej || h != c.hardErr {
+				t.Errorf("classify(%v) = (α=%v, dl=%v, hard=%v), want (%v, %v, %v)",
+					c.err, a, d, h, c.alphaRej, c.dlRej, c.hardErr)
+			}
+		})
+	}
+}
+
+func TestReplayCountsRejectionsSeparately(t *testing.T) {
+	// m=8, α=0.5 admits at most q=4: the q=6 request α-rejects, the
+	// tight-deadline request deadline-rejects, the rest admit.
+	svc, err := resd.New(resd.Config{M: 8, Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []request{
+		{ready: 0, q: 4, dur: 100, deadline: resd.NoDeadline},
+		{ready: 0, q: 6, dur: 10, deadline: resd.NoDeadline}, // α-rule rejection
+		{ready: 0, q: 4, dur: 10, deadline: 50},              // earliest start 100 > 50
+		{ready: 0, q: 4, dur: 10, deadline: resd.NoDeadline}, // admitted at 100
+	}
+	res := replay(svc, reqs, 1, 0, 0, 1)
+	if len(res.admitted) != 2 || res.rejectedAlpha != 1 || res.rejectedDeadline != 1 || res.errored != 0 {
+		t.Fatalf("admitted=%d rejectedα=%d rejectedDL=%d errored=%d, want 2/1/1/0",
+			len(res.admitted), res.rejectedAlpha, res.rejectedDeadline, res.errored)
+	}
+	// A closed service produces hard errors, not rejections.
+	svc.Close()
+	res = replay(svc, reqs[:1], 1, 0, 0, 1)
+	if res.errored != 1 || res.rejectedAlpha != 0 || res.rejectedDeadline != 0 {
+		t.Fatalf("closed service: errored=%d rejectedα=%d rejectedDL=%d, want 1/0/0", res.errored, res.rejectedAlpha, res.rejectedDeadline)
+	}
+	if !errors.Is(res.firstErr, resd.ErrClosed) {
+		t.Fatalf("firstErr = %v, want ErrClosed", res.firstErr)
+	}
+}
+
+// TestRemoteReplayMatchesInProcess is the wire-equivalence acceptance
+// check: the same synthetic stream replayed serially (one client) against
+// an in-process service and against an identically configured service
+// behind a resdsrv-style loopback server must produce exactly the same
+// accepted placements — IDs, shards, start times — and the same rejection
+// tallies. The wire layer may batch and reorder in flight, but with one
+// serial caller it must be observationally identical to a function call.
+func TestRemoteReplayMatchesInProcess(t *testing.T) {
+	const (
+		m     = 32
+		n     = 600
+		alpha = 0.25
+		seed  = 7
+		slack = 400 // tight enough that some requests deadline-reject
+	)
+	cfg := resd.Config{Shards: 4, M: m, Alpha: alpha, Backend: "tree", Placement: "least-loaded", Seed: 3}
+	reqs, err := requestStream("", m, n, alpha, seed, slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// In-process run.
+	direct, err := resd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	want := replay(direct, reqs, 1, 0, 0.4, seed)
+
+	// Identical service behind the wire.
+	remoteSvc, err := resd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remoteSvc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := reswire.NewServer(remoteSvc)
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); srv.Serve(ln) }()
+	defer func() { srv.Close(); <-serveDone }()
+
+	client, err := reswire.Dial(ln.Addr().String(), reswire.Options{Conns: 1, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	got := replay(client, reqs, 1, 0, 0.4, seed)
+
+	if got.errored != 0 || want.errored != 0 {
+		t.Fatalf("hard errors: remote %d (first %v), direct %d (first %v)",
+			got.errored, got.firstErr, want.errored, want.firstErr)
+	}
+	if len(want.admitted) == 0 || want.rejectedDeadline == 0 {
+		t.Fatalf("degenerate stream: %d admitted, %d deadline rejections — tune the test workload",
+			len(want.admitted), want.rejectedDeadline)
+	}
+	if got.rejectedAlpha != want.rejectedAlpha || got.rejectedDeadline != want.rejectedDeadline {
+		t.Errorf("rejections diverged: remote α=%d dl=%d, direct α=%d dl=%d",
+			got.rejectedAlpha, got.rejectedDeadline, want.rejectedAlpha, want.rejectedDeadline)
+	}
+	if !reflect.DeepEqual(got.admitted, want.admitted) {
+		if len(got.admitted) != len(want.admitted) {
+			t.Fatalf("admitted counts diverged: remote %d, direct %d", len(got.admitted), len(want.admitted))
+		}
+		for i := range want.admitted {
+			if got.admitted[i] != want.admitted[i] {
+				t.Fatalf("placement %d diverged:\nremote %+v\ndirect %+v", i, got.admitted[i], want.admitted[i])
+			}
+		}
+	}
+}
+
+func TestRequestStreamAppliesSlack(t *testing.T) {
+	withSlack, err := requestStream("", 16, 50, 0.5, 1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := requestStream("", 16, 50, 0.5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range withSlack {
+		if want := withSlack[i].ready + 300; withSlack[i].deadline != want {
+			t.Fatalf("request %d deadline = %v, want ready+300 = %v", i, withSlack[i].deadline, want)
+		}
+		if without[i].deadline != resd.NoDeadline {
+			t.Fatalf("request %d without slack has deadline %v", i, without[i].deadline)
+		}
+	}
+}

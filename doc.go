@@ -28,18 +28,39 @@
 // batches per loop turn, and Reserve traffic routed across shards by
 // pluggable placement policies (first-fit, least-loaded,
 // power-of-two-choices on free area) with the paper's α-admission rule
-// enforced per shard. profile.Synchronized wraps an index for safe
-// cross-goroutine reads (service snapshots), cmd/resload replays
-// synthetic or SWF-derived request streams at a target rate and reports
-// throughput and latency percentiles, and BenchmarkResdThroughput
-// records the shard-scaling curve in BENCH_resd.json (≥3.5× admission
-// throughput at 8 shards vs 1 on the tree backend, single-core). See
-// examples/service for a walkthrough and the internal/resd package
-// comment for the shard and placement model.
+// enforced per shard. Admission is deadline-aware: ReserveBy rejects with
+// ErrDeadline when the earliest feasible start on the α-prefix exceeds
+// the caller's deadline, instead of pushing the reservation back.
+// profile.Synchronized wraps an index for safe cross-goroutine reads
+// (service snapshots), and BenchmarkResdThroughput records the
+// shard-scaling curve in BENCH_resd.json (≥3.5× admission throughput at
+// 8 shards vs 1 on the tree backend, single-core). See examples/service
+// for a walkthrough and the internal/resd package comment for the shard
+// and placement model.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The root-level benchmarks (bench_test.go) regenerate one figure each:
+// The outermost layer is the wire: internal/reswire serves resd over TCP
+// with a versioned length-prefixed binary protocol. The request path is
+//
+//	client → reswire frames → server dispatch → resd shard event loops → CapacityIndex
+//
+// with typed error codes end to end (a REJECTED_DEADLINE frame surfaces
+// as resd.ErrDeadline on the remote side) and write coalescing on both
+// halves: the pipelining client multiplexes concurrent callers over a
+// few connections and batches their frames into shared flushes, and the
+// server batches responses the same way, so under load a syscall carries
+// many messages and the shard loops see the same group-commit batches as
+// in-process traffic. cmd/resdsrv is the server binary; cmd/resload
+// replays synthetic or SWF-derived request streams against either an
+// in-process service or a live server (-addr), reporting wire-level
+// latency percentiles with rejections split from hard errors; a
+// deterministic equivalence test pins both modes to identical
+// placements. FuzzWireCodec hardens the decoder against hostile bytes,
+// and BenchmarkWireThroughput records the pipelining win in
+// BENCH_reswire.json (≥2× the unpipelined configuration at 16 concurrent
+// callers on one core). See examples/wire for the walkthrough.
+//
+// See README.md for a tour. The root-level benchmarks (bench_test.go)
+// regenerate one figure each:
 //
 //	go test -bench=. -benchmem
 package repro

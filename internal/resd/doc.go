@@ -47,6 +47,25 @@
 // q + ⌊α·M⌋ processors, so the α head-room falls out of the ordinary
 // earliest-fit machinery.
 //
+// # Deadline rejection
+//
+// ReserveBy extends the α rule with an SLA answer: the caller names the
+// latest start it can tolerate, and a shard whose earliest feasible start
+// on the α-prefix lands after that deadline rejects with ErrDeadline
+// instead of pushing the reservation arbitrarily far back. The two
+// rejection modes are complementary faces of the paper's parameter:
+// ErrNeverFits is the static face of α (the width q plus the ⌊α·M⌋
+// head-room can never fit inside M, at any time), while ErrDeadline is its
+// dynamic face — α shrinks the prefix reservations may occupy, which
+// pushes earliest starts later, and the deadline turns that lateness into
+// an explicit reject the caller can act on. Smaller α (a wider admissible
+// prefix) trades job-stream guarantees for fewer deadline rejections;
+// larger α does the reverse. The service tries every shard in placement
+// order before rejecting, prefers reporting ErrDeadline over ErrNeverFits
+// (it tells the caller the request was feasible, just not soon enough),
+// and counts deadline rejections separately in ShardStats.RejectedDeadline.
+// A rejected request consumes no capacity.
+//
 // The package is exercised three ways: a determinism test replays a
 // request stream serially through one shard and checks the placements are
 // bit-for-bit the schedules sched.FCFS computes offline; a stress test

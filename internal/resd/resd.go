@@ -24,7 +24,18 @@ var (
 	ErrUnknownID = errors.New("resd: unknown reservation id")
 	// ErrBadRequest reports malformed request parameters.
 	ErrBadRequest = errors.New("resd: bad request")
+	// ErrDeadline reports a deadline rejection: the request is feasible,
+	// but the earliest admissible start on every shard's α-prefix lies
+	// after the caller's deadline. The service rejects instead of pushing
+	// the reservation arbitrarily far back, so callers get an SLA-style
+	// accept/reject answer they can act on (retry elsewhere, relax the
+	// deadline, shrink the request).
+	ErrDeadline = errors.New("resd: earliest feasible start exceeds deadline")
 )
+
+// NoDeadline disables the deadline check in ReserveBy: any admissible
+// start, however late, is accepted.
+const NoDeadline = core.Infinity
 
 // ID identifies an admitted reservation service-wide. The owning shard is
 // encoded in the top bits so Cancel routes without a global table.
@@ -172,22 +183,43 @@ func (s *Service) Placement() string { return s.place.name() }
 // policy. It blocks until the routed shard's event loop has committed the
 // batch containing the request.
 func (s *Service) Reserve(ready core.Time, q int, dur core.Time) (Reservation, error) {
-	if ready < 0 || q < 1 || dur < 1 {
-		return Reservation{}, fmt.Errorf("%w: Reserve(ready=%v, q=%d, dur=%v)", ErrBadRequest, ready, q, dur)
+	return s.ReserveBy(ready, q, dur, NoDeadline)
+}
+
+// ReserveBy is Reserve with an SLA deadline on the start time: the
+// reservation is admitted only if some shard can start it at or before
+// deadline. When every shard's earliest feasible start on its α-prefix
+// lies after the deadline, the request fails with ErrDeadline and no
+// capacity is consumed — a deadline rejection is an explicit accept/reject
+// answer, not a silent push-back. Pass NoDeadline to disable the check.
+func (s *Service) ReserveBy(ready core.Time, q int, dur core.Time, deadline core.Time) (Reservation, error) {
+	if ready < 0 || q < 1 || dur < 1 || deadline < 0 {
+		return Reservation{}, fmt.Errorf("%w: ReserveBy(ready=%v, q=%d, dur=%v, deadline=%v)",
+			ErrBadRequest, ready, q, dur, deadline)
 	}
 	if q+s.floor > s.cfg.M {
 		return Reservation{}, fmt.Errorf("%w: q=%d with α-floor %d exceeds m=%d", ErrNeverFits, q, s.floor, s.cfg.M)
 	}
+	// A deadline before the ready time is statically doomed (every start
+	// is >= ready), but it still takes the shard path below: the shards
+	// are where deadline rejections are counted, and a fast path here
+	// would make ShardStats.RejectedDeadline undercount what callers see.
+	//
+	// A shard that rejects for the deadline or the α rule is not the last
+	// word: another partition may be idle enough to start in time, so the
+	// placement order is tried to the end. A deadline rejection is
+	// remembered in preference to ErrNeverFits — it tells the caller the
+	// request was feasible, just not soon enough.
 	var firstErr error
 	for _, si := range s.place.order(s.shards, q, dur) {
-		resp, err := s.shards[si].do(request{kind: opReserve, ready: ready, q: q, dur: dur})
+		resp, err := s.shards[si].do(request{kind: opReserve, ready: ready, q: q, dur: dur, deadline: deadline})
 		if err == nil {
 			return resp.resv, nil
 		}
-		if !errors.Is(err, ErrNeverFits) {
+		if !errors.Is(err, ErrNeverFits) && !errors.Is(err, ErrDeadline) {
 			return Reservation{}, err
 		}
-		if firstErr == nil {
+		if firstErr == nil || (errors.Is(err, ErrDeadline) && !errors.Is(firstErr, ErrDeadline)) {
 			firstErr = err
 		}
 	}
@@ -247,8 +279,13 @@ type ShardStats struct {
 	// CommittedArea is the processor-tick area held by active
 	// reservations (excluding Pre).
 	CommittedArea int64
-	// Admitted, Cancelled and Rejected count operations since start.
+	// Admitted, Cancelled and Rejected count operations since start
+	// (Rejected counts α-rule/capacity rejections only).
 	Admitted, Cancelled, Rejected uint64
+	// RejectedDeadline counts deadline rejections: requests that were
+	// feasible on the shard but whose earliest start exceeded the
+	// caller's deadline.
+	RejectedDeadline uint64
 	// Batches and Ops count event-loop turns and requests served; Ops /
 	// Batches is the realised group-commit factor.
 	Batches, Ops uint64

@@ -2,6 +2,7 @@ package resd
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -20,12 +21,13 @@ const (
 
 // request is one operation submitted to a shard's event loop.
 type request struct {
-	kind  opKind
-	ready core.Time // Reserve: earliest start; Query: probe instant
-	q     int       // Reserve width
-	dur   core.Time // Reserve length
-	id    ID        // Cancel target
-	reply chan response
+	kind     opKind
+	ready    core.Time // Reserve: earliest start; Query: probe instant
+	q        int       // Reserve width
+	dur      core.Time // Reserve length
+	deadline core.Time // Reserve: latest admissible start (NoDeadline = unbounded)
+	id       ID        // Cancel target
+	reply    chan response
 }
 
 // response carries the result back to the caller. Exactly one of the
@@ -68,6 +70,7 @@ type shard struct {
 	admitted      atomic.Uint64
 	cancelled     atomic.Uint64
 	rejected      atomic.Uint64
+	rejectedDL    atomic.Uint64
 	batches       atomic.Uint64
 	ops           atomic.Uint64
 }
@@ -141,13 +144,25 @@ func (sh *shard) loop() {
 		case first = <-sh.reqs:
 		}
 		pending = append(pending[:0], first)
-	drain:
-		for len(pending) < sh.batch {
-			select {
-			case r := <-sh.reqs:
-				pending = append(pending, r)
-			default:
-				break drain
+		// The send that delivered first also scheduled this goroutine to
+		// run immediately next (the runtime's direct handoff), so the
+		// queue is usually still empty here even with many callers in
+		// flight. Yield once per round so every runnable caller gets to
+		// enqueue, and keep draining until a round adds nothing — that
+		// turns nominal batches of 1 into real group commits under load,
+		// while a lone caller pays only a no-op yield.
+		for drained := true; drained && len(pending) < sh.batch; {
+			runtime.Gosched()
+			drained = false
+		drain:
+			for len(pending) < sh.batch {
+				select {
+				case r := <-sh.reqs:
+					pending = append(pending, r)
+					drained = true
+				default:
+					break drain
+				}
 			}
 		}
 		results = results[:0]
@@ -192,13 +207,19 @@ func (sh *shard) apply(r request) response {
 
 // reserve admits at the earliest start >= ready that leaves the α-rule
 // head-room free across the whole window: one FindSlot for q+floor
-// processors, then a Commit of q.
+// processors, then a Commit of q. A request with a deadline is rejected —
+// not pushed back — when that earliest start lands after the deadline.
 func (sh *shard) reserve(r request) response {
 	start, ok := sh.idx.FindSlot(r.ready, r.q+sh.floor, r.dur)
 	if !ok {
 		sh.rejected.Add(1)
 		return response{err: fmt.Errorf("%w: q=%d dur=%v with α-floor %d on shard %d",
 			ErrNeverFits, r.q, r.dur, sh.floor, sh.id)}
+	}
+	if start > r.deadline {
+		sh.rejectedDL.Add(1)
+		return response{err: fmt.Errorf("%w: earliest feasible start %v > deadline %v (q=%d dur=%v, shard %d)",
+			ErrDeadline, start, r.deadline, r.q, r.dur, sh.id)}
 	}
 	if err := sh.idx.Commit(start, r.dur, r.q); err != nil {
 		// Unreachable: FindSlot guarantees capacity and the loop is the
@@ -242,12 +263,13 @@ func (sh *shard) publish(n int) {
 // stats assembles the published summary.
 func (sh *shard) stats() ShardStats {
 	return ShardStats{
-		Active:        int(sh.activeCount.Load()),
-		CommittedArea: sh.committedArea.Load(),
-		Admitted:      sh.admitted.Load(),
-		Cancelled:     sh.cancelled.Load(),
-		Rejected:      sh.rejected.Load(),
-		Batches:       sh.batches.Load(),
-		Ops:           sh.ops.Load(),
+		Active:           int(sh.activeCount.Load()),
+		CommittedArea:    sh.committedArea.Load(),
+		Admitted:         sh.admitted.Load(),
+		Cancelled:        sh.cancelled.Load(),
+		Rejected:         sh.rejected.Load(),
+		RejectedDeadline: sh.rejectedDL.Load(),
+		Batches:          sh.batches.Load(),
+		Ops:              sh.ops.Load(),
 	}
 }

@@ -1,0 +1,360 @@
+package reswire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/resd"
+)
+
+// ErrClientClosed reports a call on a closed client (or one whose
+// connection died mid-call; the underlying cause is wrapped).
+var ErrClientClosed = errors.New("reswire: client closed")
+
+// Options parameterises Dial.
+type Options struct {
+	// Conns is the number of TCP connections the client multiplexes
+	// callers over (default 1). Calls are spread round-robin.
+	Conns int
+	// Pipeline allows many in-flight requests per connection, with the
+	// client coalescing their writes into one flush per batch. Off, each
+	// connection carries one request at a time (write, flush, wait) —
+	// the classic RPC shape, kept as the benchmark baseline.
+	Pipeline bool
+	// Window caps in-flight requests per connection when pipelining
+	// (default 256; forced to 1 when Pipeline is false).
+	Window int
+}
+
+func (o Options) normalize() (Options, error) {
+	if o.Conns == 0 {
+		o.Conns = 1
+	}
+	if o.Conns < 1 {
+		return o, fmt.Errorf("reswire: Conns=%d, need >= 1", o.Conns)
+	}
+	if o.Window == 0 {
+		o.Window = 256
+	}
+	if o.Window < 1 {
+		return o, fmt.Errorf("reswire: Window=%d, need >= 1", o.Window)
+	}
+	if !o.Pipeline {
+		o.Window = 1
+	}
+	return o, nil
+}
+
+// Client is the remote face of a resd.Service: Reserve/ReserveBy, Cancel,
+// Query, Snapshot, Stats and Ping with the same signatures and the same
+// typed errors (errors.Is(err, resd.ErrDeadline) works on both sides of
+// the wire). All methods are safe for concurrent use; concurrent callers
+// are multiplexed over the configured connections and, when pipelining,
+// their requests share flushes.
+type Client struct {
+	conns []*clientConn
+	rr    atomic.Uint64
+}
+
+// Dial connects to a reswire server.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{}
+	for i := 0; i < opts.Conns; i++ {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("reswire: dial %s: %w", addr, err)
+		}
+		c.conns = append(c.conns, newClientConn(nc, opts.Window))
+	}
+	return c, nil
+}
+
+// Close tears down every connection. In-flight calls fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	for _, cc := range c.conns {
+		cc.close(ErrClientClosed)
+	}
+	return nil
+}
+
+// pick spreads calls over the connections round-robin.
+func (c *Client) pick() *clientConn {
+	return c.conns[int(c.rr.Add(1)-1)%len(c.conns)]
+}
+
+// call performs one round trip and maps the response code to an error.
+func (c *Client) call(req Request) (Response, error) {
+	resp, err := c.pick().call(req)
+	if err != nil {
+		return Response{}, err
+	}
+	if resp.Op != req.Op {
+		return Response{}, fmt.Errorf("%w: response op %s for %s request", ErrFrame, resp.Op, req.Op)
+	}
+	if resp.Code != CodeOK {
+		return Response{}, resp.Code.Err(resp.Detail)
+	}
+	return resp, nil
+}
+
+// Reserve admits a reservation at the earliest admissible start, exactly
+// like resd.Service.Reserve but over the wire.
+func (c *Client) Reserve(ready core.Time, q int, dur core.Time) (resd.Reservation, error) {
+	return c.ReserveBy(ready, q, dur, resd.NoDeadline)
+}
+
+// ReserveBy is Reserve with an SLA deadline on the start time; a
+// REJECTED_DEADLINE response surfaces as resd.ErrDeadline.
+func (c *Client) ReserveBy(ready core.Time, q int, dur core.Time, deadline core.Time) (resd.Reservation, error) {
+	resp, err := c.call(Request{Op: OpReserve, Ready: ready, Procs: q, Dur: dur, Deadline: deadline})
+	if err != nil {
+		return resd.Reservation{}, err
+	}
+	return resp.Resv, nil
+}
+
+// Cancel releases an admitted reservation.
+func (c *Client) Cancel(id resd.ID) error {
+	_, err := c.call(Request{Op: OpCancel, Resv: uint64(id)})
+	return err
+}
+
+// Query returns the per-shard free capacity at time t.
+func (c *Client) Query(t core.Time) ([]int, error) {
+	resp, err := c.call(Request{Op: OpQuery, Ready: t})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Free, nil
+}
+
+// Stats returns the per-shard load summaries.
+func (c *Client) Stats() ([]resd.ShardStats, error) {
+	resp, err := c.call(Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}
+
+// Ping performs one empty round trip (liveness / RTT probe).
+func (c *Client) Ping() error {
+	_, err := c.call(Request{Op: OpPing})
+	return err
+}
+
+// Snapshot fetches one shard's capacity profile and rebuilds it as a
+// local index (wrapped in profile.Synchronized like the in-process
+// Snapshot), so remote callers can run FindSlot/FreeArea/What-if queries
+// without further round trips.
+func (c *Client) Snapshot(shard int) (*profile.Synchronized, error) {
+	resp, err := c.call(Request{Op: OpSnapshot, Shard: shard})
+	if err != nil {
+		return nil, err
+	}
+	if resp.M < 1 {
+		return nil, fmt.Errorf("%w: snapshot machine size %d", ErrFrame, resp.M)
+	}
+	tl := profile.New(resp.M)
+	for i, seg := range resp.Segs {
+		// Validate every segment — including fully-free ones — before any
+		// commit: a malformed sequence must fail loudly, not rebuild a
+		// quietly divergent profile.
+		if seg.Free < 0 || seg.Free > resp.M {
+			return nil, fmt.Errorf("%w: segment %d free %d outside [0,%d]", ErrFrame, i, seg.Free, resp.M)
+		}
+		if seg.Start < 0 {
+			return nil, fmt.Errorf("%w: segment %d starts at %v", ErrFrame, i, seg.Start)
+		}
+		dur := core.Infinity // last segment extends unbounded
+		if i+1 < len(resp.Segs) {
+			if resp.Segs[i+1].Start <= seg.Start {
+				return nil, fmt.Errorf("%w: segment starts not increasing at %d", ErrFrame, i)
+			}
+			dur = resp.Segs[i+1].Start - seg.Start
+		}
+		held := resp.M - seg.Free
+		if held == 0 {
+			continue
+		}
+		if err := tl.Commit(seg.Start, dur, held); err != nil {
+			return nil, fmt.Errorf("reswire: rebuild snapshot: %w", err)
+		}
+	}
+	return profile.NewSynchronized(tl), nil
+}
+
+// clientConn is one multiplexed connection: callers register a pending
+// reply slot keyed by request id, push the encoded frame to the writer,
+// and block on their slot; the reader routes responses back by id.
+type clientConn struct {
+	nc      net.Conn
+	sem     chan struct{} // in-flight window
+	writeCh chan []byte
+
+	mu      sync.Mutex
+	pending map[uint64]chan Response
+	nextID  uint64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	errv      atomic.Value // error: why the connection died
+}
+
+func newClientConn(nc net.Conn, window int) *clientConn {
+	cc := &clientConn{
+		nc:      nc,
+		sem:     make(chan struct{}, window),
+		writeCh: make(chan []byte, window),
+		pending: make(map[uint64]chan Response),
+		closed:  make(chan struct{}),
+	}
+	go cc.writeLoop()
+	go cc.readLoop()
+	return cc
+}
+
+// close marks the connection dead with cause, fails every pending call
+// and closes the socket. Idempotent; the first cause wins.
+func (cc *clientConn) close(cause error) {
+	cc.closeOnce.Do(func() {
+		cc.errv.Store(cause)
+		close(cc.closed)
+		cc.nc.Close()
+		cc.mu.Lock()
+		pend := cc.pending
+		cc.pending = nil
+		cc.mu.Unlock()
+		for _, ch := range pend {
+			close(ch)
+		}
+	})
+}
+
+// deadErr reports why the connection died, wrapped for errors.Is on
+// ErrClientClosed.
+func (cc *clientConn) deadErr() error {
+	cause, _ := cc.errv.Load().(error)
+	if cause == nil || errors.Is(cause, ErrClientClosed) {
+		return ErrClientClosed
+	}
+	return fmt.Errorf("%w: %v", ErrClientClosed, cause)
+}
+
+// call sends one request and blocks for its response.
+func (cc *clientConn) call(req Request) (Response, error) {
+	select {
+	case cc.sem <- struct{}{}:
+	case <-cc.closed:
+		return Response{}, cc.deadErr()
+	}
+	defer func() { <-cc.sem }()
+
+	ch := make(chan Response, 1)
+	cc.mu.Lock()
+	if cc.pending == nil {
+		cc.mu.Unlock()
+		return Response{}, cc.deadErr()
+	}
+	cc.nextID++
+	req.ID = cc.nextID
+	cc.pending[req.ID] = ch
+	cc.mu.Unlock()
+
+	buf, err := AppendRequest(nil, req)
+	if err != nil {
+		cc.forget(req.ID)
+		return Response{}, err
+	}
+	select {
+	case cc.writeCh <- buf:
+	case <-cc.closed:
+		cc.forget(req.ID)
+		return Response{}, cc.deadErr()
+	}
+	resp, ok := <-ch
+	if !ok {
+		return Response{}, cc.deadErr()
+	}
+	return resp, nil
+}
+
+// forget drops a pending slot after a local failure.
+func (cc *clientConn) forget(id uint64) {
+	cc.mu.Lock()
+	if cc.pending != nil {
+		delete(cc.pending, id)
+	}
+	cc.mu.Unlock()
+}
+
+// writeLoop drains queued frames and flushes once per batch (the
+// drainRounds yield-then-drain), so with many callers in flight one
+// syscall carries many requests — the client-side write coalescing that
+// makes pipelining pay.
+func (cc *clientConn) writeLoop() {
+	bw := bufio.NewWriterSize(cc.nc, 64<<10)
+	for {
+		var buf []byte
+		select {
+		case buf = <-cc.writeCh:
+		case <-cc.closed:
+			return
+		}
+		if _, err := bw.Write(buf); err != nil {
+			cc.close(err)
+			return
+		}
+		// writeCh never closes, so a false return always means a write
+		// error; close(err) already ran inside emit.
+		if !drainRounds(cc.writeCh, func(more []byte) bool {
+			if _, err := bw.Write(more); err != nil {
+				cc.close(err)
+				return false
+			}
+			return true
+		}) {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			cc.close(err)
+			return
+		}
+	}
+}
+
+// readLoop decodes responses and routes them to their pending slot. An
+// unknown id is a protocol violation and kills the connection.
+func (cc *clientConn) readLoop() {
+	br := bufio.NewReaderSize(cc.nc, 64<<10)
+	for {
+		resp, err := ReadResponse(br)
+		if err != nil {
+			cc.close(err)
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[resp.ID]
+		if ok {
+			delete(cc.pending, resp.ID)
+		}
+		cc.mu.Unlock()
+		if !ok {
+			cc.close(fmt.Errorf("%w: response for unknown request id %d", ErrFrame, resp.ID))
+			return
+		}
+		ch <- resp
+	}
+}

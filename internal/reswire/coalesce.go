@@ -1,0 +1,45 @@
+package reswire
+
+import "runtime"
+
+// drainRounds implements the write-coalescing drain shared by the client
+// and server write loops (internal/resd's shard loop uses the same idiom
+// with a batch cap).
+//
+// The channel send that wakes a write loop also schedules it to run
+// immediately next (the Go runtime's direct handoff puts the receiver in
+// the runnext slot), so a plain non-blocking drain right after the first
+// receive almost always finds the queue empty again — and every frame
+// ends up flushed alone, one syscall each. Instead, each round yields the
+// scheduler once so every runnable producer gets to enqueue, then drains
+// whatever is queued, and the rounds repeat until one adds nothing; only
+// then should the caller flush. The loop is self-limiting — once all
+// producers are blocked awaiting responses, a round drains nothing — and
+// with a single producer in flight the yield finds no other work and
+// costs nanoseconds.
+//
+// emit is called for every drained item; returning false aborts. The
+// function returns false as soon as ch is closed or emit fails, true
+// once a round adds nothing.
+func drainRounds[T any](ch <-chan T, emit func(T) bool) bool {
+	for drained := true; drained; {
+		runtime.Gosched()
+		drained = false
+	round:
+		for {
+			select {
+			case v, ok := <-ch:
+				if !ok {
+					return false
+				}
+				if !emit(v) {
+					return false
+				}
+				drained = true
+			default:
+				break round
+			}
+		}
+	}
+	return true
+}

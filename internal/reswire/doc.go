@@ -1,0 +1,44 @@
+// Package reswire puts the resd reservation-admission service on the
+// network: a versioned, length-prefixed binary protocol, a TCP server
+// that decodes frames straight into the shard event loops, and a
+// pipelining client that multiplexes concurrent callers over a handful of
+// connections.
+//
+// # Protocol
+//
+// Every message is one frame: a uint32 payload length, then a fixed
+// header (magic "RW", version, op, uint64 request id) and an op-specific
+// body of fixed-width big-endian fields. The ops are Reserve (optionally
+// deadline-bounded), Cancel, Query, Snapshot, Ping and Stats. Responses
+// echo the request id and carry a status Code; every non-OK code maps
+// onto one of resd's typed errors — REJECTED_DEADLINE arrives as
+// resd.ErrDeadline, REJECTED_NEVER_FITS as resd.ErrNeverFits — so remote
+// callers branch with errors.Is exactly as in-process callers do. The
+// decoder validates magic, version, op, frame bounds (MaxFrame) and
+// vector lengths before allocating, never panics on hostile bytes, and
+// requires each frame to be consumed exactly; FuzzWireCodec enforces all
+// of that plus canonical round-tripping.
+//
+// # Server
+//
+// The server runs one reader and one writer per connection. The reader
+// decodes frames and dispatches each request into the resd.Service on its
+// own goroutine (bounded per connection), so concurrent requests from one
+// client land in the shard event loops' group-commit batches exactly like
+// in-process traffic — the lock-free admission path is preserved end to
+// end. The writer coalesces: each wakeup drains every response already
+// queued and flushes once, so under load many responses share a syscall.
+//
+// # Client
+//
+// The client spreads callers round-robin over Options.Conns connections.
+// With Options.Pipeline, each connection allows a window of in-flight
+// requests whose frames are batched into shared flushes (responses are
+// matched back by request id, so ordering is free to differ); without it,
+// each connection carries one request at a time — the classic
+// write-flush-wait RPC shape, kept as the benchmark baseline.
+// BenchmarkWireThroughput (repository root, recorded in
+// BENCH_reswire.json) measures the gap: pipelining is the difference
+// between paying one round trip per admission and amortising the wire
+// across a batch.
+package reswire

@@ -1,0 +1,148 @@
+package reswire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/resd"
+)
+
+// FuzzWireCodec drives the frame decoder with arbitrary bytes and checks
+// it against a sequential oracle: frames are decoded one after another
+// from the stream exactly as a connection's read loop would, and every
+// successfully decoded message must re-encode into a frame that decodes
+// to the identical value (the canonical round trip). The decoder must
+// never panic, never allocate past the declared frame bounds, and must
+// stop at the first malformed frame. The first input byte selects the
+// direction (request vs response decoding); the rest is the raw stream.
+func FuzzWireCodec(f *testing.F) {
+	// Well-formed single frames of every op, both directions.
+	for _, req := range []Request{
+		{ID: 1, Op: OpReserve, Ready: 10, Procs: 4, Dur: 20, Deadline: int64Max},
+		{ID: 2, Op: OpCancel, Resv: 7},
+		{ID: 3, Op: OpQuery, Ready: 99},
+		{ID: 4, Op: OpSnapshot, Shard: 1},
+		{ID: 5, Op: OpPing},
+		{ID: 6, Op: OpStats},
+	} {
+		frame, err := AppendRequest(nil, req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte{0}, frame...))
+	}
+	for _, resp := range []Response{
+		{ID: 1, Op: OpReserve, Code: CodeOK, Resv: resd.Reservation{ID: 9, Shard: 1, Start: 5, Dur: 6, Procs: 7}},
+		{ID: 2, Op: OpReserve, Code: CodeRejectedDeadline, Detail: "too late"},
+		{ID: 3, Op: OpQuery, Code: CodeOK, Free: []int{1, 2, 3}},
+		{ID: 4, Op: OpSnapshot, Code: CodeOK, M: 4, Segs: []Segment{{0, 4}, {5, 1}, {9, 4}}},
+		{ID: 5, Op: OpStats, Code: CodeOK, Stats: []resd.ShardStats{{Active: 1, Admitted: 2}}},
+	} {
+		frame, err := AppendResponse(nil, resp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte{1}, frame...))
+	}
+	// Hostile shapes: truncation, bad magic, bad version, huge length.
+	f.Add([]byte{0, 0, 0, 0})                                  // truncated length prefix
+	f.Add([]byte{0, 0, 0, 0, 16, 'X', 'X', 1, 1})              // bad magic
+	f.Add([]byte{1, 0, 0, 0, 16, 'R', 'W', 9, 1})              // bad version
+	f.Add([]byte{0, 0xFF, 0xFF, 0xFF, 0xFF})                   // length prefix far past MaxFrame
+	f.Add(append([]byte{1, 0, 0, 0, 12}, make([]byte, 12)...)) // zeroed header
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		asResponse := data[0]&1 == 1
+		br := bufio.NewReader(bytes.NewReader(data[1:]))
+		for frames := 0; frames < 64; frames++ {
+			if asResponse {
+				resp, err := ReadResponse(br)
+				if err != nil {
+					return // malformed or stream exhausted: the loop must stop here
+				}
+				reencoded, err := AppendResponse(nil, resp)
+				if err != nil {
+					t.Fatalf("decoded response %+v does not re-encode: %v", resp, err)
+				}
+				again, err := ReadResponse(bufio.NewReader(bytes.NewReader(reencoded)))
+				if err != nil {
+					t.Fatalf("re-encoded response does not decode: %v", err)
+				}
+				if !reflect.DeepEqual(normalise(resp), normalise(again)) {
+					t.Fatalf("canonical round trip diverged:\n first %+v\nsecond %+v", resp, again)
+				}
+			} else {
+				req, err := ReadRequest(br)
+				if err != nil {
+					return
+				}
+				reencoded, err := AppendRequest(nil, req)
+				if err != nil {
+					t.Fatalf("decoded request %+v does not re-encode: %v", req, err)
+				}
+				again, err := ReadRequest(bufio.NewReader(bytes.NewReader(reencoded)))
+				if err != nil {
+					t.Fatalf("re-encoded request does not decode: %v", err)
+				}
+				if req != again {
+					t.Fatalf("canonical round trip diverged:\n first %+v\nsecond %+v", req, again)
+				}
+			}
+		}
+	})
+}
+
+const int64Max = 1<<63 - 1
+
+// normalise maps empty slices to nil: the wire cannot distinguish them.
+func normalise(r Response) Response {
+	if len(r.Free) == 0 {
+		r.Free = nil
+	}
+	if len(r.Segs) == 0 {
+		r.Segs = nil
+	}
+	if len(r.Stats) == 0 {
+		r.Stats = nil
+	}
+	return r
+}
+
+// TestReadFrameStopsAtJunk complements FuzzWireCodec at the framing
+// layer: a valid frame prefixed by arbitrary junk must never decode (the
+// stream is not self-synchronising, by design).
+func TestReadFrameStopsAtJunk(t *testing.T) {
+	frame, err := AppendRequest(nil, Request{ID: 1, Op: OpPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := append([]byte{0xDE, 0xAD}, frame...)
+	br := bufio.NewReader(bytes.NewReader(junk))
+	if _, err := ReadRequest(br); err == nil {
+		t.Fatal("junk-prefixed stream decoded")
+	}
+}
+
+// TestReadFrameLengthBounds checks the two framing guards directly.
+func TestReadFrameLengthBounds(t *testing.T) {
+	over := binary.BigEndian.AppendUint32(nil, MaxFrame+1)
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(over))); err == nil {
+		t.Error("oversized length accepted")
+	}
+	under := binary.BigEndian.AppendUint32(nil, headerLen-1)
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(under))); err == nil {
+		t.Error("sub-header length accepted")
+	}
+	short := binary.BigEndian.AppendUint32(nil, 100)
+	short = append(short, 1, 2, 3)
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(short))); err == io.EOF || err == nil {
+		t.Errorf("truncated payload: err = %v, want wrapped unexpected-EOF", err)
+	}
+}

@@ -1,0 +1,230 @@
+package reswire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/resd"
+)
+
+// ErrServerClosed is returned by Serve after Close, mirroring net/http.
+var ErrServerClosed = errors.New("reswire: server closed")
+
+// maxConnInFlight caps the number of requests one connection may have
+// dispatched into the service at once. A pipelining client within the cap
+// is never throttled; past it the reader stops pulling frames, which
+// back-pressures through TCP instead of growing a goroutine per frame
+// without bound.
+const maxConnInFlight = 1024
+
+// Server fronts a resd.Service with the wire protocol: it decodes request
+// frames, dispatches each into the service (where the shard event loops
+// group-commit them exactly as for in-process callers), and writes the
+// responses back with per-connection write coalescing — one flush per
+// batch of responses that are ready together, not one per response.
+type Server struct {
+	svc *resd.Service
+
+	mu     sync.Mutex
+	closed bool
+	lns    map[net.Listener]struct{}
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps svc. The caller retains ownership of svc: Close shuts
+// down the listeners and connections but not the service.
+func NewServer(svc *resd.Service) *Server {
+	return &Server{
+		svc:   svc,
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Close (then ErrServerClosed) or a
+// listener failure. It may be called concurrently on several listeners.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.lns, ln)
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func(c net.Conn) {
+			defer s.wg.Done()
+			s.serveConn(c)
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}(c)
+	}
+}
+
+// Close stops the listeners, closes every live connection and waits for
+// the connection handlers to drain. The wrapped resd.Service is left
+// running.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// serveConn runs one connection: a reader loop decoding frames and
+// dispatching handler goroutines, plus a writer goroutine that coalesces
+// response flushes. A protocol error (bad magic, oversized frame, …)
+// closes the connection — framing is unrecoverable once desynchronised.
+func (s *Server) serveConn(nc net.Conn) {
+	defer nc.Close()
+	br := bufio.NewReaderSize(nc, 64<<10)
+	out := make(chan Response, 256)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s.writeLoop(nc, out)
+	}()
+
+	sem := make(chan struct{}, maxConnInFlight)
+	var hwg sync.WaitGroup
+	for {
+		req, err := ReadRequest(br)
+		if err != nil {
+			break
+		}
+		sem <- struct{}{}
+		hwg.Add(1)
+		go func(req Request) {
+			defer hwg.Done()
+			out <- s.handle(req)
+			<-sem
+		}(req)
+	}
+	hwg.Wait()
+	close(out)
+	<-writerDone
+}
+
+// writeLoop encodes and writes responses, coalescing each wakeup's batch
+// into one flush via drainRounds — the server-side half of the pipelining
+// bargain: under load, many responses ride one syscall.
+func (s *Server) writeLoop(nc net.Conn, out <-chan Response) {
+	bw := bufio.NewWriterSize(nc, 64<<10)
+	var buf []byte
+	var stuck error // first write/flush failure; keep draining so handlers never block
+	write := func(resp Response) {
+		if stuck != nil {
+			return
+		}
+		var err error
+		buf, err = AppendResponse(buf[:0], resp)
+		if err == nil {
+			_, err = bw.Write(buf)
+		}
+		if err != nil {
+			stuck = err
+		}
+	}
+	for resp := range out {
+		write(resp)
+		// A false return means out closed mid-drain; flush what we have
+		// and let the range loop observe the close on its next receive.
+		drainRounds(out, func(more Response) bool {
+			write(more)
+			return true
+		})
+		if stuck == nil {
+			if err := bw.Flush(); err != nil {
+				stuck = err
+			}
+		}
+	}
+	if stuck == nil {
+		bw.Flush()
+	}
+}
+
+// handle executes one decoded request against the service and builds the
+// response, mapping typed service errors onto wire codes.
+func (s *Server) handle(req Request) Response {
+	resp := Response{ID: req.ID, Op: req.Op}
+	fail := func(err error) Response {
+		resp.Code = CodeOf(err)
+		resp.Detail = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case OpReserve:
+		resv, err := s.svc.ReserveBy(req.Ready, req.Procs, req.Dur, req.Deadline)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Resv = resv
+	case OpCancel:
+		if err := s.svc.Cancel(resd.ID(req.Resv)); err != nil {
+			return fail(err)
+		}
+	case OpQuery:
+		free, err := s.svc.Query(req.Ready)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Free = free
+	case OpSnapshot:
+		snap, err := s.svc.Snapshot(req.Shard)
+		if err != nil {
+			return fail(err)
+		}
+		resp.M = snap.M()
+		bps := snap.Breakpoints()
+		resp.Segs = make([]Segment, len(bps))
+		for i, bp := range bps {
+			resp.Segs[i] = Segment{Start: bp, Free: snap.AvailableAt(bp)}
+		}
+	case OpPing:
+		// liveness only: echo the header
+	case OpStats:
+		resp.Stats = s.svc.Stats()
+	default:
+		return fail(fmt.Errorf("%w: op %d", resd.ErrBadRequest, uint8(req.Op)))
+	}
+	return resp
+}

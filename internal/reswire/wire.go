@@ -1,0 +1,574 @@
+package reswire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/resd"
+)
+
+// Wire framing constants. Every message on the wire is one frame:
+//
+//	uint32  payload length (big endian, excludes these 4 bytes)
+//	uint16  magic   0x5257 ("RW")
+//	uint8   version (1)
+//	uint8   op
+//	uint64  request id (echoed verbatim in the response)
+//	...     op-specific body
+//
+// All integers are fixed-width big endian; there is no padding. Requests
+// flow client→server, responses server→client, so the direction of a frame
+// is implied by the connection side and the two kinds share the header.
+const (
+	// Magic is the first two payload bytes of every frame ("RW").
+	Magic uint16 = 0x5257
+	// Version is the protocol revision; a server refuses frames from a
+	// different revision rather than guessing at their layout.
+	Version uint8 = 1
+	// MaxFrame bounds a frame's payload. The decoder rejects larger
+	// length prefixes before allocating, so a hostile peer cannot make a
+	// reader allocate unbounded memory.
+	MaxFrame = 8 << 20
+	// maxDetail bounds the human-readable error detail in responses.
+	maxDetail = 1 << 10
+	// headerLen is magic+version+op+id.
+	headerLen = 2 + 1 + 1 + 8
+	// maxShards mirrors resd's shard-count ceiling (16 shard bits); used
+	// to bound Query/Stats response vectors during decoding.
+	maxShards = 1 << 16
+)
+
+// Op enumerates the protocol operations.
+type Op uint8
+
+const (
+	// OpReserve admits a reservation (optionally deadline-bounded).
+	OpReserve Op = 1 + iota
+	// OpCancel releases an admitted reservation by id.
+	OpCancel
+	// OpQuery reads the per-shard free capacity at an instant.
+	OpQuery
+	// OpSnapshot copies one shard's capacity profile as segments.
+	OpSnapshot
+	// OpPing is a liveness/RTT probe.
+	OpPing
+	// OpStats reads the per-shard load summaries.
+	OpStats
+)
+
+func (op Op) valid() bool { return op >= OpReserve && op <= OpStats }
+
+// String names the op for diagnostics.
+func (op Op) String() string {
+	switch op {
+	case OpReserve:
+		return "Reserve"
+	case OpCancel:
+		return "Cancel"
+	case OpQuery:
+		return "Query"
+	case OpSnapshot:
+		return "Snapshot"
+	case OpPing:
+		return "Ping"
+	case OpStats:
+		return "Stats"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(op))
+	}
+}
+
+// Code is a response status. CodeOK means the op succeeded; every other
+// code maps onto one of resd's typed errors so a remote caller can branch
+// with errors.Is exactly as an in-process caller would.
+type Code uint8
+
+const (
+	// CodeOK reports success.
+	CodeOK Code = iota
+	// CodeBadRequest maps resd.ErrBadRequest.
+	CodeBadRequest
+	// CodeNeverFits maps resd.ErrNeverFits (static α-rule rejection).
+	CodeNeverFits
+	// CodeUnknownID maps resd.ErrUnknownID.
+	CodeUnknownID
+	// CodeClosed maps resd.ErrClosed (service shutting down).
+	CodeClosed
+	// CodeRejectedDeadline maps resd.ErrDeadline: the request was
+	// feasible but its earliest start exceeded the caller's deadline.
+	CodeRejectedDeadline
+	// CodeInternal reports a server-side failure outside the typed set.
+	CodeInternal
+)
+
+// String names the code, REJECTED_DEADLINE-style, for logs and examples.
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "OK"
+	case CodeBadRequest:
+		return "BAD_REQUEST"
+	case CodeNeverFits:
+		return "REJECTED_NEVER_FITS"
+	case CodeUnknownID:
+		return "UNKNOWN_ID"
+	case CodeClosed:
+		return "CLOSED"
+	case CodeRejectedDeadline:
+		return "REJECTED_DEADLINE"
+	case CodeInternal:
+		return "INTERNAL"
+	default:
+		return fmt.Sprintf("Code(%d)", uint8(c))
+	}
+}
+
+// CodeOf maps a service error onto its wire code.
+func CodeOf(err error) Code {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, resd.ErrDeadline):
+		return CodeRejectedDeadline
+	case errors.Is(err, resd.ErrNeverFits):
+		return CodeNeverFits
+	case errors.Is(err, resd.ErrUnknownID):
+		return CodeUnknownID
+	case errors.Is(err, resd.ErrClosed):
+		return CodeClosed
+	case errors.Is(err, resd.ErrBadRequest):
+		return CodeBadRequest
+	default:
+		return CodeInternal
+	}
+}
+
+// ErrInternal is the client-side sentinel for CodeInternal responses.
+var ErrInternal = errors.New("reswire: internal server error")
+
+// Err reconstructs the typed error a code stands for, so errors.Is works
+// identically on both sides of the wire. detail is the server's message.
+func (c Code) Err(detail string) error {
+	var sentinel error
+	switch c {
+	case CodeOK:
+		return nil
+	case CodeBadRequest:
+		sentinel = resd.ErrBadRequest
+	case CodeNeverFits:
+		sentinel = resd.ErrNeverFits
+	case CodeUnknownID:
+		sentinel = resd.ErrUnknownID
+	case CodeClosed:
+		sentinel = resd.ErrClosed
+	case CodeRejectedDeadline:
+		sentinel = resd.ErrDeadline
+	default:
+		sentinel = ErrInternal
+	}
+	if detail == "" {
+		return fmt.Errorf("reswire: %s: %w", c, sentinel)
+	}
+	return fmt.Errorf("reswire: %s: %w (%s)", c, sentinel, detail)
+}
+
+// Protocol-level decoding errors.
+var (
+	// ErrFrame reports a malformed frame (bad magic, unknown op,
+	// truncated or oversized body, trailing bytes).
+	ErrFrame = errors.New("reswire: malformed frame")
+	// ErrVersion reports a frame from an unsupported protocol revision.
+	ErrVersion = errors.New("reswire: unsupported protocol version")
+)
+
+// Request is one decoded client→server message. Fields beyond ID and Op
+// are meaningful per op: Reserve uses Ready/Procs/Dur/Deadline, Cancel
+// uses Resv, Query uses Ready as the probe instant, Snapshot uses Shard.
+type Request struct {
+	ID       uint64
+	Op       Op
+	Ready    core.Time
+	Procs    int
+	Dur      core.Time
+	Deadline core.Time
+	Resv     uint64
+	Shard    int
+}
+
+// Segment is one constant piece of a snapshot's capacity step function:
+// Free processors are available from Start until the next segment's Start
+// (the last segment extends to infinity).
+type Segment struct {
+	Start core.Time
+	Free  int
+}
+
+// Response is one decoded server→client message. Code discriminates
+// success; on success the op-specific field is set (Resv for Reserve,
+// Free for Query, M+Segs for Snapshot, Stats for Stats).
+type Response struct {
+	ID     uint64
+	Op     Op
+	Code   Code
+	Detail string
+	Resv   resd.Reservation
+	Free   []int
+	M      int
+	Segs   []Segment
+	Stats  []resd.ShardStats
+}
+
+// appendHeader writes the shared frame header (after the length prefix).
+func appendHeader(dst []byte, op Op, id uint64) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, byte(op))
+	return binary.BigEndian.AppendUint64(dst, id)
+}
+
+func appendI64(dst []byte, v int64) []byte      { return binary.BigEndian.AppendUint64(dst, uint64(v)) }
+func appendI32(dst []byte, v int32) []byte      { return binary.BigEndian.AppendUint32(dst, uint32(v)) }
+func appendTime(dst []byte, t core.Time) []byte { return appendI64(dst, int64(t)) }
+
+// finishFrame back-fills the length prefix reserved at base.
+func finishFrame(dst []byte, base int) ([]byte, error) {
+	n := len(dst) - base - 4
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d byte payload exceeds MaxFrame", ErrFrame, n)
+	}
+	binary.BigEndian.PutUint32(dst[base:], uint32(n))
+	return dst, nil
+}
+
+// AppendRequest encodes req as one frame appended to dst.
+func AppendRequest(dst []byte, req Request) ([]byte, error) {
+	if !req.Op.valid() {
+		return nil, fmt.Errorf("%w: invalid op %d", ErrFrame, uint8(req.Op))
+	}
+	if req.Procs < -1<<31 || req.Procs > 1<<31-1 || req.Shard < -1<<31 || req.Shard > 1<<31-1 {
+		return nil, fmt.Errorf("%w: field exceeds int32 range", ErrFrame)
+	}
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = appendHeader(dst, req.Op, req.ID)
+	switch req.Op {
+	case OpReserve:
+		dst = appendTime(dst, req.Ready)
+		dst = appendI32(dst, int32(req.Procs))
+		dst = appendTime(dst, req.Dur)
+		dst = appendTime(dst, req.Deadline)
+	case OpCancel:
+		dst = binary.BigEndian.AppendUint64(dst, req.Resv)
+	case OpQuery:
+		dst = appendTime(dst, req.Ready)
+	case OpSnapshot:
+		dst = appendI32(dst, int32(req.Shard))
+	case OpPing, OpStats:
+		// header only
+	}
+	return finishFrame(dst, base)
+}
+
+// AppendResponse encodes resp as one frame appended to dst.
+func AppendResponse(dst []byte, resp Response) ([]byte, error) {
+	if !resp.Op.valid() {
+		return nil, fmt.Errorf("%w: invalid op %d", ErrFrame, uint8(resp.Op))
+	}
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = appendHeader(dst, resp.Op, resp.ID)
+	dst = append(dst, byte(resp.Code))
+	if resp.Code != CodeOK {
+		detail := resp.Detail
+		if len(detail) > maxDetail {
+			detail = detail[:maxDetail]
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(detail)))
+		dst = append(dst, detail...)
+		return finishFrame(dst, base)
+	}
+	switch resp.Op {
+	case OpReserve:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(resp.Resv.ID))
+		dst = appendI32(dst, int32(resp.Resv.Shard))
+		dst = appendTime(dst, resp.Resv.Start)
+		dst = appendTime(dst, resp.Resv.Dur)
+		dst = appendI32(dst, int32(resp.Resv.Procs))
+	case OpQuery:
+		if len(resp.Free) > maxShards {
+			return nil, fmt.Errorf("%w: %d shards in Query response", ErrFrame, len(resp.Free))
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Free)))
+		for _, f := range resp.Free {
+			dst = appendI32(dst, int32(f))
+		}
+	case OpSnapshot:
+		dst = appendI32(dst, int32(resp.M))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Segs)))
+		for _, s := range resp.Segs {
+			dst = appendTime(dst, s.Start)
+			dst = appendI32(dst, int32(s.Free))
+		}
+	case OpStats:
+		if len(resp.Stats) > maxShards {
+			return nil, fmt.Errorf("%w: %d shards in Stats response", ErrFrame, len(resp.Stats))
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Stats)))
+		for _, st := range resp.Stats {
+			dst = appendI64(dst, int64(st.Active))
+			dst = appendI64(dst, st.CommittedArea)
+			dst = binary.BigEndian.AppendUint64(dst, st.Admitted)
+			dst = binary.BigEndian.AppendUint64(dst, st.Cancelled)
+			dst = binary.BigEndian.AppendUint64(dst, st.Rejected)
+			dst = binary.BigEndian.AppendUint64(dst, st.RejectedDeadline)
+			dst = binary.BigEndian.AppendUint64(dst, st.Batches)
+			dst = binary.BigEndian.AppendUint64(dst, st.Ops)
+		}
+	case OpCancel, OpPing:
+		// header + code only
+	}
+	return finishFrame(dst, base)
+}
+
+// reader is a bounds-checked cursor over one frame payload.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated body at offset %d", ErrFrame, r.off)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i32() int32      { return int32(r.u32()) }
+func (r *reader) i64() int64      { return int64(r.u64()) }
+func (r *reader) time() core.Time { return core.Time(r.i64()) }
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// header consumes and validates the shared frame header, returning op+id.
+func (r *reader) header() (Op, uint64) {
+	if magic := r.u16(); r.err == nil && magic != Magic {
+		r.err = fmt.Errorf("%w: magic %#04x", ErrFrame, magic)
+	}
+	if v := r.u8(); r.err == nil && v != Version {
+		r.err = fmt.Errorf("%w: got %d, support %d", ErrVersion, v, Version)
+	}
+	op := Op(r.u8())
+	if r.err == nil && !op.valid() {
+		r.err = fmt.Errorf("%w: unknown op %d", ErrFrame, uint8(op))
+	}
+	return op, r.u64()
+}
+
+// done rejects trailing bytes: a frame must be consumed exactly.
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(r.b)-r.off)
+	}
+	return nil
+}
+
+// DecodeRequest parses one request payload (a frame minus its length
+// prefix). It never panics on hostile input and consumes the payload
+// exactly or fails.
+func DecodeRequest(payload []byte) (Request, error) {
+	r := &reader{b: payload}
+	var req Request
+	req.Op, req.ID = r.header()
+	if r.err != nil {
+		return Request{}, r.err
+	}
+	switch req.Op {
+	case OpReserve:
+		req.Ready = r.time()
+		req.Procs = int(r.i32())
+		req.Dur = r.time()
+		req.Deadline = r.time()
+	case OpCancel:
+		req.Resv = r.u64()
+	case OpQuery:
+		req.Ready = r.time()
+	case OpSnapshot:
+		req.Shard = int(r.i32())
+	case OpPing, OpStats:
+	}
+	if err := r.done(); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// DecodeResponse parses one response payload. Length-prefixed vectors are
+// validated against the remaining payload before allocation, so a hostile
+// count cannot force a large allocation.
+func DecodeResponse(payload []byte) (Response, error) {
+	r := &reader{b: payload}
+	var resp Response
+	resp.Op, resp.ID = r.header()
+	if r.err != nil {
+		return Response{}, r.err
+	}
+	resp.Code = Code(r.u8())
+	if resp.Code != CodeOK {
+		n := int(r.u16())
+		if n > maxDetail {
+			r.err = fmt.Errorf("%w: %d byte error detail", ErrFrame, n)
+		}
+		resp.Detail = string(r.bytes(n))
+		if err := r.done(); err != nil {
+			return Response{}, err
+		}
+		return resp, nil
+	}
+	switch resp.Op {
+	case OpReserve:
+		resp.Resv.ID = resd.ID(r.u64())
+		resp.Resv.Shard = int(r.i32())
+		resp.Resv.Start = r.time()
+		resp.Resv.Dur = r.time()
+		resp.Resv.Procs = int(r.i32())
+	case OpQuery:
+		n := int(r.u32())
+		if n > maxShards || (r.err == nil && 4*n > len(r.b)-r.off) {
+			r.fail()
+			break
+		}
+		resp.Free = make([]int, n)
+		for i := range resp.Free {
+			resp.Free[i] = int(r.i32())
+		}
+	case OpSnapshot:
+		resp.M = int(r.i32())
+		n := int(r.u32())
+		if r.err == nil && 12*n > len(r.b)-r.off {
+			r.fail()
+			break
+		}
+		resp.Segs = make([]Segment, n)
+		for i := range resp.Segs {
+			resp.Segs[i].Start = r.time()
+			resp.Segs[i].Free = int(r.i32())
+		}
+	case OpStats:
+		n := int(r.u32())
+		if n > maxShards || (r.err == nil && 64*n > len(r.b)-r.off) {
+			r.fail()
+			break
+		}
+		resp.Stats = make([]resd.ShardStats, n)
+		for i := range resp.Stats {
+			resp.Stats[i].Active = int(r.i64())
+			resp.Stats[i].CommittedArea = r.i64()
+			resp.Stats[i].Admitted = r.u64()
+			resp.Stats[i].Cancelled = r.u64()
+			resp.Stats[i].Rejected = r.u64()
+			resp.Stats[i].RejectedDeadline = r.u64()
+			resp.Stats[i].Batches = r.u64()
+			resp.Stats[i].Ops = r.u64()
+		}
+	case OpCancel, OpPing:
+	}
+	if err := r.done(); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// ReadFrame reads one length-prefixed payload from br. The length prefix
+// is validated against MaxFrame before the payload is allocated.
+func ReadFrame(br *bufio.Reader) ([]byte, error) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(br, lenbuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenbuf[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d byte payload exceeds MaxFrame %d", ErrFrame, n, MaxFrame)
+	}
+	if n < headerLen {
+		return nil, fmt.Errorf("%w: %d byte payload shorter than header", ErrFrame, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("%w: truncated frame: %v", ErrFrame, err)
+	}
+	return payload, nil
+}
+
+// ReadRequest reads and decodes one request frame.
+func ReadRequest(br *bufio.Reader) (Request, error) {
+	payload, err := ReadFrame(br)
+	if err != nil {
+		return Request{}, err
+	}
+	return DecodeRequest(payload)
+}
+
+// ReadResponse reads and decodes one response frame.
+func ReadResponse(br *bufio.Reader) (Response, error) {
+	payload, err := ReadFrame(br)
+	if err != nil {
+		return Response{}, err
+	}
+	return DecodeResponse(payload)
+}
