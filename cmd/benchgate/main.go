@@ -1,15 +1,17 @@
 // Command benchgate is the CI bench-regression gate: it parses `go test
 // -bench` output and compares the recorded hot paths against their
 // baselines — the tree-backend figures in BENCH_restree.json and
-// BENCH_resd.json, and the wire-throughput matrix in BENCH_reswire.json —
-// failing (exit 1) when any measured figure exceeds its recorded baseline
-// by more than the threshold factor.
+// BENCH_resd.json, the wire-throughput matrix in BENCH_reswire.json, and
+// the multi-tenant quota matrix in BENCH_tenant.json — failing (exit 1)
+// when any measured figure exceeds its recorded baseline by more than the
+// threshold factor.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'CapacityIndex|ResdThroughput|WireThroughput' -benchtime=0.2s . | tee bench.out
+//	go test -run '^$' -bench 'CapacityIndex|ResdThroughput|WireThroughput|TenantThroughput' \
+//	    -benchtime=0.2s . | tee bench.out
 //	benchgate -bench bench.out -restree BENCH_restree.json -resd BENCH_resd.json \
-//	    -reswire BENCH_reswire.json -threshold 2
+//	    -reswire BENCH_reswire.json -tenant BENCH_tenant.json -threshold 2
 //
 // The threshold is deliberately generous (default 2×): the gate exists to
 // catch algorithmic regressions — an accidental O(n) scan reintroduced on
@@ -135,6 +137,31 @@ func reswireBaselines(path string) ([]baseline, error) {
 	return out, nil
 }
 
+// tenantBaselines loads BENCH_tenant.json rows as expectations on
+// BenchmarkTenantThroughput sub-benchmarks (both enforcement modes across
+// the tenant axis: a lock sneaking onto the lock-free acquire path or a
+// per-tenant scan shows up at every row).
+func tenantBaselines(path string) ([]baseline, error) {
+	var doc struct {
+		Rows []struct {
+			Tenants int     `json:"tenants"`
+			Mode    string  `json:"mode"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"rows"`
+	}
+	if err := readJSON(path, &doc); err != nil {
+		return nil, err
+	}
+	var out []baseline
+	for _, r := range doc.Rows {
+		out = append(out, baseline{
+			name: fmt.Sprintf("BenchmarkTenantThroughput/tenants=%d/mode=%s", r.Tenants, r.Mode),
+			ns:   r.NsPerOp,
+		})
+	}
+	return out, nil
+}
+
 func readJSON(path string, v any) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -173,6 +200,7 @@ func run() error {
 	restree := flag.String("restree", "BENCH_restree.json", "capacity-index baseline ('' to skip)")
 	resd := flag.String("resd", "BENCH_resd.json", "admission-service baseline ('' to skip)")
 	reswire := flag.String("reswire", "BENCH_reswire.json", "wire-throughput baseline ('' to skip)")
+	tenantPath := flag.String("tenant", "BENCH_tenant.json", "quota-throughput baseline ('' to skip)")
 	threshold := flag.Float64("threshold", 2.0, "allowed slowdown factor vs baseline")
 	flag.Parse()
 
@@ -213,6 +241,13 @@ func run() error {
 	}
 	if *reswire != "" {
 		bs, err := reswireBaselines(*reswire)
+		if err != nil {
+			return err
+		}
+		baselines = append(baselines, bs...)
+	}
+	if *tenantPath != "" {
+		bs, err := tenantBaselines(*tenantPath)
 		if err != nil {
 			return err
 		}

@@ -148,4 +148,22 @@ func TestBaselineLoaders(t *testing.T) {
 			t.Fatalf("unexpected reswire baseline: %+v", b)
 		}
 	}
+	tn, err := tenantBaselines("../../BENCH_tenant.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tn) != 6 {
+		t.Fatalf("tenant baselines: want 6 rows (3 tenant counts × hard/soft), got %+v", tn)
+	}
+	wantTenant := map[string]bool{}
+	for _, tenants := range []int{1, 4, 16} {
+		for _, mode := range []string{"hard", "soft"} {
+			wantTenant[fmt.Sprintf("BenchmarkTenantThroughput/tenants=%d/mode=%s", tenants, mode)] = true
+		}
+	}
+	for _, b := range tn {
+		if !wantTenant[b.name] || b.ns <= 0 {
+			t.Fatalf("unexpected tenant baseline: %+v", b)
+		}
+	}
 }

@@ -8,10 +8,25 @@
 //
 //	resdsrv -addr :7433 -shards 8 -m 256 -alpha 0.5 -backend tree
 //	resdsrv -addr 127.0.0.1:0 -placement p2c    # ephemeral port, printed
+//	resdsrv -quotas quotas.json -qhorizon 1000000   # multi-tenant budgets
 //
-// Drive it with cmd/resload's -addr flag, the examples/wire walkthrough,
-// or any reswire.Client. SIGINT/SIGTERM shut the listener and service
-// down cleanly.
+// With -quotas, the server partitions the reservable α-prefix between
+// tenants: the JSON file declares the enforcement mode ("hard" rejects
+// with REJECTED_QUOTA, "soft" reorders contended batches by fair share)
+// and the group/tenant share hierarchy, and budgets resolve against
+// shards × (m − ⌊α·m⌋) × -qhorizon processor·ticks. For example:
+//
+//	{
+//	  "mode": "hard",
+//	  "groups":  [{"name": "prod", "share": 0.75}],
+//	  "tenants": [{"name": "etl", "group": "prod", "share": 0.5},
+//	              {"name": "adhoc", "share": 0.1}]
+//	}
+//
+// Drive it with cmd/resload's -addr flag (add -tenants for a multi-tenant
+// mix), the examples/wire and examples/tenant walkthroughs, or any
+// reswire.Client. SIGINT/SIGTERM shut the listener and service down
+// cleanly.
 package main
 
 import (
@@ -27,6 +42,7 @@ import (
 	"repro/internal/resd"
 	"repro/internal/reswire"
 	"repro/internal/rng"
+	"repro/internal/tenant"
 	"repro/internal/workload"
 )
 
@@ -41,6 +57,8 @@ func run() error {
 	nres := flag.Int("nres", 0, "pre-existing reservations per shard (maintenance windows)")
 	horizon := flag.Int64("horizon", 1<<20, "time horizon the -nres pre-reservations are drawn over")
 	seed := flag.Uint64("seed", 1, "pre-reservation generator seed")
+	quotas := flag.String("quotas", "", "tenant quota spec file (JSON); enables multi-tenant budgets")
+	qhorizon := flag.Int64("qhorizon", 1<<20, "accounting horizon the -quotas budgets resolve against")
 	flag.Parse()
 
 	if err := cliflag.First(
@@ -55,10 +73,17 @@ func run() error {
 	if *horizon < 1 {
 		return fmt.Errorf("%w: -horizon must be positive, got %d", cliflag.ErrFlag, *horizon)
 	}
+	if *qhorizon < 1 {
+		return fmt.Errorf("%w: -qhorizon must be positive, got %d", cliflag.ErrFlag, *qhorizon)
+	}
 	if *nres > 0 {
 		if err := cliflag.PositiveUnit("alpha", *alpha); err != nil {
 			return fmt.Errorf("%w (α must be positive when -nres > 0)", err)
 		}
+	}
+	reg, err := loadQuotas(*quotas, *shards, *m, *alpha, *qhorizon)
+	if err != nil {
+		return err
 	}
 
 	var pre []core.Reservation
@@ -68,6 +93,7 @@ func run() error {
 	svc, err := resd.New(resd.Config{
 		Shards: *shards, M: *m, Alpha: *alpha, Backend: *backend,
 		Placement: *placement, Batch: *batch, Seed: *seed, Pre: pre,
+		Quotas: reg,
 	})
 	if err != nil {
 		return err
@@ -90,10 +116,38 @@ func run() error {
 
 	fmt.Printf("resdsrv: listening on %s — %d shards × m=%d (α=%.2f, floor %d), backend %s, placement %s\n",
 		ln.Addr(), svc.Shards(), svc.M(), *alpha, svc.Floor(), *backend, svc.Placement())
+	if reg != nil {
+		fmt.Printf("resdsrv: quotas %s mode, capacity %d processor·ticks, %d declared tenants\n",
+			reg.Mode(), reg.Capacity(), len(reg.Tenants()))
+	}
 	if err := srv.Serve(ln); err != reswire.ErrServerClosed {
 		return err
 	}
 	return nil
+}
+
+// loadQuotas builds the tenant registry from the -quotas spec file, with
+// budgets resolved against the α-prefix area the flags describe:
+// shards × (m − ⌊α·m⌋) × qhorizon. An empty path disables quotas; a
+// spec that cannot bind anything (α=1 leaves no reservable prefix) is a
+// flag error, caught here rather than surfacing as a registry panic.
+func loadQuotas(path string, shards, m int, alpha float64, qhorizon int64) (*tenant.Registry, error) {
+	if path == "" {
+		return nil, nil
+	}
+	spec, err := tenant.LoadSpec(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: -quotas: %w", cliflag.ErrFlag, err)
+	}
+	capacity := tenant.PrefixCapacity(shards, m, alpha, qhorizon)
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: -quotas with α=%v leaves no reservable prefix to budget", cliflag.ErrFlag, alpha)
+	}
+	reg, err := tenant.New(capacity, spec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: -quotas: %w", cliflag.ErrFlag, err)
+	}
+	return reg, nil
 }
 
 func main() {

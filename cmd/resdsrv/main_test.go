@@ -1,0 +1,60 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cliflag"
+	"repro/internal/tenant"
+)
+
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "quotas.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadQuotasResolvesCapacity(t *testing.T) {
+	path := writeSpec(t, `{
+		"mode": "soft",
+		"groups":  [{"name": "prod", "share": 0.5}],
+		"tenants": [{"name": "etl", "group": "prod", "share": 0.5}]
+	}`)
+	// 4 shards × (64 − ⌊0.25·64⌋) × 1000 = 4 × 48 × 1000.
+	reg, err := loadQuotas(path, 4, 64, 0.25, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Capacity() != 4*48*1000 || reg.Mode() != tenant.Soft {
+		t.Fatalf("capacity %d mode %v", reg.Capacity(), reg.Mode())
+	}
+	if u := reg.Usage("etl"); u.Budget != 4*48*1000/4 {
+		t.Fatalf("etl budget = %d, want 48000 (0.5 of 0.5)", u.Budget)
+	}
+}
+
+func TestLoadQuotasFlagErrors(t *testing.T) {
+	if reg, err := loadQuotas("", 4, 64, 0.5, 1000); reg != nil || err != nil {
+		t.Fatalf("empty path: reg=%v err=%v, want nil/nil", reg, err)
+	}
+	if _, err := loadQuotas(filepath.Join(t.TempDir(), "missing.json"), 4, 64, 0.5, 1000); !errors.Is(err, cliflag.ErrFlag) {
+		t.Fatalf("missing file err = %v, want ErrFlag", err)
+	}
+	bad := writeSpec(t, `{"mode": "gentle"}`)
+	if _, err := loadQuotas(bad, 4, 64, 0.5, 1000); !errors.Is(err, cliflag.ErrFlag) || !errors.Is(err, tenant.ErrConfig) {
+		t.Fatalf("bad spec err = %v, want ErrFlag wrapping ErrConfig", err)
+	}
+	typo := writeSpec(t, `{"tennants": []}`)
+	if _, err := loadQuotas(typo, 4, 64, 0.5, 1000); !errors.Is(err, cliflag.ErrFlag) {
+		t.Fatalf("typo'd key err = %v, want ErrFlag", err)
+	}
+	ok := writeSpec(t, `{"mode": "hard"}`)
+	if _, err := loadQuotas(ok, 4, 64, 1.0, 1000); !errors.Is(err, cliflag.ErrFlag) {
+		t.Fatalf("α=1 err = %v, want ErrFlag (no reservable prefix)", err)
+	}
+}

@@ -13,6 +13,7 @@
 //	resload -addr 127.0.0.1:7433 -n 100000 -clients 16 -conns 4
 //	resload -addr 127.0.0.1:7433 -pipeline=false           # RPC baseline
 //	resload -slack 500 -n 20000                            # SLA mode
+//	resload -tenants 8 -skew zipf -quotamode hard          # multi-tenant mix
 //
 // Each request asks for the earliest admissible slot at or after its
 // arrival time; -slack gives every request a deadline that many ticks
@@ -20,8 +21,19 @@
 // come back as explicit REJECTED_DEADLINE answers. -cancelfrac controls
 // how much of the admitted load is cancelled again by the clients, which
 // keeps the shard indexes at a steady state instead of growing without
-// bound. The summary separates admissions, rejections (α rule and
-// deadline, expected under load) and hard errors (never expected).
+// bound. The summary separates admissions, rejections (α rule, deadline
+// and tenant quota, expected under load) and hard errors (never
+// expected).
+//
+// With -tenants N the stream is attributed to N tenants, spread
+// uniformly or — production-shaped — by a zipf(1.1) popularity law
+// (-skew zipf: a couple of tenants dominate, the rest trickle), and the
+// summary adds a per-tenant table: admissions, each rejection kind, and
+// p50/p90/p99 latency per tenant. -quotamode hard|soft additionally
+// builds an in-process quota registry giving every tenant an equal share
+// of the α-prefix, so hard mode shows REJECTED_QUOTA load shedding and
+// soft mode shows fair-share ordering; against a remote server the
+// budgets come from resdsrv's own -quotas file instead.
 package main
 
 import (
@@ -40,6 +52,7 @@ import (
 	"repro/internal/reswire"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/tenant"
 	"repro/internal/workload"
 )
 
@@ -61,6 +74,9 @@ func run() error {
 	batch := flag.Int("batch", 64, "max requests group-committed per event-loop turn")
 	seed := flag.Uint64("seed", 1, "workload generator seed")
 	swf := flag.String("swf", "", "SWF trace file (overrides synthetic generation)")
+	tenants := flag.Int("tenants", 0, "attribute the stream to this many tenants (0 = single default tenant)")
+	skew := flag.String("skew", "uniform", "tenant popularity (uniform or zipf)")
+	quotamode := flag.String("quotamode", "", "in-process quota enforcement with equal shares (hard or soft; '' = no quotas)")
 	flag.Parse()
 
 	if err := cliflag.First(
@@ -74,11 +90,25 @@ func run() error {
 		cliflag.Unit("cancelfrac", *cancelfrac),
 		cliflag.Positive("batch", *batch),
 		cliflag.Positive("conns", *conns),
+		cliflag.NonNegative("tenants", *tenants),
 	); err != nil {
 		return err
 	}
 	if *slack < 0 {
 		return fmt.Errorf("%w: -slack must be >= 0, got %d", cliflag.ErrFlag, *slack)
+	}
+	if *tenants > maxTenants {
+		// latTenant records tenant indices as uint16; more tenants than
+		// that would silently alias rows in the per-tenant table.
+		return fmt.Errorf("%w: -tenants must be <= %d, got %d", cliflag.ErrFlag, maxTenants, *tenants)
+	}
+	if *skew != "uniform" && *skew != "zipf" {
+		return fmt.Errorf("%w: -skew must be uniform or zipf, got %q", cliflag.ErrFlag, *skew)
+	}
+	if *quotamode != "" {
+		if _, err := tenant.ParseMode(*quotamode); err != nil {
+			return fmt.Errorf("%w: -quotamode: %v", cliflag.ErrFlag, err)
+		}
 	}
 	if *nres > 0 {
 		if err := cliflag.PositiveUnit("alpha", *alpha); err != nil {
@@ -86,7 +116,8 @@ func run() error {
 		}
 	}
 
-	reqs, err := requestStream(*swf, *m, *n, *alpha, *seed, core.Time(*slack))
+	names := tenantNames(*tenants)
+	reqs, err := requestStream(*swf, *m, *n, *alpha, *seed, core.Time(*slack), len(names), *skew)
 	if err != nil {
 		return err
 	}
@@ -117,9 +148,17 @@ func run() error {
 		if *nres > 0 {
 			pre = workload.ReservationStream(rng.New(*seed^0xBEEF), *m, *alpha, *nres, horizonOf(reqs))
 		}
+		var reg *tenant.Registry
+		if *quotamode != "" {
+			reg, err = equalShareRegistry(*quotamode, names, *shards, *m, *alpha, horizonOf(reqs))
+			if err != nil {
+				return err
+			}
+		}
 		svc, err = resd.New(resd.Config{
 			Shards: *shards, M: *m, Alpha: *alpha, Backend: *backend,
 			Placement: *placement, Batch: *batch, Seed: *seed, Pre: pre,
+			Quotas: reg,
 		})
 		if err != nil {
 			return err
@@ -128,13 +167,17 @@ func run() error {
 		target = svc
 		fmt.Printf("resload: %d requests, %d shards × m=%d (α=%.2f, floor %d), backend %s, placement %s, %d clients\n",
 			len(reqs), *shards, *m, *alpha, svc.Floor(), *backend, *placement, *clients)
+		if reg != nil {
+			fmt.Printf("resload: quotas %s mode, %d tenants × share %.3f of %d processor·ticks\n",
+				reg.Mode(), len(names), 1/float64(len(names)), reg.Capacity())
+		}
 	}
 
-	res := replay(target, reqs, *clients, *rate, *cancelfrac, *seed)
+	res := replay(target, reqs, names, *clients, *rate, *cancelfrac, *seed)
 
-	sort.Float64s(res.lats)
-	fmt.Printf("\n%d admitted, %d rejected (%d α-rule, %d deadline), %d errors in %v (%.0f req/s achieved",
-		len(res.admitted), res.rejectedAlpha+res.rejectedDeadline, res.rejectedAlpha, res.rejectedDeadline,
+	totalRej := res.rejectedAlpha + res.rejectedDeadline + res.rejectedQuota
+	fmt.Printf("\n%d admitted, %d rejected (%d α-rule, %d deadline, %d quota), %d errors in %v (%.0f req/s achieved",
+		len(res.admitted), totalRej, res.rejectedAlpha, res.rejectedDeadline, res.rejectedQuota,
 		res.errored, res.elapsed.Round(time.Millisecond), float64(len(reqs))/res.elapsed.Seconds())
 	if *rate > 0 {
 		fmt.Printf(", target %.0f", *rate)
@@ -145,6 +188,7 @@ func run() error {
 			res.errored, res.firstErr)
 	}
 
+	sort.Float64s(res.lats)
 	if len(res.lats) > 0 {
 		tbl := stats.NewTable("metric", "latency")
 		for _, p := range []struct {
@@ -157,21 +201,94 @@ func run() error {
 		fmt.Print(tbl.String())
 	}
 
+	if len(names) > 1 {
+		fmt.Print(tenantTable(names, res).String())
+	}
+
 	shardStats, err := shardStatsOf(target, svc)
 	if err != nil {
 		return err
 	}
-	shtbl := stats.NewTable("shard", "active", "area", "admitted", "cancelled", "rej-α", "rej-dl", "batches", "ops/batch")
+	shtbl := stats.NewTable("shard", "active", "area", "admitted", "cancelled", "rej-α", "rej-dl", "rej-q", "batches", "ops/batch")
 	for i, st := range shardStats {
 		opb := 0.0
 		if st.Batches > 0 {
 			opb = float64(st.Ops) / float64(st.Batches)
 		}
 		shtbl.AddRow(i, st.Active, st.CommittedArea, int64(st.Admitted), int64(st.Cancelled),
-			int64(st.Rejected), int64(st.RejectedDeadline), int64(st.Batches), fmt.Sprintf("%.2f", opb))
+			int64(st.Rejected), int64(st.RejectedDeadline), int64(st.RejectedQuota),
+			int64(st.Batches), fmt.Sprintf("%.2f", opb))
 	}
 	fmt.Print(shtbl.String())
 	return nil
+}
+
+// maxTenants caps -tenants at what the uint16 latTenant recording buffer
+// can index.
+const maxTenants = 1<<16 - 1
+
+// tenantNames derives the stream's accounting identities: the single
+// default tenant when multi-tenancy is off, or t0..tN-1.
+func tenantNames(n int) []string {
+	if n == 0 {
+		return []string{""}
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("t%d", i)
+	}
+	return out
+}
+
+// equalShareRegistry builds the in-process quota registry -quotamode asks
+// for: every tenant an equal share of the whole α-prefix area over the
+// stream's horizon.
+func equalShareRegistry(mode string, names []string, shards, m int, alpha float64, horizon core.Time) (*tenant.Registry, error) {
+	capacity := tenant.PrefixCapacity(shards, m, alpha, int64(horizon))
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: -quotamode with α=%v leaves no reservable prefix to budget", cliflag.ErrFlag, alpha)
+	}
+	spec := tenant.Spec{Mode: mode}
+	for _, name := range names {
+		if name == "" {
+			name = tenant.DefaultTenant
+		}
+		spec.Tenants = append(spec.Tenants, tenant.TenantSpec{Name: name, Share: 1 / float64(len(names))})
+	}
+	reg, err := tenant.New(capacity, spec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: -quotamode: %w", cliflag.ErrFlag, err)
+	}
+	return reg, nil
+}
+
+// tenantTable renders the per-tenant breakdown: request mix, admission
+// and rejection counts, and latency percentiles. The percentile buckets
+// are assembled here, at summary time, from the flat recording buffers —
+// the hot path never allocates per request.
+func tenantTable(names []string, res result) *stats.Table {
+	buckets := make([][]float64, len(names))
+	for i, lat := range res.lats {
+		ti := res.latTenant[i]
+		buckets[ti] = append(buckets[ti], lat)
+	}
+	tbl := stats.NewTable("tenant", "reqs", "admitted", "rej-α", "rej-dl", "rej-q", "errors", "p50", "p90", "p99")
+	for i, name := range names {
+		if name == "" {
+			name = tenant.DefaultTenant
+		}
+		tc := res.perTenant[i]
+		sort.Float64s(buckets[i])
+		p := func(q float64) string {
+			if len(buckets[i]) == 0 {
+				return "-"
+			}
+			return time.Duration(stats.Percentile(buckets[i], q)).Round(time.Microsecond).String()
+		}
+		tbl.AddRow(name, tc.reqs, tc.admitted, tc.rejAlpha, tc.rejDeadline, tc.rejQuota, tc.errored,
+			p(50), p(90), p(99))
+	}
+	return tbl
 }
 
 // serverSideFlagsSet lists explicitly-set flags that only configure the
@@ -182,6 +299,7 @@ func run() error {
 func serverSideFlagsSet() []string {
 	serverOnly := map[string]bool{
 		"shards": true, "nres": true, "backend": true, "placement": true, "batch": true,
+		"quotamode": true,
 	}
 	var set []string
 	flag.Visit(func(f *flag.Flag) {
@@ -195,7 +313,7 @@ func serverSideFlagsSet() []string {
 // admitter is the slice of the service the load generator drives; both
 // the in-process *resd.Service and the remote *reswire.Client satisfy it.
 type admitter interface {
-	ReserveBy(ready core.Time, q int, dur core.Time, deadline core.Time) (resd.Reservation, error)
+	ReserveFor(tenant string, ready core.Time, q int, dur core.Time, deadline core.Time) (resd.Reservation, error)
 	Cancel(id resd.ID) error
 }
 
@@ -208,18 +326,23 @@ func shardStatsOf(target admitter, svc *resd.Service) ([]resd.ShardStats, error)
 	return target.(*reswire.Client).Stats()
 }
 
-// request is one generated admission request.
+// request is one generated admission request. tenant indexes the run's
+// tenant-name table.
 type request struct {
 	ready    core.Time
 	q        int
 	dur      core.Time
 	deadline core.Time
+	tenant   int
 }
 
 // requestStream derives the request stream: each workload arrival becomes
 // "earliest admissible slot of q processors for dur ticks at or after the
-// arrival instant", deadline-bounded when slack is positive.
-func requestStream(swf string, m, n int, alpha float64, seed uint64, slack core.Time) ([]request, error) {
+// arrival instant", deadline-bounded when slack is positive and
+// attributed to one of tenants identities by the skew law. Tenant
+// assignment draws from its own rng stream, so the workload shape is
+// identical whatever the tenant mix.
+func requestStream(swf string, m, n int, alpha float64, seed uint64, slack core.Time, tenants int, skew string) ([]request, error) {
 	var arrivals []workload.Arrival
 	if swf != "" {
 		f, err := os.Open(swf)
@@ -250,6 +373,17 @@ func requestStream(swf string, m, n int, alpha float64, seed uint64, slack core.
 			return nil, err
 		}
 	}
+	var sampleTenant func() int
+	switch {
+	case tenants <= 1:
+		sampleTenant = func() int { return 0 }
+	case skew == "zipf":
+		z := rng.NewZipf(rng.NewStream(seed, 0x7E4A), tenants, 1.1)
+		sampleTenant = z.Next
+	default:
+		r := rng.NewStream(seed, 0x7E4A)
+		sampleTenant = func() int { return r.Intn(tenants) }
+	}
 	reqs := make([]request, 0, len(arrivals))
 	for _, a := range arrivals {
 		q := a.Job.Procs
@@ -260,7 +394,7 @@ func requestStream(swf string, m, n int, alpha float64, seed uint64, slack core.
 		if slack > 0 {
 			deadline = a.At + slack
 		}
-		reqs = append(reqs, request{ready: a.At, q: q, dur: a.Job.Len, deadline: deadline})
+		reqs = append(reqs, request{ready: a.At, q: q, dur: a.Job.Len, deadline: deadline, tenant: sampleTenant()})
 	}
 	return reqs, nil
 }
@@ -285,40 +419,67 @@ func horizonOf(reqs []request) core.Time {
 	return h
 }
 
-// result is one replay's outcome. Rejections (the α rule or a deadline
-// saying no, by design) are kept strictly apart from hard errors
-// (protocol failures, closed services): conflating them hides real
+// tenantCounts tallies one tenant's outcomes.
+type tenantCounts struct {
+	reqs, admitted, rejAlpha, rejDeadline, rejQuota, errored int
+}
+
+// result is one replay's outcome. Rejections (the α rule, a deadline or a
+// tenant quota saying no, by design) are kept strictly apart from hard
+// errors (protocol failures, closed services): conflating them hides real
 // failures inside expected load shedding.
+//
+// lats and latTenant are parallel flat buffers — sample i's latency and
+// tenant index — preallocated to the stream size before the clients
+// start, so the recording path appends without ever allocating; the
+// per-tenant percentile buckets are only assembled afterwards, in
+// tenantTable.
 type result struct {
 	lats             []float64 // per-admission latency, ns
+	latTenant        []uint16  // tenant index per latency sample
 	admitted         []resd.Reservation
+	perTenant        []tenantCounts
 	rejectedAlpha    int
 	rejectedDeadline int
+	rejectedQuota    int
 	errored          int
 	firstErr         error
 	elapsed          time.Duration
 }
 
 // classify buckets one Reserve outcome.
-func classify(err error) (alphaRej, deadlineRej, hard bool) {
+func classify(err error) (alphaRej, deadlineRej, quotaRej, hard bool) {
 	switch {
 	case err == nil:
-		return false, false, false
+		return false, false, false, false
+	case errors.Is(err, resd.ErrQuota):
+		return false, false, true, false
 	case errors.Is(err, resd.ErrDeadline):
-		return false, true, false
+		return false, true, false, false
 	case errors.Is(err, resd.ErrNeverFits):
-		return true, false, false
+		return true, false, false, false
 	default:
-		return false, false, true
+		return false, false, false, true
 	}
 }
 
 // replay pushes the request stream through the admitter from the given
 // number of client goroutines, pacing the aggregate at rate requests per
-// second when positive.
-func replay(svc admitter, reqs []request, clients int, rate, cancelfrac float64, seed uint64) result {
+// second when positive. names[req.tenant] attributes each request — the
+// same table run() built the quota registry from, passed in rather than
+// re-derived so attribution and enforcement can never disagree.
+func replay(svc admitter, reqs []request, names []string, clients int, rate, cancelfrac float64, seed uint64) result {
 	work := make(chan request, 4*clients)
 	perClient := make([]result, clients)
+	for c := range perClient {
+		// Preallocate the recording buffers to the whole stream: the work
+		// channel does not promise an even split, and a per-request append
+		// that grows mid-run would allocate exactly where latency is being
+		// measured.
+		perClient[c].lats = make([]float64, 0, len(reqs))
+		perClient[c].latTenant = make([]uint16, 0, len(reqs))
+		perClient[c].perTenant = make([]tenantCounts, len(names))
+	}
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -328,17 +489,25 @@ func replay(svc admitter, reqs []request, clients int, rate, cancelfrac float64,
 			r := rng.NewStream(seed, uint64(c))
 			var held []resd.Reservation
 			for req := range work {
+				tc := &res.perTenant[req.tenant]
+				tc.reqs++
 				t0 := time.Now()
-				resv, err := svc.ReserveBy(req.ready, req.q, req.dur, req.deadline)
+				resv, err := svc.ReserveFor(names[req.tenant], req.ready, req.q, req.dur, req.deadline)
 				lat := time.Since(t0)
-				if alphaRej, deadlineRej, hard := classify(err); err != nil {
+				if alphaRej, deadlineRej, quotaRej, hard := classify(err); err != nil {
 					switch {
 					case alphaRej:
 						res.rejectedAlpha++
+						tc.rejAlpha++
 					case deadlineRej:
 						res.rejectedDeadline++
+						tc.rejDeadline++
+					case quotaRej:
+						res.rejectedQuota++
+						tc.rejQuota++
 					case hard:
 						res.errored++
+						tc.errored++
 						if res.firstErr == nil {
 							res.firstErr = err
 						}
@@ -346,7 +515,9 @@ func replay(svc admitter, reqs []request, clients int, rate, cancelfrac float64,
 					continue
 				}
 				res.lats = append(res.lats, float64(lat))
+				res.latTenant = append(res.latTenant, uint16(req.tenant))
 				res.admitted = append(res.admitted, resv)
+				tc.admitted++
 				held = append(held, resv)
 				if r.Bool(cancelfrac) {
 					k := r.Intn(len(held))
@@ -378,15 +549,25 @@ func replay(svc admitter, reqs []request, clients int, rate, cancelfrac float64,
 	close(work)
 	wg.Wait()
 
-	var total result
+	total := result{perTenant: make([]tenantCounts, len(names))}
 	total.elapsed = time.Since(start)
 	for c := range perClient {
 		pc := &perClient[c]
 		total.lats = append(total.lats, pc.lats...)
+		total.latTenant = append(total.latTenant, pc.latTenant...)
 		total.admitted = append(total.admitted, pc.admitted...)
 		total.rejectedAlpha += pc.rejectedAlpha
 		total.rejectedDeadline += pc.rejectedDeadline
+		total.rejectedQuota += pc.rejectedQuota
 		total.errored += pc.errored
+		for i := range pc.perTenant {
+			total.perTenant[i].reqs += pc.perTenant[i].reqs
+			total.perTenant[i].admitted += pc.perTenant[i].admitted
+			total.perTenant[i].rejAlpha += pc.perTenant[i].rejAlpha
+			total.perTenant[i].rejDeadline += pc.perTenant[i].rejDeadline
+			total.perTenant[i].rejQuota += pc.perTenant[i].rejQuota
+			total.perTenant[i].errored += pc.perTenant[i].errored
+		}
 		if total.firstErr == nil {
 			total.firstErr = pc.firstErr
 		}

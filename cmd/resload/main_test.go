@@ -9,28 +9,31 @@ import (
 
 	"repro/internal/resd"
 	"repro/internal/reswire"
+	"repro/internal/tenant"
 )
 
 func TestClassifySeparatesRejectionsFromErrors(t *testing.T) {
 	cases := []struct {
-		name                     string
-		err                      error
-		alphaRej, dlRej, hardErr bool
+		name                               string
+		err                                error
+		alphaRej, dlRej, quotaRej, hardErr bool
 	}{
-		{"success", nil, false, false, false},
-		{"alpha rejection", fmt.Errorf("wrapped: %w", resd.ErrNeverFits), true, false, false},
-		{"deadline rejection", fmt.Errorf("wrapped: %w", resd.ErrDeadline), false, true, false},
-		{"closed service", resd.ErrClosed, false, false, true},
-		{"bad request", resd.ErrBadRequest, false, false, true},
-		{"client death", reswire.ErrClientClosed, false, false, true},
-		{"unknown", errors.New("socket exploded"), false, false, true},
+		{"success", nil, false, false, false, false},
+		{"alpha rejection", fmt.Errorf("wrapped: %w", resd.ErrNeverFits), true, false, false, false},
+		{"deadline rejection", fmt.Errorf("wrapped: %w", resd.ErrDeadline), false, true, false, false},
+		{"quota rejection", fmt.Errorf("wrapped: %w", resd.ErrQuota), false, false, true, false},
+		{"quota rejection via tenant sentinel", fmt.Errorf("w: %w", tenant.ErrQuota), false, false, true, false},
+		{"closed service", resd.ErrClosed, false, false, false, true},
+		{"bad request", resd.ErrBadRequest, false, false, false, true},
+		{"client death", reswire.ErrClientClosed, false, false, false, true},
+		{"unknown", errors.New("socket exploded"), false, false, false, true},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			a, d, h := classify(c.err)
-			if a != c.alphaRej || d != c.dlRej || h != c.hardErr {
-				t.Errorf("classify(%v) = (α=%v, dl=%v, hard=%v), want (%v, %v, %v)",
-					c.err, a, d, h, c.alphaRej, c.dlRej, c.hardErr)
+			a, d, q, h := classify(c.err)
+			if a != c.alphaRej || d != c.dlRej || q != c.quotaRej || h != c.hardErr {
+				t.Errorf("classify(%v) = (α=%v, dl=%v, q=%v, hard=%v), want (%v, %v, %v, %v)",
+					c.err, a, d, q, h, c.alphaRej, c.dlRej, c.quotaRej, c.hardErr)
 			}
 		})
 	}
@@ -49,14 +52,14 @@ func TestReplayCountsRejectionsSeparately(t *testing.T) {
 		{ready: 0, q: 4, dur: 10, deadline: 50},              // earliest start 100 > 50
 		{ready: 0, q: 4, dur: 10, deadline: resd.NoDeadline}, // admitted at 100
 	}
-	res := replay(svc, reqs, 1, 0, 0, 1)
+	res := replay(svc, reqs, []string{""}, 1, 0, 0, 1)
 	if len(res.admitted) != 2 || res.rejectedAlpha != 1 || res.rejectedDeadline != 1 || res.errored != 0 {
 		t.Fatalf("admitted=%d rejectedα=%d rejectedDL=%d errored=%d, want 2/1/1/0",
 			len(res.admitted), res.rejectedAlpha, res.rejectedDeadline, res.errored)
 	}
 	// A closed service produces hard errors, not rejections.
 	svc.Close()
-	res = replay(svc, reqs[:1], 1, 0, 0, 1)
+	res = replay(svc, reqs[:1], []string{""}, 1, 0, 0, 1)
 	if res.errored != 1 || res.rejectedAlpha != 0 || res.rejectedDeadline != 0 {
 		t.Fatalf("closed service: errored=%d rejectedα=%d rejectedDL=%d, want 1/0/0", res.errored, res.rejectedAlpha, res.rejectedDeadline)
 	}
@@ -81,7 +84,7 @@ func TestRemoteReplayMatchesInProcess(t *testing.T) {
 		slack = 400 // tight enough that some requests deadline-reject
 	)
 	cfg := resd.Config{Shards: 4, M: m, Alpha: alpha, Backend: "tree", Placement: "least-loaded", Seed: 3}
-	reqs, err := requestStream("", m, n, alpha, seed, slack)
+	reqs, err := requestStream("", m, n, alpha, seed, slack, 1, "uniform")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +95,7 @@ func TestRemoteReplayMatchesInProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer direct.Close()
-	want := replay(direct, reqs, 1, 0, 0.4, seed)
+	want := replay(direct, reqs, []string{""}, 1, 0, 0.4, seed)
 
 	// Identical service behind the wire.
 	remoteSvc, err := resd.New(cfg)
@@ -114,7 +117,7 @@ func TestRemoteReplayMatchesInProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	got := replay(client, reqs, 1, 0, 0.4, seed)
+	got := replay(client, reqs, []string{""}, 1, 0, 0.4, seed)
 
 	if got.errored != 0 || want.errored != 0 {
 		t.Fatalf("hard errors: remote %d (first %v), direct %d (first %v)",
@@ -141,11 +144,11 @@ func TestRemoteReplayMatchesInProcess(t *testing.T) {
 }
 
 func TestRequestStreamAppliesSlack(t *testing.T) {
-	withSlack, err := requestStream("", 16, 50, 0.5, 1, 300)
+	withSlack, err := requestStream("", 16, 50, 0.5, 1, 300, 1, "uniform")
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := requestStream("", 16, 50, 0.5, 1, 0)
+	without, err := requestStream("", 16, 50, 0.5, 1, 0, 1, "uniform")
 	if err != nil {
 		t.Fatal(err)
 	}

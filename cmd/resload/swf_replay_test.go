@@ -1,0 +1,198 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/resd"
+	"repro/internal/workload"
+)
+
+// decision is one request's admission outcome in a serial replay.
+type decision struct {
+	kind  string // "admit", "alpha", "deadline"
+	start core.Time
+}
+
+// serialBaseline replays the request stream against a plain
+// profile.Timeline with the α-rule's q+floor FindSlot — the sequential
+// admission core the sim-layer policies and the FuzzResdAdmission oracle
+// are built on — producing the ground-truth decision per request.
+func serialBaseline(m, floor int, reqs []request) []decision {
+	tl := profile.New(m)
+	out := make([]decision, 0, len(reqs))
+	for _, r := range reqs {
+		if r.q+floor > m {
+			out = append(out, decision{kind: "alpha"})
+			continue
+		}
+		start, ok := tl.FindSlot(r.ready, r.q+floor, r.dur)
+		if !ok {
+			out = append(out, decision{kind: "alpha"})
+			continue
+		}
+		if start > r.deadline {
+			out = append(out, decision{kind: "deadline"})
+			continue
+		}
+		if err := tl.Commit(start, r.dur, r.q); err != nil {
+			panic(err)
+		}
+		out = append(out, decision{kind: "admit", start: start})
+	}
+	return out
+}
+
+// TestSWFReplayMatchesSerialBaseline is the trace-replay acceptance test:
+// a real SWF trace (committed under testdata, in the Parallel Workloads
+// Archive's format) is fed through resload's own request derivation and
+// classification against a single-shard service, serially, and every
+// admission decision — admit at which start, α-reject, deadline-reject —
+// must equal the sequential baseline's. This pins the whole chain
+// ParseSWF → Arrivals → requestStream → ReserveFor → classify to the
+// offline admission semantics, on both capacity backends.
+func TestSWFReplayMatchesSerialBaseline(t *testing.T) {
+	const (
+		m     = 64
+		alpha = 0.25
+		slack = 2500 // tight enough that the busy stretches deadline-reject
+	)
+	if _, err := os.Stat("testdata/sample64.swf"); err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := requestStream("testdata/sample64.swf", m, 1<<20, alpha, 1, slack, 1, "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 120 {
+		t.Fatalf("parsed %d requests from the trace, want 120", len(reqs))
+	}
+	floor := int(alpha * m)
+	want := serialBaseline(m, floor, reqs)
+
+	for _, backend := range []string{"array", "tree"} {
+		t.Run(backend, func(t *testing.T) {
+			svc, err := resd.New(resd.Config{M: m, Alpha: alpha, Backend: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer svc.Close()
+			var admitted, alphaRej, dlRej int
+			for i, r := range reqs {
+				resv, err := svc.ReserveFor("", r.ready, r.q, r.dur, r.deadline)
+				aRej, dRej, qRej, hard := classify(err)
+				switch {
+				case hard || qRej:
+					t.Fatalf("request %d: unexpected outcome %v", i, err)
+				case aRej:
+					alphaRej++
+					if want[i].kind != "alpha" {
+						t.Fatalf("request %d α-rejected, baseline says %q", i, want[i].kind)
+					}
+				case dRej:
+					dlRej++
+					if want[i].kind != "deadline" {
+						t.Fatalf("request %d deadline-rejected, baseline says %q", i, want[i].kind)
+					}
+				default:
+					admitted++
+					if want[i].kind != "admit" || resv.Start != want[i].start {
+						t.Fatalf("request %d admitted at %v, baseline %q at %v",
+							i, resv.Start, want[i].kind, want[i].start)
+					}
+				}
+			}
+			// The trace must exercise both accept and reject paths, or the
+			// equivalence is vacuous.
+			if admitted == 0 || dlRej == 0 {
+				t.Fatalf("degenerate trace: %d admitted, %d α-rejected, %d deadline-rejected",
+					admitted, alphaRej, dlRej)
+			}
+			t.Logf("%s: %d admitted, %d α-rejected, %d deadline-rejected — all identical to baseline",
+				backend, admitted, alphaRej, dlRej)
+		})
+	}
+}
+
+// TestSWFReplayThroughReplayHarness runs the same trace through the
+// actual replay() harness (serial client, no cancels) and checks the
+// aggregate tallies against the baseline, closing the gap between the
+// per-request loop above and the code path the CLI really runs.
+func TestSWFReplayThroughReplayHarness(t *testing.T) {
+	const (
+		m     = 64
+		alpha = 0.25
+		slack = 2500
+	)
+	reqs, err := requestStream("testdata/sample64.swf", m, 1<<20, alpha, 1, slack, 1, "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialBaseline(m, int(alpha*m), reqs)
+	wantCounts := map[string]int{}
+	for _, d := range want {
+		wantCounts[d.kind]++
+	}
+	svc, err := resd.New(resd.Config{M: m, Alpha: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	res := replay(svc, reqs, []string{""}, 1, 0, 0, 1)
+	if res.errored != 0 {
+		t.Fatalf("hard errors: %d (first %v)", res.errored, res.firstErr)
+	}
+	if len(res.admitted) != wantCounts["admit"] || res.rejectedAlpha != wantCounts["alpha"] ||
+		res.rejectedDeadline != wantCounts["deadline"] {
+		t.Fatalf("replay tallies admit=%d α=%d dl=%d, baseline %v",
+			len(res.admitted), res.rejectedAlpha, res.rejectedDeadline, wantCounts)
+	}
+	for i, d := range filterAdmits(want) {
+		if res.admitted[i].Start != d.start {
+			t.Fatalf("admission %d at %v, baseline %v", i, res.admitted[i].Start, d.start)
+		}
+	}
+}
+
+func filterAdmits(ds []decision) []decision {
+	var out []decision
+	for _, d := range ds {
+		if d.kind == "admit" {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestParseSWFSampleTrace sanity-checks the committed trace itself: SWF
+// header honoured, arrivals ordered, widths within the machine.
+func TestParseSWFSampleTrace(t *testing.T) {
+	f, err := os.Open("testdata/sample64.swf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := workload.ParseSWF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxProcs != 64 || len(tr.Jobs) != 120 {
+		t.Fatalf("MaxProcs=%d jobs=%d", tr.MaxProcs, len(tr.Jobs))
+	}
+	arr, err := tr.Arrivals(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i].At < arr[i-1].At {
+			t.Fatalf("arrivals out of order at %d", i)
+		}
+	}
+	for _, a := range arr {
+		if a.Job.Procs < 1 || a.Job.Procs > 64 || a.Job.Len < 1 {
+			t.Fatalf("bad job %+v", a.Job)
+		}
+	}
+}

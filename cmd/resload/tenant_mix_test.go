@@ -1,0 +1,99 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/resd"
+	"repro/internal/tenant"
+)
+
+// TestTenantAssignmentSkew checks the two popularity laws and that the
+// tenant mix never perturbs the workload shape (same seed → same
+// ready/q/dur stream, whatever the tenant count or skew).
+func TestTenantAssignmentSkew(t *testing.T) {
+	base, err := requestStream("", 32, 2000, 0.25, 9, 0, 1, "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, skew := range []string{"uniform", "zipf"} {
+		reqs, err := requestStream("", 32, 2000, 0.25, 9, 0, 8, skew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, 8)
+		for i, r := range reqs {
+			if r.ready != base[i].ready || r.q != base[i].q || r.dur != base[i].dur {
+				t.Fatalf("%s: request %d shape diverged from single-tenant stream", skew, i)
+			}
+			if r.tenant < 0 || r.tenant >= 8 {
+				t.Fatalf("%s: tenant index %d", skew, r.tenant)
+			}
+			counts[r.tenant]++
+		}
+		switch skew {
+		case "uniform":
+			for ti, c := range counts {
+				if c < 150 || c > 350 {
+					t.Fatalf("uniform: tenant %d got %d of 2000 (counts %v)", ti, c, counts)
+				}
+			}
+		case "zipf":
+			// zipf(1.1) over 8 ranks puts ~36% on rank 0 and a long tail.
+			if counts[0] < 500 || counts[0] < 3*counts[7] {
+				t.Fatalf("zipf: head not heavy enough: %v", counts)
+			}
+		}
+	}
+}
+
+// TestReplayPerTenantBreakdown replays a hand-built stream where tenant
+// t1 is budget-starved and checks the per-tenant tallies and the parallel
+// latency/tenant recording buffers.
+func TestReplayPerTenantBreakdown(t *testing.T) {
+	reg, err := tenant.New(10000, tenant.Spec{Tenants: []tenant.TenantSpec{
+		{Name: "t0", Share: 1},
+		{Name: "t1", Share: 0.001}, // budget 10: every area-40 request quota-rejects
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := resd.New(resd.Config{M: 8, Quotas: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	reqs := []request{
+		{ready: 0, q: 4, dur: 10, deadline: resd.NoDeadline, tenant: 0},
+		{ready: 0, q: 4, dur: 10, deadline: resd.NoDeadline, tenant: 1}, // quota reject
+		{ready: 0, q: 4, dur: 10, deadline: resd.NoDeadline, tenant: 0},
+		{ready: 0, q: 4, dur: 10, deadline: resd.NoDeadline, tenant: 1}, // quota reject
+	}
+	res := replay(svc, reqs, tenantNames(2), 1, 0, 0, 1)
+	if res.errored != 0 {
+		t.Fatalf("hard errors: %v", res.firstErr)
+	}
+	if len(res.admitted) != 2 || res.rejectedQuota != 2 {
+		t.Fatalf("admitted=%d rejectedQuota=%d, want 2/2", len(res.admitted), res.rejectedQuota)
+	}
+	t0, t1 := res.perTenant[0], res.perTenant[1]
+	if t0.reqs != 2 || t0.admitted != 2 || t0.rejQuota != 0 {
+		t.Fatalf("tenant 0 tallies %+v", t0)
+	}
+	if t1.reqs != 2 || t1.admitted != 0 || t1.rejQuota != 2 {
+		t.Fatalf("tenant 1 tallies %+v", t1)
+	}
+	if len(res.lats) != len(res.latTenant) {
+		t.Fatalf("recording buffers diverged: %d lats, %d tenant indices", len(res.lats), len(res.latTenant))
+	}
+	for _, ti := range res.latTenant {
+		if ti != 0 {
+			t.Fatalf("latency sample attributed to tenant %d, only t0 admitted", ti)
+		}
+	}
+	// The summary table renders without panicking even for the
+	// admission-less tenant (its percentiles are "-").
+	tbl := tenantTable(tenantNames(2), res)
+	if tbl == nil || len(tbl.String()) == 0 {
+		t.Fatal("empty tenant table")
+	}
+}

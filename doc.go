@@ -38,24 +38,41 @@
 // for a walkthrough and the internal/resd package comment for the shard
 // and placement model.
 //
+// Admission is multi-tenant: internal/tenant partitions the reservable
+// α-prefix between tenants as hierarchical area budgets (tenant → group
+// → global capacity) with lock-free accounting beside the shard load
+// summaries. Hard mode rejects an over-budget admission with
+// resd.ErrQuota; soft mode instead reorders each shard's group-commit
+// batch by usage-to-budget ratio — DRF-style weighted fair share at the
+// exact point where requests contend. Budgets compose with, never
+// replace, the paper's α rule: quotas only decide which tenant spends
+// the prefix the α rule left reservable. See internal/tenant and
+// examples/tenant; BenchmarkTenantThroughput records in
+// BENCH_tenant.json that the accounting stays flat in the tenant count.
+//
 // The outermost layer is the wire: internal/reswire serves resd over TCP
-// with a versioned length-prefixed binary protocol. The request path is
+// with a versioned length-prefixed binary protocol (revision 2: tenant
+// ids on Reserve frames, QuotaGet/QuotaSet ops, v1 frames still accepted
+// and answered at v1, landing on the default tenant). The request path is
 //
 //	client → reswire frames → server dispatch → resd shard event loops → CapacityIndex
 //
 // with typed error codes end to end (a REJECTED_DEADLINE frame surfaces
-// as resd.ErrDeadline on the remote side) and write coalescing on both
-// halves: the pipelining client multiplexes concurrent callers over a
-// few connections and batches their frames into shared flushes, and the
-// server batches responses the same way, so under load a syscall carries
-// many messages and the shard loops see the same group-commit batches as
-// in-process traffic. cmd/resdsrv is the server binary; cmd/resload
-// replays synthetic or SWF-derived request streams against either an
-// in-process service or a live server (-addr), reporting wire-level
-// latency percentiles with rejections split from hard errors; a
-// deterministic equivalence test pins both modes to identical
-// placements. FuzzWireCodec hardens the decoder against hostile bytes,
-// and BenchmarkWireThroughput records the pipelining win in
+// as resd.ErrDeadline on the remote side, a REJECTED_QUOTA as
+// tenant.ErrQuota) and write coalescing on both halves: the pipelining
+// client multiplexes concurrent callers over a few connections and
+// batches their frames into shared flushes, and the server batches
+// responses the same way, so under load a syscall carries many messages
+// and the shard loops see the same group-commit batches as in-process
+// traffic. cmd/resdsrv is the server binary (-quotas loads a tenant
+// budget spec); cmd/resload replays synthetic or SWF-derived request
+// streams against either an in-process service or a live server (-addr),
+// optionally as a zipf-skewed multi-tenant mix (-tenants/-skew),
+// reporting wire-level latency percentiles per tenant with rejections
+// split from hard errors; deterministic equivalence tests pin both
+// modes to identical placements and an SWF trace replay to the serial
+// admission baseline. FuzzWireCodec hardens the decoder against hostile
+// bytes, and BenchmarkWireThroughput records the pipelining win in
 // BENCH_reswire.json (≥2× the unpipelined configuration at 16 concurrent
 // callers on one core). See examples/wire for the walkthrough.
 //

@@ -66,13 +66,39 @@
 // and counts deadline rejections separately in ShardStats.RejectedDeadline.
 // A rejected request consumes no capacity.
 //
+// # Multi-tenant quotas
+//
+// Config.Quotas plugs a tenant.Registry in front of admission: every
+// ReserveFor (Reserve/ReserveBy are the default tenant's shorthand) is
+// charged against its tenant's budgeted share of the reservable α-prefix
+// area, hierarchically (tenant → group → global capacity). The check runs
+// inside the shard loop after the α and deadline checks — a doomed
+// request never burns budget — and the charge is a CAS against the
+// registry's atomics, so the lock-free admission path stays lock-free. In
+// hard mode an exhausted budget rejects with ErrQuota (wire:
+// REJECTED_QUOTA), consuming no capacity, and the service stops its shard
+// walk at once since budgets are global; in soft mode nothing is
+// rejected, but each group-commit batch permutes its Reserve requests so
+// the tenant with the lowest usage-to-budget ratio commits first,
+// DRF-style weighted fair share at exactly the point where requests
+// contend. Cancel credits the area back. Per-tenant books are kept twice,
+// deliberately: the registry's lock-free accounts (global, what quota
+// decisions read) and per-shard TenantStats inside each loop (consistent,
+// what operators read); the stress tests assert the two agree. The quota
+// layer may gate placement but never perturb it — a single tenant with a
+// full budget replays to bit-identical sched.FCFS placements.
+//
 // The package is exercised three ways: a determinism test replays a
 // request stream serially through one shard and checks the placements are
-// bit-for-bit the schedules sched.FCFS computes offline; a stress test
-// hammers a service from many goroutines under -race and asserts
-// conservation of committed capacity; and FuzzResdAdmission drives random
-// op streams against a sequential oracle. cmd/resload replays synthetic
-// or SWF-derived streams at a target rate and reports throughput and
-// latency percentiles; BenchmarkResdThroughput (repository root) records
-// the shard-scaling curve in BENCH_resd.json.
+// bit-for-bit the schedules sched.FCFS computes offline (with and without
+// a quota registry); a stress test hammers a service from many goroutines
+// under -race and asserts conservation of committed capacity, with a
+// second stress pinning the quota invariant admitted-area ≤ budget at all
+// times; and FuzzResdAdmission drives random op streams against a
+// sequential oracle. cmd/resload replays synthetic or SWF-derived streams
+// at a target rate — optionally as a zipf-skewed multi-tenant mix — and
+// reports throughput and latency percentiles per tenant;
+// BenchmarkResdThroughput and BenchmarkTenantThroughput (repository root)
+// record the shard-scaling and quota-overhead curves in BENCH_resd.json
+// and BENCH_tenant.json.
 package resd

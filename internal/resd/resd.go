@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/profile"
+	"repro/internal/tenant"
 
 	// Ensure the "tree" capacity backend is registered so services can be
 	// configured with Backend: "tree".
@@ -32,6 +33,13 @@ var (
 	// deadline, shrink the request).
 	ErrDeadline = errors.New("resd: earliest feasible start exceeds deadline")
 )
+
+// ErrQuota is tenant.ErrQuota re-exported: a hard-mode quota rejection.
+// The request was α-feasible but its tenant (or the tenant's group) has
+// exhausted its budgeted share of the reservable prefix; no capacity is
+// consumed. errors.Is works against either name, on both sides of the
+// wire (reswire's REJECTED_QUOTA code).
+var ErrQuota = tenant.ErrQuota
 
 // NoDeadline disables the deadline check in ReserveBy: any admissible
 // start, however late, is accepted.
@@ -94,6 +102,14 @@ type Config struct {
 	// prior commitments) committed to every shard before the service
 	// starts, exempt from the α rule. An oversubscribing Pre fails New.
 	Pre []core.Reservation
+	// Quotas, when non-nil, partitions the reservable α-prefix between
+	// tenants: every ReserveFor is charged against its tenant's budget in
+	// the registry (hard mode rejects with ErrQuota; soft mode reorders
+	// contending batches by fair share) and credited back on Cancel. Pre
+	// reservations are exempt, like they are from the α rule. Nil
+	// disables quota enforcement; per-tenant shard stats are kept either
+	// way.
+	Quotas *tenant.Registry
 }
 
 // normalize fills defaults and validates.
@@ -181,9 +197,10 @@ func (s *Service) Placement() string { return s.place.name() }
 // Reserve admits a reservation of q processors for dur ticks at the
 // earliest admissible start >= ready on a shard chosen by the placement
 // policy. It blocks until the routed shard's event loop has committed the
-// batch containing the request.
+// batch containing the request. The admission is accounted to the default
+// tenant.
 func (s *Service) Reserve(ready core.Time, q int, dur core.Time) (Reservation, error) {
-	return s.ReserveBy(ready, q, dur, NoDeadline)
+	return s.ReserveFor("", ready, q, dur, NoDeadline)
 }
 
 // ReserveBy is Reserve with an SLA deadline on the start time: the
@@ -193,9 +210,26 @@ func (s *Service) Reserve(ready core.Time, q int, dur core.Time) (Reservation, e
 // capacity is consumed — a deadline rejection is an explicit accept/reject
 // answer, not a silent push-back. Pass NoDeadline to disable the check.
 func (s *Service) ReserveBy(ready core.Time, q int, dur core.Time, deadline core.Time) (Reservation, error) {
+	return s.ReserveFor("", ready, q, dur, deadline)
+}
+
+// ReserveFor is ReserveBy on behalf of a tenant: the admission is charged
+// against the named tenant's quota (when Config.Quotas is set) and
+// counted in its per-shard stats. The empty name means the default
+// tenant, which is where the tenantless entry points and version-1 wire
+// frames land. A hard-mode budget exhaustion fails with ErrQuota and, the
+// budgets being global, is returned without trying further shards.
+func (s *Service) ReserveFor(ten string, ready core.Time, q int, dur core.Time, deadline core.Time) (Reservation, error) {
 	if ready < 0 || q < 1 || dur < 1 || deadline < 0 {
-		return Reservation{}, fmt.Errorf("%w: ReserveBy(ready=%v, q=%d, dur=%v, deadline=%v)",
-			ErrBadRequest, ready, q, dur, deadline)
+		return Reservation{}, fmt.Errorf("%w: ReserveFor(%q, ready=%v, q=%d, dur=%v, deadline=%v)",
+			ErrBadRequest, ten, ready, q, dur, deadline)
+	}
+	if len(ten) > tenant.MaxNameLen {
+		return Reservation{}, fmt.Errorf("%w: tenant name %d bytes long (max %d)",
+			ErrBadRequest, len(ten), tenant.MaxNameLen)
+	}
+	if ten == "" {
+		ten = tenant.DefaultTenant
 	}
 	if q+s.floor > s.cfg.M {
 		return Reservation{}, fmt.Errorf("%w: q=%d with α-floor %d exceeds m=%d", ErrNeverFits, q, s.floor, s.cfg.M)
@@ -209,12 +243,17 @@ func (s *Service) ReserveBy(ready core.Time, q int, dur core.Time, deadline core
 	// word: another partition may be idle enough to start in time, so the
 	// placement order is tried to the end. A deadline rejection is
 	// remembered in preference to ErrNeverFits — it tells the caller the
-	// request was feasible, just not soon enough.
+	// request was feasible, just not soon enough. A quota rejection, by
+	// contrast, ends the walk at once: the budget is service-wide, so no
+	// other shard can answer differently.
 	var firstErr error
 	for _, si := range s.place.order(s.shards, q, dur) {
-		resp, err := s.shards[si].do(request{kind: opReserve, ready: ready, q: q, dur: dur, deadline: deadline})
+		resp, err := s.shards[si].do(request{kind: opReserve, tenant: ten, ready: ready, q: q, dur: dur, deadline: deadline})
 		if err == nil {
 			return resp.resv, nil
+		}
+		if errors.Is(err, ErrQuota) {
+			return Reservation{}, err
 		}
 		if !errors.Is(err, ErrNeverFits) && !errors.Is(err, ErrDeadline) {
 			return Reservation{}, err
@@ -225,6 +264,10 @@ func (s *Service) ReserveBy(ready core.Time, q int, dur core.Time, deadline core
 	}
 	return Reservation{}, firstErr
 }
+
+// Quotas returns the quota registry the service enforces, or nil when
+// quotas are disabled.
+func (s *Service) Quotas() *tenant.Registry { return s.cfg.Quotas }
 
 // Cancel releases an admitted reservation, returning its capacity to the
 // owning shard. Cancelling an unknown or already-cancelled ID returns
@@ -286,9 +329,66 @@ type ShardStats struct {
 	// feasible on the shard but whose earliest start exceeded the
 	// caller's deadline.
 	RejectedDeadline uint64
+	// RejectedQuota counts hard-mode quota rejections: requests that were
+	// feasible on the shard but whose tenant had exhausted its budgeted
+	// share of the reservable prefix.
+	RejectedQuota uint64
 	// Batches and Ops count event-loop turns and requests served; Ops /
 	// Batches is the realised group-commit factor.
 	Batches, Ops uint64
+}
+
+// TenantStats is one shard's load summary for one tenant — the per-tenant
+// slice of ShardStats, served consistently from inside the shard's event
+// loop.
+type TenantStats struct {
+	// Active is the number of this tenant's currently held reservations
+	// on the shard.
+	Active int
+	// CommittedArea is the processor-tick area those reservations hold.
+	CommittedArea int64
+	// Admitted, Cancelled and RejectedQuota count this tenant's
+	// operations on the shard since start.
+	Admitted, Cancelled, RejectedQuota uint64
+}
+
+// TenantStats returns one shard's per-tenant load summaries. The copy is
+// taken inside the shard's event loop, between batches, so it is
+// internally consistent (unlike Stats, which reads loosely-published
+// atomics).
+func (s *Service) TenantStats(shard int) (map[string]TenantStats, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil, fmt.Errorf("%w: shard %d of %d", ErrBadRequest, shard, len(s.shards))
+	}
+	resp, err := s.shards[shard].do(request{kind: opTenantStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.tstats, nil
+}
+
+// TenantTotals sums TenantStats across every shard: the service-wide
+// per-tenant ledger as the shards see it (the quota registry keeps the
+// same numbers lock-free; the two views must agree whenever the service
+// is quiescent, which the stress tests assert).
+func (s *Service) TenantTotals() (map[string]TenantStats, error) {
+	out := make(map[string]TenantStats)
+	for i := range s.shards {
+		st, err := s.TenantStats(i)
+		if err != nil {
+			return nil, err
+		}
+		for name, ts := range st {
+			tot := out[name]
+			tot.Active += ts.Active
+			tot.CommittedArea += ts.CommittedArea
+			tot.Admitted += ts.Admitted
+			tot.Cancelled += ts.Cancelled
+			tot.RejectedQuota += ts.RejectedQuota
+			out[name] = tot
+		}
+	}
+	return out, nil
 }
 
 // Stats returns per-shard load summaries from the atomically published

@@ -3,10 +3,12 @@ package resd
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/profile"
+	"repro/internal/tenant"
 )
 
 // opKind discriminates shard requests.
@@ -17,11 +19,13 @@ const (
 	opCancel
 	opQuery
 	opSnapshot
+	opTenantStats
 )
 
 // request is one operation submitted to a shard's event loop.
 type request struct {
 	kind     opKind
+	tenant   string    // Reserve: accounting identity (never empty; "" is normalised upstream)
 	ready    core.Time // Reserve: earliest start; Query: probe instant
 	q        int       // Reserve width
 	dur      core.Time // Reserve length
@@ -33,35 +37,68 @@ type request struct {
 // response carries the result back to the caller. Exactly one of the
 // fields is meaningful per kind; err reports failure.
 type response struct {
-	resv Reservation
-	free int
-	snap profile.CapacityIndex
-	err  error
+	resv   Reservation
+	free   int
+	snap   profile.CapacityIndex
+	tstats map[string]TenantStats
+	err    error
 }
 
-// active is a shard-local record of an admitted reservation.
+// active is a shard-local record of an admitted reservation. tenant is
+// the accounting identity quota release uses; statKey is the (possibly
+// overflow-bounded) per-shard book the admission was recorded under.
 type active struct {
 	start, dur core.Time
 	q          int
+	tenant     string
+	statKey    string
+}
+
+// OverflowTenant is the per-shard book that absorbs tenant names beyond
+// the tenant.MaxAccounts bound: the loop-owned stats maps must not grow
+// without limit just because a wire client cycles fresh names. Admission
+// and quota accounting are unaffected — only per-name attribution in
+// TenantStats degrades past the cap.
+const OverflowTenant = "!overflow"
+
+// tstatKey resolves which per-tenant book a name lands in, bounding the
+// map like the registry bounds its accounts.
+func (sh *shard) tstatKey(name string) string {
+	if _, ok := sh.tstats[name]; ok {
+		return name
+	}
+	if len(sh.tstats) >= tenant.MaxAccounts {
+		return OverflowTenant
+	}
+	return name
 }
 
 // shard is one cluster partition: a capacity index plus the admission
 // bookkeeping, owned exclusively by the loop goroutine. The only state
 // other goroutines touch is the request channel and the atomic counters.
 type shard struct {
-	id    int
-	m     int
-	floor int // α-rule head-room every admission must leave free
-	batch int
+	id     int
+	m      int
+	floor  int // α-rule head-room every admission must leave free
+	batch  int
+	quotas *tenant.Registry // nil = quota enforcement disabled
 
 	idx     profile.CapacityIndex
 	live    map[ID]active
+	tstats  map[string]TenantStats // per-tenant books, loop-owned
 	nextSeq uint64
 	area    int64 // running processor-tick area of live reservations
 
 	reqs chan request
 	quit <-chan struct{}
 	done chan struct{}
+
+	// fairOrder scratch, reused across batches so the soft-mode reorder
+	// allocates nothing per event-loop turn (like pending/results).
+	fairPos      []int
+	fairReserves []request
+	fairRatios   []float64
+	fairOrderIdx []int
 
 	// Load summary published once per batch (group commit): placement
 	// policies and Stats read these without touching the loop.
@@ -71,6 +108,7 @@ type shard struct {
 	cancelled     atomic.Uint64
 	rejected      atomic.Uint64
 	rejectedDL    atomic.Uint64
+	rejectedQuota atomic.Uint64
 	batches       atomic.Uint64
 	ops           atomic.Uint64
 }
@@ -85,15 +123,17 @@ func newShard(id int, cfg Config, floor int, quit <-chan struct{}) (*shard, erro
 		return nil, fmt.Errorf("resd: shard %d: %w", id, err)
 	}
 	sh := &shard{
-		id:    id,
-		m:     cfg.M,
-		floor: floor,
-		batch: cfg.Batch,
-		idx:   idx,
-		live:  make(map[ID]active),
-		reqs:  make(chan request, cfg.Batch),
-		quit:  quit,
-		done:  make(chan struct{}),
+		id:     id,
+		m:      cfg.M,
+		floor:  floor,
+		batch:  cfg.Batch,
+		quotas: cfg.Quotas,
+		idx:    idx,
+		live:   make(map[ID]active),
+		tstats: make(map[string]TenantStats),
+		reqs:   make(chan request, cfg.Batch),
+		quit:   quit,
+		done:   make(chan struct{}),
 	}
 	go sh.loop()
 	return sh, nil
@@ -165,6 +205,7 @@ func (sh *shard) loop() {
 				}
 			}
 		}
+		sh.fairOrder(pending)
 		results = results[:0]
 		for _, r := range pending {
 			results = append(results, sh.apply(r))
@@ -173,6 +214,46 @@ func (sh *shard) loop() {
 		for i, r := range pending {
 			r.reply <- results[i]
 		}
+	}
+}
+
+// fairOrder is soft-mode weighted fair share at the group-commit point:
+// when the batch carries competing Reserve requests, they are permuted —
+// among the Reserve positions only, every other op keeps its place — so
+// the tenant with the lowest usage-to-budget ratio commits first and takes
+// the earlier (cheaper) start times, DRF-style. The sort is stable, so
+// same-tenant and equal-pressure requests keep their arrival order; with a
+// single serial caller every batch holds one request and the ordering is a
+// no-op, which is what preserves the serial-replay-equals-FCFS guarantee.
+// Ratios are read once per batch from the registry's atomics: reads racing
+// concurrent commits are as harmlessly stale as the placement policies'
+// load summaries.
+func (sh *shard) fairOrder(pending []request) {
+	if sh.quotas == nil || sh.quotas.Mode() != tenant.Soft || len(pending) < 2 {
+		return
+	}
+	pos := sh.fairPos[:0]
+	for i, r := range pending {
+		if r.kind == opReserve {
+			pos = append(pos, i)
+		}
+	}
+	sh.fairPos = pos
+	if len(pos) < 2 {
+		return
+	}
+	reserves := sh.fairReserves[:0]
+	ratios := sh.fairRatios[:0]
+	order := sh.fairOrderIdx[:0]
+	for k, i := range pos {
+		reserves = append(reserves, pending[i])
+		ratios = append(ratios, sh.quotas.Ratio(pending[i].tenant))
+		order = append(order, k)
+	}
+	sh.fairReserves, sh.fairRatios, sh.fairOrderIdx = reserves, ratios, order
+	sort.SliceStable(order, func(a, b int) bool { return ratios[order[a]] < ratios[order[b]] })
+	for k, i := range pos {
+		pending[i] = reserves[order[k]]
 	}
 }
 
@@ -200,6 +281,12 @@ func (sh *shard) apply(r request) response {
 		return response{free: sh.idx.AvailableAt(r.ready)}
 	case opSnapshot:
 		return response{snap: sh.idx.CloneIndex()}
+	case opTenantStats:
+		out := make(map[string]TenantStats, len(sh.tstats))
+		for name, ts := range sh.tstats {
+			out[name] = ts
+		}
+		return response{tstats: out}
 	default:
 		return response{err: fmt.Errorf("%w: unknown op %d", ErrBadRequest, r.kind)}
 	}
@@ -208,7 +295,10 @@ func (sh *shard) apply(r request) response {
 // reserve admits at the earliest start >= ready that leaves the α-rule
 // head-room free across the whole window: one FindSlot for q+floor
 // processors, then a Commit of q. A request with a deadline is rejected —
-// not pushed back — when that earliest start lands after the deadline.
+// not pushed back — when that earliest start lands after the deadline,
+// and a feasible-and-timely request is charged to its tenant's quota
+// before the commit (the quota check runs last, so a doomed request never
+// burns budget, however briefly).
 func (sh *shard) reserve(r request) response {
 	start, ok := sh.idx.FindSlot(r.ready, r.q+sh.floor, r.dur)
 	if !ok {
@@ -221,22 +311,45 @@ func (sh *shard) reserve(r request) response {
 		return response{err: fmt.Errorf("%w: earliest feasible start %v > deadline %v (q=%d dur=%v, shard %d)",
 			ErrDeadline, start, r.deadline, r.q, r.dur, sh.id)}
 	}
+	area := int64(r.dur) * int64(r.q)
+	statKey := sh.tstatKey(r.tenant)
+	if sh.quotas != nil {
+		if err := sh.quotas.Acquire(r.tenant, area); err != nil {
+			sh.rejectedQuota.Add(1)
+			ts := sh.tstats[statKey]
+			ts.RejectedQuota++
+			sh.tstats[statKey] = ts
+			return response{err: fmt.Errorf("shard %d: %w", sh.id, err)}
+		}
+	}
 	if err := sh.idx.Commit(start, r.dur, r.q); err != nil {
 		// Unreachable: FindSlot guarantees capacity and the loop is the
 		// only writer. Surface rather than panic so a backend bug turns
 		// into a failed request, not a dead shard.
+		if sh.quotas != nil {
+			sh.quotas.Rollback(r.tenant, area)
+		}
 		sh.rejected.Add(1)
 		return response{err: fmt.Errorf("resd: shard %d commit after FindSlot: %w", sh.id, err)}
 	}
+	if sh.quotas != nil {
+		sh.quotas.Admit(r.tenant)
+	}
 	id := makeID(sh.id, sh.nextSeq)
 	sh.nextSeq++
-	sh.live[id] = active{start: start, dur: r.dur, q: r.q}
-	sh.area += int64(r.dur) * int64(r.q)
+	sh.live[id] = active{start: start, dur: r.dur, q: r.q, tenant: r.tenant, statKey: statKey}
+	sh.area += area
+	ts := sh.tstats[statKey]
+	ts.Active++
+	ts.CommittedArea += area
+	ts.Admitted++
+	sh.tstats[statKey] = ts
 	sh.admitted.Add(1)
 	return response{resv: Reservation{ID: id, Shard: sh.id, Start: start, Dur: r.dur, Procs: r.q}}
 }
 
-// cancel releases an admitted reservation.
+// cancel releases an admitted reservation and credits the area back to
+// its tenant's quota.
 func (sh *shard) cancel(r request) response {
 	a, ok := sh.live[r.id]
 	if !ok {
@@ -246,7 +359,16 @@ func (sh *shard) cancel(r request) response {
 		return response{err: fmt.Errorf("resd: shard %d release: %w", sh.id, err)}
 	}
 	delete(sh.live, r.id)
-	sh.area -= int64(a.dur) * int64(a.q)
+	area := int64(a.dur) * int64(a.q)
+	sh.area -= area
+	if sh.quotas != nil {
+		sh.quotas.Release(a.tenant, area)
+	}
+	ts := sh.tstats[a.statKey]
+	ts.Active--
+	ts.CommittedArea -= area
+	ts.Cancelled++
+	sh.tstats[a.statKey] = ts
 	sh.cancelled.Add(1)
 	return response{}
 }
@@ -269,6 +391,7 @@ func (sh *shard) stats() ShardStats {
 		Cancelled:        sh.cancelled.Load(),
 		Rejected:         sh.rejected.Load(),
 		RejectedDeadline: sh.rejectedDL.Load(),
+		RejectedQuota:    sh.rejectedQuota.Load(),
 		Batches:          sh.batches.Load(),
 		Ops:              sh.ops.Load(),
 	}

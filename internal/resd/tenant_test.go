@@ -1,0 +1,451 @@
+package resd
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/tenant"
+	"repro/internal/workload"
+)
+
+func mustRegistry(t *testing.T, capacity int64, spec tenant.Spec) *tenant.Registry {
+	t.Helper()
+	r, err := tenant.New(capacity, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestReserveForChargesAndReleasesQuota(t *testing.T) {
+	// m=8, α=0: the whole machine is reservable. Tenant "t" owns 10% of a
+	// 8×100 capacity = 80 processor·ticks.
+	reg := mustRegistry(t, 800, tenant.Spec{Tenants: []tenant.TenantSpec{{Name: "t", Share: 0.1}}})
+	s := mustNew(t, Config{M: 8, Quotas: reg})
+	r1, err := s.ReserveFor("t", 0, 8, 10, NoDeadline) // area 80: exactly the budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := reg.Usage("t"); u.Used != 80 || u.Inflight != 1 {
+		t.Fatalf("usage after admit = %+v", u)
+	}
+	if _, err := s.ReserveFor("t", 0, 1, 1, NoDeadline); !errors.Is(err, ErrQuota) {
+		t.Fatalf("over-budget err = %v, want ErrQuota", err)
+	}
+	// ErrQuota and tenant.ErrQuota are the same sentinel.
+	if _, err := s.ReserveFor("t", 0, 1, 1, NoDeadline); !errors.Is(err, tenant.ErrQuota) {
+		t.Fatalf("errors.Is(err, tenant.ErrQuota) failed: %v", err)
+	}
+	st := s.Stats()[0]
+	if st.RejectedQuota != 2 || st.Rejected != 0 || st.RejectedDeadline != 0 {
+		t.Fatalf("stats after quota rejections: %+v", st)
+	}
+	// Cancel returns the budget.
+	if err := s.Cancel(r1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if u := reg.Usage("t"); u.Used != 0 || u.Inflight != 0 {
+		t.Fatalf("usage after cancel = %+v", u)
+	}
+	if _, err := s.ReserveFor("t", 0, 8, 10, NoDeadline); err != nil {
+		t.Fatalf("re-reserve after cancel: %v", err)
+	}
+	// Another tenant is unaffected throughout.
+	if _, err := s.ReserveFor("other", 0, 8, 10, NoDeadline); err != nil {
+		t.Fatalf("other tenant: %v", err)
+	}
+}
+
+func TestQuotaRejectionShortCircuitsShardWalk(t *testing.T) {
+	// 4 idle shards, first-fit: a quota rejection is global, so exactly
+	// one shard must be tried (one RejectedQuota in total), unlike α and
+	// deadline rejections which walk on.
+	reg := mustRegistry(t, 1000, tenant.Spec{Tenants: []tenant.TenantSpec{{Name: "t", Share: 0.001}}})
+	s := mustNew(t, Config{Shards: 4, M: 8, Placement: "first-fit", Quotas: reg})
+	if _, err := s.ReserveFor("t", 0, 4, 10, NoDeadline); !errors.Is(err, ErrQuota) {
+		t.Fatalf("err = %v, want ErrQuota", err)
+	}
+	var total uint64
+	for _, st := range s.Stats() {
+		total += st.RejectedQuota
+	}
+	if total != 1 {
+		t.Fatalf("RejectedQuota across shards = %d, want 1 (short-circuit)", total)
+	}
+	if u := reg.Usage("t"); u.Rejected != 1 || u.Used != 0 {
+		t.Fatalf("registry after rejection: %+v", u)
+	}
+}
+
+func TestQuotaCheckRunsAfterAlphaAndDeadline(t *testing.T) {
+	// A request that α-rejects or deadline-rejects must not burn budget
+	// and must not count as a quota rejection.
+	reg := mustRegistry(t, 1<<20, tenant.Spec{Tenants: []tenant.TenantSpec{{Name: "t", Share: 0.5}}})
+	s := mustNew(t, Config{M: 8, Alpha: 0.5, Quotas: reg})
+	if _, err := s.ReserveFor("t", 0, 5, 10, NoDeadline); !errors.Is(err, ErrNeverFits) {
+		t.Fatalf("α rejection err = %v", err)
+	}
+	if _, err := s.Reserve(0, 4, 100); err != nil { // default tenant holds [0,100)
+		t.Fatal(err)
+	}
+	if _, err := s.ReserveFor("t", 0, 4, 10, 50); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("deadline rejection err = %v", err)
+	}
+	if u := reg.Usage("t"); u.Used != 0 || u.Rejected != 0 {
+		t.Fatalf("budget burnt by non-quota rejections: %+v", u)
+	}
+}
+
+func TestSoftModeAdmitsOverBudget(t *testing.T) {
+	reg := mustRegistry(t, 100, tenant.Spec{Mode: "soft", Tenants: []tenant.TenantSpec{{Name: "t", Share: 0.01}}})
+	s := mustNew(t, Config{M: 8, Quotas: reg})
+	// Area 800 against a budget of 1: soft mode admits and only the
+	// ratio moves.
+	if _, err := s.ReserveFor("t", 0, 8, 100, NoDeadline); err != nil {
+		t.Fatalf("soft-mode admission rejected: %v", err)
+	}
+	if u := reg.Usage("t"); u.Used != 800 {
+		t.Fatalf("usage = %+v", u)
+	}
+	if reg.Ratio("t") <= 1 {
+		t.Fatalf("ratio = %v, want > 1", reg.Ratio("t"))
+	}
+}
+
+// TestFairOrderPermutesByPressure drives the shard's soft-mode batch
+// reordering directly (the loop's batching is timing-dependent; the
+// permutation logic is not): Reserves in one batch must come out ordered
+// by usage-to-budget ratio, stable within a tenant, with non-Reserve ops
+// pinned to their positions.
+func TestFairOrderPermutesByPressure(t *testing.T) {
+	reg := mustRegistry(t, 1000, tenant.Spec{
+		Mode: "soft",
+		Tenants: []tenant.TenantSpec{
+			{Name: "hog", Share: 0.5},
+			{Name: "newbie", Share: 0.5},
+		},
+	})
+	// hog at ratio 0.8, newbie at 0 (group ratio 0.4 dominates neither).
+	if err := reg.Acquire("hog", 400); err != nil {
+		t.Fatal(err)
+	}
+	s := mustNew(t, Config{M: 8, Quotas: reg})
+	sh := s.shards[0]
+	pending := []request{
+		{kind: opReserve, tenant: "hog", ready: 1},
+		{kind: opQuery, ready: 42},
+		{kind: opReserve, tenant: "newbie", ready: 2},
+		{kind: opReserve, tenant: "hog", ready: 3},
+	}
+	sh.fairOrder(pending)
+	if pending[1].kind != opQuery {
+		t.Fatalf("non-Reserve op moved: %+v", pending)
+	}
+	gotTenants := []string{pending[0].tenant, pending[2].tenant, pending[3].tenant}
+	gotReady := []core.Time{pending[0].ready, pending[2].ready, pending[3].ready}
+	want := []string{"newbie", "hog", "hog"}
+	for i := range want {
+		if gotTenants[i] != want[i] {
+			t.Fatalf("order = %v (ready %v), want %v", gotTenants, gotReady, want)
+		}
+	}
+	// Stable within the hog: arrival order preserved.
+	if gotReady[1] != 1 || gotReady[2] != 3 {
+		t.Fatalf("same-tenant order not stable: ready %v", gotReady)
+	}
+	// Hard mode must not reorder.
+	reg.SetMode(tenant.Hard)
+	hard := []request{
+		{kind: opReserve, tenant: "hog", ready: 1},
+		{kind: opReserve, tenant: "newbie", ready: 2},
+	}
+	sh.fairOrder(hard)
+	if hard[0].tenant != "hog" {
+		t.Fatalf("hard mode reordered: %+v", hard)
+	}
+}
+
+func TestTenantStatsPerShard(t *testing.T) {
+	reg := mustRegistry(t, 1<<20, tenant.Spec{})
+	s := mustNew(t, Config{Shards: 2, M: 8, Placement: "first-fit", Quotas: reg})
+	var held []Reservation
+	for i := 0; i < 3; i++ {
+		r, err := s.ReserveFor("a", 0, 2, 10, NoDeadline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, r)
+	}
+	if _, err := s.ReserveFor("b", 0, 2, 10, NoDeadline); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(held[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	st0, err := s.TenantStats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := st0["a"]; a.Active != 2 || a.Admitted != 3 || a.Cancelled != 1 || a.CommittedArea != 40 {
+		t.Fatalf("shard 0 tenant a stats = %+v", a)
+	}
+	if b := st0["b"]; b.Active != 1 || b.Admitted != 1 {
+		t.Fatalf("shard 0 tenant b stats = %+v", b)
+	}
+	if _, err := s.TenantStats(9); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("TenantStats(9) err = %v", err)
+	}
+	tot, err := s.TenantTotals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot["a"].Active != 2 || tot["b"].Active != 1 {
+		t.Fatalf("totals = %+v", tot)
+	}
+}
+
+// TestTenantQuotaStressConservation is the acceptance-criteria stress:
+// many goroutines hammer a sharded hard-mode service as competing
+// tenants while a monitor concurrently asserts that no tenant's admitted
+// area ever exceeds its budgeted share of the α-prefix. Afterwards the
+// three ledgers — the clients' held reservations, the registry's
+// lock-free accounts, and the shards' loop-owned per-tenant books — must
+// agree exactly, and a full drain must return every one of them to zero
+// and every shard index to the pristine constant-m profile. Run under
+// -race this also covers the cross-goroutine quota CAS path from inside
+// the shard loops.
+func TestTenantQuotaStressConservation(t *testing.T) {
+	const (
+		shards     = 4
+		m          = 64
+		alpha      = 0.25
+		horizon    = 100000
+		goroutines = 8
+		opsPerG    = 300
+	)
+	capacity := tenant.PrefixCapacity(shards, m, alpha, horizon)
+	tenants := []string{"etl", "web", "adhoc", "lab"}
+	reg := mustRegistry(t, capacity, tenant.Spec{
+		Groups: []tenant.GroupSpec{{Name: "prod", Share: 0.5}},
+		Tenants: []tenant.TenantSpec{
+			{Name: "etl", Group: "prod", Share: 0.4},
+			{Name: "web", Group: "prod", Share: 0.4},
+			// Deliberately tiny: this tenant must hit ErrQuota under load.
+			{Name: "adhoc", Share: 0.00001},
+			{Name: "lab", Share: 0.25},
+		},
+	})
+	s := mustNew(t, Config{
+		Shards: shards, M: m, Alpha: alpha, Backend: "tree",
+		Placement: "p2c", Seed: 5, Batch: 16, Quotas: reg,
+	})
+
+	stop := make(chan struct{})
+	var monitor sync.WaitGroup
+	monitor.Add(1)
+	go func() {
+		defer monitor.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, name := range tenants {
+				if u := reg.Usage(name); u.Used > u.Budget {
+					t.Errorf("tenant %s admitted area %d > budget %d", name, u.Used, u.Budget)
+					return
+				}
+			}
+			// Yield between sweeps: a busy-spinning monitor would starve
+			// the shard loops' own yield-then-drain batching.
+			runtime.Gosched()
+		}
+	}()
+
+	held := make([][]Reservation, goroutines)
+	quotaRejects := make([]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := tenants[g%len(tenants)]
+			r := rng.NewStream(13, uint64(g))
+			for i := 0; i < opsPerG; i++ {
+				if r.Bool(0.25) && len(held[g]) > 0 {
+					k := r.Intn(len(held[g]))
+					resv := held[g][k]
+					held[g] = append(held[g][:k], held[g][k+1:]...)
+					if err := s.Cancel(resv.ID); err != nil {
+						t.Errorf("cancel: %v", err)
+						return
+					}
+					continue
+				}
+				ready := core.Time(r.Int63n(horizon))
+				q := r.IntRange(1, m/4)
+				dur := core.Time(r.Int63Range(1, 200))
+				resv, err := s.ReserveFor(name, ready, q, dur, NoDeadline)
+				switch {
+				case err == nil:
+					held[g] = append(held[g], resv)
+				case errors.Is(err, ErrQuota):
+					quotaRejects[g]++
+				default:
+					t.Errorf("reserve(%s): %v", name, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	monitor.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// The tiny tenant must actually have been squeezed, or the stress
+	// proved nothing.
+	var totalQuotaRejects int
+	for _, n := range quotaRejects {
+		totalQuotaRejects += n
+	}
+	if totalQuotaRejects == 0 {
+		t.Fatal("no quota rejections under stress — budgets never bound, tune the test")
+	}
+
+	// Ledger agreement: clients vs registry vs shard books.
+	wantArea := map[string]int64{}
+	wantActive := map[string]int{}
+	for g := range held {
+		name := tenants[g%len(tenants)]
+		for _, resv := range held[g] {
+			wantArea[name] += int64(resv.Dur) * int64(resv.Procs)
+			wantActive[name]++
+		}
+	}
+	totals, err := s.TenantTotals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range tenants {
+		if u := reg.Usage(name); u.Used != wantArea[name] || int(u.Inflight) != wantActive[name] {
+			t.Errorf("registry vs clients for %s: used %d inflight %d, want %d/%d",
+				name, u.Used, u.Inflight, wantArea[name], wantActive[name])
+		}
+		ts := totals[name]
+		if ts.CommittedArea != wantArea[name] || ts.Active != wantActive[name] {
+			t.Errorf("shard books vs clients for %s: area %d active %d, want %d/%d",
+				name, ts.CommittedArea, ts.Active, wantArea[name], wantActive[name])
+		}
+	}
+
+	// Drain and require pristine state everywhere.
+	for g := range held {
+		for _, resv := range held[g] {
+			if err := s.Cancel(resv.ID); err != nil {
+				t.Fatalf("drain cancel: %v", err)
+			}
+		}
+	}
+	for _, name := range tenants {
+		if u := reg.Usage(name); u.Used != 0 || u.Inflight != 0 {
+			t.Errorf("tenant %s not drained: %+v", name, u)
+		}
+	}
+	for i := 0; i < shards; i++ {
+		snap, err := s.Snapshot(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.NumSegments() != 1 || snap.AvailableAt(0) != m {
+			t.Fatalf("shard %d not pristine after drain: %v", i, snap)
+		}
+	}
+}
+
+// TestPrefixCapacityMatchesServiceFloor is the drift guard for the
+// capacity formula every quota caller shares: tenant.PrefixCapacity must
+// compute the reservable width with exactly the α-floor rounding the
+// service enforces, for any α and m. If resd ever changes its floor,
+// this fails before the budgets silently diverge from the prefix.
+func TestPrefixCapacityMatchesServiceFloor(t *testing.T) {
+	for _, m := range []int{1, 7, 8, 64, 255, 1000} {
+		for _, alpha := range []float64{0, 0.1, 0.25, 1.0 / 3, 0.5, 0.75, 0.99, 1} {
+			s := mustNew(t, Config{M: m, Alpha: alpha})
+			want := int64(m-s.Floor()) * 10 // shards=1, horizon=10
+			if got := tenant.PrefixCapacity(1, m, alpha, 10); got != want {
+				t.Errorf("PrefixCapacity(1, %d, %v, 10) = %d, service floor %d implies %d",
+					m, alpha, got, s.Floor(), want)
+			}
+		}
+	}
+}
+
+// TestShardTenantBooksBounded pins the per-shard stats cap: names beyond
+// tenant.MaxAccounts land in the OverflowTenant book instead of growing
+// the loop-owned map without limit, and cancels balance the same book.
+func TestShardTenantBooksBounded(t *testing.T) {
+	s := mustNew(t, Config{M: 8})
+	sh := s.shards[0]
+	// Pre-fill the shard book to the cap from the loop's perspective by
+	// seeding tstats directly is not possible from outside the loop, so
+	// simulate the resolver: a known name stays itself, a fresh name past
+	// the cap overflows.
+	for i := 0; i < tenant.MaxAccounts; i++ {
+		sh.tstats[fmt.Sprintf("seed%d", i)] = TenantStats{}
+	}
+	if got := sh.tstatKey("seed5"); got != "seed5" {
+		t.Fatalf("existing name resolved to %q", got)
+	}
+	if got := sh.tstatKey("fresh"); got != OverflowTenant {
+		t.Fatalf("fresh name past cap resolved to %q, want %q", got, OverflowTenant)
+	}
+}
+
+// TestSerialReplayMatchesFCFSWithQuotas pins the no-regression guarantee
+// of the acceptance criteria: a single tenant with a full budget replayed
+// serially must land exactly on sched.FCFS's offline placements — the
+// quota layer may not perturb placement, only gate it.
+func TestSerialReplayMatchesFCFSWithQuotas(t *testing.T) {
+	r := rng.New(20260729)
+	inst, err := workload.SyntheticInstance(r.Split(), workload.SynthConfig{
+		M: 32, N: 150, MinRun: 5, MaxRun: 500, MaxWidthFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Res = workload.ReservationStream(r.Split(), 32, 0.5, 12, 20000)
+	for _, mode := range []string{"hard", "soft"} {
+		t.Run(mode, func(t *testing.T) {
+			want, err := sched.FCFS{Backend: "tree"}.Schedule(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := mustRegistry(t, 1<<40, tenant.Spec{
+				Mode:    mode,
+				Tenants: []tenant.TenantSpec{{Name: "solo", Share: 1}},
+			})
+			s := mustNew(t, Config{M: inst.M, Backend: "tree", Pre: inst.Res, Quotas: reg})
+			ready := core.Time(0)
+			for idx, j := range inst.Jobs {
+				resv, err := s.ReserveFor("solo", ready, j.Procs, j.Len, NoDeadline)
+				if err != nil {
+					t.Fatalf("job %d: %v", idx, err)
+				}
+				if resv.Start != want.Start[idx] {
+					t.Fatalf("job %d placed at %v, FCFS places it at %v", idx, resv.Start, want.Start[idx])
+				}
+				ready = resv.Start
+			}
+		})
+	}
+}

@@ -118,11 +118,37 @@ func (c *Client) Reserve(ready core.Time, q int, dur core.Time) (resd.Reservatio
 // ReserveBy is Reserve with an SLA deadline on the start time; a
 // REJECTED_DEADLINE response surfaces as resd.ErrDeadline.
 func (c *Client) ReserveBy(ready core.Time, q int, dur core.Time, deadline core.Time) (resd.Reservation, error) {
-	resp, err := c.call(Request{Op: OpReserve, Ready: ready, Procs: q, Dur: dur, Deadline: deadline})
+	return c.ReserveFor("", ready, q, dur, deadline)
+}
+
+// ReserveFor is ReserveBy on behalf of a tenant: the admission is charged
+// against the named tenant's quota on the server ("" = the default
+// tenant). A REJECTED_QUOTA response surfaces as tenant.ErrQuota (equally
+// resd.ErrQuota), exactly as an in-process caller would see it.
+func (c *Client) ReserveFor(ten string, ready core.Time, q int, dur core.Time, deadline core.Time) (resd.Reservation, error) {
+	resp, err := c.call(Request{Op: OpReserve, Tenant: ten, Ready: ready, Procs: q, Dur: dur, Deadline: deadline})
 	if err != nil {
 		return resd.Reservation{}, err
 	}
 	return resp.Resv, nil
+}
+
+// QuotaGet reads one tenant's quota state from the server's registry ("" =
+// the default tenant).
+func (c *Client) QuotaGet(ten string) (QuotaInfo, error) {
+	resp, err := c.call(Request{Op: OpQuotaGet, Tenant: ten})
+	if err != nil {
+		return QuotaInfo{}, err
+	}
+	return resp.Quota, nil
+}
+
+// QuotaSet re-budgets a tenant at runtime: its share of its group's
+// budget becomes share ∈ (0,1]. Unknown tenants are created in the
+// default group, mirroring what their first admission would do.
+func (c *Client) QuotaSet(ten string, share float64) error {
+	_, err := c.call(Request{Op: OpQuotaSet, Tenant: ten, Share: share})
+	return err
 }
 
 // Cancel releases an admitted reservation.

@@ -9,15 +9,29 @@
 // Every message is one frame: a uint32 payload length, then a fixed
 // header (magic "RW", version, op, uint64 request id) and an op-specific
 // body of fixed-width big-endian fields. The ops are Reserve (optionally
-// deadline-bounded), Cancel, Query, Snapshot, Ping and Stats. Responses
-// echo the request id and carry a status Code; every non-OK code maps
-// onto one of resd's typed errors — REJECTED_DEADLINE arrives as
-// resd.ErrDeadline, REJECTED_NEVER_FITS as resd.ErrNeverFits — so remote
-// callers branch with errors.Is exactly as in-process callers do. The
-// decoder validates magic, version, op, frame bounds (MaxFrame) and
-// vector lengths before allocating, never panics on hostile bytes, and
-// requires each frame to be consumed exactly; FuzzWireCodec enforces all
-// of that plus canonical round-tripping.
+// deadline-bounded), Cancel, Query, Snapshot, Ping, Stats and — since
+// revision 2 — QuotaGet and QuotaSet. Responses echo the request id and
+// carry a status Code; every non-OK code maps onto one of resd's typed
+// errors — REJECTED_DEADLINE arrives as resd.ErrDeadline,
+// REJECTED_NEVER_FITS as resd.ErrNeverFits, REJECTED_QUOTA as
+// tenant.ErrQuota — so remote callers branch with errors.Is exactly as
+// in-process callers do. The decoder validates magic, version, op, frame
+// bounds (MaxFrame) and vector lengths before allocating, never panics on
+// hostile bytes, and requires each frame to be consumed exactly;
+// FuzzWireCodec enforces all of that plus canonical round-tripping.
+//
+// # Versioning and multi-tenancy
+//
+// Revision 2 added tenancy: a Reserve request body ends with a
+// length-prefixed tenant name the admission is accounted to, Stats
+// entries carry RejectedQuota, and QuotaGet/QuotaSet read and re-budget
+// one tenant's share of the server's quota registry at runtime. The bump
+// is backward compatible in both directions of the negotiation that
+// matters: a v2 server still decodes v1 frames — a v1 Reserve lands on
+// the default tenant, exactly as a tenantless in-process call does — and
+// answers every request at the revision it arrived with, so a v1 client
+// never sees bytes it cannot parse. Frames from any other revision fail
+// with ErrVersion instead of being guessed at.
 //
 // # Server
 //

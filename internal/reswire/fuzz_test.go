@@ -20,7 +20,9 @@ import (
 // stop at the first malformed frame. The first input byte selects the
 // direction (request vs response decoding); the rest is the raw stream.
 func FuzzWireCodec(f *testing.F) {
-	// Well-formed single frames of every op, both directions.
+	// Well-formed single frames of every op, both directions — including
+	// v2 tenancy (tenant-tailed Reserve, the quota ops) and down-level v1
+	// frames, which must keep decoding forever.
 	for _, req := range []Request{
 		{ID: 1, Op: OpReserve, Ready: 10, Procs: 4, Dur: 20, Deadline: int64Max},
 		{ID: 2, Op: OpCancel, Resv: 7},
@@ -28,6 +30,10 @@ func FuzzWireCodec(f *testing.F) {
 		{ID: 4, Op: OpSnapshot, Shard: 1},
 		{ID: 5, Op: OpPing},
 		{ID: 6, Op: OpStats},
+		{ID: 7, Op: OpReserve, Ready: 10, Procs: 4, Dur: 20, Deadline: int64Max, Tenant: "acme"},
+		{ID: 8, Op: OpReserve, Version: VersionV1, Ready: 10, Procs: 4, Dur: 20, Deadline: int64Max},
+		{ID: 9, Op: OpQuotaGet, Tenant: "acme"},
+		{ID: 10, Op: OpQuotaSet, Tenant: "acme", Share: 0.25},
 	} {
 		frame, err := AppendRequest(nil, req)
 		if err != nil {
@@ -41,6 +47,12 @@ func FuzzWireCodec(f *testing.F) {
 		{ID: 3, Op: OpQuery, Code: CodeOK, Free: []int{1, 2, 3}},
 		{ID: 4, Op: OpSnapshot, Code: CodeOK, M: 4, Segs: []Segment{{0, 4}, {5, 1}, {9, 4}}},
 		{ID: 5, Op: OpStats, Code: CodeOK, Stats: []resd.ShardStats{{Active: 1, Admitted: 2}}},
+		{ID: 6, Op: OpStats, Version: VersionV1, Code: CodeOK, Stats: []resd.ShardStats{{Active: 1, Admitted: 2}}},
+		{ID: 7, Op: OpReserve, Code: CodeRejectedQuota, Detail: "tenant acme over budget"},
+		{ID: 8, Op: OpQuotaGet, Code: CodeOK, Quota: QuotaInfo{
+			Tenant: "acme", Group: "prod", Mode: 1, Share: 0.5,
+			Capacity: 1 << 20, Budget: 1 << 19, Used: 77, Inflight: 3, Admitted: 9, Cancelled: 6, Rejected: 2}},
+		{ID: 9, Op: OpQuotaSet, Code: CodeOK},
 	} {
 		frame, err := AppendResponse(nil, resp)
 		if err != nil {
@@ -48,12 +60,19 @@ func FuzzWireCodec(f *testing.F) {
 		}
 		f.Add(append([]byte{1}, frame...))
 	}
-	// Hostile shapes: truncation, bad magic, bad version, huge length.
-	f.Add([]byte{0, 0, 0, 0})                                  // truncated length prefix
-	f.Add([]byte{0, 0, 0, 0, 16, 'X', 'X', 1, 1})              // bad magic
-	f.Add([]byte{1, 0, 0, 0, 16, 'R', 'W', 9, 1})              // bad version
-	f.Add([]byte{0, 0xFF, 0xFF, 0xFF, 0xFF})                   // length prefix far past MaxFrame
-	f.Add(append([]byte{1, 0, 0, 0, 12}, make([]byte, 12)...)) // zeroed header
+	// Hostile shapes: truncation, bad magic, bad versions, huge length,
+	// v2-only ops smuggled into v1 frames, NaN share bits.
+	f.Add([]byte{0, 0, 0, 0})                                                // truncated length prefix
+	f.Add([]byte{0, 0, 0, 0, 16, 'X', 'X', 1, 1})                            // bad magic
+	f.Add([]byte{1, 0, 0, 0, 16, 'R', 'W', 9, 1})                            // bad version
+	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 0, 1})                            // version 0 on the wire
+	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 3, 1})                            // version one past current
+	f.Add([]byte{0, 0xFF, 0xFF, 0xFF, 0xFF})                                 // length prefix far past MaxFrame
+	f.Add(append([]byte{1, 0, 0, 0, 12}, make([]byte, 12)...))               // zeroed header
+	f.Add([]byte{0, 0, 0, 0, 13, 'R', 'W', 1, 7, 0, 0, 0, 0, 0, 0, 0, 1, 0}) // QuotaGet inside a v1 frame
+	f.Add([]byte{0, 0, 0, 0, 21, 'R', 'W', 2, 8, 0, 0, 0, 0, 0, 0, 0, 1, 0,  // QuotaSet with NaN share
+		0x7F, 0xF8, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{0, 0, 0, 0, 14, 'R', 'W', 2, 7, 0, 0, 0, 0, 0, 0, 0, 1, 5, 'a'}) // tenant length past body
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {

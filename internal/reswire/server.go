@@ -183,9 +183,11 @@ func (s *Server) writeLoop(nc net.Conn, out <-chan Response) {
 }
 
 // handle executes one decoded request against the service and builds the
-// response, mapping typed service errors onto wire codes.
+// response, mapping typed service errors onto wire codes. The response
+// carries the request's revision, so a v1 caller gets a v1 answer from a
+// v2 server.
 func (s *Server) handle(req Request) Response {
-	resp := Response{ID: req.ID, Op: req.Op}
+	resp := Response{ID: req.ID, Op: req.Op, Version: req.Version}
 	fail := func(err error) Response {
 		resp.Code = CodeOf(err)
 		resp.Detail = err.Error()
@@ -193,7 +195,7 @@ func (s *Server) handle(req Request) Response {
 	}
 	switch req.Op {
 	case OpReserve:
-		resv, err := s.svc.ReserveBy(req.Ready, req.Procs, req.Dur, req.Deadline)
+		resv, err := s.svc.ReserveFor(req.Tenant, req.Ready, req.Procs, req.Dur, req.Deadline)
 		if err != nil {
 			return fail(err)
 		}
@@ -223,6 +225,33 @@ func (s *Server) handle(req Request) Response {
 		// liveness only: echo the header
 	case OpStats:
 		resp.Stats = s.svc.Stats()
+	case OpQuotaGet:
+		reg := s.svc.Quotas()
+		if reg == nil {
+			return fail(fmt.Errorf("%w: quotas disabled on this server", resd.ErrBadRequest))
+		}
+		u := reg.Usage(req.Tenant)
+		resp.Quota = QuotaInfo{
+			Tenant:    u.Tenant,
+			Group:     u.Group,
+			Mode:      reg.Mode(),
+			Share:     u.Share,
+			Capacity:  reg.Capacity(),
+			Budget:    u.Budget,
+			Used:      u.Used,
+			Inflight:  u.Inflight,
+			Admitted:  u.Admitted,
+			Cancelled: u.Cancelled,
+			Rejected:  u.Rejected,
+		}
+	case OpQuotaSet:
+		reg := s.svc.Quotas()
+		if reg == nil {
+			return fail(fmt.Errorf("%w: quotas disabled on this server", resd.ErrBadRequest))
+		}
+		if err := reg.SetShare(req.Tenant, req.Share); err != nil {
+			return fail(err)
+		}
 	default:
 		return fail(fmt.Errorf("%w: op %d", resd.ErrBadRequest, uint8(req.Op)))
 	}

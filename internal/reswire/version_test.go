@@ -1,0 +1,314 @@
+package reswire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+
+	"repro/internal/resd"
+	"repro/internal/tenant"
+)
+
+func mustRegistry(t *testing.T, capacity int64, spec tenant.Spec) *tenant.Registry {
+	t.Helper()
+	reg, err := tenant.New(capacity, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestV1RequestDecodesAsDefaultTenant(t *testing.T) {
+	frame, err := AppendRequest(nil, Request{
+		ID: 7, Op: OpReserve, Version: VersionV1, Ready: 5, Procs: 2, Dur: 3, Deadline: resd.NoDeadline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A v1 Reserve body is exactly ready+procs+dur+deadline: no tenant tail.
+	if want := 4 + headerLen + 8 + 4 + 8 + 8; len(frame) != want {
+		t.Fatalf("v1 frame is %d bytes, want %d", len(frame), want)
+	}
+	got, err := ReadRequest(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != VersionV1 || got.Tenant != "" {
+		t.Fatalf("decoded v1 request %+v, want Version 1 and empty tenant", got)
+	}
+	// The round trip preserves the revision: re-encoding emits v1 bytes.
+	again, err := AppendRequest(nil, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, frame) {
+		t.Fatalf("v1 re-encode diverged:\n got %x\nwant %x", again, frame)
+	}
+}
+
+func TestV2ReserveCarriesTenant(t *testing.T) {
+	req := Request{ID: 9, Op: OpReserve, Ready: 1, Procs: 2, Dur: 3, Deadline: resd.NoDeadline, Tenant: "acme"}
+	frame, err := AppendRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, req)
+	}
+}
+
+func TestV1CannotCarryTenancy(t *testing.T) {
+	cases := []Request{
+		{Op: OpReserve, Version: VersionV1, Procs: 1, Dur: 1, Tenant: "acme"},
+		{Op: OpQuotaGet, Version: VersionV1, Tenant: "acme"},
+		{Op: OpQuotaSet, Version: VersionV1, Tenant: "acme", Share: 0.5},
+	}
+	for _, req := range cases {
+		if _, err := AppendRequest(nil, req); err == nil {
+			t.Errorf("AppendRequest(%+v) succeeded at v1", req)
+		}
+	}
+	// A hostile v1 frame naming a v2-only op must fail the frame, not
+	// decode as a mystery op.
+	var b []byte
+	b = append(b, 0, 0, 0, 0)
+	b = appendHeader(b, VersionV1, OpQuotaGet, 1)
+	b = append(b, 0) // empty tenant name
+	frame, err := finishFrame(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRequest(bufio.NewReader(bytes.NewReader(frame))); !errors.Is(err, ErrFrame) {
+		t.Fatalf("v1 QuotaGet frame err = %v, want ErrFrame", err)
+	}
+}
+
+func TestHostileVersionsRejected(t *testing.T) {
+	valid, err := AppendRequest(nil, Request{ID: 1, Op: OpPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []byte{0, 3, 4, 0x7F, 0xFF} {
+		frame := bytes.Clone(valid)
+		frame[6] = v // version byte: after length prefix (4) + magic (2)
+		if _, err := ReadRequest(bufio.NewReader(bytes.NewReader(frame))); !errors.Is(err, ErrVersion) {
+			t.Errorf("version %d err = %v, want ErrVersion", v, err)
+		}
+	}
+	// Encoding at a revision the protocol never had must also fail.
+	if _, err := AppendRequest(nil, Request{Op: OpPing, Version: 3}); !errors.Is(err, ErrVersion) {
+		t.Errorf("encode at version 3 err = %v, want ErrVersion", err)
+	}
+}
+
+func TestStatsLayoutPerVersion(t *testing.T) {
+	resp := Response{ID: 1, Op: OpStats, Code: CodeOK, Stats: []resd.ShardStats{{
+		Active: 2, CommittedArea: 100, Admitted: 5, Cancelled: 3,
+		Rejected: 1, RejectedDeadline: 4, RejectedQuota: 9, Batches: 2, Ops: 5,
+	}}}
+	v2frame, err := AppendResponse(nil, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadResponse(bufio.NewReader(bytes.NewReader(v2frame)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Stats[0].RejectedQuota != 9 {
+		t.Fatalf("v2 stats round trip lost RejectedQuota: %+v", got2.Stats[0])
+	}
+	// The v1 layout has no RejectedQuota: 8 bytes shorter per entry, and
+	// the field comes back zero.
+	v1 := resp
+	v1.Version = VersionV1
+	v1frame, err := AppendResponse(nil, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2frame)-len(v1frame) != 8 {
+		t.Fatalf("v2 entry is %d bytes longer than v1, want 8", len(v2frame)-len(v1frame))
+	}
+	got1, err := ReadResponse(bufio.NewReader(bytes.NewReader(v1frame)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1.Stats[0].RejectedQuota != 0 || got1.Stats[0].Ops != 5 {
+		t.Fatalf("v1 stats decode = %+v", got1.Stats[0])
+	}
+}
+
+// TestV1ClientAgainstV2Server is the negotiation acceptance test: a
+// hand-rolled v1 client — raw frames on a TCP connection, exactly what
+// the pre-tenancy client emitted — drives a v2 server and must get
+// v1-revision, v1-layout responses with working admissions, accounted to
+// the default tenant.
+func TestV1ClientAgainstV2Server(t *testing.T) {
+	reg := mustRegistry(t, 1<<30, tenant.Spec{})
+	addr, _ := startServer(t, resd.Config{Shards: 2, M: 8, Quotas: reg})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	roundTrip := func(req Request) Response {
+		t.Helper()
+		req.Version = VersionV1
+		frame, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nc.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		// Read the raw frame to inspect the version byte the way a v1
+		// decoder would: anything but version 1 would make it hang up.
+		payload, err := ReadFrame(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload[2] != VersionV1 {
+			t.Fatalf("server answered a v1 request at revision %d", payload[2])
+		}
+		resp, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != req.ID {
+			t.Fatalf("response id %d for request %d", resp.ID, req.ID)
+		}
+		return resp
+	}
+
+	resv := roundTrip(Request{ID: 1, Op: OpReserve, Ready: 0, Procs: 4, Dur: 10, Deadline: resd.NoDeadline})
+	if resv.Code != CodeOK || resv.Resv.Procs != 4 {
+		t.Fatalf("v1 Reserve = %+v", resv)
+	}
+	// The admission landed on the default tenant's account.
+	if u := reg.Usage(""); u.Used != 40 || u.Inflight != 1 {
+		t.Fatalf("default tenant usage after v1 Reserve = %+v", u)
+	}
+	stats := roundTrip(Request{ID: 2, Op: OpStats})
+	if stats.Code != CodeOK || len(stats.Stats) != 2 {
+		t.Fatalf("v1 Stats = %+v", stats)
+	}
+	cancel := roundTrip(Request{ID: 3, Op: OpCancel, Resv: uint64(resv.Resv.ID)})
+	if cancel.Code != CodeOK {
+		t.Fatalf("v1 Cancel = %+v", cancel)
+	}
+	if u := reg.Usage(""); u.Used != 0 {
+		t.Fatalf("default tenant usage after v1 Cancel = %+v", u)
+	}
+}
+
+// TestV1NeverSeesQuotaCode pins the downgrade rule: a quota rejection
+// answered at v1 must arrive as REJECTED_NEVER_FITS (a code a v1 reader
+// knows, with load-shedding semantics), never as the v2-only
+// REJECTED_QUOTA byte a v1 client would misread as an internal failure.
+func TestV1NeverSeesQuotaCode(t *testing.T) {
+	// Encoder-level: the downgrade happens wherever the frame is built.
+	frame, err := AppendResponse(nil, Response{
+		ID: 1, Op: OpReserve, Version: VersionV1, Code: CodeRejectedQuota, Detail: "tenant over budget",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != CodeNeverFits || got.Detail != "tenant over budget" {
+		t.Fatalf("v1 quota rejection decoded as %v (%q), want CodeNeverFits", got.Code, got.Detail)
+	}
+	// A hostile v1 frame carrying the raw v2 code byte must fail the
+	// frame instead of decoding into a code v1 never defined.
+	hostile := bytes.Clone(frame)
+	hostile[16] = byte(CodeRejectedQuota) // code byte: len(4)+header(12)
+	if _, err := ReadResponse(bufio.NewReader(bytes.NewReader(hostile))); !errors.Is(err, ErrFrame) {
+		t.Fatalf("v1 frame with code 7 err = %v, want ErrFrame", err)
+	}
+
+	// End to end: a v1 client whose default tenant is broke gets a
+	// NeverFits-coded rejection from a hard-mode v2 server.
+	reg := mustRegistry(t, 100, tenant.Spec{Tenants: []tenant.TenantSpec{{Name: tenant.DefaultTenant, Share: 0.01}}})
+	addr, _ := startServer(t, resd.Config{M: 8, Quotas: reg})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	req, err := AppendRequest(nil, Request{ID: 9, Op: OpReserve, Version: VersionV1, Ready: 0, Procs: 8, Dur: 10, Deadline: resd.NoDeadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReadResponse(bufio.NewReader(nc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != CodeNeverFits {
+		t.Fatalf("v1 client saw code %v for a quota rejection, want CodeNeverFits", resp.Code)
+	}
+	// The v1 sentinel reconstruction stays within v1's error vocabulary.
+	if !errors.Is(resp.Code.Err(resp.Detail), resd.ErrNeverFits) {
+		t.Fatalf("reconstructed error %v, want resd.ErrNeverFits", resp.Code.Err(resp.Detail))
+	}
+}
+
+// TestQuotaOpsOverWire drives the v2 quota surface end to end: tenant-
+// attributed Reserve, QuotaGet, QuotaSet, and a hard-mode rejection whose
+// REJECTED_QUOTA code reconstructs tenant.ErrQuota client-side.
+func TestQuotaOpsOverWire(t *testing.T) {
+	reg := mustRegistry(t, 800, tenant.Spec{Tenants: []tenant.TenantSpec{{Name: "acme", Share: 0.1}}})
+	addr, _ := startServer(t, resd.Config{M: 8, Quotas: reg})
+	c := dial(t, addr, Options{Conns: 1, Pipeline: true})
+
+	if _, err := c.ReserveFor("acme", 0, 8, 10, resd.NoDeadline); err != nil {
+		t.Fatal(err)
+	}
+	q, err := c.QuotaGet("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Tenant != "acme" || q.Group != tenant.DefaultGroup || q.Used != 80 ||
+		q.Budget != 80 || q.Capacity != 800 || q.Mode != tenant.Hard || q.Inflight != 1 {
+		t.Fatalf("QuotaGet = %+v", q)
+	}
+	_, err = c.ReserveFor("acme", 0, 1, 1, resd.NoDeadline)
+	if !errors.Is(err, tenant.ErrQuota) || !errors.Is(err, resd.ErrQuota) {
+		t.Fatalf("over-budget remote err = %v, want ErrQuota via errors.Is", err)
+	}
+	// Re-budget over the wire and retry.
+	if err := c.QuotaSet("acme", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReserveFor("acme", 0, 1, 100, resd.NoDeadline); err != nil {
+		t.Fatalf("post-QuotaSet reserve: %v", err)
+	}
+	// An out-of-range share never leaves the client: the encoder enforces
+	// the protocol's (0,1] share range.
+	if err := c.QuotaSet("acme", 1.5); !errors.Is(err, ErrFrame) {
+		t.Fatalf("bad share err = %v, want ErrFrame", err)
+	}
+}
+
+func TestQuotaOpsWithoutRegistry(t *testing.T) {
+	addr, _ := startServer(t, resd.Config{M: 8})
+	c := dial(t, addr, Options{Conns: 1, Pipeline: false})
+	if _, err := c.QuotaGet("acme"); !errors.Is(err, resd.ErrBadRequest) {
+		t.Fatalf("QuotaGet on quota-less server err = %v, want resd.ErrBadRequest", err)
+	}
+	// Tenant-attributed Reserve still works: stats are kept, budgets just
+	// never bind.
+	if _, err := c.ReserveFor("acme", 0, 4, 10, resd.NoDeadline); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,16 +6,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/resd"
+	"repro/internal/tenant"
 )
 
 // Wire framing constants. Every message on the wire is one frame:
 //
 //	uint32  payload length (big endian, excludes these 4 bytes)
 //	uint16  magic   0x5257 ("RW")
-//	uint8   version (1)
+//	uint8   version (1 or 2)
 //	uint8   op
 //	uint64  request id (echoed verbatim in the response)
 //	...     op-specific body
@@ -23,12 +25,21 @@ import (
 // All integers are fixed-width big endian; there is no padding. Requests
 // flow client→server, responses server→client, so the direction of a frame
 // is implied by the connection side and the two kinds share the header.
+//
+// Version 2 added multi-tenancy: Reserve request bodies end with a
+// length-prefixed tenant name, and the QuotaGet/QuotaSet ops exist. A v2
+// server still accepts v1 frames — a v1 Reserve is accounted to the
+// default tenant — and answers each request at the version it arrived
+// with, so v1 clients keep working unchanged. Frames from any other
+// revision are refused rather than guessed at.
 const (
 	// Magic is the first two payload bytes of every frame ("RW").
 	Magic uint16 = 0x5257
-	// Version is the protocol revision; a server refuses frames from a
-	// different revision rather than guessing at their layout.
-	Version uint8 = 1
+	// Version is the current protocol revision, the one the client
+	// speaks.
+	Version uint8 = 2
+	// VersionV1 is the pre-tenancy revision a server still accepts.
+	VersionV1 uint8 = 1
 	// MaxFrame bounds a frame's payload. The decoder rejects larger
 	// length prefixes before allocating, so a hostile peer cannot make a
 	// reader allocate unbounded memory.
@@ -46,7 +57,8 @@ const (
 type Op uint8
 
 const (
-	// OpReserve admits a reservation (optionally deadline-bounded).
+	// OpReserve admits a reservation (optionally deadline-bounded; since
+	// v2, optionally tenant-attributed).
 	OpReserve Op = 1 + iota
 	// OpCancel releases an admitted reservation by id.
 	OpCancel
@@ -58,9 +70,24 @@ const (
 	OpPing
 	// OpStats reads the per-shard load summaries.
 	OpStats
+	// OpQuotaGet reads one tenant's quota state (v2).
+	OpQuotaGet
+	// OpQuotaSet re-budgets one tenant's share at runtime (v2).
+	OpQuotaSet
 )
 
-func (op Op) valid() bool { return op >= OpReserve && op <= OpStats }
+// validFor reports whether the op exists at the given protocol revision:
+// the quota ops arrived with v2, everything else predates versioning.
+func (op Op) validFor(v uint8) bool {
+	switch {
+	case op >= OpReserve && op <= OpStats:
+		return true
+	case op == OpQuotaGet || op == OpQuotaSet:
+		return v >= 2
+	default:
+		return false
+	}
+}
 
 // String names the op for diagnostics.
 func (op Op) String() string {
@@ -77,6 +104,10 @@ func (op Op) String() string {
 		return "Ping"
 	case OpStats:
 		return "Stats"
+	case OpQuotaGet:
+		return "QuotaGet"
+	case OpQuotaSet:
+		return "QuotaSet"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(op))
 	}
@@ -103,6 +134,11 @@ const (
 	CodeRejectedDeadline
 	// CodeInternal reports a server-side failure outside the typed set.
 	CodeInternal
+	// CodeRejectedQuota maps tenant.ErrQuota (v2): the request was
+	// feasible but its tenant has exhausted its budgeted share of the
+	// reservable prefix. Appended after CodeInternal so every v1 code
+	// keeps its number.
+	CodeRejectedQuota
 )
 
 // String names the code, REJECTED_DEADLINE-style, for logs and examples.
@@ -122,16 +158,22 @@ func (c Code) String() string {
 		return "REJECTED_DEADLINE"
 	case CodeInternal:
 		return "INTERNAL"
+	case CodeRejectedQuota:
+		return "REJECTED_QUOTA"
 	default:
 		return fmt.Sprintf("Code(%d)", uint8(c))
 	}
 }
 
-// CodeOf maps a service error onto its wire code.
+// CodeOf maps a service error onto its wire code. Quota config errors
+// (tenant.ErrConfig, from a bad QuotaSet) surface as BAD_REQUEST: the
+// caller's parameters were wrong, not the server.
 func CodeOf(err error) Code {
 	switch {
 	case err == nil:
 		return CodeOK
+	case errors.Is(err, tenant.ErrQuota):
+		return CodeRejectedQuota
 	case errors.Is(err, resd.ErrDeadline):
 		return CodeRejectedDeadline
 	case errors.Is(err, resd.ErrNeverFits):
@@ -140,7 +182,7 @@ func CodeOf(err error) Code {
 		return CodeUnknownID
 	case errors.Is(err, resd.ErrClosed):
 		return CodeClosed
-	case errors.Is(err, resd.ErrBadRequest):
+	case errors.Is(err, resd.ErrBadRequest), errors.Is(err, tenant.ErrConfig):
 		return CodeBadRequest
 	default:
 		return CodeInternal
@@ -167,6 +209,8 @@ func (c Code) Err(detail string) error {
 		sentinel = resd.ErrClosed
 	case CodeRejectedDeadline:
 		sentinel = resd.ErrDeadline
+	case CodeRejectedQuota:
+		sentinel = tenant.ErrQuota
 	default:
 		sentinel = ErrInternal
 	}
@@ -186,17 +230,26 @@ var (
 )
 
 // Request is one decoded client→server message. Fields beyond ID and Op
-// are meaningful per op: Reserve uses Ready/Procs/Dur/Deadline, Cancel
-// uses Resv, Query uses Ready as the probe instant, Snapshot uses Shard.
+// are meaningful per op: Reserve uses Ready/Procs/Dur/Deadline/Tenant,
+// Cancel uses Resv, Query uses Ready as the probe instant, Snapshot uses
+// Shard, QuotaGet uses Tenant, QuotaSet uses Tenant and Share.
+//
+// Version records the protocol revision the frame used, with 0 meaning
+// the current Version — so the zero Request encodes at the current
+// revision, and only down-level frames (a v1 client talking to this
+// server) carry an explicit value through decode and back.
 type Request struct {
 	ID       uint64
 	Op       Op
+	Version  uint8
 	Ready    core.Time
 	Procs    int
 	Dur      core.Time
 	Deadline core.Time
 	Resv     uint64
 	Shard    int
+	Tenant   string
+	Share    float64
 }
 
 // Segment is one constant piece of a snapshot's capacity step function:
@@ -207,31 +260,76 @@ type Segment struct {
 	Free  int
 }
 
+// QuotaInfo is one tenant's quota state as QuotaGet reports it: the
+// tenant's resolved budget and live accounting plus the registry-wide
+// mode and capacity the numbers are relative to.
+type QuotaInfo struct {
+	Tenant, Group                 string
+	Mode                          tenant.Mode
+	Share                         float64
+	Capacity, Budget, Used        int64
+	Inflight                      int64
+	Admitted, Cancelled, Rejected uint64
+}
+
 // Response is one decoded server→client message. Code discriminates
 // success; on success the op-specific field is set (Resv for Reserve,
-// Free for Query, M+Segs for Snapshot, Stats for Stats).
+// Free for Query, M+Segs for Snapshot, Stats for Stats, Quota for
+// QuotaGet). Version follows the same 0-means-current convention as
+// Request.Version; the server answers every request at the revision it
+// arrived with.
 type Response struct {
-	ID     uint64
-	Op     Op
-	Code   Code
-	Detail string
-	Resv   resd.Reservation
-	Free   []int
-	M      int
-	Segs   []Segment
-	Stats  []resd.ShardStats
+	ID      uint64
+	Op      Op
+	Version uint8
+	Code    Code
+	Detail  string
+	Resv    resd.Reservation
+	Free    []int
+	M       int
+	Segs    []Segment
+	Stats   []resd.ShardStats
+	Quota   QuotaInfo
+}
+
+// resolveVersion maps the 0-means-current convention onto the concrete
+// revision and rejects revisions the protocol never had.
+func resolveVersion(v uint8) (uint8, error) {
+	if v == 0 {
+		return Version, nil
+	}
+	if v < VersionV1 || v > Version {
+		return 0, fmt.Errorf("%w: cannot encode revision %d", ErrVersion, v)
+	}
+	return v, nil
 }
 
 // appendHeader writes the shared frame header (after the length prefix).
-func appendHeader(dst []byte, op Op, id uint64) []byte {
+func appendHeader(dst []byte, v uint8, op Op, id uint64) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, Magic)
-	dst = append(dst, Version, byte(op))
+	dst = append(dst, v, byte(op))
 	return binary.BigEndian.AppendUint64(dst, id)
 }
 
 func appendI64(dst []byte, v int64) []byte      { return binary.BigEndian.AppendUint64(dst, uint64(v)) }
 func appendI32(dst []byte, v int32) []byte      { return binary.BigEndian.AppendUint32(dst, uint32(v)) }
 func appendTime(dst []byte, t core.Time) []byte { return appendI64(dst, int64(t)) }
+
+// appendName writes a one-byte-length-prefixed tenant or group name.
+func appendName(dst []byte, name string) ([]byte, error) {
+	if len(name) > tenant.MaxNameLen {
+		return nil, fmt.Errorf("%w: name %d bytes long (max %d)", ErrFrame, len(name), tenant.MaxNameLen)
+	}
+	dst = append(dst, byte(len(name)))
+	return append(dst, name...), nil
+}
+
+// validShareBits guards float shares crossing the wire: a share is a
+// fraction in (0,1], and hostile bit patterns (NaN, infinities, sign
+// games) must fail the frame, not round-trip into arithmetic.
+func validShareBits(share float64) bool {
+	return !math.IsNaN(share) && share > 0 && share <= 1
+}
 
 // finishFrame back-fills the length prefix reserved at base.
 func finishFrame(dst []byte, base int) ([]byte, error) {
@@ -243,44 +341,89 @@ func finishFrame(dst []byte, base int) ([]byte, error) {
 	return dst, nil
 }
 
-// AppendRequest encodes req as one frame appended to dst.
+// AppendRequest encodes req as one frame appended to dst, at the revision
+// req.Version names (0 = current). Encoding a v2-only field or op at v1
+// fails rather than silently dropping it.
 func AppendRequest(dst []byte, req Request) ([]byte, error) {
-	if !req.Op.valid() {
-		return nil, fmt.Errorf("%w: invalid op %d", ErrFrame, uint8(req.Op))
+	v, err := resolveVersion(req.Version)
+	if err != nil {
+		return nil, err
+	}
+	if !req.Op.validFor(v) {
+		return nil, fmt.Errorf("%w: invalid op %d at revision %d", ErrFrame, uint8(req.Op), v)
 	}
 	if req.Procs < -1<<31 || req.Procs > 1<<31-1 || req.Shard < -1<<31 || req.Shard > 1<<31-1 {
 		return nil, fmt.Errorf("%w: field exceeds int32 range", ErrFrame)
 	}
+	if v < 2 && req.Tenant != "" {
+		return nil, fmt.Errorf("%w: tenant %q needs revision 2, encoding at %d", ErrFrame, req.Tenant, v)
+	}
 	base := len(dst)
 	dst = append(dst, 0, 0, 0, 0)
-	dst = appendHeader(dst, req.Op, req.ID)
+	dst = appendHeader(dst, v, req.Op, req.ID)
 	switch req.Op {
 	case OpReserve:
 		dst = appendTime(dst, req.Ready)
 		dst = appendI32(dst, int32(req.Procs))
 		dst = appendTime(dst, req.Dur)
 		dst = appendTime(dst, req.Deadline)
+		if v >= 2 {
+			if dst, err = appendName(dst, req.Tenant); err != nil {
+				return nil, err
+			}
+		}
 	case OpCancel:
 		dst = binary.BigEndian.AppendUint64(dst, req.Resv)
 	case OpQuery:
 		dst = appendTime(dst, req.Ready)
 	case OpSnapshot:
 		dst = appendI32(dst, int32(req.Shard))
+	case OpQuotaGet:
+		if dst, err = appendName(dst, req.Tenant); err != nil {
+			return nil, err
+		}
+	case OpQuotaSet:
+		if !validShareBits(req.Share) {
+			return nil, fmt.Errorf("%w: share %v outside (0,1]", ErrFrame, req.Share)
+		}
+		if dst, err = appendName(dst, req.Tenant); err != nil {
+			return nil, err
+		}
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(req.Share))
 	case OpPing, OpStats:
 		// header only
 	}
 	return finishFrame(dst, base)
 }
 
-// AppendResponse encodes resp as one frame appended to dst.
+// AppendResponse encodes resp as one frame appended to dst, at the
+// revision resp.Version names (0 = current) — the server answers each
+// request at the revision it arrived with, which is what keeps v1
+// clients decoding v2 servers.
 func AppendResponse(dst []byte, resp Response) ([]byte, error) {
-	if !resp.Op.valid() {
-		return nil, fmt.Errorf("%w: invalid op %d", ErrFrame, uint8(resp.Op))
+	v, err := resolveVersion(resp.Version)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Op.validFor(v) {
+		return nil, fmt.Errorf("%w: invalid op %d at revision %d", ErrFrame, uint8(resp.Op), v)
+	}
+	if resp.Code > CodeRejectedQuota {
+		return nil, fmt.Errorf("%w: unknown code %d", ErrFrame, uint8(resp.Code))
+	}
+	code := resp.Code
+	if v < 2 && code == CodeRejectedQuota {
+		// The quota code arrived with v2; a v1 reader maps unknown codes
+		// to ErrInternal, which would turn expected load shedding into a
+		// reported server failure. Downgrade to the v1 code with the same
+		// operational meaning — "rejected, cannot admit" — and let the
+		// detail string carry the quota specifics.
+		code = CodeNeverFits
 	}
 	base := len(dst)
 	dst = append(dst, 0, 0, 0, 0)
-	dst = appendHeader(dst, resp.Op, resp.ID)
-	dst = append(dst, byte(resp.Code))
+	dst = appendHeader(dst, v, resp.Op, resp.ID)
+	dst = append(dst, byte(code))
 	if resp.Code != CodeOK {
 		detail := resp.Detail
 		if len(detail) > maxDetail {
@@ -324,10 +467,35 @@ func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 			dst = binary.BigEndian.AppendUint64(dst, st.Cancelled)
 			dst = binary.BigEndian.AppendUint64(dst, st.Rejected)
 			dst = binary.BigEndian.AppendUint64(dst, st.RejectedDeadline)
+			if v >= 2 {
+				// RejectedQuota arrived with v2; a v1 reader gets the
+				// layout it knows and simply cannot see quota rejections.
+				dst = binary.BigEndian.AppendUint64(dst, st.RejectedQuota)
+			}
 			dst = binary.BigEndian.AppendUint64(dst, st.Batches)
 			dst = binary.BigEndian.AppendUint64(dst, st.Ops)
 		}
-	case OpCancel, OpPing:
+	case OpQuotaGet:
+		q := resp.Quota
+		if !validShareBits(q.Share) {
+			return nil, fmt.Errorf("%w: quota share %v outside (0,1]", ErrFrame, q.Share)
+		}
+		if dst, err = appendName(dst, q.Tenant); err != nil {
+			return nil, err
+		}
+		if dst, err = appendName(dst, q.Group); err != nil {
+			return nil, err
+		}
+		dst = append(dst, byte(q.Mode))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(q.Share))
+		dst = appendI64(dst, q.Capacity)
+		dst = appendI64(dst, q.Budget)
+		dst = appendI64(dst, q.Used)
+		dst = appendI64(dst, q.Inflight)
+		dst = binary.BigEndian.AppendUint64(dst, q.Admitted)
+		dst = binary.BigEndian.AppendUint64(dst, q.Cancelled)
+		dst = binary.BigEndian.AppendUint64(dst, q.Rejected)
+	case OpCancel, OpPing, OpQuotaSet:
 		// header + code only
 	}
 	return finishFrame(dst, base)
@@ -399,19 +567,40 @@ func (r *reader) bytes(n int) []byte {
 	return v
 }
 
-// header consumes and validates the shared frame header, returning op+id.
-func (r *reader) header() (Op, uint64) {
+// header consumes and validates the shared frame header, returning
+// op, id and the frame's revision (normalised to 0 when current, so a
+// decode→encode round trip reproduces the revision it read).
+func (r *reader) header() (Op, uint64, uint8) {
 	if magic := r.u16(); r.err == nil && magic != Magic {
 		r.err = fmt.Errorf("%w: magic %#04x", ErrFrame, magic)
 	}
-	if v := r.u8(); r.err == nil && v != Version {
-		r.err = fmt.Errorf("%w: got %d, support %d", ErrVersion, v, Version)
+	v := r.u8()
+	if r.err == nil && (v < VersionV1 || v > Version) {
+		r.err = fmt.Errorf("%w: got %d, support %d..%d", ErrVersion, v, VersionV1, Version)
 	}
 	op := Op(r.u8())
-	if r.err == nil && !op.valid() {
-		r.err = fmt.Errorf("%w: unknown op %d", ErrFrame, uint8(op))
+	if r.err == nil && !op.validFor(v) {
+		r.err = fmt.Errorf("%w: unknown op %d at revision %d", ErrFrame, uint8(op), v)
 	}
-	return op, r.u64()
+	if v == Version {
+		v = 0
+	}
+	return op, r.u64(), v
+}
+
+// name reads a one-byte-length-prefixed tenant or group name.
+func (r *reader) name() string {
+	n := int(r.u8())
+	return string(r.bytes(n))
+}
+
+// share reads a float64 share and enforces the (0,1] protocol range.
+func (r *reader) share() float64 {
+	s := math.Float64frombits(r.u64())
+	if r.err == nil && !validShareBits(s) {
+		r.err = fmt.Errorf("%w: share %v outside (0,1]", ErrFrame, s)
+	}
+	return s
 }
 
 // done rejects trailing bytes: a frame must be consumed exactly.
@@ -427,26 +616,37 @@ func (r *reader) done() error {
 
 // DecodeRequest parses one request payload (a frame minus its length
 // prefix). It never panics on hostile input and consumes the payload
-// exactly or fails.
+// exactly or fails. Frames from revision 1 decode with their pre-tenancy
+// layout — a v1 Reserve carries no tenant and lands on the default
+// tenant, which is the backward-compatibility contract of the v2 bump.
 func DecodeRequest(payload []byte) (Request, error) {
 	r := &reader{b: payload}
 	var req Request
-	req.Op, req.ID = r.header()
+	req.Op, req.ID, req.Version = r.header()
 	if r.err != nil {
 		return Request{}, r.err
 	}
+	v2 := req.Version == 0 // header normalises the current revision to 0
 	switch req.Op {
 	case OpReserve:
 		req.Ready = r.time()
 		req.Procs = int(r.i32())
 		req.Dur = r.time()
 		req.Deadline = r.time()
+		if v2 {
+			req.Tenant = r.name()
+		}
 	case OpCancel:
 		req.Resv = r.u64()
 	case OpQuery:
 		req.Ready = r.time()
 	case OpSnapshot:
 		req.Shard = int(r.i32())
+	case OpQuotaGet:
+		req.Tenant = r.name()
+	case OpQuotaSet:
+		req.Tenant = r.name()
+		req.Share = r.share()
 	case OpPing, OpStats:
 	}
 	if err := r.done(); err != nil {
@@ -461,11 +661,19 @@ func DecodeRequest(payload []byte) (Request, error) {
 func DecodeResponse(payload []byte) (Response, error) {
 	r := &reader{b: payload}
 	var resp Response
-	resp.Op, resp.ID = r.header()
+	resp.Op, resp.ID, resp.Version = r.header()
 	if r.err != nil {
 		return Response{}, r.err
 	}
+	v2 := resp.Version == 0
 	resp.Code = Code(r.u8())
+	maxCode := CodeInternal // CodeRejectedQuota arrived with v2
+	if v2 {
+		maxCode = CodeRejectedQuota
+	}
+	if r.err == nil && resp.Code > maxCode {
+		return Response{}, fmt.Errorf("%w: unknown code %d (max %d at this revision)", ErrFrame, uint8(resp.Code), uint8(maxCode))
+	}
 	if resp.Code != CodeOK {
 		n := int(r.u16())
 		if n > maxDetail {
@@ -508,7 +716,11 @@ func DecodeResponse(payload []byte) (Response, error) {
 		}
 	case OpStats:
 		n := int(r.u32())
-		if n > maxShards || (r.err == nil && 64*n > len(r.b)-r.off) {
+		entry := 64
+		if v2 {
+			entry = 72 // RejectedQuota joined the layout at v2
+		}
+		if n > maxShards || (r.err == nil && entry*n > len(r.b)-r.off) {
 			r.fail()
 			break
 		}
@@ -520,10 +732,28 @@ func DecodeResponse(payload []byte) (Response, error) {
 			resp.Stats[i].Cancelled = r.u64()
 			resp.Stats[i].Rejected = r.u64()
 			resp.Stats[i].RejectedDeadline = r.u64()
+			if v2 {
+				resp.Stats[i].RejectedQuota = r.u64()
+			}
 			resp.Stats[i].Batches = r.u64()
 			resp.Stats[i].Ops = r.u64()
 		}
-	case OpCancel, OpPing:
+	case OpQuotaGet:
+		resp.Quota.Tenant = r.name()
+		resp.Quota.Group = r.name()
+		resp.Quota.Mode = tenant.Mode(r.u8())
+		if r.err == nil && resp.Quota.Mode > tenant.Soft {
+			r.err = fmt.Errorf("%w: unknown quota mode %d", ErrFrame, uint8(resp.Quota.Mode))
+		}
+		resp.Quota.Share = r.share()
+		resp.Quota.Capacity = r.i64()
+		resp.Quota.Budget = r.i64()
+		resp.Quota.Used = r.i64()
+		resp.Quota.Inflight = r.i64()
+		resp.Quota.Admitted = r.u64()
+		resp.Quota.Cancelled = r.u64()
+		resp.Quota.Rejected = r.u64()
+	case OpCancel, OpPing, OpQuotaSet:
 	}
 	if err := r.done(); err != nil {
 		return Response{}, err

@@ -167,6 +167,51 @@ func (p *PCG) Shuffle(n int, swap func(i, j int)) {
 	}
 }
 
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s — the classic heavy-tailed popularity law of multi-tenant
+// workloads (a few tenants dominate, a long tail trickles). The
+// cumulative weights are precomputed once so Next costs one uniform draw
+// plus a binary search, and the sequence is fully determined by the
+// generator's state, like every other draw in this package.
+type Zipf struct {
+	p   *PCG
+	cdf []float64 // cumulative, normalised to end at 1
+}
+
+// NewZipf builds a sampler over [0, n) with exponent s. It panics unless
+// n >= 1 and s >= 0 (s = 0 degenerates to uniform, large s concentrates
+// mass on rank 0).
+func NewZipf(p *PCG, n int, s float64) *Zipf {
+	if n < 1 || s < 0 || math.IsNaN(s) {
+		panic("rng: NewZipf needs n >= 1 and s >= 0")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{p: p, cdf: cdf}
+}
+
+// Next draws the next rank.
+func (z *Zipf) Next() int {
+	u := z.p.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Pick returns a uniformly chosen index weighted by the non-negative weights
 // slice. It panics if the total weight is zero or any weight is negative.
 func (p *PCG) Pick(weights []float64) int {

@@ -265,3 +265,46 @@ func BenchmarkIntn(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestZipfSkewsTowardLowRanks(t *testing.T) {
+	p := New(99)
+	z := NewZipf(p, 8, 1.1)
+	counts := make([]int, 8)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		r := z.Next()
+		if r < 0 || r >= 8 {
+			t.Fatalf("rank %d outside [0,8)", r)
+		}
+		counts[r]++
+	}
+	// Monotone-ish head and a genuinely heavy rank 0: with s=1.1 over 8
+	// ranks, rank 0 carries ~36% of the mass.
+	if counts[0] <= counts[1] || counts[1] <= counts[3] || counts[3] <= counts[7] {
+		t.Fatalf("counts not decreasing in rank: %v", counts)
+	}
+	if frac := float64(counts[0]) / n; frac < 0.30 || frac > 0.42 {
+		t.Fatalf("rank-0 fraction %v, want ~0.36", frac)
+	}
+	// s=0 degenerates to uniform.
+	u := NewZipf(New(7), 4, 0)
+	uc := make([]int, 4)
+	for i := 0; i < n; i++ {
+		uc[u.Next()]++
+	}
+	for r, c := range uc {
+		if math.Abs(float64(c)/n-0.25) > 0.02 {
+			t.Fatalf("s=0 rank %d fraction %v, want 0.25", r, float64(c)/n)
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(New(5), 16, 1.2)
+	b := NewZipf(New(5), 16, 1.2)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}

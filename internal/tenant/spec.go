@@ -1,0 +1,133 @@
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Spec is the declarative quota configuration — what cmd/resdsrv loads
+// from its -quotas file. The zero Spec is valid: hard mode, no declared
+// groups or tenants, every tenant discovered at runtime owning a full
+// share of the default group.
+type Spec struct {
+	// Mode is "hard" or "soft" ("" = hard).
+	Mode string `json:"mode,omitempty"`
+	// DefaultShare is the share tenants not listed below receive of the
+	// default group (0 = 1.0, i.e. runtime-discovered tenants are bounded
+	// only by their group).
+	DefaultShare float64 `json:"default_share,omitempty"`
+	// Groups declare shares of the global capacity. A "default" group is
+	// always present (share 1 unless declared otherwise).
+	Groups []GroupSpec `json:"groups,omitempty"`
+	// Tenants declare shares of their group's budget.
+	Tenants []TenantSpec `json:"tenants,omitempty"`
+}
+
+// GroupSpec is one group's share of the global capacity.
+type GroupSpec struct {
+	Name  string  `json:"name"`
+	Share float64 `json:"share"`
+}
+
+// TenantSpec is one tenant's share of its group ("" = the default group).
+type TenantSpec struct {
+	Name  string  `json:"name"`
+	Group string  `json:"group,omitempty"`
+	Share float64 `json:"share"`
+}
+
+// normalize validates the spec, fills defaults, and resolves the mode.
+func (s Spec) normalize() (Spec, Mode, error) {
+	mode := Hard
+	if s.Mode != "" {
+		var err error
+		if mode, err = ParseMode(s.Mode); err != nil {
+			return s, 0, err
+		}
+	}
+	if s.DefaultShare == 0 {
+		s.DefaultShare = 1
+	}
+	if err := validShare("default_share", s.DefaultShare); err != nil {
+		return s, 0, err
+	}
+	seenG := map[string]bool{}
+	for _, g := range s.Groups {
+		if err := validName("group", g.Name); err != nil {
+			return s, 0, err
+		}
+		if seenG[g.Name] {
+			return s, 0, fmt.Errorf("%w: group %q declared twice", ErrConfig, g.Name)
+		}
+		seenG[g.Name] = true
+		if err := validShare("group "+g.Name, g.Share); err != nil {
+			return s, 0, err
+		}
+	}
+	seenT := map[string]bool{}
+	for _, t := range s.Tenants {
+		if err := validName("tenant", t.Name); err != nil {
+			return s, 0, err
+		}
+		if seenT[t.Name] {
+			return s, 0, fmt.Errorf("%w: tenant %q declared twice", ErrConfig, t.Name)
+		}
+		seenT[t.Name] = true
+		if t.Group != "" && t.Group != DefaultGroup && !seenG[t.Group] {
+			return s, 0, fmt.Errorf("%w: tenant %q names undeclared group %q", ErrConfig, t.Name, t.Group)
+		}
+		if err := validShare("tenant "+t.Name, t.Share); err != nil {
+			return s, 0, err
+		}
+	}
+	return s, mode, nil
+}
+
+func validName(kind, name string) error {
+	if name == "" {
+		return fmt.Errorf("%w: %s with empty name", ErrConfig, kind)
+	}
+	if len(name) > MaxNameLen {
+		return fmt.Errorf("%w: %s name %q is %d bytes long (max %d)", ErrConfig, kind, name[:16]+"…", len(name), MaxNameLen)
+	}
+	return nil
+}
+
+func validShare(what string, share float64) error {
+	if share <= 0 || share > 1 || math.IsNaN(share) {
+		return fmt.Errorf("%w: %s share %v outside (0,1]", ErrConfig, what, share)
+	}
+	return nil
+}
+
+// ParseSpec decodes a JSON quota spec, rejecting unknown fields so a
+// typo'd key fails loudly instead of silently granting full shares.
+func ParseSpec(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if _, _, err := s.normalize(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadSpec reads a quota spec file (the -quotas flag).
+func LoadSpec(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	defer f.Close()
+	s, err := ParseSpec(f)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
