@@ -1,17 +1,17 @@
 // Command benchgate is the CI bench-regression gate: it parses `go test
 // -bench` output and compares the recorded hot paths against their
 // baselines — the tree-backend figures in BENCH_restree.json and
-// BENCH_resd.json, the wire-throughput matrix in BENCH_reswire.json, and
-// the multi-tenant quota matrix in BENCH_tenant.json — failing (exit 1)
-// when any measured figure exceeds its recorded baseline by more than the
-// threshold factor.
+// BENCH_resd.json, the wire-throughput matrix in BENCH_reswire.json, the
+// multi-tenant quota matrix in BENCH_tenant.json, and the rebalancing
+// off/on matrix in BENCH_rebal.json — failing (exit 1) when any measured
+// figure exceeds its recorded baseline by more than the threshold factor.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'CapacityIndex|ResdThroughput|WireThroughput|TenantThroughput' \
+//	go test -run '^$' -bench 'CapacityIndex|ResdThroughput|WireThroughput|TenantThroughput|Rebalance' \
 //	    -benchtime=0.2s . | tee bench.out
 //	benchgate -bench bench.out -restree BENCH_restree.json -resd BENCH_resd.json \
-//	    -reswire BENCH_reswire.json -tenant BENCH_tenant.json -threshold 2
+//	    -reswire BENCH_reswire.json -tenant BENCH_tenant.json -rebal BENCH_rebal.json -threshold 2
 //
 // The threshold is deliberately generous (default 2×): the gate exists to
 // catch algorithmic regressions — an accidental O(n) scan reintroduced on
@@ -162,6 +162,32 @@ func tenantBaselines(path string) ([]baseline, error) {
 	return out, nil
 }
 
+// rebalBaselines loads BENCH_rebal.json rows as expectations on
+// BenchmarkRebalance sub-benchmarks (both rebalancer settings on both
+// backends: a regression in the hot-shard baseline is as real as one in
+// the migrated steady state, and a balancer gone thrash-happy shows up
+// as the on axis blowing past its recorded figure).
+func rebalBaselines(path string) ([]baseline, error) {
+	var doc struct {
+		Rows []struct {
+			Backend   string  `json:"backend"`
+			Rebalance string  `json:"rebalance"`
+			NsPerOp   float64 `json:"ns_per_op"`
+		} `json:"rows"`
+	}
+	if err := readJSON(path, &doc); err != nil {
+		return nil, err
+	}
+	var out []baseline
+	for _, r := range doc.Rows {
+		out = append(out, baseline{
+			name: fmt.Sprintf("BenchmarkRebalance/backend=%s/rebalance=%s", r.Backend, r.Rebalance),
+			ns:   r.NsPerOp,
+		})
+	}
+	return out, nil
+}
+
 func readJSON(path string, v any) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -201,6 +227,7 @@ func run() error {
 	resd := flag.String("resd", "BENCH_resd.json", "admission-service baseline ('' to skip)")
 	reswire := flag.String("reswire", "BENCH_reswire.json", "wire-throughput baseline ('' to skip)")
 	tenantPath := flag.String("tenant", "BENCH_tenant.json", "quota-throughput baseline ('' to skip)")
+	rebal := flag.String("rebal", "BENCH_rebal.json", "rebalancing-throughput baseline ('' to skip)")
 	threshold := flag.Float64("threshold", 2.0, "allowed slowdown factor vs baseline")
 	flag.Parse()
 
@@ -248,6 +275,13 @@ func run() error {
 	}
 	if *tenantPath != "" {
 		bs, err := tenantBaselines(*tenantPath)
+		if err != nil {
+			return err
+		}
+		baselines = append(baselines, bs...)
+	}
+	if *rebal != "" {
+		bs, err := rebalBaselines(*rebal)
 		if err != nil {
 			return err
 		}

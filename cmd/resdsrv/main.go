@@ -9,6 +9,18 @@
 //	resdsrv -addr :7433 -shards 8 -m 256 -alpha 0.5 -backend tree
 //	resdsrv -addr 127.0.0.1:0 -placement p2c    # ephemeral port, printed
 //	resdsrv -quotas quotas.json -qhorizon 1000000   # multi-tenant budgets
+//	resdsrv -shards 8 -rebalance 100ms -rebalfreeze 1000   # live rebalancing
+//
+// With -rebalance, a background rebalancer periodically scores the
+// committed-area spread across shards and migrates admitted future
+// reservations from hot partitions to idle ones (two-phase, conserving
+// capacity and tenant quota at every instant). -rebalthreshold sets the
+// imbalance score that triggers a round, -rebalfreeze pins reservations
+// starting within that many ticks of the logical time origin, and
+// -rebalmoves caps migrations per round. Remote clients see the effect in
+// the Stats op's MigratedIn/MigratedOut counters (protocol v3). The
+// "pressure" placement routes each Reserve by the requesting tenant's own
+// per-shard footprint — quota-aware placement for skewed tenant mixes.
 //
 // With -quotas, the server partitions the reservable α-prefix between
 // tenants: the JSON file declares the enforcement mode ("hard" rejects
@@ -52,13 +64,17 @@ func run() error {
 	m := flag.Int("m", 64, "processors per partition")
 	alpha := flag.Float64("alpha", 0.5, "α admission rule: ⌊α·m⌋ processors stay free per shard")
 	backend := flag.String("backend", "array", "capacity index backend (array or tree)")
-	placement := flag.String("placement", "least-loaded", "shard routing policy (first-fit, least-loaded, p2c)")
+	placement := flag.String("placement", "least-loaded", "shard routing policy (first-fit, least-loaded, p2c, pressure)")
 	batch := flag.Int("batch", 64, "max requests group-committed per event-loop turn")
 	nres := flag.Int("nres", 0, "pre-existing reservations per shard (maintenance windows)")
 	horizon := flag.Int64("horizon", 1<<20, "time horizon the -nres pre-reservations are drawn over")
 	seed := flag.Uint64("seed", 1, "pre-reservation generator seed")
 	quotas := flag.String("quotas", "", "tenant quota spec file (JSON); enables multi-tenant budgets")
 	qhorizon := flag.Int64("qhorizon", 1<<20, "accounting horizon the -quotas budgets resolve against")
+	rebalance := flag.Duration("rebalance", 0, "background shard-rebalancing interval (0 = disabled)")
+	rebalthreshold := flag.Float64("rebalthreshold", resd.DefaultRebalanceThreshold, "imbalance score (0..1) that triggers a rebalancing round")
+	rebalfreeze := flag.Int64("rebalfreeze", 0, "frozen window Δ: never migrate reservations starting within Δ ticks")
+	rebalmoves := flag.Int("rebalmoves", resd.DefaultRebalanceMaxMoves, "max migrations per rebalancing round")
 	flag.Parse()
 
 	if err := cliflag.First(
@@ -81,6 +97,9 @@ func run() error {
 			return fmt.Errorf("%w (α must be positive when -nres > 0)", err)
 		}
 	}
+	if err := cliflag.RebalanceFlags(*rebalance, *rebalthreshold, *rebalfreeze, *rebalmoves); err != nil {
+		return err
+	}
 	reg, err := loadQuotas(*quotas, *shards, *m, *alpha, *qhorizon)
 	if err != nil {
 		return err
@@ -93,7 +112,9 @@ func run() error {
 	svc, err := resd.New(resd.Config{
 		Shards: *shards, M: *m, Alpha: *alpha, Backend: *backend,
 		Placement: *placement, Batch: *batch, Seed: *seed, Pre: pre,
-		Quotas: reg,
+		Quotas:         reg,
+		RebalanceEvery: *rebalance, RebalanceThreshold: *rebalthreshold,
+		RebalanceFreeze: core.Time(*rebalfreeze), RebalanceMaxMoves: *rebalmoves,
 	})
 	if err != nil {
 		return err
@@ -119,6 +140,10 @@ func run() error {
 	if reg != nil {
 		fmt.Printf("resdsrv: quotas %s mode, capacity %d processor·ticks, %d declared tenants\n",
 			reg.Mode(), reg.Capacity(), len(reg.Tenants()))
+	}
+	if *rebalance > 0 {
+		fmt.Printf("resdsrv: rebalancer every %v (threshold %.2f, freeze %d ticks, <= %d moves/round)\n",
+			*rebalance, *rebalthreshold, *rebalfreeze, *rebalmoves)
 	}
 	if err := srv.Serve(ln); err != reswire.ErrServerClosed {
 		return err

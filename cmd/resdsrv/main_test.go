@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/cliflag"
 	"repro/internal/tenant"
@@ -56,5 +57,17 @@ func TestLoadQuotasFlagErrors(t *testing.T) {
 	ok := writeSpec(t, `{"mode": "hard"}`)
 	if _, err := loadQuotas(ok, 4, 64, 1.0, 1000); !errors.Is(err, cliflag.ErrFlag) {
 		t.Fatalf("α=1 err = %v, want ErrFlag (no reservable prefix)", err)
+	}
+}
+
+func TestRebalanceFlagsWiredThroughCliflag(t *testing.T) {
+	// The shared validator (bounds pinned in cliflag's own tests) is what
+	// this command runs its knobs through; spot-check the wiring accepts
+	// the flag defaults and rejects a bad set.
+	if err := cliflag.RebalanceFlags(0, 0.1, 0, 64); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if err := cliflag.RebalanceFlags(-time.Second, 0.1, 0, 64); !errors.Is(err, cliflag.ErrFlag) {
+		t.Fatalf("negative interval err = %v, want ErrFlag", err)
 	}
 }

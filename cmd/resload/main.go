@@ -14,6 +14,7 @@
 //	resload -addr 127.0.0.1:7433 -pipeline=false           # RPC baseline
 //	resload -slack 500 -n 20000                            # SLA mode
 //	resload -tenants 8 -skew zipf -quotamode hard          # multi-tenant mix
+//	resload -shards 8 -placement first-fit -rebalance 5ms  # live rebalancing
 //
 // Each request asks for the earliest admissible slot at or after its
 // arrival time; -slack gives every request a deadline that many ticks
@@ -34,6 +35,13 @@
 // of the α-prefix, so hard mode shows REJECTED_QUOTA load shedding and
 // soft mode shows fair-share ordering; against a remote server the
 // budgets come from resdsrv's own -quotas file instead.
+//
+// With -rebalance (in-process mode) a background rebalancer migrates
+// admitted future reservations off hot shards while the stream runs —
+// pair it with -placement first-fit for a deliberately skewed baseline —
+// and the summary reports the migrations next to each shard's books. The
+// per-tenant table always includes p99 start-time slack (admitted start −
+// ready), the per-tenant SLO the service also surfaces in TenantStats.
 package main
 
 import (
@@ -66,7 +74,7 @@ func run() error {
 	nres := flag.Int("nres", 0, "pre-existing reservations per shard (maintenance windows)")
 	alpha := flag.Float64("alpha", 0.5, "α admission rule: ⌊α·m⌋ processors stay free per shard")
 	backend := flag.String("backend", "array", "capacity index backend (array or tree)")
-	placement := flag.String("placement", "least-loaded", "shard routing policy (first-fit, least-loaded, p2c)")
+	placement := flag.String("placement", "least-loaded", "shard routing policy (first-fit, least-loaded, p2c, pressure)")
 	clients := flag.Int("clients", 8, "concurrent client goroutines")
 	rate := flag.Float64("rate", 0, "target request rate per second (0 = unthrottled)")
 	cancelfrac := flag.Float64("cancelfrac", 0.5, "fraction of admissions the clients cancel again")
@@ -77,6 +85,10 @@ func run() error {
 	tenants := flag.Int("tenants", 0, "attribute the stream to this many tenants (0 = single default tenant)")
 	skew := flag.String("skew", "uniform", "tenant popularity (uniform or zipf)")
 	quotamode := flag.String("quotamode", "", "in-process quota enforcement with equal shares (hard or soft; '' = no quotas)")
+	rebalance := flag.Duration("rebalance", 0, "in-process background rebalancing interval (0 = disabled)")
+	rebalthreshold := flag.Float64("rebalthreshold", resd.DefaultRebalanceThreshold, "imbalance score (0..1) that triggers a rebalancing round")
+	rebalfreeze := flag.Int64("rebalfreeze", 0, "frozen window Δ: never migrate reservations starting within Δ ticks")
+	rebalmoves := flag.Int("rebalmoves", resd.DefaultRebalanceMaxMoves, "max migrations per rebalancing round")
 	flag.Parse()
 
 	if err := cliflag.First(
@@ -96,6 +108,9 @@ func run() error {
 	}
 	if *slack < 0 {
 		return fmt.Errorf("%w: -slack must be >= 0, got %d", cliflag.ErrFlag, *slack)
+	}
+	if err := cliflag.RebalanceFlags(*rebalance, *rebalthreshold, *rebalfreeze, *rebalmoves); err != nil {
+		return err
 	}
 	if *tenants > maxTenants {
 		// latTenant records tenant indices as uint16; more tenants than
@@ -158,7 +173,9 @@ func run() error {
 		svc, err = resd.New(resd.Config{
 			Shards: *shards, M: *m, Alpha: *alpha, Backend: *backend,
 			Placement: *placement, Batch: *batch, Seed: *seed, Pre: pre,
-			Quotas: reg,
+			Quotas:         reg,
+			RebalanceEvery: *rebalance, RebalanceThreshold: *rebalthreshold,
+			RebalanceFreeze: core.Time(*rebalfreeze), RebalanceMaxMoves: *rebalmoves,
 		})
 		if err != nil {
 			return err
@@ -170,6 +187,10 @@ func run() error {
 		if reg != nil {
 			fmt.Printf("resload: quotas %s mode, %d tenants × share %.3f of %d processor·ticks\n",
 				reg.Mode(), len(names), 1/float64(len(names)), reg.Capacity())
+		}
+		if *rebalance > 0 {
+			fmt.Printf("resload: rebalancer every %v (threshold %.2f, freeze %d ticks, <= %d moves/round)\n",
+				*rebalance, *rebalthreshold, *rebalfreeze, *rebalmoves)
 		}
 	}
 
@@ -188,6 +209,13 @@ func run() error {
 			res.errored, res.firstErr)
 	}
 
+	// The per-tenant table buckets samples through the parallel latTenant
+	// and slacks buffers, so it must be assembled before the global sort
+	// below destroys the sample order.
+	var tenantTbl *stats.Table
+	if len(names) > 1 {
+		tenantTbl = tenantTable(names, res)
+	}
 	sort.Float64s(res.lats)
 	if len(res.lats) > 0 {
 		tbl := stats.NewTable("metric", "latency")
@@ -201,25 +229,33 @@ func run() error {
 		fmt.Print(tbl.String())
 	}
 
-	if len(names) > 1 {
-		fmt.Print(tenantTable(names, res).String())
+	if tenantTbl != nil {
+		fmt.Print(tenantTbl.String())
 	}
 
 	shardStats, err := shardStatsOf(target, svc)
 	if err != nil {
 		return err
 	}
-	shtbl := stats.NewTable("shard", "active", "area", "admitted", "cancelled", "rej-α", "rej-dl", "rej-q", "batches", "ops/batch")
+	shtbl := stats.NewTable("shard", "active", "area", "admitted", "cancelled", "rej-α", "rej-dl", "rej-q", "mig-in", "mig-out", "slack-p99", "batches", "ops/batch")
+	var migIn, migOut uint64
 	for i, st := range shardStats {
 		opb := 0.0
 		if st.Batches > 0 {
 			opb = float64(st.Ops) / float64(st.Batches)
 		}
+		migIn += st.MigratedIn
+		migOut += st.MigratedOut
 		shtbl.AddRow(i, st.Active, st.CommittedArea, int64(st.Admitted), int64(st.Cancelled),
 			int64(st.Rejected), int64(st.RejectedDeadline), int64(st.RejectedQuota),
+			int64(st.MigratedIn), int64(st.MigratedOut), int64(st.SlackP99),
 			int64(st.Batches), fmt.Sprintf("%.2f", opb))
 	}
 	fmt.Print(shtbl.String())
+	if migIn > 0 || migOut > 0 || *rebalance > 0 {
+		fmt.Printf("rebalancer: %d reservations migrated between shards (in=%d out=%d)\n",
+			migOut, migIn, migOut)
+	}
 	return nil
 }
 
@@ -263,30 +299,39 @@ func equalShareRegistry(mode string, names []string, shards, m int, alpha float6
 }
 
 // tenantTable renders the per-tenant breakdown: request mix, admission
-// and rejection counts, and latency percentiles. The percentile buckets
-// are assembled here, at summary time, from the flat recording buffers —
-// the hot path never allocates per request.
+// and rejection counts, latency percentiles and the p99 start-time slack
+// (the per-tenant SLO: how many ticks past its ready time this tenant's
+// work is pushed). The percentile buckets are assembled here, at summary
+// time, from the flat recording buffers — the hot path never allocates
+// per request — and must run before anything reorders res.lats.
 func tenantTable(names []string, res result) *stats.Table {
 	buckets := make([][]float64, len(names))
+	slackBuckets := make([][]float64, len(names))
 	for i, lat := range res.lats {
 		ti := res.latTenant[i]
 		buckets[ti] = append(buckets[ti], lat)
+		slackBuckets[ti] = append(slackBuckets[ti], res.slacks[i])
 	}
-	tbl := stats.NewTable("tenant", "reqs", "admitted", "rej-α", "rej-dl", "rej-q", "errors", "p50", "p90", "p99")
+	tbl := stats.NewTable("tenant", "reqs", "admitted", "rej-α", "rej-dl", "rej-q", "errors", "p50", "p90", "p99", "slack-p99")
 	for i, name := range names {
 		if name == "" {
 			name = tenant.DefaultTenant
 		}
 		tc := res.perTenant[i]
 		sort.Float64s(buckets[i])
+		sort.Float64s(slackBuckets[i])
 		p := func(q float64) string {
 			if len(buckets[i]) == 0 {
 				return "-"
 			}
 			return time.Duration(stats.Percentile(buckets[i], q)).Round(time.Microsecond).String()
 		}
+		slackP99 := "-"
+		if len(slackBuckets[i]) > 0 {
+			slackP99 = fmt.Sprintf("%.0f", stats.Percentile(slackBuckets[i], 99))
+		}
 		tbl.AddRow(name, tc.reqs, tc.admitted, tc.rejAlpha, tc.rejDeadline, tc.rejQuota, tc.errored,
-			p(50), p(90), p(99))
+			p(50), p(90), p(99), slackP99)
 	}
 	return tbl
 }
@@ -299,7 +344,8 @@ func tenantTable(names []string, res result) *stats.Table {
 func serverSideFlagsSet() []string {
 	serverOnly := map[string]bool{
 		"shards": true, "nres": true, "backend": true, "placement": true, "batch": true,
-		"quotamode": true,
+		"quotamode": true, "rebalance": true, "rebalthreshold": true, "rebalfreeze": true,
+		"rebalmoves": true,
 	}
 	var set []string
 	flag.Visit(func(f *flag.Flag) {
@@ -429,13 +475,14 @@ type tenantCounts struct {
 // errors (protocol failures, closed services): conflating them hides real
 // failures inside expected load shedding.
 //
-// lats and latTenant are parallel flat buffers — sample i's latency and
-// tenant index — preallocated to the stream size before the clients
-// start, so the recording path appends without ever allocating; the
-// per-tenant percentile buckets are only assembled afterwards, in
-// tenantTable.
+// lats, slacks and latTenant are parallel flat buffers — sample i's
+// latency, start-time slack (admitted start − ready, in ticks) and tenant
+// index — preallocated to the stream size before the clients start, so
+// the recording path appends without ever allocating; the per-tenant
+// percentile buckets are only assembled afterwards, in tenantTable.
 type result struct {
 	lats             []float64 // per-admission latency, ns
+	slacks           []float64 // per-admission start-time slack, ticks
 	latTenant        []uint16  // tenant index per latency sample
 	admitted         []resd.Reservation
 	perTenant        []tenantCounts
@@ -477,6 +524,7 @@ func replay(svc admitter, reqs []request, names []string, clients int, rate, can
 		// that grows mid-run would allocate exactly where latency is being
 		// measured.
 		perClient[c].lats = make([]float64, 0, len(reqs))
+		perClient[c].slacks = make([]float64, 0, len(reqs))
 		perClient[c].latTenant = make([]uint16, 0, len(reqs))
 		perClient[c].perTenant = make([]tenantCounts, len(names))
 	}
@@ -515,6 +563,7 @@ func replay(svc admitter, reqs []request, names []string, clients int, rate, can
 					continue
 				}
 				res.lats = append(res.lats, float64(lat))
+				res.slacks = append(res.slacks, float64(resv.Start-req.ready))
 				res.latTenant = append(res.latTenant, uint16(req.tenant))
 				res.admitted = append(res.admitted, resv)
 				tc.admitted++
@@ -554,6 +603,7 @@ func replay(svc admitter, reqs []request, names []string, clients int, rate, can
 	for c := range perClient {
 		pc := &perClient[c]
 		total.lats = append(total.lats, pc.lats...)
+		total.slacks = append(total.slacks, pc.slacks...)
 		total.latTenant = append(total.latTenant, pc.latTenant...)
 		total.admitted = append(total.admitted, pc.admitted...)
 		total.rejectedAlpha += pc.rejectedAlpha

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/resd"
@@ -159,5 +160,52 @@ func TestRequestStreamAppliesSlack(t *testing.T) {
 		if without[i].deadline != resd.NoDeadline {
 			t.Fatalf("request %d without slack has deadline %v", i, without[i].deadline)
 		}
+	}
+}
+
+// TestReplayRecordsSlackPerTenant pins the per-admission slack samples
+// and their tenant attribution: the parallel buffers must line up so the
+// per-tenant table reports each tenant's own push-back, not a shuffle.
+func TestReplayRecordsSlackPerTenant(t *testing.T) {
+	svc, err := resd.New(resd.Config{M: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	// Serial (one client): the first fills [0,10), the second is pushed to
+	// start 10 — slack 0 for tenant 0, slack 10 for tenant 1.
+	reqs := []request{
+		{ready: 0, q: 8, dur: 10, deadline: resd.NoDeadline, tenant: 0},
+		{ready: 0, q: 8, dur: 10, deadline: resd.NoDeadline, tenant: 1},
+	}
+	res := replay(svc, reqs, []string{"t0", "t1"}, 1, 0, 0, 1)
+	if len(res.slacks) != 2 || len(res.latTenant) != 2 {
+		t.Fatalf("recorded %d slacks / %d tenant indexes, want 2/2", len(res.slacks), len(res.latTenant))
+	}
+	byTenant := map[uint16]float64{}
+	for i, s := range res.slacks {
+		byTenant[res.latTenant[i]] = s
+	}
+	if byTenant[0] != 0 || byTenant[1] != 10 {
+		t.Fatalf("slack by tenant = %v, want t0:0 t1:10", byTenant)
+	}
+}
+
+// TestTenantTableUsesUnsortedBuffers pins the table-assembly ordering
+// contract: tenantTable consumes the recording buffers positionally, so
+// feeding it hand-built parallel data must attribute every sample to its
+// own tenant.
+func TestTenantTableUsesUnsortedBuffers(t *testing.T) {
+	res := result{
+		lats:      []float64{5000, 1000, 3000},
+		slacks:    []float64{50, 0, 30},
+		latTenant: []uint16{1, 0, 1},
+		perTenant: make([]tenantCounts, 2),
+	}
+	tbl := tenantTable([]string{"a", "b"}, res).String()
+	// Tenant b's slack-p99 is 50 (its own samples 50 and 30), tenant a's
+	// is 0; a shuffled attribution would leak b's samples into a.
+	if !strings.Contains(tbl, "50") {
+		t.Fatalf("tenant table lost tenant b's slack:\n%s", tbl)
 	}
 }

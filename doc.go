@@ -38,6 +38,21 @@
 // for a walkthrough and the internal/resd package comment for the shard
 // and placement model.
 //
+// The shards rebalance themselves: internal/rebal plans migrations of
+// admitted future reservations off hot shards (a pure planner — the
+// imbalance score is the committed-area spread, reservations starting
+// inside a frozen window are pinned, candidate choice is weighted by
+// per-tenant quota pressure) and resd executes each move as a two-phase
+// commit through the shard event loops, conserving capacity at every
+// instant and transferring — never double-counting — tenant quota;
+// reservation handles survive migration via forwarded Cancel routing.
+// The "pressure" placement policy closes the loop at admission time,
+// routing each Reserve by the requesting tenant's own per-shard
+// footprint, and every admission records its start-time slack, surfaced
+// as p99 per shard and per tenant (the SLO face of the α rule).
+// BenchmarkRebalance records skewed-stream throughput recovering toward
+// the balanced curve in BENCH_rebal.json. See examples/rebal.
+//
 // Admission is multi-tenant: internal/tenant partitions the reservable
 // α-prefix between tenants as hierarchical area budgets (tenant → group
 // → global capacity) with lock-free accounting beside the shard load
@@ -52,8 +67,10 @@
 //
 // The outermost layer is the wire: internal/reswire serves resd over TCP
 // with a versioned length-prefixed binary protocol (revision 2: tenant
-// ids on Reserve frames, QuotaGet/QuotaSet ops, v1 frames still accepted
-// and answered at v1, landing on the default tenant). The request path is
+// ids on Reserve frames, QuotaGet/QuotaSet ops; revision 3: migration
+// counters and p99 slack in Stats entries; down-level frames still
+// accepted and answered at their own revision, v1 landing on the default
+// tenant). The request path is
 //
 //	client → reswire frames → server dispatch → resd shard event loops → CapacityIndex
 //

@@ -1,0 +1,31 @@
+// Package rebal plans live shard rebalancing for the resd
+// reservation-admission service: given per-shard load summaries, it
+// decides which admitted future reservations should move to which shard
+// so the reservable α-prefix area the paper's admission rule leaves open
+// is actually spendable everywhere, not stranded on idle shards while a
+// skewed arrival stream saturates one partition.
+//
+// The package is deliberately pure: it imports only internal/core, holds
+// no locks, talks to no shards, and MakePlan is a deterministic function
+// of (now, loads, config). All the concurrent machinery — snapshotting
+// the shard loops, two-phase commit of each move, rollback on conflict
+// with a racing Cancel — lives in internal/resd, which consumes the plan.
+// The split is what makes the planner checkable: FuzzRebalancePlan
+// replays arbitrary load summaries against a sequential oracle and
+// asserts the two planner invariants directly,
+//
+//   - no plan ever moves a reservation inside the frozen window
+//     [0, now+Freeze): a reservation about to start is pinned, and
+//   - the imbalance score (1 − min/max of committed area, i.e. the
+//     free-prefix-area spread) never increases, not just end to end but
+//     after every individual move, because each move takes at most half
+//     the donor-receiver gap from a donor to the then-emptiest shard.
+//
+// Candidate selection is pressure-aware when the caller provides
+// per-tenant pressure ratios (usage-to-budget, from internal/tenant):
+// among the reservations small enough to move, the hottest tenant's are
+// moved first, so quota-squeezed tenants stop contending for the same
+// saturated shard soonest. See internal/resd's Rebalance for the
+// execution half and the "pressure" placement policy for the
+// admission-time counterpart.
+package rebal

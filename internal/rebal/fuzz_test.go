@@ -1,0 +1,107 @@
+package rebal
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzRebalancePlan decodes arbitrary bytes into per-shard load summaries
+// and checks every plan against a sequential oracle: the moves are
+// replayed one by one over a copy of the areas, and after each step the
+// oracle recomputes the imbalance score from scratch. The invariants —
+// the planner's whole contract —
+//
+//   - no move touches a reservation inside the frozen window,
+//   - no reservation is moved twice, every move names distinct valid
+//     shards, and MaxMoves is honoured,
+//   - the replayed score never increases at any step, and the plan's
+//     Before/After match the oracle's end-to-end scores exactly,
+//
+// must hold for every input, however adversarial the load shape.
+func FuzzRebalancePlan(f *testing.F) {
+	f.Add([]byte{0, 10, 5, 2, 0, 20, 5, 2, 0, 30, 5, 2, 0, 40, 5, 2}, uint8(2), uint16(0), uint16(0), uint8(0), uint8(0))
+	f.Add([]byte{0, 5, 100, 4, 0, 200, 100, 4}, uint8(2), uint16(0), uint16(50), uint8(0), uint8(8))
+	f.Add([]byte{0, 100, 10, 3, 1, 100, 10, 1, 2, 100, 30, 1}, uint8(4), uint16(90), uint16(20), uint8(25), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, shards uint8, now, freeze uint16, threshPct, maxMoves uint8) {
+		nShards := int(shards%8) + 2 // 2..9 shards: planning needs a pair
+		cfg := Config{
+			Threshold: float64(threshPct%101) / 100,
+			Freeze:    core.Time(freeze),
+			MaxMoves:  int(maxMoves),
+			Pressure:  map[string]float64{"a": 0.75, "b": 0.25},
+		}
+		// Each 4-byte record is one reservation: shard, start, dur, procs.
+		// IDs are record indexes, so they are unique by construction (the
+		// service guarantees the same).
+		loads := make([]ShardLoad, nShards)
+		for i := range loads {
+			loads[i].Shard = i
+		}
+		tenants := [3]string{"a", "b", ""}
+		for i := 0; i+4 <= len(data) && i < 4*512; i += 4 {
+			si := int(data[i]) % nShards
+			rv := Resv{
+				ID:     uint64(i / 4),
+				Start:  core.Time(data[i+1]) * 4,
+				Dur:    core.Time(data[i+2]%64) + 1,
+				Procs:  int(data[i+3]%16) + 1,
+				Tenant: tenants[int(data[i+3]>>4)%len(tenants)],
+			}
+			loads[si].Resvs = append(loads[si].Resvs, rv)
+			loads[si].CommittedArea += rv.Area()
+		}
+
+		plan := MakePlan(core.Time(now), loads, cfg)
+
+		areas := make([]int64, nShards)
+		byShard := make(map[uint64]int)
+		resvs := make(map[uint64]Resv)
+		for i, ld := range loads {
+			areas[i] = ld.CommittedArea
+			for _, rv := range ld.Resvs {
+				byShard[rv.ID] = i
+				resvs[rv.ID] = rv
+			}
+		}
+		if got := Imbalance(areas); plan.Before != got {
+			t.Fatalf("plan.Before = %v, oracle %v", plan.Before, got)
+		}
+		if cfg.MaxMoves > 0 && len(plan.Moves) > cfg.MaxMoves {
+			t.Fatalf("%d moves exceed MaxMoves %d", len(plan.Moves), cfg.MaxMoves)
+		}
+		lim := cutoff(core.Time(now), cfg.Freeze)
+		moved := map[uint64]bool{}
+		score := plan.Before
+		for i, mv := range plan.Moves {
+			if mv.From == mv.To || mv.From < 0 || mv.From >= nShards || mv.To < 0 || mv.To >= nShards {
+				t.Fatalf("move %d names bad shards: %+v", i, mv)
+			}
+			if mv.Resv.Start < lim {
+				t.Fatalf("move %d relocates a frozen reservation (start %v < cutoff %v): %+v",
+					i, mv.Resv.Start, lim, mv)
+			}
+			if moved[mv.Resv.ID] {
+				t.Fatalf("move %d relocates reservation %d twice", i, mv.Resv.ID)
+			}
+			moved[mv.Resv.ID] = true
+			home, ok := byShard[mv.Resv.ID]
+			if !ok || home != mv.From || resvs[mv.Resv.ID] != mv.Resv {
+				t.Fatalf("move %d does not match any reservation on its donor: %+v", i, mv)
+			}
+			areas[mv.From] -= mv.Resv.Area()
+			areas[mv.To] += mv.Resv.Area()
+			next := Imbalance(areas)
+			if next > score {
+				t.Fatalf("move %d raised the imbalance %v → %v: %+v", i, score, next, mv)
+			}
+			score = next
+		}
+		if got := Imbalance(areas); plan.After != got {
+			t.Fatalf("plan.After = %v, oracle replay %v", plan.After, got)
+		}
+		if plan.After > plan.Before {
+			t.Fatalf("plan made things worse: %v → %v", plan.Before, plan.After)
+		}
+	})
+}

@@ -1,0 +1,208 @@
+package rebal
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Resv is one admitted reservation as the planner sees it: enough to
+// re-commit it on another shard at the same start time. ID is the
+// service-wide identity (opaque to the planner, unique across shards).
+type Resv struct {
+	ID     uint64
+	Start  core.Time
+	Dur    core.Time
+	Procs  int
+	Tenant string
+}
+
+// Area returns the processor·tick footprint the reservation holds.
+func (r Resv) Area() int64 { return int64(r.Dur) * int64(r.Procs) }
+
+// ShardLoad is one shard's load summary: its total committed area (the
+// quantity the imbalance score spreads) and the reservations the shard is
+// willing to give up. Resvs may be a subset of what CommittedArea counts —
+// frozen or already-started reservations contribute area but are not
+// offered as candidates.
+type ShardLoad struct {
+	Shard         int
+	CommittedArea int64
+	Resvs         []Resv
+}
+
+// Config parameterises MakePlan.
+type Config struct {
+	// Threshold is the imbalance score below which the planner leaves the
+	// shards alone. 0 means any imbalance is worth acting on.
+	Threshold float64
+	// Freeze is the migratable-window policy Δ: a reservation starting
+	// before now+Freeze is pinned to its shard, however lopsided the load.
+	// Moving a reservation about to start would race its own execution;
+	// the window makes "about to start" an explicit, configurable notion.
+	Freeze core.Time
+	// MaxMoves caps the number of moves per plan (<= 0 means unbounded).
+	MaxMoves int
+	// Pressure optionally weights candidate selection by per-tenant
+	// pressure (usage-to-budget ratio): among the reservations whose area
+	// fits the current gap, the planner prefers moving the most pressured
+	// tenant's reservations first, which drains hot tenants off hot shards
+	// soonest. Missing tenants weigh 0.
+	Pressure map[string]float64
+}
+
+// Move relocates one reservation between shards, preserving its start
+// time, duration and width — only the hosting partition changes.
+type Move struct {
+	Resv     Resv
+	From, To int
+}
+
+// Plan is MakePlan's result: the move list plus the imbalance score
+// before planning and the score the loads would reach if every move
+// lands. After <= Before always holds (see MakePlan).
+type Plan struct {
+	Moves         []Move
+	Before, After float64
+}
+
+// Imbalance scores how unevenly committed area spreads across shards:
+// 1 − min/max, i.e. 0 when perfectly even (or empty) and approaching 1
+// when some shard holds everything while another idles. The score is the
+// free-α-prefix-area spread seen from the committed side: shards share a
+// capacity and horizon, so the emptiest shard is exactly the one with the
+// most reservable prefix left.
+func Imbalance(areas []int64) float64 {
+	if len(areas) == 0 {
+		return 0
+	}
+	lo, hi := areas[0], areas[0]
+	for _, a := range areas[1:] {
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	if hi <= 0 {
+		return 0
+	}
+	return float64(hi-lo) / float64(hi)
+}
+
+// cutoff returns now+freeze, saturating instead of overflowing.
+func cutoff(now, freeze core.Time) core.Time {
+	if freeze > core.Infinity-now {
+		return core.Infinity
+	}
+	return now + freeze
+}
+
+// MakePlan computes a migration plan over the given load summaries: a
+// sequence of moves that, applied in order, never increases the imbalance
+// score and stops once the score reaches cfg.Threshold, the candidates
+// run dry, or cfg.MaxMoves is hit.
+//
+// Every move keeps the invariant pair the fuzz oracle checks:
+//
+//   - the moved reservation starts at or after now+cfg.Freeze (the frozen
+//     window is never touched), and
+//   - the move's area is at most half the gap between its donor and the
+//     currently emptiest shard, so the donor stays above the receiver and
+//     the global max never rises nor the global min falls — which is what
+//     makes the score monotonically non-increasing, move by move, not
+//     just end to end.
+//
+// Candidate choice within a donor is deterministic: highest tenant
+// pressure first (when cfg.Pressure is set), then largest area, then
+// smallest ID. The plan itself is therefore a pure function of its
+// inputs, which is what makes it fuzzable against a sequential oracle.
+func MakePlan(now core.Time, loads []ShardLoad, cfg Config) Plan {
+	areas := make([]int64, len(loads))
+	for i, ld := range loads {
+		areas[i] = ld.CommittedArea
+	}
+	plan := Plan{Before: Imbalance(areas)}
+	plan.After = plan.Before
+	if len(loads) < 2 || plan.Before <= cfg.Threshold {
+		return plan
+	}
+
+	// Per-shard candidate lists, filtered to the movable window and sorted
+	// by selection preference. Entries are consumed front to back as they
+	// are moved; an entry too big for the current gap is skipped but stays
+	// available for later, larger gaps... which cannot happen (gaps only
+	// shrink), so skipped-once means skipped-forever and a cursor per list
+	// would be wrong only in the other direction. Scanning from the front
+	// keeps it simple and obviously correct.
+	lim := cutoff(now, cfg.Freeze)
+	cands := make([][]Resv, len(loads))
+	for i, ld := range loads {
+		for _, rv := range ld.Resvs {
+			if rv.Start >= lim && rv.Area() > 0 {
+				cands[i] = append(cands[i], rv)
+			}
+		}
+		ci := cands[i]
+		sort.Slice(ci, func(a, b int) bool {
+			pa, pb := cfg.Pressure[ci[a].Tenant], cfg.Pressure[ci[b].Tenant]
+			if pa != pb {
+				return pa > pb
+			}
+			if aa, ab := ci[a].Area(), ci[b].Area(); aa != ab {
+				return aa > ab
+			}
+			return ci[a].ID < ci[b].ID
+		})
+	}
+
+	for cfg.MaxMoves <= 0 || len(plan.Moves) < cfg.MaxMoves {
+		if Imbalance(areas) <= cfg.Threshold {
+			break
+		}
+		// Receiver: the emptiest shard (lowest index on ties). Donors are
+		// tried heaviest first; any donor works for monotonicity as long
+		// as the moved area is at most half its gap to the receiver.
+		recv := 0
+		for i := range areas {
+			if areas[i] < areas[recv] {
+				recv = i
+			}
+		}
+		donors := make([]int, 0, len(areas))
+		for i := range areas {
+			if i != recv && areas[i] > areas[recv] {
+				donors = append(donors, i)
+			}
+		}
+		sort.Slice(donors, func(a, b int) bool {
+			if areas[donors[a]] != areas[donors[b]] {
+				return areas[donors[a]] > areas[donors[b]]
+			}
+			return donors[a] < donors[b]
+		})
+		var mv *Move
+		for _, d := range donors {
+			budget := (areas[d] - areas[recv]) / 2
+			for k, rv := range cands[d] {
+				if rv.Area() <= budget {
+					mv = &Move{Resv: rv, From: loads[d].Shard, To: loads[recv].Shard}
+					areas[d] -= rv.Area()
+					areas[recv] += rv.Area()
+					cands[d] = append(cands[d][:k], cands[d][k+1:]...)
+					break
+				}
+			}
+			if mv != nil {
+				break
+			}
+		}
+		if mv == nil {
+			break // nothing movable fits any gap: the plan is as good as it gets
+		}
+		plan.Moves = append(plan.Moves, *mv)
+	}
+	plan.After = Imbalance(areas)
+	return plan
+}

@@ -1,0 +1,161 @@
+package rebal
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		areas []int64
+		want  float64
+	}{
+		{nil, 0},
+		{[]int64{0, 0, 0}, 0},
+		{[]int64{5}, 0},
+		{[]int64{10, 10, 10}, 0},
+		{[]int64{10, 0}, 1},
+		{[]int64{8, 4}, 0.5},
+		{[]int64{4, 8, 6}, 0.5},
+	}
+	for _, c := range cases {
+		if got := Imbalance(c.areas); got != c.want {
+			t.Errorf("Imbalance(%v) = %v, want %v", c.areas, got, c.want)
+		}
+	}
+}
+
+// mkLoads builds loads where shard i holds the given reservations (area
+// derived from them).
+func mkLoads(resvs ...[]Resv) []ShardLoad {
+	out := make([]ShardLoad, len(resvs))
+	for i, rs := range resvs {
+		var area int64
+		for _, r := range rs {
+			area += r.Area()
+		}
+		out[i] = ShardLoad{Shard: i, CommittedArea: area, Resvs: rs}
+	}
+	return out
+}
+
+func TestMakePlanMovesTowardBalance(t *testing.T) {
+	// Shard 0 holds four equal reservations, shard 1 none: the plan must
+	// move enough to halve the spread repeatedly without overshooting.
+	rs := []Resv{
+		{ID: 1, Start: 100, Dur: 10, Procs: 2},
+		{ID: 2, Start: 200, Dur: 10, Procs: 2},
+		{ID: 3, Start: 300, Dur: 10, Procs: 2},
+		{ID: 4, Start: 400, Dur: 10, Procs: 2},
+	}
+	plan := MakePlan(0, mkLoads(rs, nil), Config{Threshold: 0})
+	if plan.Before != 1 {
+		t.Fatalf("Before = %v, want 1", plan.Before)
+	}
+	if len(plan.Moves) != 2 {
+		t.Fatalf("moved %d reservations, want 2 (half the donor's area): %+v", len(plan.Moves), plan.Moves)
+	}
+	for _, mv := range plan.Moves {
+		if mv.From != 0 || mv.To != 1 {
+			t.Fatalf("move %+v, want 0→1", mv)
+		}
+	}
+	if plan.After != 0 {
+		t.Fatalf("After = %v, want 0 (perfect split possible)", plan.After)
+	}
+}
+
+func TestMakePlanRespectsFrozenWindow(t *testing.T) {
+	rs := []Resv{
+		{ID: 1, Start: 5, Dur: 100, Procs: 4},   // inside the frozen window
+		{ID: 2, Start: 500, Dur: 100, Procs: 4}, // movable
+	}
+	plan := MakePlan(0, mkLoads(rs, nil), Config{Freeze: 50})
+	if len(plan.Moves) != 1 || plan.Moves[0].Resv.ID != 2 {
+		t.Fatalf("moves = %+v, want exactly the movable reservation 2", plan.Moves)
+	}
+	// With everything frozen, the plan is empty however lopsided the load.
+	plan = MakePlan(400, mkLoads(rs, nil), Config{Freeze: 200})
+	if len(plan.Moves) != 0 {
+		t.Fatalf("frozen plan moved %+v", plan.Moves)
+	}
+	if plan.After != plan.Before {
+		t.Fatalf("empty plan changed the score: %v → %v", plan.Before, plan.After)
+	}
+}
+
+func TestMakePlanSaturatingCutoff(t *testing.T) {
+	rs := []Resv{{ID: 1, Start: core.Infinity - 1, Dur: 1, Procs: 1}}
+	// now+Freeze would overflow; the cutoff saturates to Infinity and the
+	// reservation is frozen, not wrapped around into movability.
+	plan := MakePlan(core.Infinity-10, mkLoads(rs, nil), Config{Freeze: core.Infinity})
+	if len(plan.Moves) != 0 {
+		t.Fatalf("overflowed cutoff moved %+v", plan.Moves)
+	}
+}
+
+func TestMakePlanHonoursThresholdAndMaxMoves(t *testing.T) {
+	rs := []Resv{
+		{ID: 1, Start: 100, Dur: 10, Procs: 1},
+		{ID: 2, Start: 200, Dur: 10, Procs: 1},
+		{ID: 3, Start: 300, Dur: 10, Procs: 1},
+		{ID: 4, Start: 400, Dur: 10, Procs: 1},
+	}
+	if plan := MakePlan(0, mkLoads(rs, nil), Config{Threshold: 1}); len(plan.Moves) != 0 {
+		t.Fatalf("score 1 <= threshold 1 still planned %+v", plan.Moves)
+	}
+	plan := MakePlan(0, mkLoads(rs, nil), Config{MaxMoves: 1})
+	if len(plan.Moves) != 1 {
+		t.Fatalf("MaxMoves=1 planned %d moves", len(plan.Moves))
+	}
+	if plan.After >= plan.Before {
+		t.Fatalf("capped plan did not improve: %v → %v", plan.Before, plan.After)
+	}
+}
+
+func TestMakePlanPrefersPressuredTenants(t *testing.T) {
+	rs := []Resv{
+		{ID: 1, Start: 100, Dur: 10, Procs: 2, Tenant: "cold"},
+		{ID: 2, Start: 200, Dur: 10, Procs: 2, Tenant: "hot"},
+		{ID: 3, Start: 300, Dur: 10, Procs: 2, Tenant: "cold"},
+		{ID: 4, Start: 400, Dur: 10, Procs: 2, Tenant: "hot"},
+	}
+	plan := MakePlan(0, mkLoads(rs, nil), Config{
+		Pressure: map[string]float64{"hot": 0.9, "cold": 0.1},
+	})
+	if len(plan.Moves) != 2 {
+		t.Fatalf("moved %d, want 2", len(plan.Moves))
+	}
+	for _, mv := range plan.Moves {
+		if mv.Resv.Tenant != "hot" {
+			t.Fatalf("moved %q before the pressured tenant drained: %+v", mv.Resv.Tenant, plan.Moves)
+		}
+	}
+}
+
+func TestMakePlanSingleShardIsNoop(t *testing.T) {
+	rs := []Resv{{ID: 1, Start: 100, Dur: 10, Procs: 2}}
+	if plan := MakePlan(0, mkLoads(rs), Config{}); len(plan.Moves) != 0 {
+		t.Fatalf("single-shard plan moved %+v", plan.Moves)
+	}
+}
+
+func TestMakePlanDeterministic(t *testing.T) {
+	rs0 := []Resv{
+		{ID: 7, Start: 100, Dur: 10, Procs: 3, Tenant: "a"},
+		{ID: 3, Start: 100, Dur: 10, Procs: 3, Tenant: "b"},
+		{ID: 5, Start: 100, Dur: 30, Procs: 1, Tenant: "a"},
+	}
+	rs1 := []Resv{{ID: 9, Start: 100, Dur: 5, Procs: 1, Tenant: "b"}}
+	a := MakePlan(0, mkLoads(rs0, rs1, nil), Config{})
+	b := MakePlan(0, mkLoads(rs0, rs1, nil), Config{})
+	if len(a.Moves) != len(b.Moves) {
+		t.Fatalf("non-deterministic plan lengths: %d vs %d", len(a.Moves), len(b.Moves))
+	}
+	for i := range a.Moves {
+		if a.Moves[i] != b.Moves[i] {
+			t.Fatalf("move %d differs: %+v vs %+v", i, a.Moves[i], b.Moves[i])
+		}
+	}
+}

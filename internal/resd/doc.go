@@ -31,11 +31,19 @@
 //     shards and route to the one with more uncommitted area. The classic
 //     load-balancing result applies: two random choices remove almost all
 //     of the imbalance of one while touching O(1) shards per request.
+//   - "pressure" — quota-aware placement: route by the requesting
+//     tenant's own committed area per shard (its usage-to-budget pressure
+//     there, the two orderings coinciding under the registry's equal
+//     per-shard budget resolution), lowest first, total load breaking
+//     ties. Each tenant's footprint is spread across partitions, so a
+//     zipf-heavy tenant saturates no single shard and small tenants are
+//     routed around the heavy hitters' hot spots.
 //
-// Policies read only the atomically published per-shard load summaries, so
-// routing itself is lock-free; the routed shard re-validates inside its
-// event loop, which makes stale routing information harmless (a shard
-// never over-admits, a request at worst lands on a busier shard).
+// Policies read only the atomically published per-shard load summaries
+// (including the per-tenant area mirrors "pressure" uses), so routing
+// itself is lock-free; the routed shard re-validates inside its event
+// loop, which makes stale routing information harmless (a shard never
+// over-admits, a request at worst lands on a busier shard).
 //
 // # Admission rule
 //
@@ -87,6 +95,48 @@
 // what operators read); the stress tests assert the two agree. The quota
 // layer may gate placement but never perturb it — a single tenant with a
 // full budget replays to bit-identical sched.FCFS placements.
+//
+// # Live rebalancing and reservation migration
+//
+// Placement alone cannot undo history: a skewed arrival stream (or the
+// deliberately naive first-fit policy) leaves some shards saturated while
+// others idle, stranding reservable α-prefix area the admission rule says
+// may be spent. The rebalancer (Config.RebalanceEvery, or Rebalance /
+// RebalanceAll driven manually) is the first subsystem that mutates
+// reservations after admission: it scores the committed-area spread
+// across shards from the lock-free load summaries (rebal.Imbalance — a
+// cheap atomic pre-check per tick when balanced), and past
+// Config.RebalanceThreshold it plans migrations (internal/rebal, a pure
+// deterministic planner) and executes each as a two-phase commit through
+// the ordinary shard event loops: tentatively commit on the target
+// (capacity held, the copy pending and invisible), forward the Cancel
+// routing, release on the source, finalise on the target — or roll the
+// tentative copy back when the reservation was cancelled mid-move.
+// Capacity is conserved at every instant (the brief double-hold is the
+// conservative overlap of any two-phase move), tenant quota is neither
+// charged nor released (the original admission's charge rides along, so
+// the registry ledger is untouched and nothing is double-counted), and
+// per-shard tenant books transfer with the reservation. Reservations
+// starting within Config.RebalanceFreeze ticks of the rebalancer's
+// logical now are pinned — work about to start is never yanked between
+// partitions. Migrated reservations keep their IDs: Cancel follows a
+// forwarding overlay, waiting out any in-flight move, so handles never
+// break. Rounds are serialized, cap their moves (RebalanceMaxMoves) so
+// loops are never stalled by one huge transfer, plan with hysteresis
+// (down to half the trigger threshold) so the balancer cannot oscillate
+// around its own trigger, and back off exponentially when nothing is
+// movable. BenchmarkRebalance (BENCH_rebal.json) records the payoff:
+// under a first-fit-skewed stream, admission throughput recovers toward
+// the balanced curve once the backlog migrates.
+//
+// # Start-time slack: the SLO metric
+//
+// Every admission records its start-time slack (admitted start − ready
+// time): how far the α rule pushed the work back. Shards keep O(1)
+// exponential histograms — shard-wide and per tenant — and surface the
+// 99th percentile as ShardStats.SlackP99 and TenantStats.SlackP99 (and
+// over the wire at protocol v3), so operators see per-tenant SLO
+// degradation directly rather than inferring it from rejection counts.
 //
 // The package is exercised three ways: a determinism test replays a
 // request stream serially through one shard and checks the placements are

@@ -12,14 +12,16 @@ import (
 // order is a preference list: the service walks it until a shard admits.
 // Implementations read only the shards' atomic load summaries, never the
 // event-loop state, so routing is lock-free and may be (harmlessly) stale:
-// the routed shard re-validates inside its loop.
+// the routed shard re-validates inside its loop. ten is the requesting
+// tenant (already normalised, never empty); tenant-blind policies ignore
+// it.
 type placement interface {
 	name() string
-	order(shards []*shard, q int, dur core.Time) []int
+	order(shards []*shard, ten string, q int, dur core.Time) []int
 }
 
 // Placements lists the routing policies PlacementByName accepts.
-func Placements() []string { return []string{"first-fit", "least-loaded", "p2c"} }
+func Placements() []string { return []string{"first-fit", "least-loaded", "p2c", "pressure"} }
 
 // placementByName builds the named policy. seed feeds p2c's sampling.
 func placementByName(name string, seed uint64) (placement, error) {
@@ -30,6 +32,8 @@ func placementByName(name string, seed uint64) (placement, error) {
 		return leastLoaded{}, nil
 	case "p2c":
 		return &powerOfTwo{state: seed}, nil
+	case "pressure":
+		return pressurePlacement{}, nil
 	default:
 		return nil, fmt.Errorf("resd: unknown placement %q (available: %v)", name, Placements())
 	}
@@ -43,7 +47,7 @@ type firstFit struct{}
 
 func (firstFit) name() string { return "first-fit" }
 
-func (firstFit) order(shards []*shard, q int, dur core.Time) []int {
+func (firstFit) order(shards []*shard, ten string, q int, dur core.Time) []int {
 	out := make([]int, len(shards))
 	for i := range out {
 		out[i] = i
@@ -57,7 +61,7 @@ type leastLoaded struct{}
 
 func (leastLoaded) name() string { return "least-loaded" }
 
-func (leastLoaded) order(shards []*shard, q int, dur core.Time) []int {
+func (leastLoaded) order(shards []*shard, ten string, q int, dur core.Time) []int {
 	out := make([]int, len(shards))
 	loads := make([]int64, len(shards))
 	for i, sh := range shards {
@@ -92,7 +96,7 @@ func (p *powerOfTwo) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-func (p *powerOfTwo) order(shards []*shard, q int, dur core.Time) []int {
+func (p *powerOfTwo) order(shards []*shard, ten string, q int, dur core.Time) []int {
 	n := len(shards)
 	if n == 1 {
 		return []int{0}
@@ -113,5 +117,38 @@ func (p *powerOfTwo) order(shards []*shard, q int, dur core.Time) []int {
 			out = append(out, i)
 		}
 	}
+	return out
+}
+
+// pressurePlacement routes by per-tenant shard pressure: the requesting
+// tenant's committed area on each shard (read from the shards' lock-free
+// per-tenant mirrors), lowest first, with total committed area and then
+// index breaking ties. With per-shard budget shares equal — which is how
+// the quota registry resolves budgets, globally, with no per-shard skew —
+// ordering by the tenant's usage-to-budget ratio on a shard and ordering
+// by its raw usage there coincide, so the policy needs no registry
+// handle and works with quotas disabled too. The effect is quota-aware
+// placement: each tenant's own footprint is spread across partitions, so
+// a zipf-heavy tenant saturates no single shard while small tenants are
+// routed around the hot spots the heavy hitters made.
+type pressurePlacement struct{}
+
+func (pressurePlacement) name() string { return "pressure" }
+
+func (pressurePlacement) order(shards []*shard, ten string, q int, dur core.Time) []int {
+	out := make([]int, len(shards))
+	mine := make([]int64, len(shards))
+	loads := make([]int64, len(shards))
+	for i, sh := range shards {
+		out[i] = i
+		mine[i] = sh.tenantArea(ten)
+		loads[i] = sh.committedArea.Load()
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if mine[out[a]] != mine[out[b]] {
+			return mine[out[a]] < mine[out[b]]
+		}
+		return loads[out[a]] < loads[out[b]]
+	})
 	return out
 }

@@ -3,6 +3,9 @@ package resd
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/profile"
@@ -110,7 +113,39 @@ type Config struct {
 	// disables quota enforcement; per-tenant shard stats are kept either
 	// way.
 	Quotas *tenant.Registry
+	// RebalanceEvery enables the background rebalancer: every interval a
+	// planning round scores the committed-area spread across shards and
+	// migrates admitted future reservations from hot shards to idle ones
+	// (see Rebalance). 0 disables background rebalancing; Rebalance may
+	// still be called manually.
+	RebalanceEvery time.Duration
+	// RebalanceThreshold is the imbalance score (rebal.Imbalance:
+	// 1 − min/max of committed area) below which a round does nothing.
+	// 0 selects DefaultRebalanceThreshold; must lie in [0,1]. An exact
+	// act-on-any-imbalance trigger is therefore not expressible — pass a
+	// tiny positive epsilon instead (the CLIs reject an explicit 0 for
+	// the same reason, rather than silently running at the default).
+	RebalanceThreshold float64
+	// RebalanceFreeze is the migratable-window policy Δ: a reservation
+	// starting before now+Δ is never moved, so work about to begin cannot
+	// be yanked between shards at the last instant. Must be >= 0.
+	RebalanceFreeze core.Time
+	// RebalanceMaxMoves caps migrations per round (0 selects
+	// DefaultRebalanceMaxMoves).
+	RebalanceMaxMoves int
+	// RebalanceNow supplies the logical "now" the background balancer
+	// freezes against. Nil means a zero clock: only [0, RebalanceFreeze)
+	// is frozen. Embedders whose tick origin advances (e.g. mapping wall
+	// time onto ticks) plug their clock in here.
+	RebalanceNow func() core.Time
 }
+
+// Rebalancer defaults, applied by Config.normalize when the fields are
+// zero.
+const (
+	DefaultRebalanceThreshold = 0.1
+	DefaultRebalanceMaxMoves  = 64
+)
 
 // normalize fills defaults and validates.
 func (c Config) normalize() (Config, error) {
@@ -138,6 +173,24 @@ func (c Config) normalize() (Config, error) {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.RebalanceEvery < 0 {
+		return c, fmt.Errorf("%w: RebalanceEvery=%v, need >= 0", ErrBadRequest, c.RebalanceEvery)
+	}
+	if c.RebalanceThreshold < 0 || c.RebalanceThreshold > 1 {
+		return c, fmt.Errorf("%w: RebalanceThreshold=%v outside [0,1]", ErrBadRequest, c.RebalanceThreshold)
+	}
+	if c.RebalanceThreshold == 0 {
+		c.RebalanceThreshold = DefaultRebalanceThreshold
+	}
+	if c.RebalanceFreeze < 0 {
+		return c, fmt.Errorf("%w: RebalanceFreeze=%v, need >= 0", ErrBadRequest, c.RebalanceFreeze)
+	}
+	if c.RebalanceMaxMoves < 0 {
+		return c, fmt.Errorf("%w: RebalanceMaxMoves=%d, need >= 0", ErrBadRequest, c.RebalanceMaxMoves)
+	}
+	if c.RebalanceMaxMoves == 0 {
+		c.RebalanceMaxMoves = DefaultRebalanceMaxMoves
+	}
 	return c, nil
 }
 
@@ -150,6 +203,22 @@ type Service struct {
 	shards []*shard
 	place  placement
 	quit   chan struct{}
+
+	// moved forwards Cancel routing for migrated reservations: ID → the
+	// shard currently holding it. An ID's own shard bits always name the
+	// admitting shard; once the rebalancer moves the reservation, this
+	// overlay names its live home. Entries are dropped when the
+	// reservation is cancelled.
+	moved sync.Map // ID → int
+
+	// balMu serializes rebalancing rounds. Two concurrent rounds could
+	// plan from the same snapshot and race each other's two-phase moves —
+	// worst case, one round's rollback deletes the forwarding entry the
+	// other round just published, stranding a live reservation where
+	// Cancel cannot find it. One round at a time makes plan+execute
+	// atomic with respect to other rounds (client traffic still flows
+	// freely; only rounds exclude each other).
+	balMu sync.Mutex
 }
 
 // New builds the shards (each pre-loaded with cfg.Pre), starts their event
@@ -178,6 +247,9 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 		s.shards = append(s.shards, sh)
+	}
+	if cfg.RebalanceEvery > 0 && cfg.Shards > 1 {
+		go s.balanceLoop()
 	}
 	return s, nil
 }
@@ -247,7 +319,7 @@ func (s *Service) ReserveFor(ten string, ready core.Time, q int, dur core.Time, 
 	// contrast, ends the walk at once: the budget is service-wide, so no
 	// other shard can answer differently.
 	var firstErr error
-	for _, si := range s.place.order(s.shards, q, dur) {
+	for _, si := range s.place.order(s.shards, ten, q, dur) {
 		resp, err := s.shards[si].do(request{kind: opReserve, tenant: ten, ready: ready, q: q, dur: dur, deadline: deadline})
 		if err == nil {
 			return resp.resv, nil
@@ -270,15 +342,48 @@ func (s *Service) ReserveFor(ten string, ready core.Time, q int, dur core.Time, 
 func (s *Service) Quotas() *tenant.Registry { return s.cfg.Quotas }
 
 // Cancel releases an admitted reservation, returning its capacity to the
-// owning shard. Cancelling an unknown or already-cancelled ID returns
-// ErrUnknownID.
+// shard currently holding it — which, once the rebalancer has migrated
+// the reservation, is no longer the shard encoded in the ID: Cancel
+// follows the service's forwarding overlay, and a Cancel racing an
+// in-flight migration waits the move out (the two-phase protocol keeps a
+// pending copy uncancellable, so the release happens exactly once, on
+// exactly one shard). Cancelling an unknown or already-cancelled ID
+// returns ErrUnknownID.
 func (s *Service) Cancel(id ID) error {
-	si := id.Shard()
-	if si >= len(s.shards) {
-		return fmt.Errorf("%w: %#x names shard %d of %d", ErrUnknownID, uint64(id), si, len(s.shards))
+	if id.Shard() >= len(s.shards) {
+		return fmt.Errorf("%w: %#x names shard %d of %d", ErrUnknownID, uint64(id), id.Shard(), len(s.shards))
 	}
-	_, err := s.shards[si].do(request{kind: opCancel, id: id})
-	return err
+	for {
+		si := id.Shard()
+		fwd, forwarded := s.moved.Load(id)
+		if forwarded {
+			si = fwd.(int)
+		}
+		_, err := s.shards[si].do(request{kind: opCancel, id: id})
+		switch {
+		case err == nil:
+			if forwarded {
+				s.moved.Delete(id)
+			}
+			return nil
+		case errors.Is(err, errMigratePending):
+			// The reservation is mid-migration onto this shard; the
+			// executor resolves the move promptly (or the service closes,
+			// turning the retry into ErrClosed).
+			runtime.Gosched()
+		case errors.Is(err, ErrUnknownID):
+			// Not here. If the forwarding overlay has (re)appeared and
+			// points somewhere we have not just tried, the reservation
+			// migrated underneath us — follow it. Otherwise it is really
+			// gone.
+			if v, ok := s.moved.Load(id); ok && v.(int) != si {
+				continue
+			}
+			return err
+		default:
+			return err
+		}
+	}
 }
 
 // Query returns the capacity available at time t on every shard (index i
@@ -333,6 +438,15 @@ type ShardStats struct {
 	// feasible on the shard but whose tenant had exhausted its budgeted
 	// share of the reservable prefix.
 	RejectedQuota uint64
+	// MigratedIn and MigratedOut count reservations the rebalancer moved
+	// onto and off the shard since start.
+	MigratedIn, MigratedOut uint64
+	// SlackP99 is the 99th-percentile start-time slack (admitted start −
+	// ready time, in ticks) over the shard's admissions: the per-shard SLO
+	// view of how far the α rule pushes work back. Estimated from an
+	// exponential histogram — the reported value is at least the true p99
+	// and less than twice it.
+	SlackP99 core.Time
 	// Batches and Ops count event-loop turns and requests served; Ops /
 	// Batches is the realised group-commit factor.
 	Batches, Ops uint64
@@ -350,6 +464,12 @@ type TenantStats struct {
 	// Admitted, Cancelled and RejectedQuota count this tenant's
 	// operations on the shard since start.
 	Admitted, Cancelled, RejectedQuota uint64
+	// MigratedIn and MigratedOut count this tenant's reservations the
+	// rebalancer moved onto and off the shard.
+	MigratedIn, MigratedOut uint64
+	// SlackP99 is the tenant's 99th-percentile start-time slack on this
+	// shard (see ShardStats.SlackP99): the per-tenant SLO metric.
+	SlackP99 core.Time
 }
 
 // TenantStats returns one shard's per-tenant load summaries. The copy is
@@ -385,6 +505,13 @@ func (s *Service) TenantTotals() (map[string]TenantStats, error) {
 			tot.Admitted += ts.Admitted
 			tot.Cancelled += ts.Cancelled
 			tot.RejectedQuota += ts.RejectedQuota
+			tot.MigratedIn += ts.MigratedIn
+			tot.MigratedOut += ts.MigratedOut
+			// Percentiles do not sum; the max across shards is a sound
+			// upper bound on the service-wide p99.
+			if ts.SlackP99 > tot.SlackP99 {
+				tot.SlackP99 = ts.SlackP99
+			}
 			out[name] = tot
 		}
 	}

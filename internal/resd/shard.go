@@ -1,13 +1,16 @@
 package resd
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/profile"
+	"repro/internal/rebal"
 	"repro/internal/tenant"
 )
 
@@ -20,7 +23,26 @@ const (
 	opQuery
 	opSnapshot
 	opTenantStats
+
+	// Migration ops, used only by the rebalancer (Service.Rebalance).
+	// opMigratable lists the shard's movable reservations; the other four
+	// are the two-phase move: a tentative In on the target (index
+	// committed, books untouched, invisible to Cancel), then Out on the
+	// source (index released, books transferred out), then Commit on the
+	// target (books transferred in) — or Abort on the target when the
+	// source copy turned out to be cancelled in the meantime.
+	opMigratable
+	opMigrateIn
+	opMigrateOut
+	opMigrateCommit
+	opMigrateAbort
 )
+
+// errMigratePending is the internal answer to a Cancel that reaches a
+// tentative migrated-in copy: the two-phase move is mid-flight, and the
+// service-level Cancel retries until the move commits or aborts. It never
+// escapes the package.
+var errMigratePending = errors.New("resd: reservation migration in flight")
 
 // request is one operation submitted to a shard's event loop.
 type request struct {
@@ -41,17 +63,23 @@ type response struct {
 	free   int
 	snap   profile.CapacityIndex
 	tstats map[string]TenantStats
+	cands  []rebal.Resv
 	err    error
 }
 
 // active is a shard-local record of an admitted reservation. tenant is
 // the accounting identity quota release uses; statKey is the (possibly
 // overflow-bounded) per-shard book the admission was recorded under.
+// pending marks a tentative migrated-in copy: its capacity is committed
+// on the index but it is not yet in the shard's books and a Cancel
+// reaching it is told to retry (errMigratePending) until the move
+// resolves.
 type active struct {
 	start, dur core.Time
 	q          int
 	tenant     string
 	statKey    string
+	pending    bool
 }
 
 // OverflowTenant is the per-shard book that absorbs tenant names beyond
@@ -86,8 +114,15 @@ type shard struct {
 	idx     profile.CapacityIndex
 	live    map[ID]active
 	tstats  map[string]TenantStats // per-tenant books, loop-owned
+	slack   slackHist              // start-time slack of every admission, loop-owned
+	tslack  map[string]*slackHist  // per-tenant slack, keyed like tstats
 	nextSeq uint64
 	area    int64 // running processor-tick area of live reservations
+
+	// tenAreas mirrors the per-tenant committed area as atomics (one cell
+	// per tstats book), written only by the loop: the lock-free per-shard
+	// per-tenant load summary the "pressure" placement policy routes by.
+	tenAreas sync.Map // string → *atomic.Int64
 
 	reqs chan request
 	quit <-chan struct{}
@@ -109,8 +144,31 @@ type shard struct {
 	rejected      atomic.Uint64
 	rejectedDL    atomic.Uint64
 	rejectedQuota atomic.Uint64
+	migratedIn    atomic.Uint64
+	migratedOut   atomic.Uint64
+	slackP99      atomic.Int64
 	batches       atomic.Uint64
 	ops           atomic.Uint64
+}
+
+// tenAreaCell returns the shard's atomic area mirror for one tenant book,
+// creating it on first use. Written only by the loop; read lock-free by
+// the pressure placement policy.
+func (sh *shard) tenAreaCell(statKey string) *atomic.Int64 {
+	if v, ok := sh.tenAreas.Load(statKey); ok {
+		return v.(*atomic.Int64)
+	}
+	v, _ := sh.tenAreas.LoadOrStore(statKey, new(atomic.Int64))
+	return v.(*atomic.Int64)
+}
+
+// tenantArea reads one tenant's committed area on this shard (0 when the
+// tenant has never touched the shard).
+func (sh *shard) tenantArea(name string) int64 {
+	if v, ok := sh.tenAreas.Load(name); ok {
+		return v.(*atomic.Int64).Load()
+	}
+	return 0
 }
 
 // newShard builds the partition's index (with the Pre reservations
@@ -131,6 +189,7 @@ func newShard(id int, cfg Config, floor int, quit <-chan struct{}) (*shard, erro
 		idx:    idx,
 		live:   make(map[ID]active),
 		tstats: make(map[string]TenantStats),
+		tslack: make(map[string]*slackHist),
 		reqs:   make(chan request, cfg.Batch),
 		quit:   quit,
 		done:   make(chan struct{}),
@@ -284,9 +343,22 @@ func (sh *shard) apply(r request) response {
 	case opTenantStats:
 		out := make(map[string]TenantStats, len(sh.tstats))
 		for name, ts := range sh.tstats {
+			if h := sh.tslack[name]; h != nil {
+				ts.SlackP99 = h.p99()
+			}
 			out[name] = ts
 		}
 		return response{tstats: out}
+	case opMigratable:
+		return sh.migratable(r)
+	case opMigrateIn:
+		return sh.migrateIn(r)
+	case opMigrateOut:
+		return sh.migrateOut(r)
+	case opMigrateCommit:
+		return sh.migrateCommit(r)
+	case opMigrateAbort:
+		return sh.migrateAbort(r)
 	default:
 		return response{err: fmt.Errorf("%w: unknown op %d", ErrBadRequest, r.kind)}
 	}
@@ -344,16 +416,33 @@ func (sh *shard) reserve(r request) response {
 	ts.CommittedArea += area
 	ts.Admitted++
 	sh.tstats[statKey] = ts
+	sh.tenAreaCell(statKey).Add(area)
+	// Start-time slack — how far past its ready time the admission had to
+	// be pushed — is the per-admission SLO sample surfaced as p99 in
+	// ShardStats and per tenant in TenantStats.
+	sh.slack.add(start - r.ready)
+	th := sh.tslack[statKey]
+	if th == nil {
+		th = new(slackHist)
+		sh.tslack[statKey] = th
+	}
+	th.add(start - r.ready)
 	sh.admitted.Add(1)
 	return response{resv: Reservation{ID: id, Shard: sh.id, Start: start, Dur: r.dur, Procs: r.q}}
 }
 
 // cancel releases an admitted reservation and credits the area back to
-// its tenant's quota.
+// its tenant's quota. A tentative migrated-in copy is not cancellable —
+// the service retries until the in-flight move commits or aborts, so a
+// Cancel can never release a reservation the two-phase protocol still
+// owns.
 func (sh *shard) cancel(r request) response {
 	a, ok := sh.live[r.id]
 	if !ok {
 		return response{err: fmt.Errorf("%w: %#x on shard %d", ErrUnknownID, uint64(r.id), sh.id)}
+	}
+	if a.pending {
+		return response{err: fmt.Errorf("%w: %#x on shard %d", errMigratePending, uint64(r.id), sh.id)}
 	}
 	if err := sh.idx.Release(a.start, a.dur, a.q); err != nil {
 		return response{err: fmt.Errorf("resd: shard %d release: %w", sh.id, err)}
@@ -369,7 +458,111 @@ func (sh *shard) cancel(r request) response {
 	ts.CommittedArea -= area
 	ts.Cancelled++
 	sh.tstats[a.statKey] = ts
+	sh.tenAreaCell(a.statKey).Add(-area)
 	sh.cancelled.Add(1)
+	return response{}
+}
+
+// migratable lists the shard's movable reservations: live, not pending,
+// and starting at or after the cutoff carried in r.ready (now + the
+// frozen window Δ). The list is consistent (served inside the loop) and
+// sorted by ID so planning over it is deterministic.
+func (sh *shard) migratable(r request) response {
+	var out []rebal.Resv
+	for id, a := range sh.live {
+		if a.pending || a.start < r.ready {
+			continue
+		}
+		out = append(out, rebal.Resv{
+			ID: uint64(id), Start: a.start, Dur: a.dur, Procs: a.q, Tenant: a.tenant,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return response{cands: out}
+}
+
+// migrateIn tentatively hosts a reservation migrating from another shard:
+// the capacity is committed — under the same α head-room rule as a fresh
+// admission — but the copy stays pending: out of the books, invisible to
+// Cancel, uncounted. Quota is not touched: the tenant's global charge
+// rides along with the reservation, paid once at original admission.
+func (sh *shard) migrateIn(r request) response {
+	if _, dup := sh.live[r.id]; dup {
+		return response{err: fmt.Errorf("%w: migrate-in of resident id %#x on shard %d", ErrBadRequest, uint64(r.id), sh.id)}
+	}
+	if !sh.idx.CanPlace(r.ready, r.dur, r.q+sh.floor) {
+		return response{err: fmt.Errorf("%w: shard %d cannot host q=%d at %v under α-floor %d",
+			ErrNeverFits, sh.id, r.q, r.ready, sh.floor)}
+	}
+	if err := sh.idx.Commit(r.ready, r.dur, r.q); err != nil {
+		return response{err: fmt.Errorf("resd: shard %d migrate-in commit: %w", sh.id, err)}
+	}
+	sh.live[r.id] = active{
+		start: r.ready, dur: r.dur, q: r.q,
+		tenant: r.tenant, statKey: sh.tstatKey(r.tenant), pending: true,
+	}
+	return response{}
+}
+
+// migrateOut releases the source copy of a migrating reservation and
+// transfers its book entries out. ErrUnknownID means the reservation was
+// cancelled between planning and execution — the executor's rollback
+// signal. No quota is released: the charge moved with the reservation.
+func (sh *shard) migrateOut(r request) response {
+	a, ok := sh.live[r.id]
+	if !ok || a.pending {
+		return response{err: fmt.Errorf("%w: %#x not resident on shard %d", ErrUnknownID, uint64(r.id), sh.id)}
+	}
+	if err := sh.idx.Release(a.start, a.dur, a.q); err != nil {
+		return response{err: fmt.Errorf("resd: shard %d migrate-out release: %w", sh.id, err)}
+	}
+	delete(sh.live, r.id)
+	area := int64(a.dur) * int64(a.q)
+	sh.area -= area
+	ts := sh.tstats[a.statKey]
+	ts.Active--
+	ts.CommittedArea -= area
+	ts.MigratedOut++
+	sh.tstats[a.statKey] = ts
+	sh.tenAreaCell(a.statKey).Add(-area)
+	sh.migratedOut.Add(1)
+	return response{}
+}
+
+// migrateCommit finalises a tentative migrated-in copy: it becomes an
+// ordinary live reservation, entering the books it was kept out of while
+// pending.
+func (sh *shard) migrateCommit(r request) response {
+	a, ok := sh.live[r.id]
+	if !ok || !a.pending {
+		return response{err: fmt.Errorf("%w: no pending migrate-in for %#x on shard %d", ErrBadRequest, uint64(r.id), sh.id)}
+	}
+	a.pending = false
+	sh.live[r.id] = a
+	area := int64(a.dur) * int64(a.q)
+	sh.area += area
+	ts := sh.tstats[a.statKey]
+	ts.Active++
+	ts.CommittedArea += area
+	ts.MigratedIn++
+	sh.tstats[a.statKey] = ts
+	sh.tenAreaCell(a.statKey).Add(area)
+	sh.migratedIn.Add(1)
+	return response{}
+}
+
+// migrateAbort rolls back a tentative migrated-in copy after the source
+// reported the reservation gone (cancelled mid-migration): the capacity
+// is released and the copy vanishes without ever having been visible.
+func (sh *shard) migrateAbort(r request) response {
+	a, ok := sh.live[r.id]
+	if !ok || !a.pending {
+		return response{err: fmt.Errorf("%w: no pending migrate-in for %#x on shard %d", ErrBadRequest, uint64(r.id), sh.id)}
+	}
+	if err := sh.idx.Release(a.start, a.dur, a.q); err != nil {
+		return response{err: fmt.Errorf("resd: shard %d migrate-abort release: %w", sh.id, err)}
+	}
+	delete(sh.live, r.id)
 	return response{}
 }
 
@@ -378,6 +571,7 @@ func (sh *shard) cancel(r request) response {
 func (sh *shard) publish(n int) {
 	sh.activeCount.Store(int64(len(sh.live)))
 	sh.committedArea.Store(sh.area)
+	sh.slackP99.Store(int64(sh.slack.p99()))
 	sh.batches.Add(1)
 	sh.ops.Add(uint64(n))
 }
@@ -392,6 +586,9 @@ func (sh *shard) stats() ShardStats {
 		Rejected:         sh.rejected.Load(),
 		RejectedDeadline: sh.rejectedDL.Load(),
 		RejectedQuota:    sh.rejectedQuota.Load(),
+		MigratedIn:       sh.migratedIn.Load(),
+		MigratedOut:      sh.migratedOut.Load(),
+		SlackP99:         core.Time(sh.slackP99.Load()),
 		Batches:          sh.batches.Load(),
 		Ops:              sh.ops.Load(),
 	}

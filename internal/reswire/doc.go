@@ -33,6 +33,14 @@
 // never sees bytes it cannot parse. Frames from any other revision fail
 // with ErrVersion instead of being guessed at.
 //
+// Revision 3 added the rebalancing observability fields to Stats entries:
+// MigratedIn and MigratedOut (how many reservations the live rebalancer
+// moved onto and off each shard) and SlackP99 (the shard's p99 start-time
+// slack, the SLO face of the α rule's push-back). The negotiation rule is
+// the same one the v2 bump established — the server answers each request
+// at its arrival revision, so v1 and v2 readers get the entry layouts
+// they know and simply cannot see the newer fields.
+//
 // # Server
 //
 // The server runs one reader and one writer per connection. The reader

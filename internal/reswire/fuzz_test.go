@@ -34,6 +34,7 @@ func FuzzWireCodec(f *testing.F) {
 		{ID: 8, Op: OpReserve, Version: VersionV1, Ready: 10, Procs: 4, Dur: 20, Deadline: int64Max},
 		{ID: 9, Op: OpQuotaGet, Tenant: "acme"},
 		{ID: 10, Op: OpQuotaSet, Tenant: "acme", Share: 0.25},
+		{ID: 11, Op: OpReserve, Version: VersionV2, Ready: 10, Procs: 4, Dur: 20, Deadline: int64Max, Tenant: "acme"},
 	} {
 		frame, err := AppendRequest(nil, req)
 		if err != nil {
@@ -46,8 +47,9 @@ func FuzzWireCodec(f *testing.F) {
 		{ID: 2, Op: OpReserve, Code: CodeRejectedDeadline, Detail: "too late"},
 		{ID: 3, Op: OpQuery, Code: CodeOK, Free: []int{1, 2, 3}},
 		{ID: 4, Op: OpSnapshot, Code: CodeOK, M: 4, Segs: []Segment{{0, 4}, {5, 1}, {9, 4}}},
-		{ID: 5, Op: OpStats, Code: CodeOK, Stats: []resd.ShardStats{{Active: 1, Admitted: 2}}},
+		{ID: 5, Op: OpStats, Code: CodeOK, Stats: []resd.ShardStats{{Active: 1, Admitted: 2, MigratedIn: 3, MigratedOut: 1, SlackP99: 63}}},
 		{ID: 6, Op: OpStats, Version: VersionV1, Code: CodeOK, Stats: []resd.ShardStats{{Active: 1, Admitted: 2}}},
+		{ID: 11, Op: OpStats, Version: VersionV2, Code: CodeOK, Stats: []resd.ShardStats{{Active: 1, Admitted: 2, RejectedQuota: 3}}},
 		{ID: 7, Op: OpReserve, Code: CodeRejectedQuota, Detail: "tenant acme over budget"},
 		{ID: 8, Op: OpQuotaGet, Code: CodeOK, Quota: QuotaInfo{
 			Tenant: "acme", Group: "prod", Mode: 1, Share: 0.5,
@@ -66,7 +68,8 @@ func FuzzWireCodec(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0, 16, 'X', 'X', 1, 1})                            // bad magic
 	f.Add([]byte{1, 0, 0, 0, 16, 'R', 'W', 9, 1})                            // bad version
 	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 0, 1})                            // version 0 on the wire
-	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 3, 1})                            // version one past current
+	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 4, 1})                            // version one past current
+	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 3, 1})                            // v3 frame with a truncated body
 	f.Add([]byte{0, 0xFF, 0xFF, 0xFF, 0xFF})                                 // length prefix far past MaxFrame
 	f.Add(append([]byte{1, 0, 0, 0, 12}, make([]byte, 12)...))               // zeroed header
 	f.Add([]byte{0, 0, 0, 0, 13, 'R', 'W', 1, 7, 0, 0, 0, 0, 0, 0, 0, 1, 0}) // QuotaGet inside a v1 frame

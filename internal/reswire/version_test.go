@@ -94,7 +94,7 @@ func TestHostileVersionsRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range []byte{0, 3, 4, 0x7F, 0xFF} {
+	for _, v := range []byte{0, 4, 5, 0x7F, 0xFF} {
 		frame := bytes.Clone(valid)
 		frame[6] = v // version byte: after length prefix (4) + magic (2)
 		if _, err := ReadRequest(bufio.NewReader(bytes.NewReader(frame))); !errors.Is(err, ErrVersion) {
@@ -102,29 +102,49 @@ func TestHostileVersionsRejected(t *testing.T) {
 		}
 	}
 	// Encoding at a revision the protocol never had must also fail.
-	if _, err := AppendRequest(nil, Request{Op: OpPing, Version: 3}); !errors.Is(err, ErrVersion) {
-		t.Errorf("encode at version 3 err = %v, want ErrVersion", err)
+	if _, err := AppendRequest(nil, Request{Op: OpPing, Version: 4}); !errors.Is(err, ErrVersion) {
+		t.Errorf("encode at version 4 err = %v, want ErrVersion", err)
 	}
 }
 
 func TestStatsLayoutPerVersion(t *testing.T) {
 	resp := Response{ID: 1, Op: OpStats, Code: CodeOK, Stats: []resd.ShardStats{{
 		Active: 2, CommittedArea: 100, Admitted: 5, Cancelled: 3,
-		Rejected: 1, RejectedDeadline: 4, RejectedQuota: 9, Batches: 2, Ops: 5,
+		Rejected: 1, RejectedDeadline: 4, RejectedQuota: 9,
+		MigratedIn: 11, MigratedOut: 12, SlackP99: 127, Batches: 2, Ops: 5,
 	}}}
-	v2frame, err := AppendResponse(nil, resp)
+	v3frame, err := AppendResponse(nil, resp)
 	if err != nil {
 		t.Fatal(err)
+	}
+	got3, err := ReadResponse(bufio.NewReader(bytes.NewReader(v3frame)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := got3.Stats[0]; st.RejectedQuota != 9 || st.MigratedIn != 11 || st.MigratedOut != 12 || st.SlackP99 != 127 {
+		t.Fatalf("v3 stats round trip lost fields: %+v", st)
+	}
+	// The v2 layout predates the three rebalancing fields: 24 bytes
+	// shorter per entry, and they come back zero while RejectedQuota
+	// survives.
+	v2 := resp
+	v2.Version = VersionV2
+	v2frame, err := AppendResponse(nil, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v3frame)-len(v2frame) != 24 {
+		t.Fatalf("v3 entry is %d bytes longer than v2, want 24", len(v3frame)-len(v2frame))
 	}
 	got2, err := ReadResponse(bufio.NewReader(bytes.NewReader(v2frame)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got2.Stats[0].RejectedQuota != 9 {
-		t.Fatalf("v2 stats round trip lost RejectedQuota: %+v", got2.Stats[0])
+	if st := got2.Stats[0]; st.RejectedQuota != 9 || st.MigratedIn != 0 || st.MigratedOut != 0 || st.SlackP99 != 0 {
+		t.Fatalf("v2 stats decode = %+v", st)
 	}
-	// The v1 layout has no RejectedQuota: 8 bytes shorter per entry, and
-	// the field comes back zero.
+	// The v1 layout additionally has no RejectedQuota: 8 bytes shorter
+	// again, and the field comes back zero.
 	v1 := resp
 	v1.Version = VersionV1
 	v1frame, err := AppendResponse(nil, v1)
@@ -140,6 +160,72 @@ func TestStatsLayoutPerVersion(t *testing.T) {
 	}
 	if got1.Stats[0].RejectedQuota != 0 || got1.Stats[0].Ops != 5 {
 		t.Fatalf("v1 stats decode = %+v", got1.Stats[0])
+	}
+}
+
+// TestV2ClientAgainstV3Server is the negotiation test for the v3 bump: a
+// hand-rolled v2 client must get v2-revision, v2-layout answers — tenancy
+// intact, no migration fields — from a server whose in-process stats
+// already carry them.
+func TestV2ClientAgainstV3Server(t *testing.T) {
+	addr, svc := startServer(t, resd.Config{
+		Shards: 2, M: 8, Placement: "first-fit",
+		RebalanceThreshold: 0.01,
+	})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	roundTrip := func(req Request) Response {
+		t.Helper()
+		req.Version = VersionV2
+		frame, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nc.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		payload, err := ReadFrame(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload[2] != VersionV2 {
+			t.Fatalf("server answered a v2 request at revision %d", payload[2])
+		}
+		resp, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Tenant attribution still works at v2.
+	resv := roundTrip(Request{ID: 1, Op: OpReserve, Tenant: "acme", Ready: 100, Procs: 2, Dur: 10, Deadline: resd.NoDeadline})
+	if resv.Code != CodeOK {
+		t.Fatalf("v2 Reserve = %+v", resv)
+	}
+	if _, err := svc.ReserveFor("acme", 100, 2, 10, resd.NoDeadline); err != nil {
+		t.Fatal(err)
+	}
+	// Migrate the hot spot, then read Stats at v2: the answer must decode
+	// with the v2 layout — migrations invisible, everything else intact.
+	if _, err := svc.Rebalance(0); err != nil {
+		t.Fatal(err)
+	}
+	if in := svc.Stats()[1].MigratedIn; in == 0 {
+		t.Fatal("rebalance moved nothing; the layout test needs live migration counters")
+	}
+	stats := roundTrip(Request{ID: 2, Op: OpStats})
+	if stats.Code != CodeOK || len(stats.Stats) != 2 {
+		t.Fatalf("v2 Stats = %+v", stats)
+	}
+	for i, st := range stats.Stats {
+		if st.MigratedIn != 0 || st.MigratedOut != 0 || st.SlackP99 != 0 {
+			t.Fatalf("v2 answer leaked v3 fields on shard %d: %+v", i, st)
+		}
 	}
 }
 

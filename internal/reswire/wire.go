@@ -17,7 +17,7 @@ import (
 //
 //	uint32  payload length (big endian, excludes these 4 bytes)
 //	uint16  magic   0x5257 ("RW")
-//	uint8   version (1 or 2)
+//	uint8   version (1, 2 or 3)
 //	uint8   op
 //	uint64  request id (echoed verbatim in the response)
 //	...     op-specific body
@@ -27,17 +27,22 @@ import (
 // is implied by the connection side and the two kinds share the header.
 //
 // Version 2 added multi-tenancy: Reserve request bodies end with a
-// length-prefixed tenant name, and the QuotaGet/QuotaSet ops exist. A v2
-// server still accepts v1 frames — a v1 Reserve is accounted to the
-// default tenant — and answers each request at the version it arrived
-// with, so v1 clients keep working unchanged. Frames from any other
-// revision are refused rather than guessed at.
+// length-prefixed tenant name, and the QuotaGet/QuotaSet ops exist.
+// Version 3 added the rebalancing observability fields to Stats entries
+// (MigratedIn, MigratedOut, SlackP99). A v3 server still accepts v1 and
+// v2 frames — a v1 Reserve is accounted to the default tenant, a v2
+// Stats answer carries the v2 layout — and answers each request at the
+// version it arrived with, so down-level clients keep working unchanged.
+// Frames from any other revision are refused rather than guessed at.
 const (
 	// Magic is the first two payload bytes of every frame ("RW").
 	Magic uint16 = 0x5257
 	// Version is the current protocol revision, the one the client
 	// speaks.
-	Version uint8 = 2
+	Version uint8 = 3
+	// VersionV2 is the tenancy revision (tenant-tailed Reserve, quota
+	// ops) without the v3 Stats fields.
+	VersionV2 uint8 = 2
 	// VersionV1 is the pre-tenancy revision a server still accepts.
 	VersionV1 uint8 = 1
 	// MaxFrame bounds a frame's payload. The decoder rejects larger
@@ -304,6 +309,15 @@ func resolveVersion(v uint8) (uint8, error) {
 	return v, nil
 }
 
+// concrete maps a Request/Response Version field (0 = current) onto the
+// concrete revision, for feature gating during decode.
+func concrete(v uint8) uint8 {
+	if v == 0 {
+		return Version
+	}
+	return v
+}
+
 // appendHeader writes the shared frame header (after the length prefix).
 func appendHeader(dst []byte, v uint8, op Op, id uint64) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, Magic)
@@ -472,6 +486,13 @@ func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 				// layout it knows and simply cannot see quota rejections.
 				dst = binary.BigEndian.AppendUint64(dst, st.RejectedQuota)
 			}
+			if v >= 3 {
+				// The rebalancing fields arrived with v3; down-level
+				// readers get their own layout and cannot see migrations.
+				dst = binary.BigEndian.AppendUint64(dst, st.MigratedIn)
+				dst = binary.BigEndian.AppendUint64(dst, st.MigratedOut)
+				dst = appendTime(dst, st.SlackP99)
+			}
 			dst = binary.BigEndian.AppendUint64(dst, st.Batches)
 			dst = binary.BigEndian.AppendUint64(dst, st.Ops)
 		}
@@ -626,14 +647,14 @@ func DecodeRequest(payload []byte) (Request, error) {
 	if r.err != nil {
 		return Request{}, r.err
 	}
-	v2 := req.Version == 0 // header normalises the current revision to 0
+	v := concrete(req.Version) // header normalises the current revision to 0
 	switch req.Op {
 	case OpReserve:
 		req.Ready = r.time()
 		req.Procs = int(r.i32())
 		req.Dur = r.time()
 		req.Deadline = r.time()
-		if v2 {
+		if v >= 2 {
 			req.Tenant = r.name()
 		}
 	case OpCancel:
@@ -665,10 +686,10 @@ func DecodeResponse(payload []byte) (Response, error) {
 	if r.err != nil {
 		return Response{}, r.err
 	}
-	v2 := resp.Version == 0
+	v := concrete(resp.Version)
 	resp.Code = Code(r.u8())
 	maxCode := CodeInternal // CodeRejectedQuota arrived with v2
-	if v2 {
+	if v >= 2 {
 		maxCode = CodeRejectedQuota
 	}
 	if r.err == nil && resp.Code > maxCode {
@@ -717,8 +738,11 @@ func DecodeResponse(payload []byte) (Response, error) {
 	case OpStats:
 		n := int(r.u32())
 		entry := 64
-		if v2 {
+		if v >= 2 {
 			entry = 72 // RejectedQuota joined the layout at v2
+		}
+		if v >= 3 {
+			entry = 96 // MigratedIn, MigratedOut, SlackP99 joined at v3
 		}
 		if n > maxShards || (r.err == nil && entry*n > len(r.b)-r.off) {
 			r.fail()
@@ -732,8 +756,13 @@ func DecodeResponse(payload []byte) (Response, error) {
 			resp.Stats[i].Cancelled = r.u64()
 			resp.Stats[i].Rejected = r.u64()
 			resp.Stats[i].RejectedDeadline = r.u64()
-			if v2 {
+			if v >= 2 {
 				resp.Stats[i].RejectedQuota = r.u64()
+			}
+			if v >= 3 {
+				resp.Stats[i].MigratedIn = r.u64()
+				resp.Stats[i].MigratedOut = r.u64()
+				resp.Stats[i].SlackP99 = r.time()
 			}
 			resp.Stats[i].Batches = r.u64()
 			resp.Stats[i].Ops = r.u64()
