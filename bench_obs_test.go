@@ -1,0 +1,184 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/resd"
+	"repro/internal/rng"
+)
+
+// --- observability overhead (BENCH_obs.json) ---
+//
+// The obs layer promises to be invisible from the admission hot path:
+// metrics are lock-free atomics bumped outside the event loops' critical
+// decisions, scrapes read published snapshots, and tracing samples one in
+// N requests into a fixed ring. BenchmarkObsOverhead prices that promise:
+// the same preloaded Reserve+Cancel workload as BenchmarkResdThroughput,
+// once against a bare service and once against one carrying a full metric
+// registry plus 1-in-64 admission tracing. The recorded ratio is the
+// figure the CI gate holds the instrumentation to.
+
+// obsBenchTraceSample is the tracing rate of the instrumented variant:
+// the production-shaped setting (sampled, not exhaustive).
+const obsBenchTraceSample = 64
+
+// obsServices memoizes the two preloaded services ("off", "on"), exactly
+// as resdServices does: preloading is seconds of work and the measured
+// loop restores its own state.
+var (
+	obsSvcMu    sync.Mutex
+	obsServices = map[string]*resd.Service{}
+)
+
+// obsLoadedService returns the preloaded 4-shard tree service, bare or
+// carrying the full obs surface (registry + sampled tracing). The preload
+// mirrors resdLoadedService so the measured op sees the same blocking
+// segments in both variants.
+func obsLoadedService(tb testing.TB, mode string) *resd.Service {
+	tb.Helper()
+	obsSvcMu.Lock()
+	defer obsSvcMu.Unlock()
+	if svc, ok := obsServices[mode]; ok {
+		return svc
+	}
+	cfg := resd.Config{
+		Shards: 4, M: resdBenchM, Backend: "tree",
+		Placement: "least-loaded", Batch: 64,
+	}
+	if mode == "on" {
+		cfg.Obs = &resd.ObsConfig{
+			Registry:    obs.NewRegistry(),
+			TraceSample: obsBenchTraceSample,
+		}
+	}
+	svc, err := resd.New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r := rng.New(0xD1CE)
+	for i := 0; i < resdBenchTotalRes; i++ {
+		ready := core.Time(r.Int63n(resdBenchHorizon))
+		q := r.Intn(resdBenchM/4) + 1
+		if i%10 == 0 {
+			q = resdBenchM - r.Intn(8) - 1
+		}
+		dur := core.Time(r.Intn(80) + 20)
+		if _, err := svc.Reserve(ready, q, dur); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	obsServices[mode] = svc // retained for the process lifetime, by design
+	return svc
+}
+
+// BenchmarkObsOverhead measures the admission path with the obs layer off
+// and on. The two sub-benchmarks run the identical workload; their ratio
+// is the whole cost of metrics and sampled tracing.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run("obs="+mode, func(b *testing.B) {
+			svc := obsLoadedService(b, mode)
+			var seq uint64
+			b.SetParallelism(32)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				obsSvcMu.Lock()
+				seq++
+				r := rng.NewStream(42, seq)
+				obsSvcMu.Unlock()
+				for pb.Next() {
+					if err := resdBenchOp(svc, r); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestEmitObsBenchJSON records the off/on figures and their ratio as
+// BENCH_obs.json at the repository root. Opt-in (REPRO_EMIT_BENCH=1). It
+// also enforces the design claim directly: full instrumentation must cost
+// less than 5% of admission throughput.
+func TestEmitObsBenchJSON(t *testing.T) {
+	if os.Getenv("REPRO_EMIT_BENCH") == "" {
+		t.Skip("set REPRO_EMIT_BENCH=1 to measure the obs overhead and write BENCH_obs.json")
+	}
+	type row struct {
+		Obs     string  `json:"obs"`
+		NsPerOp float64 `json:"ns_per_op"`
+	}
+	out := struct {
+		Benchmark   string  `json:"benchmark"`
+		M           int     `json:"m"`
+		Shards      int     `json:"shards"`
+		TotalRes    int     `json:"preloaded_reservations_total"`
+		TraceSample int     `json:"trace_sample"`
+		Workload    string  `json:"workload"`
+		GoVersion   string  `json:"go_version"`
+		MaxProcs    int     `json:"gomaxprocs"`
+		Rows        []row   `json:"rows"`
+		Overhead    float64 `json:"overhead"`
+		MaxOverhead float64 `json:"max_overhead"`
+	}{
+		Benchmark:   "obs instrumentation overhead: Reserve+Cancel with the metrics registry and sampled tracing off vs on",
+		M:           resdBenchM,
+		Shards:      4,
+		TotalRes:    resdBenchTotalRes,
+		TraceSample: obsBenchTraceSample,
+		Workload: "same preloaded stream and op mix as BenchmarkResdThroughput (32 clients, " +
+			"15% near-machine-wide requests), tree backend",
+		GoVersion:   runtime.Version(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		MaxOverhead: 1.05,
+	}
+	measure := func(mode string) float64 {
+		svc := obsLoadedService(t, mode)
+		var seq uint64
+		res := testing.Benchmark(func(b *testing.B) {
+			b.SetParallelism(32)
+			b.RunParallel(func(pb *testing.PB) {
+				obsSvcMu.Lock()
+				seq++
+				r := rng.NewStream(42, seq)
+				obsSvcMu.Unlock()
+				for pb.Next() {
+					if err := resdBenchOp(svc, r); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+		return float64(res.NsPerOp())
+	}
+	var off, on float64
+	for _, mode := range []string{"off", "on"} {
+		ns := measure(mode)
+		if mode == "off" {
+			off = ns
+		} else {
+			on = ns
+		}
+		out.Rows = append(out.Rows, row{Obs: mode, NsPerOp: ns})
+	}
+	out.Overhead = on / off
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_obs.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("obs off %.0f ns/op, on %.0f ns/op: %.3f× overhead", off, on, out.Overhead)
+	if out.Overhead > out.MaxOverhead {
+		t.Errorf("obs overhead %.3f× exceeds the %.2f× budget", out.Overhead, out.MaxOverhead)
+	}
+}

@@ -2,16 +2,23 @@
 // -bench` output and compares the recorded hot paths against their
 // baselines — the tree-backend figures in BENCH_restree.json and
 // BENCH_resd.json, the wire-throughput matrix in BENCH_reswire.json, the
-// multi-tenant quota matrix in BENCH_tenant.json, and the rebalancing
-// off/on matrix in BENCH_rebal.json — failing (exit 1) when any measured
-// figure exceeds its recorded baseline by more than the threshold factor.
+// multi-tenant quota matrix in BENCH_tenant.json, the rebalancing off/on
+// matrix in BENCH_rebal.json, and the instrumentation off/on pair in
+// BENCH_obs.json — failing (exit 1) when any measured figure exceeds its
+// recorded baseline by more than the threshold factor.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'CapacityIndex|ResdThroughput|WireThroughput|TenantThroughput|Rebalance' \
+//	go test -run '^$' -bench 'CapacityIndex|ResdThroughput|WireThroughput|TenantThroughput|Rebalance|ObsOverhead' \
 //	    -benchtime=0.2s . | tee bench.out
 //	benchgate -bench bench.out -restree BENCH_restree.json -resd BENCH_resd.json \
-//	    -reswire BENCH_reswire.json -tenant BENCH_tenant.json -rebal BENCH_rebal.json -threshold 2
+//	    -reswire BENCH_reswire.json -tenant BENCH_tenant.json -rebal BENCH_rebal.json \
+//	    -obs BENCH_obs.json -threshold 2
+//
+// The -obs baseline carries a second, much tighter gate on top of the
+// absolute figures: the measured on/off ratio — two numbers from the same
+// run, immune to machine speed — must stay within the max_overhead budget
+// recorded in BENCH_obs.json (the "observability costs <5%" claim).
 //
 // The threshold is deliberately generous (default 2×): the gate exists to
 // catch algorithmic regressions — an accidental O(n) scan reintroduced on
@@ -188,6 +195,54 @@ func rebalBaselines(path string) ([]baseline, error) {
 	return out, nil
 }
 
+// obsBaselines loads BENCH_obs.json: each off/on row becomes an
+// expectation on a BenchmarkObsOverhead sub-benchmark, and max_overhead
+// is the instrumentation budget the ratio gate enforces on the measured
+// pair (the on/off ratio of one run is immune to machine speed, so it is
+// held to its own, much tighter bound than the absolute threshold).
+func obsBaselines(path string) ([]baseline, float64, error) {
+	var doc struct {
+		Rows []struct {
+			Obs     string  `json:"obs"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"rows"`
+		MaxOverhead float64 `json:"max_overhead"`
+	}
+	if err := readJSON(path, &doc); err != nil {
+		return nil, 0, err
+	}
+	if doc.MaxOverhead <= 1 {
+		return nil, 0, fmt.Errorf("benchgate: %s: max_overhead must be > 1, got %v", path, doc.MaxOverhead)
+	}
+	var out []baseline
+	for _, r := range doc.Rows {
+		out = append(out, baseline{
+			name: fmt.Sprintf("BenchmarkObsOverhead/obs=%s", r.Obs),
+			ns:   r.NsPerOp,
+		})
+	}
+	return out, doc.MaxOverhead, nil
+}
+
+// gateObsRatio checks the instrumentation-cost budget: the measured
+// obs=on figure may exceed the measured obs=off figure by at most
+// maxOverhead. Missing sub-benchmarks are already reported by the
+// baseline gate, so this adds nothing for them.
+func gateObsRatio(measured map[string]float64, maxOverhead float64) (report []string, ok bool) {
+	off, okOff := measured["BenchmarkObsOverhead/obs=off"]
+	on, okOn := measured["BenchmarkObsOverhead/obs=on"]
+	if !okOff || !okOn {
+		return nil, true
+	}
+	ratio := on / off
+	if ratio > maxOverhead {
+		return []string{fmt.Sprintf("FAIL    obs overhead: on/off = %.0f/%.0f ns/op = %.3f× > %.2f× budget",
+			on, off, ratio, maxOverhead)}, false
+	}
+	return []string{fmt.Sprintf("ok      obs overhead: on/off = %.0f/%.0f ns/op = %.3f× (budget %.2f×)",
+		on, off, ratio, maxOverhead)}, true
+}
+
 func readJSON(path string, v any) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -228,6 +283,7 @@ func run() error {
 	reswire := flag.String("reswire", "BENCH_reswire.json", "wire-throughput baseline ('' to skip)")
 	tenantPath := flag.String("tenant", "BENCH_tenant.json", "quota-throughput baseline ('' to skip)")
 	rebal := flag.String("rebal", "BENCH_rebal.json", "rebalancing-throughput baseline ('' to skip)")
+	obsPath := flag.String("obs", "BENCH_obs.json", "obs-overhead baseline and ratio budget ('' to skip)")
 	threshold := flag.Float64("threshold", 2.0, "allowed slowdown factor vs baseline")
 	flag.Parse()
 
@@ -287,11 +343,25 @@ func run() error {
 		}
 		baselines = append(baselines, bs...)
 	}
+	var maxOverhead float64
+	if *obsPath != "" {
+		bs, budget, err := obsBaselines(*obsPath)
+		if err != nil {
+			return err
+		}
+		baselines = append(baselines, bs...)
+		maxOverhead = budget
+	}
 	if len(baselines) == 0 {
 		return fmt.Errorf("benchgate: no baselines loaded")
 	}
 
 	report, ok := gate(measured, baselines, *threshold)
+	if maxOverhead > 0 {
+		ratioReport, ratioOK := gateObsRatio(measured, maxOverhead)
+		report = append(report, ratioReport...)
+		ok = ok && ratioOK
+	}
 	fmt.Println(strings.Join(report, "\n"))
 	if !ok {
 		return fmt.Errorf("benchgate: bench regression gate failed (threshold %.2f×)", *threshold)

@@ -184,4 +184,36 @@ func TestBaselineLoaders(t *testing.T) {
 			t.Fatalf("unexpected rebal baseline: %+v", b)
 		}
 	}
+	ob, budget, err := obsBaselines("../../BENCH_obs.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ob) != 2 || ob[0].name != "BenchmarkObsOverhead/obs=off" || ob[1].name != "BenchmarkObsOverhead/obs=on" || ob[0].ns <= 0 {
+		t.Fatalf("obs baselines: %+v", ob)
+	}
+	if budget <= 1 || budget > 1.1 {
+		t.Fatalf("obs max_overhead = %v, want a tight budget in (1, 1.1]", budget)
+	}
+}
+
+func TestGateObsRatio(t *testing.T) {
+	within := map[string]float64{
+		"BenchmarkObsOverhead/obs=off": 7000,
+		"BenchmarkObsOverhead/obs=on":  7200,
+	}
+	if report, ok := gateObsRatio(within, 1.05); !ok || !strings.Contains(report[0], "ok") {
+		t.Fatalf("within budget: ok=%v report=%v", ok, report)
+	}
+	over := map[string]float64{
+		"BenchmarkObsOverhead/obs=off": 7000,
+		"BenchmarkObsOverhead/obs=on":  7800,
+	}
+	if report, ok := gateObsRatio(over, 1.05); ok || !strings.Contains(report[0], "FAIL") {
+		t.Fatalf("over budget: ok=%v report=%v", ok, report)
+	}
+	// Missing sub-benchmarks are the baseline gate's finding, not a second
+	// failure here.
+	if report, ok := gateObsRatio(map[string]float64{}, 1.05); !ok || report != nil {
+		t.Fatalf("missing pair: ok=%v report=%v", ok, report)
+	}
 }

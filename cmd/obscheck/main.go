@@ -1,0 +1,94 @@
+// Command obscheck strict-parses a Prometheus text exposition — from a
+// live /metrics endpoint or stdin — and fails when it is malformed or
+// missing required metric families. It is the scrape-side conformance
+// check of the obs exposition writer (the same parser the unit tests run
+// against), used by CI's observability smoke job against a running
+// resdsrv and handy as a one-shot "is the service exporting what the
+// dashboards expect" probe:
+//
+//	obscheck -url http://127.0.0.1:9090/metrics \
+//	    -require resd_shard_queue_depth,resd_admissions_total
+//	curl -s http://host:9090/metrics | obscheck -require resd_shard_active
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func run() error {
+	url := flag.String("url", "", "scrape this endpoint (default: read stdin)")
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	timeout := flag.Duration("timeout", 5*time.Second, "scrape timeout (with -url)")
+	verbose := flag.Bool("v", false, "list every family with its sample count")
+	flag.Parse()
+
+	var data []byte
+	if *url != "" {
+		client := &http.Client{Timeout: *timeout}
+		resp, err := client.Get(*url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("obscheck: %s answered %s", *url, resp.Status)
+		}
+		data, err = io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		data, err = io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+	}
+
+	exp, err := obs.ParseExposition(data)
+	if err != nil {
+		return fmt.Errorf("obscheck: exposition is malformed: %w", err)
+	}
+
+	var missing []string
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if exp.Family(name) == nil {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("obscheck: exposition parses but lacks required families: %s",
+			strings.Join(missing, ", "))
+	}
+
+	samples := 0
+	for _, f := range exp.Families {
+		samples += len(f.Samples)
+		if *verbose {
+			fmt.Printf("%-40s %-8s %d samples\n", f.Name, f.Type, len(f.Samples))
+		}
+	}
+	fmt.Printf("obscheck: ok: %d families, %d samples\n", len(exp.Families), samples)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -35,22 +35,39 @@
 //	              {"name": "adhoc", "share": 0.1}]
 //	}
 //
+// With -obs, the server opens a second, HTTP listener exposing the whole
+// observability surface: /metrics (Prometheus text format — per-shard
+// queue depths, ops/batch, admission outcomes by reason, migration and
+// rebalancer counters, per-tenant quota gauges, slack and wire latency
+// summaries), /healthz (503 while draining), and /debug/pprof. -trace N
+// samples 1 in N admissions into a bounded ring served by the wire
+// protocol's Trace op (v4) and, with -slow, logs sampled admissions
+// slower than the threshold to stderr. The rebalancer's logical clock
+// defaults to a monotonic source advancing one tick per -tick of wall
+// time, surfaced as the resd_logical_clock_ticks gauge.
+//
+//	resdsrv -obs :9090 -trace 64 -slow 5ms    # metrics + sampled tracing
+//
 // Drive it with cmd/resload's -addr flag (add -tenants for a multi-tenant
 // mix), the examples/wire and examples/tenant walkthroughs, or any
-// reswire.Client. SIGINT/SIGTERM shut the listener and service down
-// cleanly.
+// reswire.Client. SIGINT/SIGTERM drain connections and shut the listener
+// and service down cleanly, emitting one final stats line.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/cliflag"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/resd"
 	"repro/internal/reswire"
 	"repro/internal/rng"
@@ -75,6 +92,11 @@ func run() error {
 	rebalthreshold := flag.Float64("rebalthreshold", resd.DefaultRebalanceThreshold, "imbalance score (0..1) that triggers a rebalancing round")
 	rebalfreeze := flag.Int64("rebalfreeze", 0, "frozen window Δ: never migrate reservations starting within Δ ticks")
 	rebalmoves := flag.Int("rebalmoves", resd.DefaultRebalanceMaxMoves, "max migrations per rebalancing round")
+	obsAddr := flag.String("obs", "", "HTTP observability listen address (/metrics, /healthz, /debug/pprof; empty = disabled)")
+	tick := flag.Duration("tick", time.Millisecond, "logical-clock granularity: one rebalancer tick per this much wall time")
+	trace := flag.Int("trace", 0, "sample 1 in N admissions into the trace ring (0 = tracing disabled)")
+	tracebuf := flag.Int("tracebuf", resd.DefaultTraceBuf, "admission trace ring capacity")
+	slow := flag.Duration("slow", 0, "log sampled admissions slower than this to stderr (0 = disabled)")
 	flag.Parse()
 
 	if err := cliflag.First(
@@ -100,6 +122,18 @@ func run() error {
 	if err := cliflag.RebalanceFlags(*rebalance, *rebalthreshold, *rebalfreeze, *rebalmoves); err != nil {
 		return err
 	}
+	if *tick <= 0 {
+		return fmt.Errorf("%w: -tick must be positive, got %v", cliflag.ErrFlag, *tick)
+	}
+	if err := cliflag.First(
+		cliflag.NonNegative("trace", *trace),
+		cliflag.Positive("tracebuf", *tracebuf),
+	); err != nil {
+		return err
+	}
+	if *slow < 0 {
+		return fmt.Errorf("%w: -slow must be non-negative, got %v", cliflag.ErrFlag, *slow)
+	}
 	reg, err := loadQuotas(*quotas, *shards, *m, *alpha, *qhorizon)
 	if err != nil {
 		return err
@@ -109,12 +143,38 @@ func run() error {
 	if *nres > 0 {
 		pre = workload.ReservationStream(rng.New(*seed^0xBEEF), *m, *alpha, *nres, core.Time(*horizon))
 	}
+
+	// The rebalancer's logical clock: a monotonic source advancing one tick
+	// per -tick of wall time, so -rebalfreeze windows mean wall-clock
+	// durations instead of being pinned at a zero clock.
+	startAt := time.Now()
+	clock := func() core.Time { return core.Time(time.Since(startAt) / *tick) }
+
+	var metrics *obs.Registry
+	if *obsAddr != "" {
+		metrics = obs.NewRegistry()
+	}
+	var obsCfg *resd.ObsConfig
+	if metrics != nil || *trace > 0 {
+		obsCfg = &resd.ObsConfig{
+			Registry: metrics, TraceSample: *trace, TraceBuf: *tracebuf,
+			SlowThreshold: *slow,
+		}
+		if *slow > 0 {
+			obsCfg.SlowLog = func(tr resd.TraceRecord) {
+				fmt.Fprintln(os.Stderr, slowLine(tr))
+			}
+		}
+	}
+
 	svc, err := resd.New(resd.Config{
 		Shards: *shards, M: *m, Alpha: *alpha, Backend: *backend,
 		Placement: *placement, Batch: *batch, Seed: *seed, Pre: pre,
 		Quotas:         reg,
 		RebalanceEvery: *rebalance, RebalanceThreshold: *rebalthreshold,
 		RebalanceFreeze: core.Time(*rebalfreeze), RebalanceMaxMoves: *rebalmoves,
+		RebalanceNow: clock,
+		Obs:          obsCfg,
 	})
 	if err != nil {
 		return err
@@ -126,13 +186,27 @@ func run() error {
 		return err
 	}
 	srv := reswire.NewServer(svc)
+	srv.SetMetrics(reswire.NewMetrics(metrics, "server"))
+
+	var ready atomic.Bool
+	if metrics != nil {
+		oln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			return err
+		}
+		hsrv := &http.Server{Handler: obs.Handler(metrics, ready.Load)}
+		go hsrv.Serve(oln)
+		defer hsrv.Close()
+		fmt.Printf("resdsrv: observability on http://%s/metrics (+/healthz, /debug/pprof)\n", oln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		fmt.Fprintf(os.Stderr, "resdsrv: %v, shutting down\n", s)
-		srv.Close()
+		fmt.Fprintf(os.Stderr, "resdsrv: %v, draining\n", s)
+		ready.Store(false) // /healthz flips to 503 while connections drain
+		srv.Close()        // stops the listener, closes conns, waits for handlers
 	}()
 
 	fmt.Printf("resdsrv: listening on %s — %d shards × m=%d (α=%.2f, floor %d), backend %s, placement %s\n",
@@ -145,10 +219,42 @@ func run() error {
 		fmt.Printf("resdsrv: rebalancer every %v (threshold %.2f, freeze %d ticks, <= %d moves/round)\n",
 			*rebalance, *rebalthreshold, *rebalfreeze, *rebalmoves)
 	}
-	if err := srv.Serve(ln); err != reswire.ErrServerClosed {
+	if *trace > 0 {
+		fmt.Printf("resdsrv: tracing 1 in %d admissions (ring %d, slow threshold %v)\n",
+			*trace, *tracebuf, *slow)
+	}
+	ready.Store(true)
+	err = srv.Serve(ln)
+	// Connections are drained; flush the final accounting before exiting.
+	fmt.Println(finalLine(svc))
+	if err != reswire.ErrServerClosed {
 		return err
 	}
 	return nil
+}
+
+// finalLine summarises a service's lifetime totals — the shutdown flush
+// emitted after the last connection drains.
+func finalLine(svc *resd.Service) string {
+	var admitted, cancelled, rejected, deadline, quota, batches, ops uint64
+	for _, st := range svc.Stats() {
+		admitted += st.Admitted
+		cancelled += st.Cancelled
+		rejected += st.Rejected
+		deadline += st.RejectedDeadline
+		quota += st.RejectedQuota
+		batches += st.Batches
+		ops += st.Ops
+	}
+	return fmt.Sprintf("resdsrv: final: admitted=%d cancelled=%d rejected=%d (deadline=%d quota=%d) batches=%d ops=%d traces=%d",
+		admitted, cancelled, rejected, deadline, quota, batches, ops, len(svc.Traces(0)))
+}
+
+// slowLine renders one slow sampled admission for the stderr log.
+func slowLine(tr resd.TraceRecord) string {
+	return fmt.Sprintf("resdsrv: slow request: seq=%d tenant=%q shard=%d outcome=%s total=%v (route=%v queue=%v batch=%v)",
+		tr.Seq, tr.Tenant, tr.Shard, tr.Outcome, tr.Decision,
+		tr.Route, tr.BatchStart-tr.Enqueue, tr.Decision-tr.BatchStart)
 }
 
 // loadQuotas builds the tenant registry from the -quotas spec file, with

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/cliflag"
+	"repro/internal/resd"
 	"repro/internal/tenant"
 )
 
@@ -57,6 +59,44 @@ func TestLoadQuotasFlagErrors(t *testing.T) {
 	ok := writeSpec(t, `{"mode": "hard"}`)
 	if _, err := loadQuotas(ok, 4, 64, 1.0, 1000); !errors.Is(err, cliflag.ErrFlag) {
 		t.Fatalf("α=1 err = %v, want ErrFlag (no reservable prefix)", err)
+	}
+}
+
+// TestShutdownFlushLines drives a traced service and checks the final
+// stats line — the one emitted after the drain — carries the lifetime
+// totals, and that the slow-request line renders every stage.
+func TestShutdownFlushLines(t *testing.T) {
+	svc, err := resd.New(resd.Config{M: 8, Obs: &resd.ObsConfig{TraceSample: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	r, err := svc.Reserve(0, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ReserveBy(0, 8, 10, 0); err == nil {
+		t.Fatal("deadline rejection expected")
+	}
+	if err := svc.Cancel(r.ID); err != nil {
+		t.Fatal(err)
+	}
+	line := finalLine(svc)
+	for _, want := range []string{"admitted=1", "cancelled=1", "deadline=1", "traces=2"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("final line %q missing %q", line, want)
+		}
+	}
+
+	traces := svc.Traces(1)
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	slow := slowLine(traces[0])
+	for _, want := range []string{"slow request", "outcome=rejected-deadline", "route=", "queue=", "batch="} {
+		if !strings.Contains(slow, want) {
+			t.Errorf("slow line %q missing %q", slow, want)
+		}
 	}
 }
 

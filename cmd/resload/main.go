@@ -24,7 +24,10 @@
 // keeps the shard indexes at a steady state instead of growing without
 // bound. The summary separates admissions, rejections (α rule, deadline
 // and tenant quota, expected under load) and hard errors (never
-// expected).
+// expected). -statsevery prints a live one-line progress row (cumulative
+// admissions, rejections, errors, p99 latency and achieved rate) to
+// stderr at that period while the stream runs, so long runs are
+// observable before the summary lands.
 //
 // With -tenants N the stream is attributed to N tenants, spread
 // uniformly or — production-shaped — by a zipf(1.1) popularity law
@@ -52,10 +55,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cliflag"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/resd"
 	"repro/internal/reswire"
 	"repro/internal/rng"
@@ -81,6 +86,7 @@ func run() error {
 	slack := flag.Int64("slack", 0, "per-request deadline: ready+slack ticks (0 = no deadline)")
 	batch := flag.Int("batch", 64, "max requests group-committed per event-loop turn")
 	seed := flag.Uint64("seed", 1, "workload generator seed")
+	statsevery := flag.Duration("statsevery", 0, "print a one-line progress row this often while the stream runs (0 = off)")
 	swf := flag.String("swf", "", "SWF trace file (overrides synthetic generation)")
 	tenants := flag.Int("tenants", 0, "attribute the stream to this many tenants (0 = single default tenant)")
 	skew := flag.String("skew", "uniform", "tenant popularity (uniform or zipf)")
@@ -108,6 +114,9 @@ func run() error {
 	}
 	if *slack < 0 {
 		return fmt.Errorf("%w: -slack must be >= 0, got %d", cliflag.ErrFlag, *slack)
+	}
+	if *statsevery < 0 {
+		return fmt.Errorf("%w: -statsevery must be >= 0, got %v", cliflag.ErrFlag, *statsevery)
 	}
 	if err := cliflag.RebalanceFlags(*rebalance, *rebalthreshold, *rebalfreeze, *rebalmoves); err != nil {
 		return err
@@ -194,7 +203,7 @@ func run() error {
 		}
 	}
 
-	res := replay(target, reqs, names, *clients, *rate, *cancelfrac, *seed)
+	res := replay(target, reqs, names, *clients, *rate, *cancelfrac, *seed, *statsevery)
 
 	totalRej := res.rejectedAlpha + res.rejectedDeadline + res.rejectedQuota
 	fmt.Printf("\n%d admitted, %d rejected (%d α-rule, %d deadline, %d quota), %d errors in %v (%.0f req/s achieved",
@@ -510,12 +519,53 @@ func classify(err error) (alphaRej, deadlineRej, quotaRej, hard bool) {
 	}
 }
 
+// progress is the live view of a replay the -statsevery ticker prints
+// from while the clients are still running: lock-free counters bumped on
+// the hot path and an exponential-bucket latency histogram, the same
+// O(1) sketch the service itself exposes, so sampling it mid-run costs
+// the clients nothing. A nil *progress (the default, -statsevery 0) makes
+// every method a no-op.
+type progress struct {
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+	errored  atomic.Uint64
+	lat      obs.Histogram
+}
+
+// record folds one request outcome into the live counters.
+func (p *progress) record(lat time.Duration, err error) {
+	if p == nil {
+		return
+	}
+	p.lat.Observe(int64(lat))
+	switch _, _, _, hard := classify(err); {
+	case err == nil:
+		p.admitted.Add(1)
+	case hard:
+		p.errored.Add(1)
+	default:
+		p.rejected.Add(1)
+	}
+}
+
+// line renders one progress row: cumulative outcomes, the p99 of every
+// round trip so far and the achieved aggregate rate.
+func (p *progress) line(elapsed time.Duration) string {
+	done := p.admitted.Load() + p.rejected.Load() + p.errored.Load()
+	return fmt.Sprintf("resload: %8v  %d admitted, %d rejected, %d errors, p99=%v (%.0f req/s)",
+		elapsed.Round(10*time.Millisecond), p.admitted.Load(), p.rejected.Load(), p.errored.Load(),
+		time.Duration(p.lat.Quantile(0.99)).Round(time.Microsecond),
+		float64(done)/elapsed.Seconds())
+}
+
 // replay pushes the request stream through the admitter from the given
 // number of client goroutines, pacing the aggregate at rate requests per
 // second when positive. names[req.tenant] attributes each request — the
 // same table run() built the quota registry from, passed in rather than
-// re-derived so attribution and enforcement can never disagree.
-func replay(svc admitter, reqs []request, names []string, clients int, rate, cancelfrac float64, seed uint64) result {
+// re-derived so attribution and enforcement can never disagree. A
+// positive statsevery prints a live progress row to stderr at that
+// period until the stream drains.
+func replay(svc admitter, reqs []request, names []string, clients int, rate, cancelfrac float64, seed uint64, statsevery time.Duration) result {
 	work := make(chan request, 4*clients)
 	perClient := make([]result, clients)
 	for c := range perClient {
@@ -527,6 +577,10 @@ func replay(svc admitter, reqs []request, names []string, clients int, rate, can
 		perClient[c].slacks = make([]float64, 0, len(reqs))
 		perClient[c].latTenant = make([]uint16, 0, len(reqs))
 		perClient[c].perTenant = make([]tenantCounts, len(names))
+	}
+	var prog *progress
+	if statsevery > 0 {
+		prog = &progress{}
 	}
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -542,6 +596,7 @@ func replay(svc admitter, reqs []request, names []string, clients int, rate, can
 				t0 := time.Now()
 				resv, err := svc.ReserveFor(names[req.tenant], req.ready, req.q, req.dur, req.deadline)
 				lat := time.Since(t0)
+				prog.record(lat, err)
 				if alphaRej, deadlineRej, quotaRej, hard := classify(err); err != nil {
 					switch {
 					case alphaRej:
@@ -580,6 +635,25 @@ func replay(svc admitter, reqs []request, names []string, clients int, rate, can
 	}
 
 	start := time.Now()
+	if prog != nil {
+		stop := make(chan struct{})
+		var tickWG sync.WaitGroup
+		tickWG.Add(1)
+		go func() {
+			defer tickWG.Done()
+			tick := time.NewTicker(statsevery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					fmt.Fprintln(os.Stderr, prog.line(time.Since(start)))
+				}
+			}
+		}()
+		defer func() { close(stop); tickWG.Wait() }()
+	}
 	if rate > 0 {
 		interval := time.Duration(float64(time.Second) / rate)
 		next := start

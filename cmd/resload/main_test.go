@@ -7,7 +7,9 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/resd"
 	"repro/internal/reswire"
 	"repro/internal/tenant"
@@ -53,19 +55,61 @@ func TestReplayCountsRejectionsSeparately(t *testing.T) {
 		{ready: 0, q: 4, dur: 10, deadline: 50},              // earliest start 100 > 50
 		{ready: 0, q: 4, dur: 10, deadline: resd.NoDeadline}, // admitted at 100
 	}
-	res := replay(svc, reqs, []string{""}, 1, 0, 0, 1)
+	res := replay(svc, reqs, []string{""}, 1, 0, 0, 1, 0)
 	if len(res.admitted) != 2 || res.rejectedAlpha != 1 || res.rejectedDeadline != 1 || res.errored != 0 {
 		t.Fatalf("admitted=%d rejectedα=%d rejectedDL=%d errored=%d, want 2/1/1/0",
 			len(res.admitted), res.rejectedAlpha, res.rejectedDeadline, res.errored)
 	}
 	// A closed service produces hard errors, not rejections.
 	svc.Close()
-	res = replay(svc, reqs[:1], []string{""}, 1, 0, 0, 1)
+	res = replay(svc, reqs[:1], []string{""}, 1, 0, 0, 1, 0)
 	if res.errored != 1 || res.rejectedAlpha != 0 || res.rejectedDeadline != 0 {
 		t.Fatalf("closed service: errored=%d rejectedα=%d rejectedDL=%d, want 1/0/0", res.errored, res.rejectedAlpha, res.rejectedDeadline)
 	}
 	if !errors.Is(res.firstErr, resd.ErrClosed) {
 		t.Fatalf("firstErr = %v, want ErrClosed", res.firstErr)
+	}
+}
+
+// TestProgressLine pins the -statsevery row: record buckets outcomes the
+// way the summary does (rejections apart from hard errors), the p99 is a
+// sane upper bound on the observed latencies, and a nil progress is a
+// no-op so the uninstrumented hot path stays free.
+func TestProgressLine(t *testing.T) {
+	var p progress
+	p.record(time.Millisecond, nil)
+	p.record(2*time.Millisecond, resd.ErrDeadline)
+	p.record(time.Millisecond, resd.ErrNeverFits)
+	p.record(3*time.Millisecond, resd.ErrClosed)
+	line := p.line(time.Second)
+	for _, want := range []string{"1 admitted", "2 rejected", "1 errors", "p99=", "req/s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line %q missing %q", line, want)
+		}
+	}
+	if p99 := p.lat.Quantile(0.99); p99 < int64(3*time.Millisecond) || p99 >= int64(6*time.Millisecond) {
+		t.Errorf("p99 = %v, want in [3ms, 6ms)", time.Duration(p99))
+	}
+	var nilProg *progress
+	nilProg.record(time.Millisecond, nil) // must not panic
+}
+
+// TestReplayWithStatsevery exercises the live ticker path end to end: a
+// paced replay with a tiny period must finish cleanly (the ticker stops
+// with the stream) and count exactly as the unticked run does.
+func TestReplayWithStatsevery(t *testing.T) {
+	svc, err := resd.New(resd.Config{M: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	reqs := make([]request, 50)
+	for i := range reqs {
+		reqs[i] = request{ready: core.Time(i), q: 2, dur: 5, deadline: resd.NoDeadline}
+	}
+	res := replay(svc, reqs, []string{""}, 2, 0, 0, 1, 100*time.Microsecond)
+	if len(res.admitted) != len(reqs) || res.errored != 0 {
+		t.Fatalf("admitted=%d errored=%d, want %d/0", len(res.admitted), res.errored, len(reqs))
 	}
 }
 
@@ -96,7 +140,7 @@ func TestRemoteReplayMatchesInProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer direct.Close()
-	want := replay(direct, reqs, []string{""}, 1, 0, 0.4, seed)
+	want := replay(direct, reqs, []string{""}, 1, 0, 0.4, seed, 0)
 
 	// Identical service behind the wire.
 	remoteSvc, err := resd.New(cfg)
@@ -118,7 +162,7 @@ func TestRemoteReplayMatchesInProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	got := replay(client, reqs, []string{""}, 1, 0, 0.4, seed)
+	got := replay(client, reqs, []string{""}, 1, 0, 0.4, seed, 0)
 
 	if got.errored != 0 || want.errored != 0 {
 		t.Fatalf("hard errors: remote %d (first %v), direct %d (first %v)",
@@ -178,7 +222,7 @@ func TestReplayRecordsSlackPerTenant(t *testing.T) {
 		{ready: 0, q: 8, dur: 10, deadline: resd.NoDeadline, tenant: 0},
 		{ready: 0, q: 8, dur: 10, deadline: resd.NoDeadline, tenant: 1},
 	}
-	res := replay(svc, reqs, []string{"t0", "t1"}, 1, 0, 0, 1)
+	res := replay(svc, reqs, []string{"t0", "t1"}, 1, 0, 0, 1, 0)
 	if len(res.slacks) != 2 || len(res.latTenant) != 2 {
 		t.Fatalf("recorded %d slacks / %d tenant indexes, want 2/2", len(res.slacks), len(res.latTenant))
 	}

@@ -140,7 +140,7 @@ func TestSWFReplayThroughReplayHarness(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer svc.Close()
-	res := replay(svc, reqs, []string{""}, 1, 0, 0, 1)
+	res := replay(svc, reqs, []string{""}, 1, 0, 0, 1, 0)
 	if res.errored != 0 {
 		t.Fatalf("hard errors: %d (first %v)", res.errored, res.firstErr)
 	}

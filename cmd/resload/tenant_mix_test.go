@@ -68,7 +68,7 @@ func TestReplayPerTenantBreakdown(t *testing.T) {
 		{ready: 0, q: 4, dur: 10, deadline: resd.NoDeadline, tenant: 0},
 		{ready: 0, q: 4, dur: 10, deadline: resd.NoDeadline, tenant: 1}, // quota reject
 	}
-	res := replay(svc, reqs, tenantNames(2), 1, 0, 0, 1)
+	res := replay(svc, reqs, tenantNames(2), 1, 0, 0, 1, 0)
 	if res.errored != 0 {
 		t.Fatalf("hard errors: %v", res.firstErr)
 	}

@@ -1,0 +1,413 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the value scrape responses should carry in Content-Type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format, version 0.0.4: one # HELP and # TYPE line per family followed
+// by its samples, families in name order, samples in deterministic label
+// order, duplicate series rejected. The output always ends with a
+// newline and always parses under ParseExposition — the strict parser is
+// the writer's contract, enforced by tests and the CI smoke job.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	samples := r.Gather()
+	r.mu.Lock()
+	fams := make(map[string]*family, len(r.families))
+	for n, f := range r.families {
+		fams[n] = f
+	}
+	r.mu.Unlock()
+
+	dup := make(map[string]struct{}, len(samples))
+	cur := ""
+	for _, s := range samples {
+		fam := familyNameOf(s.Name, fams)
+		f := fams[fam]
+		if f == nil {
+			return fmt.Errorf("obs: sample %q has no family", s.Name)
+		}
+		if fam != cur {
+			if _, err := fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n",
+				fam, escapeHelp(f.help), fam, f.kind); err != nil {
+				return err
+			}
+			cur = fam
+		}
+		key := sampleKey(s)
+		if _, seen := dup[key]; seen {
+			return fmt.Errorf("obs: duplicate series %s", key)
+		}
+		dup[key] = struct{}{}
+		if _, err := fmt.Fprintf(bw, "%s%s %s\n",
+			s.Name, renderLabels(s.Labels), formatValue(s.Value)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// familyNameOf strips a summary suffix when the base name is a
+// registered summary family.
+func familyNameOf(name string, fams map[string]*family) string {
+	for _, suf := range []string{"_count", "_sum"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if f, ok := fams[base]; ok && f.kind == KindSummary {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// formatValue renders a sample value: integral floats print without an
+// exponent (the common case for counters), everything else with Go's
+// shortest round-trip form; infinities use the exposition spellings.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// ParsedSample is one decoded exposition line.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one decoded metric family.
+type ParsedFamily struct {
+	Name, Help, Type string
+	Samples          []ParsedSample
+}
+
+// Exposition is a fully validated scrape.
+type Exposition struct {
+	Families []ParsedFamily
+	byName   map[string]*ParsedFamily
+}
+
+// Family returns the named family, or nil.
+func (e *Exposition) Family(name string) *ParsedFamily {
+	return e.byName[name]
+}
+
+// Value returns the value of the sample in family name whose labels are
+// a superset of want, and whether exactly one such sample exists.
+func (e *Exposition) Value(name string, want map[string]string) (float64, bool) {
+	f := e.byName[name]
+	if f == nil {
+		return 0, false
+	}
+	found, n := 0.0, 0
+	for _, s := range f.Samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			found, n = s.Value, n+1
+		}
+	}
+	return found, n == 1
+}
+
+// ParseExposition is a strict parser for the Prometheus text format as
+// this package writes it. It enforces more than scrapers require — HELP
+// then TYPE then samples, families contiguous and declared before use,
+// summary suffixes only under summary families, quantile labels only on
+// summary quantile lines, no duplicate series, counters non-negative, a
+// trailing newline — so a passing parse certifies the writer, not just
+// the reader. CI's smoke job runs a live scrape through it.
+func ParseExposition(data []byte) (*Exposition, error) {
+	text := string(data)
+	if text == "" {
+		return &Exposition{byName: map[string]*ParsedFamily{}}, nil
+	}
+	if !strings.HasSuffix(text, "\n") {
+		return nil, fmt.Errorf("obs: exposition does not end in a newline")
+	}
+	exp := &Exposition{byName: map[string]*ParsedFamily{}}
+	var cur *ParsedFamily
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]bool{}
+	dup := map[string]struct{}{}
+	pendingHelp := ""
+	pendingHelpName := ""
+	for ln, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		lineNo := ln + 1
+		switch {
+		case line == "":
+			return nil, fmt.Errorf("obs: line %d: blank line", lineNo)
+		case strings.HasPrefix(line, "# HELP "):
+			rest := line[len("# HELP "):]
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || !validMetricName(name) {
+				return nil, fmt.Errorf("obs: line %d: malformed HELP", lineNo)
+			}
+			if helpSeen[name] {
+				return nil, fmt.Errorf("obs: line %d: second HELP for %s", lineNo, name)
+			}
+			if typeSeen[name] {
+				return nil, fmt.Errorf("obs: line %d: HELP for %s after its TYPE", lineNo, name)
+			}
+			helpSeen[name] = true
+			pendingHelp, pendingHelpName = help, name
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Split(line[len("# TYPE "):], " ")
+			if len(fields) != 2 || !validMetricName(fields[0]) {
+				return nil, fmt.Errorf("obs: line %d: malformed TYPE", lineNo)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				return nil, fmt.Errorf("obs: line %d: unknown type %q", lineNo, typ)
+			}
+			if typeSeen[name] {
+				return nil, fmt.Errorf("obs: line %d: second TYPE for %s", lineNo, name)
+			}
+			typeSeen[name] = true
+			if pendingHelpName != "" && pendingHelpName != name {
+				return nil, fmt.Errorf("obs: line %d: HELP for %s not followed by its TYPE", lineNo, pendingHelpName)
+			}
+			exp.Families = append(exp.Families, ParsedFamily{Name: name, Help: pendingHelp, Type: typ})
+			cur = &exp.Families[len(exp.Families)-1]
+			exp.byName[name] = cur
+			pendingHelp, pendingHelpName = "", ""
+		case strings.HasPrefix(line, "#"):
+			return nil, fmt.Errorf("obs: line %d: stray comment %q", lineNo, line)
+		default:
+			if pendingHelpName != "" {
+				return nil, fmt.Errorf("obs: line %d: HELP for %s not followed by its TYPE", lineNo, pendingHelpName)
+			}
+			s, err := parseSampleLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("obs: line %d: %v", lineNo, err)
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("obs: line %d: sample %s before any TYPE", lineNo, s.Name)
+			}
+			if err := checkSampleInFamily(s, cur); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %v", lineNo, err)
+			}
+			key := s.Name + canonicalLabels(s.Labels)
+			if _, seen := dup[key]; seen {
+				return nil, fmt.Errorf("obs: line %d: duplicate series %s", lineNo, key)
+			}
+			dup[key] = struct{}{}
+			cur.Samples = append(cur.Samples, s)
+		}
+	}
+	if pendingHelpName != "" {
+		return nil, fmt.Errorf("obs: HELP for %s not followed by its TYPE", pendingHelpName)
+	}
+	for i := range exp.Families {
+		// Re-point byName at the final slice locations (appends may have
+		// moved the backing array while families were still being added).
+		exp.byName[exp.Families[i].Name] = &exp.Families[i]
+	}
+	return exp, nil
+}
+
+// checkSampleInFamily enforces family membership: the sample name must
+// be the family name, or family+{_count,_sum} under a summary; quantile
+// labels appear only on summary quantile lines; counter values are
+// non-negative.
+func checkSampleInFamily(s ParsedSample, f *ParsedFamily) error {
+	base := s.Name == f.Name
+	suffix := f.Type == "summary" && (s.Name == f.Name+"_count" || s.Name == f.Name+"_sum")
+	if !base && !suffix {
+		return fmt.Errorf("sample %s outside family %s", s.Name, f.Name)
+	}
+	if _, hasQ := s.Labels["quantile"]; hasQ {
+		if f.Type != "summary" || !base {
+			return fmt.Errorf("quantile label on non-summary sample %s", s.Name)
+		}
+	}
+	if f.Type == "counter" && s.Value < 0 {
+		return fmt.Errorf("counter %s has negative value %v", s.Name, s.Value)
+	}
+	if f.Type == "summary" && suffix && s.Value < 0 && strings.HasSuffix(s.Name, "_count") {
+		return fmt.Errorf("summary count %s negative", s.Name)
+	}
+	return nil
+}
+
+// parseSampleLine decodes `name{a="x",b="y"} value` (labels optional).
+func parseSampleLine(line string) (ParsedSample, error) {
+	var s ParsedSample
+	i := 0
+	for i < len(line) && isNameRune(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	s.Labels = map[string]string{}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		// Find the closing brace respecting escaped quotes.
+		inStr := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inStr && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inStr = !inStr
+			case !inStr && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return s, fmt.Errorf("missing value separator in %q", line)
+	}
+	valStr := rest[1:]
+	if valStr == "" || valStr != strings.TrimSpace(valStr) {
+		return s, fmt.Errorf("malformed value %q", valStr)
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels decodes the inside of a {...} label set.
+func parseLabels(body string, into map[string]string) error {
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label in %q", body)
+		}
+		name := body[:eq]
+		if !validLabelName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		if _, dup := into[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		body = body[eq+1:]
+		if !strings.HasPrefix(body, `"`) {
+			return fmt.Errorf("unquoted label value after %q", name)
+		}
+		body = body[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(body); i++ {
+			c := body[i]
+			switch {
+			case c == '\\':
+				if i+1 >= len(body) {
+					return fmt.Errorf("dangling escape in label %q", name)
+				}
+				i++
+				switch body[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("bad escape \\%c in label %q", body[i], name)
+				}
+			case c == '"':
+				into[name] = val.String()
+				body = body[i+1:]
+				closed = true
+			default:
+				val.WriteByte(c)
+			}
+			if closed {
+				break
+			}
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value for %q", name)
+		}
+		if body == "" {
+			return nil
+		}
+		if !strings.HasPrefix(body, ",") || len(body) == 1 {
+			return fmt.Errorf("malformed label separator in %q", body)
+		}
+		body = body[1:]
+	}
+	return nil
+}
+
+// canonicalLabels renders a parsed label map in sorted order for
+// duplicate detection.
+func canonicalLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func isNameRune(c byte, first bool) bool {
+	alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+	return alpha || (!first && c >= '0' && c <= '9')
+}

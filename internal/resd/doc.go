@@ -138,6 +138,46 @@
 // over the wire at protocol v3), so operators see per-tenant SLO
 // degradation directly rather than inferring it from rejection counts.
 //
+// # Observability
+//
+// Config.Obs attaches the service to the internal/obs registry. Every
+// closure the service registers reads published atomics or channel
+// lengths, never an event loop, so scrapes cost the hot path nothing;
+// per-request admission tracing is sampled (ObsConfig.TraceSample) into
+// a bounded ring served by Service.Traces and the wire protocol's Trace
+// op, with a threshold-configurable slow-request hook. The families the
+// service exposes:
+//
+//	resd_shard_queue_depth{shard}          gauge    requests waiting in the loop's queue
+//	resd_shard_active{shard}               gauge    admitted reservations
+//	resd_shard_committed_area{shard}       gauge    processor-tick area held
+//	resd_shard_batches_total{shard}        counter  event-loop turns
+//	resd_shard_ops_total{shard}            counter  requests served
+//	resd_shard_ops_per_batch{shard}        gauge    realised group-commit factor
+//	resd_admitted_total{shard}             counter  admissions
+//	resd_cancelled_total{shard}            counter  cancellations
+//	resd_rejected_total{shard,reason}      counter  reason ∈ capacity|deadline|quota
+//	resd_migrated_total{shard,dir}         counter  dir ∈ in|out
+//	resd_slack_ticks{shard,quantile}       summary  start-time slack p50/p90/p99
+//	resd_loop_turn_ns{shard,quantile}      summary  batch apply+publish latency
+//	resd_traces_sampled_total              counter  admissions sampled into the ring
+//	resd_slow_requests_total               counter  sampled traces over the slow threshold
+//	resd_logical_clock_ticks               gauge    Config.RebalanceNow's current value
+//	resd_rebalance_rounds_total            counter  rebalancing rounds run
+//	resd_rebalance_moves_total{result}     counter  result ∈ applied|aborted|skipped
+//	resd_rebalance_imbalance{phase}        gauge    score around the last round (before|after)
+//	resd_rebalance_backoff_skips           gauge    background balancer backoff state
+//	tenant_quota_capacity                  gauge    registry capacity
+//	tenant_quota_budget{tenant}            gauge    budgeted share
+//	tenant_quota_used{tenant}              gauge    area currently charged
+//	tenant_quota_inflight{tenant}          gauge    admissions currently held
+//	tenant_quota_admitted_total{tenant}    counter  admissions
+//	tenant_quota_rejected_total{tenant}    counter  hard-mode quota rejections
+//
+// The reswire server and client add their own families (reswire_*; see
+// internal/reswire), and resdsrv serves the whole set plus net/http/pprof
+// on its -obs listener.
+//
 // The package is exercised three ways: a determinism test replays a
 // request stream serially through one shard and checks the placements are
 // bit-for-bit the schedules sched.FCFS computes offline (with and without

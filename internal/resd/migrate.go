@@ -3,6 +3,7 @@ package resd
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/core"
@@ -99,6 +100,16 @@ func (s *Service) rebalanceRound(now core.Time, trigger float64) (RebalanceRepor
 	}
 	s.balMu.Lock()
 	defer s.balMu.Unlock()
+	// Publish the round's telemetry for obs scrapes whichever way it
+	// exits (no-op, error mid-plan, or a full execute).
+	defer func() {
+		s.balRounds.Add(1)
+		s.balApplied.Add(uint64(rep.Applied))
+		s.balAborted.Add(uint64(rep.Aborted))
+		s.balSkipped.Add(uint64(rep.Skipped))
+		s.balBefore.Store(math.Float64bits(rep.Before))
+		s.balAfter.Store(math.Float64bits(rep.After))
+	}()
 	areas := make([]int64, len(s.shards))
 	readAreas := func() {
 		for i, sh := range s.shards {
@@ -255,6 +266,7 @@ func (s *Service) balanceLoop() {
 			} else {
 				backoff = 0
 			}
+			s.balBackoff.Store(int64(backoff))
 		}
 	}
 }

@@ -1,0 +1,170 @@
+package resd
+
+import (
+	"math"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ObsConfig attaches a Service to the observability layer. Registry
+// receives the service's metric families at New; TraceSample enables
+// admission tracing. The full exposition-name table is in this package's
+// doc.go.
+type ObsConfig struct {
+	// Registry is the metrics sink. Nil disables metrics (instrumented
+	// code still runs against no-op instruments).
+	Registry *obs.Registry
+	// TraceSample records one in N ReserveFor calls into the trace ring
+	// (1 = every request, 0 = tracing disabled).
+	TraceSample int
+	// TraceBuf is the trace ring capacity (0 = DefaultTraceBuf).
+	TraceBuf int
+	// SlowThreshold marks a sampled request slow when its arrival-to-
+	// decision latency reaches the threshold (0 = no slow accounting).
+	SlowThreshold time.Duration
+	// SlowLog, when set, is called synchronously with each slow sampled
+	// request — the slow-request log hook. It must be cheap.
+	SlowLog func(TraceRecord)
+}
+
+// registerObs wires every layer's metrics into the registry. Called once
+// from New, after the shards exist; every closure reads either published
+// atomics or channel lengths, so scrapes never touch an event loop.
+func (s *Service) registerObs() {
+	reg := s.cfg.Obs.Registry
+	if reg == nil {
+		return
+	}
+	for i := range s.shards {
+		sh := s.shards[i]
+		lbl := obs.L("shard", strconv.Itoa(i))
+		reg.GaugeFunc("resd_shard_queue_depth",
+			"Requests waiting in the shard event loop's queue.",
+			func() float64 { return float64(len(sh.reqs)) }, lbl)
+		reg.GaugeFunc("resd_shard_active",
+			"Currently admitted reservations on the shard.",
+			func() float64 { return float64(sh.activeCount.Load()) }, lbl)
+		reg.GaugeFunc("resd_shard_committed_area",
+			"Processor-tick area held by the shard's active reservations.",
+			func() float64 { return float64(sh.committedArea.Load()) }, lbl)
+		reg.CounterFunc("resd_shard_batches_total",
+			"Event-loop turns (group commits) served.", sh.batches.Load, lbl)
+		reg.CounterFunc("resd_shard_ops_total",
+			"Requests served across all batches.", sh.ops.Load, lbl)
+		reg.GaugeFunc("resd_shard_ops_per_batch",
+			"Realised group-commit factor: ops / batches.",
+			func() float64 {
+				b := sh.batches.Load()
+				if b == 0 {
+					return 0
+				}
+				return float64(sh.ops.Load()) / float64(b)
+			}, lbl)
+		reg.CounterFunc("resd_admitted_total",
+			"Admitted reservations.", sh.admitted.Load, lbl)
+		reg.CounterFunc("resd_cancelled_total",
+			"Cancelled reservations.", sh.cancelled.Load, lbl)
+		reg.CounterFunc("resd_rejected_total",
+			"Rejected admission attempts by reason.",
+			sh.rejected.Load, lbl, obs.L("reason", "capacity"))
+		reg.CounterFunc("resd_rejected_total",
+			"Rejected admission attempts by reason.",
+			sh.rejectedDL.Load, lbl, obs.L("reason", "deadline"))
+		reg.CounterFunc("resd_rejected_total",
+			"Rejected admission attempts by reason.",
+			sh.rejectedQuota.Load, lbl, obs.L("reason", "quota"))
+		reg.CounterFunc("resd_migrated_total",
+			"Reservations the rebalancer moved, by direction.",
+			sh.migratedIn.Load, lbl, obs.L("dir", "in"))
+		reg.CounterFunc("resd_migrated_total",
+			"Reservations the rebalancer moved, by direction.",
+			sh.migratedOut.Load, lbl, obs.L("dir", "out"))
+	}
+	// Slack quantiles, published by each shard loop once per batch. A
+	// summary family assembled from the published atomics: the _count is
+	// the admission count the histogram was built from.
+	reg.Collect(obs.KindSummary, "resd_slack_ticks",
+		"Start-time slack (admitted start − ready, ticks) of admissions.",
+		func(e obs.Emitter) {
+			for i := range s.shards {
+				sh := s.shards[i]
+				lbl := obs.L("shard", strconv.Itoa(i))
+				e.Emit(float64(sh.slackP50.Load()), lbl, obs.L("quantile", "0.5"))
+				e.Emit(float64(sh.slackP90.Load()), lbl, obs.L("quantile", "0.9"))
+				e.Emit(float64(sh.slackP99.Load()), lbl, obs.L("quantile", "0.99"))
+				e.EmitSuffix("_count", float64(sh.admitted.Load()), lbl)
+			}
+		})
+	if s.tracer != nil {
+		reg.CounterFunc("resd_traces_sampled_total",
+			"Admissions sampled into the trace ring.", s.tracer.sampled.Load)
+		reg.CounterFunc("resd_slow_requests_total",
+			"Sampled admissions at or over the slow threshold.", s.tracer.slowSeen.Load)
+	}
+	if s.cfg.RebalanceNow != nil {
+		reg.GaugeFunc("resd_logical_clock_ticks",
+			"Current value of the service's logical clock (RebalanceNow).",
+			func() float64 { return float64(s.cfg.RebalanceNow()) })
+	}
+	reg.CounterFunc("resd_rebalance_rounds_total",
+		"Rebalancing rounds that ran (including no-op rounds).", s.balRounds.Load)
+	reg.CounterFunc("resd_rebalance_moves_total",
+		"Rebalancer move outcomes.", s.balApplied.Load, obs.L("result", "applied"))
+	reg.CounterFunc("resd_rebalance_moves_total",
+		"Rebalancer move outcomes.", s.balAborted.Load, obs.L("result", "aborted"))
+	reg.CounterFunc("resd_rebalance_moves_total",
+		"Rebalancer move outcomes.", s.balSkipped.Load, obs.L("result", "skipped"))
+	reg.GaugeFunc("resd_rebalance_imbalance",
+		"Imbalance score (1 − min/max committed area) around the last round.",
+		func() float64 { return math.Float64frombits(s.balBefore.Load()) },
+		obs.L("phase", "before"))
+	reg.GaugeFunc("resd_rebalance_imbalance",
+		"Imbalance score (1 − min/max committed area) around the last round.",
+		func() float64 { return math.Float64frombits(s.balAfter.Load()) },
+		obs.L("phase", "after"))
+	reg.GaugeFunc("resd_rebalance_backoff_skips",
+		"Ticks the background balancer is currently skipping (backoff state).",
+		func() float64 { return float64(s.balBackoff.Load()) })
+	if q := s.cfg.Quotas; q != nil {
+		reg.GaugeFunc("tenant_quota_capacity",
+			"Reservable α-prefix area the quota registry budgets against.",
+			func() float64 { return float64(q.Capacity()) })
+		reg.Collect(obs.KindGauge, "tenant_quota_budget",
+			"Per-tenant budgeted share of the reservable prefix.",
+			func(e obs.Emitter) {
+				for _, u := range q.Tenants() {
+					e.Emit(float64(u.Budget), obs.L("tenant", u.Tenant))
+				}
+			})
+		reg.Collect(obs.KindGauge, "tenant_quota_used",
+			"Per-tenant committed area currently charged.",
+			func(e obs.Emitter) {
+				for _, u := range q.Tenants() {
+					e.Emit(float64(u.Used), obs.L("tenant", u.Tenant))
+				}
+			})
+		reg.Collect(obs.KindGauge, "tenant_quota_inflight",
+			"Per-tenant admissions currently held.",
+			func(e obs.Emitter) {
+				for _, u := range q.Tenants() {
+					e.Emit(float64(u.Inflight), obs.L("tenant", u.Tenant))
+				}
+			})
+		reg.Collect(obs.KindCounter, "tenant_quota_admitted_total",
+			"Per-tenant admissions since start.",
+			func(e obs.Emitter) {
+				for _, u := range q.Tenants() {
+					e.Emit(float64(u.Admitted), obs.L("tenant", u.Tenant))
+				}
+			})
+		reg.Collect(obs.KindCounter, "tenant_quota_rejected_total",
+			"Per-tenant hard-mode quota rejections since start.",
+			func(e obs.Emitter) {
+				for _, u := range q.Tenants() {
+					e.Emit(float64(u.Rejected), obs.L("tenant", u.Tenant))
+				}
+			})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -136,8 +137,14 @@ type Config struct {
 	// RebalanceNow supplies the logical "now" the background balancer
 	// freezes against. Nil means a zero clock: only [0, RebalanceFreeze)
 	// is frozen. Embedders whose tick origin advances (e.g. mapping wall
-	// time onto ticks) plug their clock in here.
+	// time onto ticks) plug their clock in here; resdsrv defaults it to a
+	// monotonic wall-clock-per-tick source and obs surfaces the current
+	// value as the resd_logical_clock_ticks gauge.
 	RebalanceNow func() core.Time
+	// Obs attaches the service to the observability layer: metric
+	// registration at New and sampled admission tracing (see ObsConfig).
+	// Nil disables both — the hot path then pays only dead nil checks.
+	Obs *ObsConfig
 }
 
 // Rebalancer defaults, applied by Config.normalize when the fields are
@@ -219,6 +226,21 @@ type Service struct {
 	// atomic with respect to other rounds (client traffic still flows
 	// freely; only rounds exclude each other).
 	balMu sync.Mutex
+
+	// tracer samples ReserveFor calls into a bounded ring (nil when
+	// Config.Obs leaves tracing off).
+	tracer *tracer
+
+	// Rebalancer telemetry, published for obs scrapes: cumulative round
+	// and per-outcome move counters, the imbalance scores around the last
+	// round (Float64bits), and the background loop's current backoff.
+	balRounds  atomic.Uint64
+	balApplied atomic.Uint64
+	balAborted atomic.Uint64
+	balSkipped atomic.Uint64
+	balBefore  atomic.Uint64
+	balAfter   atomic.Uint64
+	balBackoff atomic.Int64
 }
 
 // New builds the shards (each pre-loaded with cfg.Pre), starts their event
@@ -229,9 +251,10 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s := &Service{
-		cfg:   cfg,
-		floor: int(cfg.Alpha * float64(cfg.M)),
-		quit:  make(chan struct{}),
+		cfg:    cfg,
+		floor:  int(cfg.Alpha * float64(cfg.M)),
+		quit:   make(chan struct{}),
+		tracer: newTracer(cfg.Obs),
 	}
 	s.place, err = placementByName(cfg.Placement, cfg.Seed)
 	if err != nil {
@@ -247,6 +270,9 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 		s.shards = append(s.shards, sh)
+	}
+	if cfg.Obs != nil {
+		s.registerObs()
 	}
 	if cfg.RebalanceEvery > 0 && cfg.Shards > 1 {
 		go s.balanceLoop()
@@ -303,7 +329,9 @@ func (s *Service) ReserveFor(ten string, ready core.Time, q int, dur core.Time, 
 	if ten == "" {
 		ten = tenant.DefaultTenant
 	}
+	rec := s.tracer.maybe(ten)
 	if q+s.floor > s.cfg.M {
+		s.tracer.finish(rec, TraceRejectedCapacity, 0)
 		return Reservation{}, fmt.Errorf("%w: q=%d with α-floor %d exceeds m=%d", ErrNeverFits, q, s.floor, s.cfg.M)
 	}
 	// A deadline before the ready time is statically doomed (every start
@@ -319,21 +347,33 @@ func (s *Service) ReserveFor(ten string, ready core.Time, q int, dur core.Time, 
 	// contrast, ends the walk at once: the budget is service-wide, so no
 	// other shard can answer differently.
 	var firstErr error
-	for _, si := range s.place.order(s.shards, ten, q, dur) {
-		resp, err := s.shards[si].do(request{kind: opReserve, tenant: ten, ready: ready, q: q, dur: dur, deadline: deadline})
+	order := s.place.order(s.shards, ten, q, dur)
+	if rec != nil {
+		rec.Route = time.Since(rec.Arrival)
+	}
+	for _, si := range order {
+		if rec != nil {
+			rec.Shard = si
+			rec.Enqueue = time.Since(rec.Arrival)
+		}
+		resp, err := s.shards[si].do(request{kind: opReserve, tenant: ten, ready: ready, q: q, dur: dur, deadline: deadline, trace: rec})
 		if err == nil {
+			s.tracer.finish(rec, TraceAdmitted, resp.resv.Start)
 			return resp.resv, nil
 		}
 		if errors.Is(err, ErrQuota) {
+			s.tracer.finish(rec, TraceRejectedQuota, 0)
 			return Reservation{}, err
 		}
 		if !errors.Is(err, ErrNeverFits) && !errors.Is(err, ErrDeadline) {
+			s.tracer.finish(rec, TraceError, 0)
 			return Reservation{}, err
 		}
 		if firstErr == nil || (errors.Is(err, ErrDeadline) && !errors.Is(firstErr, ErrDeadline)) {
 			firstErr = err
 		}
 	}
+	s.tracer.finish(rec, classifyTraceErr(firstErr), 0)
 	return Reservation{}, firstErr
 }
 

@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/rebal"
 	"repro/internal/tenant"
@@ -47,12 +50,13 @@ var errMigratePending = errors.New("resd: reservation migration in flight")
 // request is one operation submitted to a shard's event loop.
 type request struct {
 	kind     opKind
-	tenant   string    // Reserve: accounting identity (never empty; "" is normalised upstream)
-	ready    core.Time // Reserve: earliest start; Query: probe instant
-	q        int       // Reserve width
-	dur      core.Time // Reserve length
-	deadline core.Time // Reserve: latest admissible start (NoDeadline = unbounded)
-	id       ID        // Cancel target
+	tenant   string       // Reserve: accounting identity (never empty; "" is normalised upstream)
+	ready    core.Time    // Reserve: earliest start; Query: probe instant
+	q        int          // Reserve width
+	dur      core.Time    // Reserve length
+	deadline core.Time    // Reserve: latest admissible start (NoDeadline = unbounded)
+	id       ID           // Cancel target
+	trace    *TraceRecord // sampled admission trace, nil for the unsampled majority
 	reply    chan response
 }
 
@@ -149,6 +153,15 @@ type shard struct {
 	slackP99      atomic.Int64
 	batches       atomic.Uint64
 	ops           atomic.Uint64
+
+	// Observability extras: slackP50/slackP90 widen the published slack
+	// summary to the scrape-side quantile set, and turnNs records each
+	// event-loop turn's apply+publish latency. Written only when obsOn —
+	// the unobserved configuration pays one predicted branch per batch.
+	obsOn    bool
+	slackP50 atomic.Int64
+	slackP90 atomic.Int64
+	turnNs   *obs.Histogram
 }
 
 // tenAreaCell returns the shard's atomic area mirror for one tenant book,
@@ -193,6 +206,12 @@ func newShard(id int, cfg Config, floor int, quit <-chan struct{}) (*shard, erro
 		reqs:   make(chan request, cfg.Batch),
 		quit:   quit,
 		done:   make(chan struct{}),
+	}
+	if cfg.Obs != nil && cfg.Obs.Registry != nil {
+		sh.obsOn = true
+		sh.turnNs = cfg.Obs.Registry.NewHistogram("resd_loop_turn_ns",
+			"Event-loop turn latency (apply+publish of one batch), nanoseconds.",
+			obs.L("shard", strconv.Itoa(id)))
 	}
 	go sh.loop()
 	return sh, nil
@@ -265,11 +284,21 @@ func (sh *shard) loop() {
 			}
 		}
 		sh.fairOrder(pending)
+		var turnStart time.Time
+		if sh.obsOn {
+			turnStart = time.Now()
+		}
 		results = results[:0]
 		for _, r := range pending {
+			if r.trace != nil {
+				r.trace.BatchStart = time.Since(r.trace.Arrival)
+			}
 			results = append(results, sh.apply(r))
 		}
 		sh.publish(len(pending))
+		if sh.obsOn {
+			sh.turnNs.Observe(time.Since(turnStart).Nanoseconds())
+		}
 		for i, r := range pending {
 			r.reply <- results[i]
 		}
@@ -572,6 +601,10 @@ func (sh *shard) publish(n int) {
 	sh.activeCount.Store(int64(len(sh.live)))
 	sh.committedArea.Store(sh.area)
 	sh.slackP99.Store(int64(sh.slack.p99()))
+	if sh.obsOn {
+		sh.slackP50.Store(int64(sh.slack.quantile(0.5)))
+		sh.slackP90.Store(int64(sh.slack.quantile(0.9)))
+	}
 	sh.batches.Add(1)
 	sh.ops.Add(uint64(n))
 }

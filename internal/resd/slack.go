@@ -1,56 +1,39 @@
 package resd
 
 import (
-	"math/bits"
-
 	"repro/internal/core"
+	"repro/internal/stats"
 )
 
-// slackHist is a fixed-size exponential histogram of start-time slack
-// (start − ready, in ticks): bucket b collects slacks whose bit length is
-// b, so bucket 0 is exactly slack 0 and bucket b covers [2^(b−1), 2^b).
-// It gives an O(1)-update, O(1)-memory p99 whose answer is the bucket's
-// upper bound — at least the true p99 and less than twice it — which is
-// the right fidelity for an SLO surface read out of a hot event loop:
-// the operator question is "what order of push-back are this tenant's
-// admissions seeing", not its exact tick count.
+// slackHist records start-time slack (start − ready, in ticks) in a
+// stats.ExpHist: bucket b collects slacks whose bit length is b, so
+// bucket 0 is exactly slack 0 and bucket b covers [2^(b−1), 2^b). It
+// gives an O(1)-update, O(1)-memory quantile whose answer is the
+// bucket's upper bound — at least the true quantile and less than twice
+// it — which is the right fidelity for an SLO surface read out of a hot
+// event loop: the operator question is "what order of push-back are this
+// tenant's admissions seeing", not its exact tick count. The same bucket
+// geometry backs the obs package's multi-writer Histogram, so loop-owned
+// and scrape-side quantiles agree.
 type slackHist struct {
-	total   uint64
-	buckets [65]uint64
+	h stats.ExpHist
 }
 
 // add records one slack sample (non-negative by construction: an
 // admission never starts before its ready time).
-func (h *slackHist) add(slack core.Time) {
-	h.buckets[bits.Len64(uint64(slack))]++
-	h.total++
-}
+func (h *slackHist) add(slack core.Time) { h.h.Add(int64(slack)) }
 
 // p99 returns the upper bound of the bucket holding the 99th-percentile
 // sample, or 0 when nothing was recorded.
-func (h *slackHist) p99() core.Time {
-	if h.total == 0 {
-		return 0
-	}
-	rank := (h.total*99 + 99) / 100 // ceil(total·0.99): 1-based sample rank
-	var cum uint64
-	for b, n := range h.buckets {
-		cum += n
-		if cum >= rank {
-			return bucketUpper(b)
-		}
-	}
-	return bucketUpper(len(h.buckets) - 1)
+func (h *slackHist) p99() core.Time { return h.quantile(0.99) }
+
+// quantile generalises p99 to any q in (0,1]; stats.ExpHist saturates
+// its top buckets at MaxInt64, which is exactly core.Infinity.
+func (h *slackHist) quantile(q float64) core.Time {
+	return core.Time(h.h.Quantile(q))
 }
 
 // bucketUpper is the largest slack a bucket admits.
 func bucketUpper(b int) core.Time {
-	switch {
-	case b == 0:
-		return 0
-	case b >= 63:
-		return core.Infinity
-	default:
-		return core.Time(1)<<b - 1
-	}
+	return core.Time(stats.ExpBucketUpper(b))
 }

@@ -1,0 +1,192 @@
+package resd
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TraceOutcome classifies how a traced admission attempt ended.
+type TraceOutcome uint8
+
+const (
+	// TraceAdmitted: a shard committed the reservation.
+	TraceAdmitted TraceOutcome = iota
+	// TraceRejectedCapacity: every tried shard rejected under the α rule.
+	TraceRejectedCapacity
+	// TraceRejectedDeadline: feasible, but no shard could start in time.
+	TraceRejectedDeadline
+	// TraceRejectedQuota: the tenant's budget was exhausted.
+	TraceRejectedQuota
+	// TraceError: the request failed some other way (bad request, closed).
+	TraceError
+)
+
+// String renders the outcome for logs and tables.
+func (o TraceOutcome) String() string {
+	switch o {
+	case TraceAdmitted:
+		return "admitted"
+	case TraceRejectedCapacity:
+		return "rejected-capacity"
+	case TraceRejectedDeadline:
+		return "rejected-deadline"
+	case TraceRejectedQuota:
+		return "rejected-quota"
+	case TraceError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// TraceRecord is one sampled admission's timing breakdown: where inside
+// the service a request spent its latency. All stage fields are offsets
+// from Arrival, each stamped when the request crosses that stage:
+//
+//	Arrival     ReserveFor entered (wall clock; offsets are monotonic)
+//	Route       placement order computed, first shard attempt starting
+//	Enqueue     request handed to the (last-tried) shard's queue
+//	BatchStart  that shard's event loop began the batch holding it
+//	Decision    final answer in hand (after every placement attempt)
+//
+// Decision − BatchStart is the batch turn; BatchStart − Enqueue is queue
+// wait; Enqueue − Route is routing/handoff; a large Decision with small
+// earlier stages means the request walked many shards. Shard is the
+// shard that produced the final answer (−1 if none was tried), and
+// Start is the admitted start time when Outcome is TraceAdmitted.
+type TraceRecord struct {
+	Seq                                  uint64
+	Tenant                               string
+	Shard                                int
+	Outcome                              TraceOutcome
+	Start                                core.Time
+	Arrival                              time.Time
+	Route, Enqueue, BatchStart, Decision time.Duration
+}
+
+// tracer samples admissions into a bounded ring. Sampling is one atomic
+// add on the hot path; only sampled requests (1 in sample) allocate a
+// record and take the ring mutex, so the cost scales with the sample
+// rate, not the request rate.
+type tracer struct {
+	sample   uint64
+	slow     time.Duration
+	slowLog  func(TraceRecord)
+	n        atomic.Uint64
+	seq      atomic.Uint64
+	sampled  atomic.Uint64
+	slowSeen atomic.Uint64
+
+	mu   sync.Mutex
+	ring []TraceRecord
+	next int
+	full bool
+}
+
+// DefaultTraceBuf is the ring capacity when ObsConfig.TraceBuf is zero.
+const DefaultTraceBuf = 256
+
+func newTracer(cfg *ObsConfig) *tracer {
+	if cfg == nil || cfg.TraceSample <= 0 {
+		return nil
+	}
+	buf := cfg.TraceBuf
+	if buf <= 0 {
+		buf = DefaultTraceBuf
+	}
+	return &tracer{
+		sample:  uint64(cfg.TraceSample),
+		slow:    cfg.SlowThreshold,
+		slowLog: cfg.SlowLog,
+		ring:    make([]TraceRecord, buf),
+	}
+}
+
+// maybe decides whether this request is sampled; nil means no. Safe on a
+// nil tracer (tracing disabled).
+func (t *tracer) maybe(tenant string) *TraceRecord {
+	if t == nil {
+		return nil
+	}
+	if c := t.n.Add(1); t.sample > 1 && (c-1)%t.sample != 0 {
+		return nil
+	}
+	t.sampled.Add(1)
+	return &TraceRecord{
+		Seq:     t.seq.Add(1),
+		Tenant:  tenant,
+		Shard:   -1,
+		Arrival: time.Now(),
+	}
+}
+
+// finish stamps the decision, classifies the outcome, publishes the
+// record to the ring and feeds the slow-request log.
+func (t *tracer) finish(rec *TraceRecord, outcome TraceOutcome, start core.Time) {
+	if t == nil || rec == nil {
+		return
+	}
+	rec.Decision = time.Since(rec.Arrival)
+	rec.Outcome = outcome
+	rec.Start = start
+	t.mu.Lock()
+	t.ring[t.next] = *rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next, t.full = 0, true
+	}
+	t.mu.Unlock()
+	if t.slow > 0 && rec.Decision >= t.slow {
+		t.slowSeen.Add(1)
+		if t.slowLog != nil {
+			t.slowLog(*rec)
+		}
+	}
+}
+
+// snapshot copies up to max records, oldest first. max <= 0 means all.
+func (t *tracer) snapshot(max int) []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	if t.full {
+		n = len(t.ring)
+	}
+	out := make([]TraceRecord, 0, n)
+	if t.full {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// Traces returns the most recent sampled admission traces, oldest first,
+// up to max (max <= 0 returns the whole ring). Empty when tracing is
+// disabled. This is what the wire protocol's Trace op serves.
+func (s *Service) Traces(max int) []TraceRecord {
+	return s.tracer.snapshot(max)
+}
+
+// classifyTraceErr maps a ReserveFor error to a trace outcome.
+func classifyTraceErr(err error) TraceOutcome {
+	switch {
+	case err == nil:
+		return TraceAdmitted
+	case errors.Is(err, ErrQuota):
+		return TraceRejectedQuota
+	case errors.Is(err, ErrDeadline):
+		return TraceRejectedDeadline
+	case errors.Is(err, ErrNeverFits):
+		return TraceRejectedCapacity
+	}
+	return TraceError
+}

@@ -30,6 +30,10 @@ type Options struct {
 	// Window caps in-flight requests per connection when pipelining
 	// (default 256; forced to 1 when Pipeline is false).
 	Window int
+	// Metrics attaches wire instrumentation (side "client"): per-op
+	// latency, in-flight window, socket bytes, frame errors, response
+	// codes. Nil leaves instrumentation off.
+	Metrics *Metrics
 }
 
 func (o Options) normalize() (Options, error) {
@@ -75,7 +79,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 			c.Close()
 			return nil, fmt.Errorf("reswire: dial %s: %w", addr, err)
 		}
-		c.conns = append(c.conns, newClientConn(nc, opts.Window))
+		c.conns = append(c.conns, newClientConn(nc, opts.Window, opts.Metrics))
 	}
 	return c, nil
 }
@@ -181,6 +185,17 @@ func (c *Client) Ping() error {
 	return err
 }
 
+// Traces reads the server's newest sampled admission traces, oldest
+// first, up to max (max <= 0 asks for the whole ring). Empty when the
+// server runs with tracing disabled. Requires protocol v4.
+func (c *Client) Traces(max int) ([]resd.TraceRecord, error) {
+	resp, err := c.call(Request{Op: OpTrace, Limit: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
+}
+
 // Snapshot fetches one shard's capacity profile and rebuilds it as a
 // local index (wrapped in profile.Synchronized like the in-process
 // Snapshot), so remote callers can run FindSlot/FreeArea/What-if queries
@@ -227,6 +242,8 @@ func (c *Client) Snapshot(shard int) (*profile.Synchronized, error) {
 // and block on their slot; the reader routes responses back by id.
 type clientConn struct {
 	nc      net.Conn
+	wc      net.Conn // nc behind the byte counters when instrumented
+	m       *Metrics
 	sem     chan struct{} // in-flight window
 	writeCh chan []byte
 
@@ -239,9 +256,11 @@ type clientConn struct {
 	errv      atomic.Value // error: why the connection died
 }
 
-func newClientConn(nc net.Conn, window int) *clientConn {
+func newClientConn(nc net.Conn, window int, m *Metrics) *clientConn {
 	cc := &clientConn{
 		nc:      nc,
+		wc:      m.wrap(nc),
+		m:       m,
 		sem:     make(chan struct{}, window),
 		writeCh: make(chan []byte, window),
 		pending: make(map[uint64]chan Response),
@@ -287,6 +306,8 @@ func (cc *clientConn) call(req Request) (Response, error) {
 		return Response{}, cc.deadErr()
 	}
 	defer func() { <-cc.sem }()
+	start := cc.m.begin()
+	defer cc.m.end()
 
 	ch := make(chan Response, 1)
 	cc.mu.Lock()
@@ -314,6 +335,7 @@ func (cc *clientConn) call(req Request) (Response, error) {
 	if !ok {
 		return Response{}, cc.deadErr()
 	}
+	cc.m.observe(req.Op, start, resp.Code)
 	return resp, nil
 }
 
@@ -331,7 +353,7 @@ func (cc *clientConn) forget(id uint64) {
 // syscall carries many requests — the client-side write coalescing that
 // makes pipelining pay.
 func (cc *clientConn) writeLoop() {
-	bw := bufio.NewWriterSize(cc.nc, 64<<10)
+	bw := bufio.NewWriterSize(cc.wc, 64<<10)
 	for {
 		var buf []byte
 		select {
@@ -364,10 +386,11 @@ func (cc *clientConn) writeLoop() {
 // readLoop decodes responses and routes them to their pending slot. An
 // unknown id is a protocol violation and kills the connection.
 func (cc *clientConn) readLoop() {
-	br := bufio.NewReaderSize(cc.nc, 64<<10)
+	br := bufio.NewReaderSize(cc.wc, 64<<10)
 	for {
 		resp, err := ReadResponse(br)
 		if err != nil {
+			cc.m.frameError(err)
 			cc.close(err)
 			return
 		}

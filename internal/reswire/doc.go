@@ -41,6 +41,24 @@
 // at its arrival revision, so v1 and v2 readers get the entry layouts
 // they know and simply cannot see the newer fields.
 //
+// Revision 4 added the Trace op: the client asks for up to Limit of the
+// server's newest sampled admission traces (resd.TraceRecord — the
+// arrival→route→enqueue→batch-start→decision timing breakdown resd keeps
+// in its bounded ring when tracing is enabled), and the server answers
+// with a vector of fixed-layout records tailed by length-prefixed tenant
+// names. Stats entries are untouched — their layout is frozen at the v3
+// shape — so the bump is op-only: down-level frames decode exactly as
+// before, and a Trace op smuggled into a pre-v4 frame fails the frame.
+//
+// # Instrumentation
+//
+// Both sides can carry obs instrumentation: NewMetrics builds the
+// reswire_* families (per-op latency summaries, in-flight gauge, socket
+// byte counters, frame-error and response-code counters) against an
+// obs.Registry, attached via Server.SetMetrics and Options.Metrics. The
+// two sides share family names and are kept apart by the side label. A
+// nil Metrics — the default — leaves the hot path uninstrumented.
+//
 // # Server
 //
 // The server runs one reader and one writer per connection. The reader

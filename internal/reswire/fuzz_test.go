@@ -7,6 +7,7 @@ import (
 	"io"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/resd"
 )
@@ -35,6 +36,8 @@ func FuzzWireCodec(f *testing.F) {
 		{ID: 9, Op: OpQuotaGet, Tenant: "acme"},
 		{ID: 10, Op: OpQuotaSet, Tenant: "acme", Share: 0.25},
 		{ID: 11, Op: OpReserve, Version: VersionV2, Ready: 10, Procs: 4, Dur: 20, Deadline: int64Max, Tenant: "acme"},
+		{ID: 12, Op: OpTrace, Limit: 16},
+		{ID: 13, Op: OpTrace, Limit: -1},
 	} {
 		frame, err := AppendRequest(nil, req)
 		if err != nil {
@@ -55,6 +58,16 @@ func FuzzWireCodec(f *testing.F) {
 			Tenant: "acme", Group: "prod", Mode: 1, Share: 0.5,
 			Capacity: 1 << 20, Budget: 1 << 19, Used: 77, Inflight: 3, Admitted: 9, Cancelled: 6, Rejected: 2}},
 		{ID: 9, Op: OpQuotaSet, Code: CodeOK},
+		{ID: 12, Op: OpTrace, Code: CodeOK, Traces: []resd.TraceRecord{{
+			Seq: 3, Tenant: "acme", Shard: 1, Outcome: resd.TraceAdmitted, Start: 50,
+			Arrival: time.Unix(0, 1_700_000_000_000_000_000),
+			Route:   100, Enqueue: 250, BatchStart: 900, Decision: 1500,
+		}, {
+			Seq: 4, Shard: -1, Outcome: resd.TraceRejectedDeadline,
+			Arrival:  time.Unix(0, 1_700_000_000_000_001_000),
+			Decision: 800,
+		}}},
+		{ID: 13, Op: OpTrace, Code: CodeOK},
 	} {
 		frame, err := AppendResponse(nil, resp)
 		if err != nil {
@@ -68,8 +81,12 @@ func FuzzWireCodec(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0, 16, 'X', 'X', 1, 1})                            // bad magic
 	f.Add([]byte{1, 0, 0, 0, 16, 'R', 'W', 9, 1})                            // bad version
 	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 0, 1})                            // version 0 on the wire
-	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 4, 1})                            // version one past current
+	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 5, 1})                            // version one past current
 	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 3, 1})                            // v3 frame with a truncated body
+	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 4, 9})                            // v4 Trace with a truncated body
+	f.Add([]byte{0, 0, 0, 0, 13, 'R', 'W', 3, 9, 0, 0, 0, 0, 0, 0, 0, 1, 0}) // Trace inside a v3 frame
+	f.Add([]byte{1, 0, 0, 0, 17, 'R', 'W', 4, 9, 0, 0, 0, 0, 0, 0, 0, 1, 0,  // Trace response claiming 2^24 records
+		1, 0, 0, 0})
 	f.Add([]byte{0, 0xFF, 0xFF, 0xFF, 0xFF})                                 // length prefix far past MaxFrame
 	f.Add(append([]byte{1, 0, 0, 0, 12}, make([]byte, 12)...))               // zeroed header
 	f.Add([]byte{0, 0, 0, 0, 13, 'R', 'W', 1, 7, 0, 0, 0, 0, 0, 0, 0, 1, 0}) // QuotaGet inside a v1 frame
@@ -133,6 +150,9 @@ func normalise(r Response) Response {
 	}
 	if len(r.Stats) == 0 {
 		r.Stats = nil
+	}
+	if len(r.Traces) == 0 {
+		r.Traces = nil
 	}
 	return r
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -26,7 +27,8 @@ const maxConnInFlight = 1024
 // responses back with per-connection write coalescing — one flush per
 // batch of responses that are ready together, not one per response.
 type Server struct {
-	svc *resd.Service
+	svc     *resd.Service
+	metrics *Metrics
 
 	mu     sync.Mutex
 	closed bool
@@ -44,6 +46,11 @@ func NewServer(svc *resd.Service) *Server {
 		conns: make(map[net.Conn]struct{}),
 	}
 }
+
+// SetMetrics attaches wire instrumentation (side "server"). It must be
+// called before Serve; connections accepted earlier are not instrumented.
+// A nil Metrics leaves instrumentation off.
+func (s *Server) SetMetrics(m *Metrics) { s.metrics = m }
 
 // Serve accepts connections on ln until Close (then ErrServerClosed) or a
 // listener failure. It may be called concurrently on several listeners.
@@ -115,12 +122,13 @@ func (s *Server) Close() error {
 // closes the connection — framing is unrecoverable once desynchronised.
 func (s *Server) serveConn(nc net.Conn) {
 	defer nc.Close()
-	br := bufio.NewReaderSize(nc, 64<<10)
+	wc := s.metrics.wrap(nc) // byte counters; nc stays the handle Close uses
+	br := bufio.NewReaderSize(wc, 64<<10)
 	out := make(chan Response, 256)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		s.writeLoop(nc, out)
+		s.writeLoop(wc, out)
 	}()
 
 	sem := make(chan struct{}, maxConnInFlight)
@@ -128,13 +136,18 @@ func (s *Server) serveConn(nc net.Conn) {
 	for {
 		req, err := ReadRequest(br)
 		if err != nil {
+			s.metrics.frameError(err)
 			break
 		}
 		sem <- struct{}{}
 		hwg.Add(1)
 		go func(req Request) {
 			defer hwg.Done()
-			out <- s.handle(req)
+			start := s.metrics.begin()
+			resp := s.handle(req)
+			s.metrics.observe(req.Op, start, resp.Code)
+			s.metrics.end()
+			out <- resp
 			<-sem
 		}(req)
 	}
@@ -146,7 +159,7 @@ func (s *Server) serveConn(nc net.Conn) {
 // writeLoop encodes and writes responses, coalescing each wakeup's batch
 // into one flush via drainRounds — the server-side half of the pipelining
 // bargain: under load, many responses ride one syscall.
-func (s *Server) writeLoop(nc net.Conn, out <-chan Response) {
+func (s *Server) writeLoop(nc io.Writer, out <-chan Response) {
 	bw := bufio.NewWriterSize(nc, 64<<10)
 	var buf []byte
 	var stuck error // first write/flush failure; keep draining so handlers never block
@@ -252,6 +265,8 @@ func (s *Server) handle(req Request) Response {
 		if err := reg.SetShare(req.Tenant, req.Share); err != nil {
 			return fail(err)
 		}
+	case OpTrace:
+		resp.Traces = s.svc.Traces(req.Limit)
 	default:
 		return fail(fmt.Errorf("%w: op %d", resd.ErrBadRequest, uint8(req.Op)))
 	}

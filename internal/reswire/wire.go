@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/resd"
@@ -17,7 +18,7 @@ import (
 //
 //	uint32  payload length (big endian, excludes these 4 bytes)
 //	uint16  magic   0x5257 ("RW")
-//	uint8   version (1, 2 or 3)
+//	uint8   version (1, 2, 3 or 4)
 //	uint8   op
 //	uint64  request id (echoed verbatim in the response)
 //	...     op-specific body
@@ -29,17 +30,23 @@ import (
 // Version 2 added multi-tenancy: Reserve request bodies end with a
 // length-prefixed tenant name, and the QuotaGet/QuotaSet ops exist.
 // Version 3 added the rebalancing observability fields to Stats entries
-// (MigratedIn, MigratedOut, SlackP99). A v3 server still accepts v1 and
-// v2 frames — a v1 Reserve is accounted to the default tenant, a v2
-// Stats answer carries the v2 layout — and answers each request at the
-// version it arrived with, so down-level clients keep working unchanged.
-// Frames from any other revision are refused rather than guessed at.
+// (MigratedIn, MigratedOut, SlackP99). Version 4 added the Trace op,
+// which reads the server's sampled admission-trace ring; Stats entries
+// are unchanged (their layout is frozen at the v3 shape). A v4 server
+// still accepts v1..v3 frames — a v1 Reserve is accounted to the default
+// tenant, a v2 Stats answer carries the v2 layout — and answers each
+// request at the version it arrived with, so down-level clients keep
+// working unchanged. Frames from any other revision are refused rather
+// than guessed at.
 const (
 	// Magic is the first two payload bytes of every frame ("RW").
 	Magic uint16 = 0x5257
 	// Version is the current protocol revision, the one the client
 	// speaks.
-	Version uint8 = 3
+	Version uint8 = 4
+	// VersionV3 is the rebalancing-observability revision (v3 Stats
+	// fields) without the Trace op.
+	VersionV3 uint8 = 3
 	// VersionV2 is the tenancy revision (tenant-tailed Reserve, quota
 	// ops) without the v3 Stats fields.
 	VersionV2 uint8 = 2
@@ -56,6 +63,15 @@ const (
 	// maxShards mirrors resd's shard-count ceiling (16 shard bits); used
 	// to bound Query/Stats response vectors during decoding.
 	maxShards = 1 << 16
+	// maxTraces bounds a Trace response vector during decoding — far above
+	// any sane trace-ring capacity, low enough that a hostile count fails
+	// before allocation.
+	maxTraces = 1 << 16
+	// traceEntryLen is the fixed part of one wire trace record: seq (8),
+	// arrival unix-nanos (8), four stage offsets (32), start (8), shard
+	// (4), outcome (1) and the tenant-name length byte (1); the name
+	// itself is variable.
+	traceEntryLen = 8 + 8 + 32 + 8 + 4 + 1 + 1
 )
 
 // Op enumerates the protocol operations.
@@ -79,16 +95,21 @@ const (
 	OpQuotaGet
 	// OpQuotaSet re-budgets one tenant's share at runtime (v2).
 	OpQuotaSet
+	// OpTrace reads the newest sampled admission traces (v4).
+	OpTrace
 )
 
 // validFor reports whether the op exists at the given protocol revision:
-// the quota ops arrived with v2, everything else predates versioning.
+// the quota ops arrived with v2, Trace with v4, everything else predates
+// versioning.
 func (op Op) validFor(v uint8) bool {
 	switch {
 	case op >= OpReserve && op <= OpStats:
 		return true
 	case op == OpQuotaGet || op == OpQuotaSet:
 		return v >= 2
+	case op == OpTrace:
+		return v >= 4
 	default:
 		return false
 	}
@@ -113,6 +134,8 @@ func (op Op) String() string {
 		return "QuotaGet"
 	case OpQuotaSet:
 		return "QuotaSet"
+	case OpTrace:
+		return "Trace"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(op))
 	}
@@ -237,7 +260,9 @@ var (
 // Request is one decoded client→server message. Fields beyond ID and Op
 // are meaningful per op: Reserve uses Ready/Procs/Dur/Deadline/Tenant,
 // Cancel uses Resv, Query uses Ready as the probe instant, Snapshot uses
-// Shard, QuotaGet uses Tenant, QuotaSet uses Tenant and Share.
+// Shard, QuotaGet uses Tenant, QuotaSet uses Tenant and Share, Trace
+// uses Limit (how many of the newest records to return; <= 0 means the
+// server's whole ring).
 //
 // Version records the protocol revision the frame used, with 0 meaning
 // the current Version — so the zero Request encodes at the current
@@ -253,6 +278,7 @@ type Request struct {
 	Deadline core.Time
 	Resv     uint64
 	Shard    int
+	Limit    int
 	Tenant   string
 	Share    float64
 }
@@ -280,9 +306,9 @@ type QuotaInfo struct {
 // Response is one decoded server→client message. Code discriminates
 // success; on success the op-specific field is set (Resv for Reserve,
 // Free for Query, M+Segs for Snapshot, Stats for Stats, Quota for
-// QuotaGet). Version follows the same 0-means-current convention as
-// Request.Version; the server answers every request at the revision it
-// arrived with.
+// QuotaGet, Traces for Trace). Version follows the same 0-means-current
+// convention as Request.Version; the server answers every request at the
+// revision it arrived with.
 type Response struct {
 	ID      uint64
 	Op      Op
@@ -295,6 +321,7 @@ type Response struct {
 	Segs    []Segment
 	Stats   []resd.ShardStats
 	Quota   QuotaInfo
+	Traces  []resd.TraceRecord
 }
 
 // resolveVersion maps the 0-means-current convention onto the concrete
@@ -366,7 +393,8 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 	if !req.Op.validFor(v) {
 		return nil, fmt.Errorf("%w: invalid op %d at revision %d", ErrFrame, uint8(req.Op), v)
 	}
-	if req.Procs < -1<<31 || req.Procs > 1<<31-1 || req.Shard < -1<<31 || req.Shard > 1<<31-1 {
+	if req.Procs < -1<<31 || req.Procs > 1<<31-1 || req.Shard < -1<<31 || req.Shard > 1<<31-1 ||
+		req.Limit < -1<<31 || req.Limit > 1<<31-1 {
 		return nil, fmt.Errorf("%w: field exceeds int32 range", ErrFrame)
 	}
 	if v < 2 && req.Tenant != "" {
@@ -404,6 +432,8 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 			return nil, err
 		}
 		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(req.Share))
+	case OpTrace:
+		dst = appendI32(dst, int32(req.Limit))
 	case OpPing, OpStats:
 		// header only
 	}
@@ -516,6 +546,31 @@ func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint64(dst, q.Admitted)
 		dst = binary.BigEndian.AppendUint64(dst, q.Cancelled)
 		dst = binary.BigEndian.AppendUint64(dst, q.Rejected)
+	case OpTrace:
+		if len(resp.Traces) > maxTraces {
+			return nil, fmt.Errorf("%w: %d records in Trace response", ErrFrame, len(resp.Traces))
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Traces)))
+		for _, tr := range resp.Traces {
+			if tr.Shard < -1<<31 || tr.Shard > 1<<31-1 {
+				return nil, fmt.Errorf("%w: trace shard exceeds int32 range", ErrFrame)
+			}
+			if tr.Outcome > resd.TraceError {
+				return nil, fmt.Errorf("%w: unknown trace outcome %d", ErrFrame, uint8(tr.Outcome))
+			}
+			dst = binary.BigEndian.AppendUint64(dst, tr.Seq)
+			dst = appendI64(dst, tr.Arrival.UnixNano())
+			dst = appendI64(dst, int64(tr.Route))
+			dst = appendI64(dst, int64(tr.Enqueue))
+			dst = appendI64(dst, int64(tr.BatchStart))
+			dst = appendI64(dst, int64(tr.Decision))
+			dst = appendTime(dst, tr.Start)
+			dst = appendI32(dst, int32(tr.Shard))
+			dst = append(dst, byte(tr.Outcome))
+			if dst, err = appendName(dst, tr.Tenant); err != nil {
+				return nil, err
+			}
+		}
 	case OpCancel, OpPing, OpQuotaSet:
 		// header + code only
 	}
@@ -668,6 +723,8 @@ func DecodeRequest(payload []byte) (Request, error) {
 	case OpQuotaSet:
 		req.Tenant = r.name()
 		req.Share = r.share()
+	case OpTrace:
+		req.Limit = int(r.i32())
 	case OpPing, OpStats:
 	}
 	if err := r.done(); err != nil {
@@ -782,6 +839,29 @@ func DecodeResponse(payload []byte) (Response, error) {
 		resp.Quota.Admitted = r.u64()
 		resp.Quota.Cancelled = r.u64()
 		resp.Quota.Rejected = r.u64()
+	case OpTrace:
+		n := int(r.u32())
+		if n > maxTraces || (r.err == nil && traceEntryLen*n > len(r.b)-r.off) {
+			r.fail()
+			break
+		}
+		resp.Traces = make([]resd.TraceRecord, n)
+		for i := range resp.Traces {
+			tr := &resp.Traces[i]
+			tr.Seq = r.u64()
+			tr.Arrival = time.Unix(0, r.i64())
+			tr.Route = time.Duration(r.i64())
+			tr.Enqueue = time.Duration(r.i64())
+			tr.BatchStart = time.Duration(r.i64())
+			tr.Decision = time.Duration(r.i64())
+			tr.Start = r.time()
+			tr.Shard = int(r.i32())
+			tr.Outcome = resd.TraceOutcome(r.u8())
+			if r.err == nil && tr.Outcome > resd.TraceError {
+				r.err = fmt.Errorf("%w: unknown trace outcome %d", ErrFrame, uint8(tr.Outcome))
+			}
+			tr.Tenant = r.name()
+		}
 	case OpCancel, OpPing, OpQuotaSet:
 	}
 	if err := r.done(); err != nil {
