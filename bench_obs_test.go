@@ -69,7 +69,7 @@ func obsLoadedService(tb testing.TB, mode string) *resd.Service {
 			q = resdBenchM - r.Intn(8) - 1
 		}
 		dur := core.Time(r.Intn(80) + 20)
-		if _, err := svc.Reserve(ready, q, dur); err != nil {
+		if _, err := svc.Admit(resd.Request{Ready: ready, Q: q, Dur: dur, Deadline: resd.NoDeadline}); err != nil {
 			tb.Fatal(err)
 		}
 	}

@@ -96,7 +96,7 @@ func rebalLoadedService(tb testing.TB, backend string, rebalance bool) *resd.Ser
 		ready := core.Time(r.Int63n(rebalBenchHorizon))
 		q := r.Intn(17) + 24
 		dur := core.Time(r.Intn(21) + 60)
-		if _, err := svc.Reserve(ready, q, dur); err != nil {
+		if _, err := svc.Admit(resd.Request{Ready: ready, Q: q, Dur: dur, Deadline: resd.NoDeadline}); err != nil {
 			tb.Fatal(err)
 		}
 	}
@@ -122,7 +122,7 @@ func rebalBenchOp(svc *resd.Service, r *rng.PCG) error {
 		q = rebalBenchM - 16 + r.Intn(16)
 	}
 	dur := core.Time(r.Intn(100) + 20)
-	resv, err := svc.Reserve(ready, q, dur)
+	resv, err := svc.Admit(resd.Request{Ready: ready, Q: q, Dur: dur, Deadline: resd.NoDeadline})
 	if err != nil {
 		return err
 	}

@@ -73,7 +73,7 @@ func resdLoadedService(tb testing.TB, backend string, shards int) *resd.Service 
 			q = resdBenchM - r.Intn(8) - 1 // near-full hold
 		}
 		dur := core.Time(r.Intn(80) + 20)
-		if _, err := svc.Reserve(ready, q, dur); err != nil {
+		if _, err := svc.Admit(resd.Request{Ready: ready, Q: q, Dur: dur, Deadline: resd.NoDeadline}); err != nil {
 			tb.Fatal(err)
 		}
 	}
@@ -95,7 +95,7 @@ func resdBenchOp(svc *resd.Service, r *rng.PCG) error {
 		q = resdBenchM - 16 + r.Intn(16)
 	}
 	dur := core.Time(r.Intn(100) + 20)
-	resv, err := svc.Reserve(ready, q, dur)
+	resv, err := svc.Admit(resd.Request{Ready: ready, Q: q, Dur: dur, Deadline: resd.NoDeadline})
 	if err != nil {
 		return err
 	}

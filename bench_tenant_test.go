@@ -85,7 +85,7 @@ func tenantLoadedService(tb testing.TB, tenants int, mode string) *resd.Service 
 		ready := core.Time(r.Int63n(tenantBenchHorizon))
 		q := r.Intn((tenantBenchM-floor)/4) + 1
 		dur := core.Time(r.Intn(80) + 20)
-		if _, err := svc.ReserveFor(names[i%tenants], ready, q, dur, resd.NoDeadline); err != nil {
+		if _, err := svc.Admit(resd.Request{Tenant: names[i%tenants], Ready: ready, Q: q, Dur: dur, Deadline: resd.NoDeadline}); err != nil {
 			tb.Fatal(err)
 		}
 	}
@@ -101,7 +101,7 @@ func tenantBenchOp(svc *resd.Service, names []string, r *rng.PCG) error {
 	ready := core.Time(r.Int63n(tenantBenchHorizon))
 	q := r.Intn((tenantBenchM-floor)/4) + 1
 	dur := core.Time(r.Intn(100) + 20)
-	resv, err := svc.ReserveFor(names[r.Intn(len(names))], ready, q, dur, resd.NoDeadline)
+	resv, err := svc.Admit(resd.Request{Tenant: names[r.Intn(len(names))], Ready: ready, Q: q, Dur: dur, Deadline: resd.NoDeadline})
 	if err != nil {
 		return err
 	}

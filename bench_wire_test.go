@@ -67,7 +67,7 @@ func wireBenchEndpoint(tb testing.TB) string {
 			q = wireBenchM - r.Intn(8) - 1 // near-full hold
 		}
 		dur := core.Time(r.Intn(80) + 20)
-		if _, err := svc.Reserve(ready, q, dur); err != nil {
+		if _, err := svc.Admit(resd.Request{Ready: ready, Q: q, Dur: dur, Deadline: resd.NoDeadline}); err != nil {
 			tb.Fatal(err)
 		}
 	}
@@ -86,7 +86,7 @@ func wireBenchOp(c *reswire.Client, r *rng.PCG) error {
 	ready := core.Time(r.Int63n(wireBenchHorizon))
 	q := r.Intn(wireBenchM/4) + 1
 	dur := core.Time(r.Intn(100) + 20)
-	resv, err := c.Reserve(ready, q, dur)
+	resv, err := c.Admit(resd.Request{Ready: ready, Q: q, Dur: dur, Deadline: resd.NoDeadline})
 	if err != nil {
 		return err
 	}

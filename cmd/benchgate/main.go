@@ -3,22 +3,30 @@
 // baselines — the tree-backend figures in BENCH_restree.json and
 // BENCH_resd.json, the wire-throughput matrix in BENCH_reswire.json, the
 // multi-tenant quota matrix in BENCH_tenant.json, the rebalancing off/on
-// matrix in BENCH_rebal.json, and the instrumentation off/on pair in
-// BENCH_obs.json — failing (exit 1) when any measured figure exceeds its
+// matrix in BENCH_rebal.json, the instrumentation off/on pair in
+// BENCH_obs.json, and the durability off/buffered/fsync triple in
+// BENCH_wal.json — failing (exit 1) when any measured figure exceeds its
 // recorded baseline by more than the threshold factor.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'CapacityIndex|ResdThroughput|WireThroughput|TenantThroughput|Rebalance|ObsOverhead' \
+//	go test -run '^$' -bench 'CapacityIndex|ResdThroughput|WireThroughput|TenantThroughput|Rebalance|ObsOverhead|WALOverhead' \
 //	    -benchtime=0.2s . | tee bench.out
 //	benchgate -bench bench.out -restree BENCH_restree.json -resd BENCH_resd.json \
 //	    -reswire BENCH_reswire.json -tenant BENCH_tenant.json -rebal BENCH_rebal.json \
-//	    -obs BENCH_obs.json -threshold 2
+//	    -obs BENCH_obs.json -wal BENCH_wal.json -threshold 2
 //
 // The -obs baseline carries a second, much tighter gate on top of the
 // absolute figures: the measured on/off ratio — two numbers from the same
 // run, immune to machine speed — must stay within the max_overhead budget
 // recorded in BENCH_obs.json (the "observability costs <5%" claim).
+//
+// The -wal baseline works the same way: the wal=off and wal=buffered rows
+// are gated absolutely, and the measured buffered/off ratio is held to the
+// max_overhead budget in BENCH_wal.json (the "group commit, not one
+// syscall per admission" claim). The wal=fsync row must be present in the
+// bench output but is never gated on speed — fsync latency is a property
+// of the CI machine's storage, not of this code.
 //
 // The threshold is deliberately generous (default 2×): the gate exists to
 // catch algorithmic regressions — an accidental O(n) scan reintroduced on
@@ -243,6 +251,69 @@ func gateObsRatio(measured map[string]float64, maxOverhead float64) (report []st
 		on, off, ratio, maxOverhead)}, true
 }
 
+// walBaselines loads BENCH_wal.json: the wal=off and wal=buffered rows
+// become absolute expectations on BenchmarkWALOverhead sub-benchmarks,
+// and max_overhead is the group-commit budget the ratio gate enforces on
+// the measured buffered/off pair. The wal=fsync row is deliberately NOT a
+// baseline — its figure tracks the machine's storage, not the code — but
+// gateWalRatio still insists it was measured, so the durable path cannot
+// silently fall out of the bench filter.
+func walBaselines(path string) ([]baseline, float64, error) {
+	var doc struct {
+		Rows []struct {
+			WAL     string  `json:"wal"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"rows"`
+		MaxOverhead float64 `json:"max_overhead"`
+	}
+	if err := readJSON(path, &doc); err != nil {
+		return nil, 0, err
+	}
+	if doc.MaxOverhead <= 1 {
+		return nil, 0, fmt.Errorf("benchgate: %s: max_overhead must be > 1, got %v", path, doc.MaxOverhead)
+	}
+	var out []baseline
+	for _, r := range doc.Rows {
+		if r.WAL == "fsync" {
+			continue
+		}
+		out = append(out, baseline{
+			name: fmt.Sprintf("BenchmarkWALOverhead/wal=%s", r.WAL),
+			ns:   r.NsPerOp,
+		})
+	}
+	return out, doc.MaxOverhead, nil
+}
+
+// gateWalRatio checks the group-commit budget: the measured wal=buffered
+// figure may exceed the measured wal=off figure by at most maxOverhead.
+// It also requires the wal=fsync row to have run at all — the only check
+// that row gets.
+func gateWalRatio(measured map[string]float64, maxOverhead float64) (report []string, ok bool) {
+	off, okOff := measured["BenchmarkWALOverhead/wal=off"]
+	buffered, okBuf := measured["BenchmarkWALOverhead/wal=buffered"]
+	fsync, okFsync := measured["BenchmarkWALOverhead/wal=fsync"]
+	ok = true
+	if !okFsync {
+		report = append(report, "MISSING BenchmarkWALOverhead/wal=fsync (durable path not measured)")
+		ok = false
+	} else {
+		report = append(report, fmt.Sprintf("ok      wal fsync: %.0f ns/op (recorded, not gated)", fsync))
+	}
+	if !okOff || !okBuf {
+		return report, ok
+	}
+	ratio := buffered / off
+	if ratio > maxOverhead {
+		report = append(report, fmt.Sprintf("FAIL    wal overhead: buffered/off = %.0f/%.0f ns/op = %.3f× > %.2f× budget",
+			buffered, off, ratio, maxOverhead))
+		return report, false
+	}
+	report = append(report, fmt.Sprintf("ok      wal overhead: buffered/off = %.0f/%.0f ns/op = %.3f× (budget %.2f×)",
+		buffered, off, ratio, maxOverhead))
+	return report, ok
+}
+
 func readJSON(path string, v any) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -284,6 +355,7 @@ func run() error {
 	tenantPath := flag.String("tenant", "BENCH_tenant.json", "quota-throughput baseline ('' to skip)")
 	rebal := flag.String("rebal", "BENCH_rebal.json", "rebalancing-throughput baseline ('' to skip)")
 	obsPath := flag.String("obs", "BENCH_obs.json", "obs-overhead baseline and ratio budget ('' to skip)")
+	walPath := flag.String("wal", "BENCH_wal.json", "wal-overhead baseline and ratio budget ('' to skip)")
 	threshold := flag.Float64("threshold", 2.0, "allowed slowdown factor vs baseline")
 	flag.Parse()
 
@@ -352,6 +424,15 @@ func run() error {
 		baselines = append(baselines, bs...)
 		maxOverhead = budget
 	}
+	var walOverhead float64
+	if *walPath != "" {
+		bs, budget, err := walBaselines(*walPath)
+		if err != nil {
+			return err
+		}
+		baselines = append(baselines, bs...)
+		walOverhead = budget
+	}
 	if len(baselines) == 0 {
 		return fmt.Errorf("benchgate: no baselines loaded")
 	}
@@ -359,6 +440,11 @@ func run() error {
 	report, ok := gate(measured, baselines, *threshold)
 	if maxOverhead > 0 {
 		ratioReport, ratioOK := gateObsRatio(measured, maxOverhead)
+		report = append(report, ratioReport...)
+		ok = ok && ratioOK
+	}
+	if walOverhead > 0 {
+		ratioReport, ratioOK := gateWalRatio(measured, walOverhead)
 		report = append(report, ratioReport...)
 		ok = ok && ratioOK
 	}

@@ -194,6 +194,16 @@ func TestBaselineLoaders(t *testing.T) {
 	if budget <= 1 || budget > 1.1 {
 		t.Fatalf("obs max_overhead = %v, want a tight budget in (1, 1.1]", budget)
 	}
+	wl, walBudget, err := walBaselines("../../BENCH_wal.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl) != 2 || wl[0].name != "BenchmarkWALOverhead/wal=off" || wl[1].name != "BenchmarkWALOverhead/wal=buffered" || wl[0].ns <= 0 {
+		t.Fatalf("wal baselines: %+v (the fsync row must be skipped)", wl)
+	}
+	if walBudget <= 1 || walBudget > 2 {
+		t.Fatalf("wal max_overhead = %v, want a budget in (1, 2]", walBudget)
+	}
 }
 
 func TestGateObsRatio(t *testing.T) {
@@ -215,5 +225,44 @@ func TestGateObsRatio(t *testing.T) {
 	// failure here.
 	if report, ok := gateObsRatio(map[string]float64{}, 1.05); !ok || report != nil {
 		t.Fatalf("missing pair: ok=%v report=%v", ok, report)
+	}
+}
+
+func TestGateWalRatio(t *testing.T) {
+	within := map[string]float64{
+		"BenchmarkWALOverhead/wal=off":      7000,
+		"BenchmarkWALOverhead/wal=buffered": 8000,
+		"BenchmarkWALOverhead/wal=fsync":    30000,
+	}
+	report, ok := gateWalRatio(within, 1.5)
+	if !ok || len(report) != 2 || !strings.Contains(report[1], "ok") {
+		t.Fatalf("within budget: ok=%v report=%v", ok, report)
+	}
+	// The fsync figure is reported but never gated, no matter how slow.
+	within["BenchmarkWALOverhead/wal=fsync"] = 9e9
+	if _, ok := gateWalRatio(within, 1.5); !ok {
+		t.Fatal("a slow fsync row must not fail the gate")
+	}
+	over := map[string]float64{
+		"BenchmarkWALOverhead/wal=off":      7000,
+		"BenchmarkWALOverhead/wal=buffered": 12000,
+		"BenchmarkWALOverhead/wal=fsync":    30000,
+	}
+	if report, ok := gateWalRatio(over, 1.5); ok || !strings.Contains(report[1], "FAIL") {
+		t.Fatalf("over budget: ok=%v report=%v", ok, report)
+	}
+	// Unlike the obs pair, a missing fsync row IS this gate's finding:
+	// nothing else checks that the durable path ran.
+	noFsync := map[string]float64{
+		"BenchmarkWALOverhead/wal=off":      7000,
+		"BenchmarkWALOverhead/wal=buffered": 8000,
+	}
+	if report, ok := gateWalRatio(noFsync, 1.5); ok || !strings.Contains(report[0], "MISSING") {
+		t.Fatalf("missing fsync row: ok=%v report=%v", ok, report)
+	}
+	// Missing off/buffered rows are the baseline gate's finding.
+	fsyncOnly := map[string]float64{"BenchmarkWALOverhead/wal=fsync": 30000}
+	if _, ok := gateWalRatio(fsyncOnly, 1.5); !ok {
+		t.Fatal("missing off/buffered pair is the baseline gate's finding, not this one's")
 	}
 }

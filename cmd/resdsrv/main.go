@@ -48,6 +48,17 @@
 //
 //	resdsrv -obs :9090 -trace 64 -slow 5ms    # metrics + sampled tracing
 //
+// With -waldir, every shard keeps a write-ahead log of its admission
+// decisions in that directory, group-committed with the shard's batch
+// turn (one fsync per batch under -walsync batch), snapshotted every
+// -snapevery records, and replayed on restart: the service comes back
+// holding exactly the reservations — same IDs, same placements — it had
+// durably admitted before the crash. While replay runs, /healthz serves
+// 503; it flips to 200 only once the wire listener is accepting, so
+// orchestrators never route to a server still rebuilding state.
+//
+//	resdsrv -waldir /var/lib/resd/wal -snapevery 8192   # durable shards
+//
 // Drive it with cmd/resload's -addr flag (add -tenants for a multi-tenant
 // mix), the examples/wire and examples/tenant walkthroughs, or any
 // reswire.Client. SIGINT/SIGTERM drain connections and shut the listener
@@ -72,6 +83,7 @@ import (
 	"repro/internal/reswire"
 	"repro/internal/rng"
 	"repro/internal/tenant"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -97,6 +109,9 @@ func run() error {
 	trace := flag.Int("trace", 0, "sample 1 in N admissions into the trace ring (0 = tracing disabled)")
 	tracebuf := flag.Int("tracebuf", resd.DefaultTraceBuf, "admission trace ring capacity")
 	slow := flag.Duration("slow", 0, "log sampled admissions slower than this to stderr (0 = disabled)")
+	waldir := flag.String("waldir", "", "write-ahead-log directory: durable shards, replayed on restart (empty = in-memory only)")
+	walsync := flag.String("walsync", "batch", "WAL commit durability: batch (one fsync per group commit) or none (OS flush only)")
+	snapevery := flag.Int("snapevery", 8192, "WAL records per shard between snapshots (0 = never snapshot; the log grows unbounded)")
 	flag.Parse()
 
 	if err := cliflag.First(
@@ -134,6 +149,20 @@ func run() error {
 	if *slow < 0 {
 		return fmt.Errorf("%w: -slow must be non-negative, got %v", cliflag.ErrFlag, *slow)
 	}
+	var walOpts *wal.Options
+	if *waldir != "" {
+		if err := cliflag.First(
+			cliflag.WritableDir("waldir", *waldir),
+			cliflag.NonNegative("snapevery", *snapevery),
+		); err != nil {
+			return err
+		}
+		if sm := wal.SyncMode(*walsync); sm != wal.SyncBatch && sm != wal.SyncNone {
+			return fmt.Errorf("%w: -walsync must be %q or %q, got %q",
+				cliflag.ErrFlag, wal.SyncBatch, wal.SyncNone, *walsync)
+		}
+		walOpts = &wal.Options{Dir: *waldir, Sync: wal.SyncMode(*walsync), SnapEvery: *snapevery}
+	}
 	reg, err := loadQuotas(*quotas, *shards, *m, *alpha, *qhorizon)
 	if err != nil {
 		return err
@@ -167,6 +196,21 @@ func run() error {
 		}
 	}
 
+	// The observability listener comes up before the service so /healthz
+	// is reachable — and answering 503 — for however long WAL replay
+	// takes. ready flips only once the wire listener is accepting.
+	var ready atomic.Bool
+	if metrics != nil {
+		oln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			return err
+		}
+		hsrv := &http.Server{Handler: obs.Handler(metrics, ready.Load)}
+		go hsrv.Serve(oln)
+		defer hsrv.Close()
+		fmt.Printf("resdsrv: observability on http://%s/metrics (+/healthz, /debug/pprof)\n", oln.Addr())
+	}
+
 	svc, err := resd.New(resd.Config{
 		Shards: *shards, M: *m, Alpha: *alpha, Backend: *backend,
 		Placement: *placement, Batch: *batch, Seed: *seed, Pre: pre,
@@ -175,6 +219,7 @@ func run() error {
 		RebalanceFreeze: core.Time(*rebalfreeze), RebalanceMaxMoves: *rebalmoves,
 		RebalanceNow: clock,
 		Obs:          obsCfg,
+		WAL:          walOpts,
 	})
 	if err != nil {
 		return err
@@ -187,18 +232,6 @@ func run() error {
 	}
 	srv := reswire.NewServer(svc)
 	srv.SetMetrics(reswire.NewMetrics(metrics, "server"))
-
-	var ready atomic.Bool
-	if metrics != nil {
-		oln, err := net.Listen("tcp", *obsAddr)
-		if err != nil {
-			return err
-		}
-		hsrv := &http.Server{Handler: obs.Handler(metrics, ready.Load)}
-		go hsrv.Serve(oln)
-		defer hsrv.Close()
-		fmt.Printf("resdsrv: observability on http://%s/metrics (+/healthz, /debug/pprof)\n", oln.Addr())
-	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -222,6 +255,11 @@ func run() error {
 	if *trace > 0 {
 		fmt.Printf("resdsrv: tracing 1 in %d admissions (ring %d, slow threshold %v)\n",
 			*trace, *tracebuf, *slow)
+	}
+	if wi := svc.WALInfo(); wi.Enabled {
+		fmt.Printf("resdsrv: wal %s (sync=%s, snapevery=%d): replayed %d records, %d snapshots in %v (moves %d committed / %d aborted, torn=%d corrupt=%d dropped=%dB)\n",
+			wi.Dir, *walsync, *snapevery, wi.Records, wi.Snapshots, wi.Replay.Round(time.Microsecond),
+			wi.MovesCommitted, wi.MovesAborted, wi.Torn, wi.Corrupt, wi.DroppedBytes)
 	}
 	ready.Store(true)
 	err = srv.Serve(ln)

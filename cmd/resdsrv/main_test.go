@@ -71,11 +71,11 @@ func TestShutdownFlushLines(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer svc.Close()
-	r, err := svc.Reserve(0, 4, 10)
+	r, err := svc.Admit(resd.Request{Ready: 0, Q: 4, Dur: 10, Deadline: resd.NoDeadline})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.ReserveBy(0, 8, 10, 0); err == nil {
+	if _, err := svc.Admit(resd.Request{Ready: 0, Q: 8, Dur: 10, Deadline: 0}); err == nil {
 		t.Fatal("deadline rejection expected")
 	}
 	if err := svc.Cancel(r.ID); err != nil {

@@ -368,7 +368,7 @@ func serverSideFlagsSet() []string {
 // admitter is the slice of the service the load generator drives; both
 // the in-process *resd.Service and the remote *reswire.Client satisfy it.
 type admitter interface {
-	ReserveFor(tenant string, ready core.Time, q int, dur core.Time, deadline core.Time) (resd.Reservation, error)
+	Admit(req resd.Request) (resd.Reservation, error)
 	Cancel(id resd.ID) error
 }
 
@@ -594,7 +594,10 @@ func replay(svc admitter, reqs []request, names []string, clients int, rate, can
 				tc := &res.perTenant[req.tenant]
 				tc.reqs++
 				t0 := time.Now()
-				resv, err := svc.ReserveFor(names[req.tenant], req.ready, req.q, req.dur, req.deadline)
+				resv, err := svc.Admit(resd.Request{
+					Tenant: names[req.tenant], Ready: req.ready, Q: req.q,
+					Dur: req.dur, Deadline: req.deadline,
+				})
 				lat := time.Since(t0)
 				prog.record(lat, err)
 				if alphaRej, deadlineRej, quotaRej, hard := classify(err); err != nil {

@@ -51,7 +51,7 @@ func serialBaseline(m, floor int, reqs []request) []decision {
 // classification against a single-shard service, serially, and every
 // admission decision — admit at which start, α-reject, deadline-reject —
 // must equal the sequential baseline's. This pins the whole chain
-// ParseSWF → Arrivals → requestStream → ReserveFor → classify to the
+// ParseSWF → Arrivals → requestStream → Admit → classify to the
 // offline admission semantics, on both capacity backends.
 func TestSWFReplayMatchesSerialBaseline(t *testing.T) {
 	const (
@@ -81,7 +81,7 @@ func TestSWFReplayMatchesSerialBaseline(t *testing.T) {
 			defer svc.Close()
 			var admitted, alphaRej, dlRej int
 			for i, r := range reqs {
-				resv, err := svc.ReserveFor("", r.ready, r.q, r.dur, r.deadline)
+				resv, err := svc.Admit(resd.Request{Ready: r.ready, Q: r.q, Dur: r.dur, Deadline: r.deadline})
 				aRej, dRej, qRej, hard := classify(err)
 				switch {
 				case hard || qRej:

@@ -41,7 +41,7 @@ func main() {
 
 	var held []resd.Reservation
 	for i := 0; i < 16; i++ {
-		r, err := svc.Reserve(core.Time(100+10*i), 8, 40)
+		r, err := svc.Admit(resd.Request{Ready: core.Time(100 + 10*i), Q: 8, Dur: 40, Deadline: resd.NoDeadline})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -85,13 +85,13 @@ func main() {
 	defer psvc.Close()
 	perShard := make([]int, 4)
 	for i := 0; i < 12; i++ { // one zipf-heavy tenant dominating the stream
-		r, err := psvc.ReserveFor("heavy", core.Time(100+10*i), 8, 40, resd.NoDeadline)
+		r, err := psvc.Admit(resd.Request{Tenant: "heavy", Ready: core.Time(100 + 10*i), Q: 8, Dur: 40, Deadline: resd.NoDeadline})
 		if err != nil {
 			log.Fatal(err)
 		}
 		perShard[r.Shard]++
 	}
-	small, err := psvc.ReserveFor("small", 100, 8, 40, resd.NoDeadline)
+	small, err := psvc.Admit(resd.Request{Tenant: "small", Ready: 100, Q: 8, Dur: 40, Deadline: resd.NoDeadline})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -48,14 +48,14 @@ func main() {
 	// 40 ticks at or after t=90; the window [90,130) collides with the
 	// maintenance hold (only 32-8=24 free, and 12+16 > 24), so the
 	// earliest admissible start is 150, when the hold releases.
-	first, err := svc.Reserve(90, 12, 40)
+	first, err := svc.Admit(resd.Request{Ready: 90, Q: 12, Dur: 40, Deadline: resd.NoDeadline})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Reserve(ready=90, q=12, dur=40) → shard %d, start %v (pushed past the maintenance window)\n\n",
+	fmt.Printf("Admit(ready=90, q=12, dur=40)   → shard %d, start %v (pushed past the maintenance window)\n\n",
 		first.Shard, first.Start)
 
-	// Now a concurrent burst: 8 clients × 25 requests. Every Reserve is
+	// Now a concurrent burst: 8 clients × 25 requests. Every admission is
 	// group-committed by the owning shard's event loop; the placement
 	// policy routes on the atomically published load summaries.
 	var wg sync.WaitGroup
@@ -70,7 +70,7 @@ func main() {
 				ready := core.Time(r.Int63n(2000))
 				q := r.IntRange(1, 16) // ≤ m - floor, always admissible
 				dur := core.Time(r.Int63Range(5, 60))
-				resv, err := svc.Reserve(ready, q, dur)
+				resv, err := svc.Admit(resd.Request{Ready: ready, Q: q, Dur: dur, Deadline: resd.NoDeadline})
 				if err != nil {
 					log.Fatal(err)
 				}

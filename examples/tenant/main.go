@@ -53,7 +53,7 @@ func main() {
 	// march on and starve everyone.
 	var admitted int
 	for i := 0; ; i++ {
-		_, err := svc.ReserveFor("batch", core.Time(i*100), 16, 100, resd.NoDeadline)
+		_, err := svc.Admit(resd.Request{Tenant: "batch", Ready: core.Time(i * 100), Q: 16, Dur: 100, Deadline: resd.NoDeadline})
 		if errors.Is(err, tenant.ErrQuota) {
 			fmt.Printf("batch admitted %d holds, then: %v\n", admitted, err)
 			break
@@ -65,7 +65,7 @@ func main() {
 	}
 
 	// The interactive tenant is untouched by its neighbour's exhaustion.
-	r, err := svc.ReserveFor("interactive", 0, 8, 50, resd.NoDeadline)
+	r, err := svc.Admit(resd.Request{Tenant: "interactive", Q: 8, Dur: 50, Deadline: resd.NoDeadline})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func main() {
 	if err := reg.SetShare("batch", 0.75); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := svc.ReserveFor("batch", 2000, 16, 100, resd.NoDeadline); err != nil {
+	if _, err := svc.Admit(resd.Request{Tenant: "batch", Ready: 2000, Q: 16, Dur: 100, Deadline: resd.NoDeadline}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("after SetShare(batch, 0.75): batch admits again (used %d of %d)\n\n",
@@ -103,13 +103,13 @@ func main() {
 	}
 	defer soft.Close()
 	for i := 0; i < 12; i++ { // the hog piles up usage far past its share
-		if _, err := soft.ReserveFor("hog", core.Time(i*100), 16, 100, resd.NoDeadline); err != nil {
+		if _, err := soft.Admit(resd.Request{Tenant: "hog", Ready: core.Time(i * 100), Q: 16, Dur: 100, Deadline: resd.NoDeadline}); err != nil {
 			log.Fatal(err)
 		}
 	}
 	fmt.Printf("soft mode: hog ratio %.2f, newcomer ratio %.2f — contended batches serve the lower ratio first\n",
 		softReg.Ratio("hog"), softReg.Ratio("newcomer"))
-	if _, err := soft.ReserveFor("newcomer", 0, 16, 100, resd.NoDeadline); err != nil {
+	if _, err := soft.Admit(resd.Request{Tenant: "newcomer", Q: 16, Dur: 100, Deadline: resd.NoDeadline}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("newcomer admitted despite the hog's backlog; hog usage %d vs newcomer %d\n",

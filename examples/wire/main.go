@@ -52,16 +52,16 @@ func main() {
 
 	// One admission, spelled out. The wire adds a frame each way but the
 	// semantics are identical to calling the service in process.
-	resv, err := client.Reserve(0, 8, 50)
+	resv, err := client.Admit(resd.Request{Q: 8, Dur: 50, Deadline: resd.NoDeadline})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Reserve(ready=0, q=8, dur=50)  → shard %d, start %v\n", resv.Shard, resv.Start)
+	fmt.Printf("Admit(ready=0, q=8, dur=50)   → shard %d, start %v\n", resv.Shard, resv.Start)
 
 	// Typed rejections survive the wire: a request wider than the α rule
 	// allows comes back as REJECTED_NEVER_FITS / resd.ErrNeverFits...
-	if _, err := client.Reserve(0, 20, 10); errors.Is(err, resd.ErrNeverFits) {
-		fmt.Printf("Reserve(ready=0, q=20, dur=10) → %v\n", err)
+	if _, err := client.Admit(resd.Request{Q: 20, Dur: 10, Deadline: resd.NoDeadline}); errors.Is(err, resd.ErrNeverFits) {
+		fmt.Printf("Admit(ready=0, q=20, dur=10)  → %v\n", err)
 	}
 	// ...and a deadline the cluster cannot meet as REJECTED_DEADLINE /
 	// resd.ErrDeadline. Fill every shard on [0,100), then ask for a start
@@ -69,17 +69,17 @@ func main() {
 	// instead of silently starting the reservation late.
 	var fill []resd.Reservation
 	for i := 0; i < 4; i++ {
-		r, err := client.Reserve(0, 16, 100)
+		r, err := client.Admit(resd.Request{Q: 16, Dur: 100, Deadline: resd.NoDeadline})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fill = append(fill, r)
 	}
-	if _, err := client.ReserveBy(0, 16, 10, 60); errors.Is(err, resd.ErrDeadline) {
-		fmt.Printf("ReserveBy(deadline=60)         → %v\n", err)
+	if _, err := client.Admit(resd.Request{Q: 16, Dur: 10, Deadline: 60}); errors.Is(err, resd.ErrDeadline) {
+		fmt.Printf("Admit(deadline=60)            → %v\n", err)
 	}
-	if r, err := client.ReserveBy(0, 16, 10, 100); err == nil {
-		fmt.Printf("ReserveBy(deadline=100)        → shard %d, start %v (met exactly)\n\n", r.Shard, r.Start)
+	if r, err := client.Admit(resd.Request{Q: 16, Dur: 10, Deadline: 100}); err == nil {
+		fmt.Printf("Admit(deadline=100)           → shard %d, start %v (met exactly)\n\n", r.Shard, r.Start)
 	}
 	for _, r := range fill {
 		if err := client.Cancel(r.ID); err != nil {
@@ -102,7 +102,7 @@ func main() {
 			var ok, late int
 			for i := 0; i < 50; i++ {
 				ready := core.Time(r.Int63n(5000))
-				_, err := client.ReserveBy(ready, r.IntRange(1, 16), core.Time(r.Int63Range(5, 60)), ready+400)
+				_, err := client.Admit(resd.Request{Ready: ready, Q: r.IntRange(1, 16), Dur: core.Time(r.Int63Range(5, 60)), Deadline: ready + 400})
 				switch {
 				case err == nil:
 					ok++

@@ -12,6 +12,7 @@ package cliflag
 import (
 	"errors"
 	"fmt"
+	"os"
 	"time"
 )
 
@@ -56,6 +57,27 @@ func NonNegativeF(name string, v float64) error {
 	if v < 0 {
 		return fmt.Errorf("%w: -%s must be >= 0, got %v", ErrFlag, name, v)
 	}
+	return nil
+}
+
+// WritableDir requires path to name a directory this process can create
+// files in, creating it (and any parents) if absent. Commands that open
+// durable state there (resdsrv's -waldir) validate at flag time, so a
+// typo'd or read-only path fails with a one-line message instead of a
+// mid-boot open error after the service already started replaying.
+func WritableDir(name, path string) error {
+	if path == "" {
+		return fmt.Errorf("%w: -%s must not be empty", ErrFlag, name)
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return fmt.Errorf("%w: -%s: %v", ErrFlag, name, err)
+	}
+	f, err := os.CreateTemp(path, ".probe-*")
+	if err != nil {
+		return fmt.Errorf("%w: -%s: %s is not writable: %v", ErrFlag, name, path, err)
+	}
+	f.Close()
+	os.Remove(f.Name())
 	return nil
 }
 

@@ -2,6 +2,7 @@ package cliflag
 
 import (
 	"errors"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -61,6 +62,40 @@ func TestFirst(t *testing.T) {
 	e1, e2 := Positive("m", 0), Positive("n", 0)
 	if err := First(nil, e1, e2); err != e1 {
 		t.Fatalf("First returned %v, want first error %v", err, e1)
+	}
+}
+
+func TestWritableDir(t *testing.T) {
+	base := t.TempDir()
+	if err := WritableDir("waldir", base); err != nil {
+		t.Fatalf("existing writable dir: %v", err)
+	}
+	nested := base + "/a/b/c"
+	if err := WritableDir("waldir", nested); err != nil {
+		t.Fatalf("creatable nested dir: %v", err)
+	}
+	if _, err := os.Stat(nested); err != nil {
+		t.Fatalf("nested dir was not created: %v", err)
+	}
+	if err := WritableDir("waldir", ""); !errors.Is(err, ErrFlag) {
+		t.Fatalf("empty path: err = %v, want ErrFlag", err)
+	}
+	// A regular file where the directory should be: MkdirAll fails.
+	file := base + "/plain"
+	if err := os.WriteFile(file, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritableDir("waldir", file); !errors.Is(err, ErrFlag) {
+		t.Fatalf("path through a file: err = %v, want ErrFlag", err)
+	}
+	if os.Getuid() != 0 { // root bypasses mode bits
+		ro := base + "/ro"
+		if err := os.Mkdir(ro, 0o555); err != nil {
+			t.Fatal(err)
+		}
+		if err := WritableDir("waldir", ro); !errors.Is(err, ErrFlag) {
+			t.Fatalf("read-only dir: err = %v, want ErrFlag", err)
+		}
 	}
 }
 

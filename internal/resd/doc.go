@@ -55,12 +55,24 @@
 // q + ⌊α·M⌋ processors, so the α head-room falls out of the ordinary
 // earliest-fit machinery.
 //
+// # The Request API
+//
+// Admit is the single admission entry point: one Request names the
+// tenant the area is charged to, the ready time, the width, the
+// duration, and the latest tolerable start (NoDeadline for "however
+// late"). The same struct crosses the wire unchanged through
+// reswire.Client.Admit, so in-process and remote callers share one
+// admission vocabulary. The historical Reserve/ReserveBy/ReserveFor
+// triplet survives as deprecated wrappers over Admit — each fills the
+// Request fields its signature used to imply.
+//
 // # Deadline rejection
 //
-// ReserveBy extends the α rule with an SLA answer: the caller names the
-// latest start it can tolerate, and a shard whose earliest feasible start
-// on the α-prefix lands after that deadline rejects with ErrDeadline
-// instead of pushing the reservation arbitrarily far back. The two
+// A finite Request.Deadline extends the α rule with an SLA answer: the
+// caller names the latest start it can tolerate, and a shard whose
+// earliest feasible start on the α-prefix lands after that deadline
+// rejects with ErrDeadline instead of pushing the reservation
+// arbitrarily far back. The two
 // rejection modes are complementary faces of the paper's parameter:
 // ErrNeverFits is the static face of α (the width q plus the ⌊α·M⌋
 // head-room can never fit inside M, at any time), while ErrDeadline is its
@@ -77,7 +89,7 @@
 // # Multi-tenant quotas
 //
 // Config.Quotas plugs a tenant.Registry in front of admission: every
-// ReserveFor (Reserve/ReserveBy are the default tenant's shorthand) is
+// Admit (an empty Request.Tenant names the default tenant) is
 // charged against its tenant's budgeted share of the reservable α-prefix
 // area, hierarchically (tenant → group → global capacity). The check runs
 // inside the shard loop after the α and deadline checks — a doomed
@@ -137,6 +149,69 @@
 // 99th percentile as ShardStats.SlackP99 and TenantStats.SlackP99 (and
 // over the wire at protocol v3), so operators see per-tenant SLO
 // degradation directly rather than inferring it from rejection counts.
+//
+// # Durability and recovery
+//
+// Config.WAL gives every shard a write-ahead log (internal/wal): each
+// group-commit batch appends its decisions to the shard's log buffer
+// while it applies them, and the whole batch is flushed — and, under
+// wal.SyncBatch, fsynced — once before any of its replies are released.
+// Durability rides the turn the event loop already takes; it never adds
+// a per-admission syscall. The record types mirror the shard
+// transitions one to one:
+//
+//	admit (TAdmit)                    admission committed: the canonical Request plus assigned ID and start
+//	cancel (TCancel)                  release of an admitted reservation
+//	migrate-in (TMigrateIn)           two-phase move, target side: tentative copy durable, invisible until commit
+//	migrate-out (TMigrateOut)         source released the reservation toward Peer; opens the source's "open out"
+//	migrate-commit (TMigrateCommit)   target finalised the pending copy
+//	migrate-abort (TMigrateAbort)     target rolled the pending copy back
+//	migrate-out-ack (TMigrateOutAck)  source observed the outcome; pure recovery bookkeeping
+//
+// Every Options.SnapEvery records the shard snapshots its full state
+// (reservation book, tenant accounts, open migration legs), rotates to
+// a fresh log generation and deletes the generations the snapshot made
+// redundant, bounding both disk and replay time.
+//
+// New replays before serving: newest decodable snapshot, then the
+// surviving log suffix, re-committing each record through the same
+// index operations live admission uses. The invariants the recovery
+// tests pin:
+//
+//   - Exactness: the recovered service is bit-identical to the
+//     pre-crash one — same IDs, same placements, same tenant books — on
+//     either backend, with or without a snapshot anchor, and new
+//     admissions never re-mint a recovered ID.
+//   - Torn tails are silent: a crash mid-write truncates the partial
+//     final record (WALInfo.Torn counts it). Any damage earlier than
+//     the tail — a CRC mismatch, a torn frame in a pre-rotation
+//     generation — keeps the longest intact prefix and surfaces in
+//     WALInfo.Corrupt/DroppedBytes instead of failing the boot; a log
+//     that contradicts itself (a cancel for an ID never admitted) does
+//     fail New, because it means the writer, not the disk, was wrong.
+//   - Mid-flight moves commit or abort, never duplicate. The executor
+//     orders writes so the log decides: the tentative copy is durable
+//     on the target before the source is asked to release, and the
+//     source's migrate-out is durable before the commit is sent back.
+//     At replay, a pending copy on T from S commits iff S's log shows
+//     an open out naming T; every other combination aborts the copy
+//     (the reservation stays where the source log says it is).
+//     Resolutions are appended to the boot generation and synced, so a
+//     second crash cannot resurrect a resolved move.
+//   - Quota is recharged, not re-checked: recovery re-charges each
+//     tenant's registry account for the reservations that survived
+//     replay (they were admitted once; rejecting them now would lose
+//     committed state).
+//
+// Replay rebuilds durable state only. Process-lifetime series —
+// rejection counters, slack and loop-turn histograms, sampled traces —
+// restart at zero, exactly as obs counters do across any restart.
+// Service.WALInfo reports what replay found (records, snapshots, torn/
+// corrupt damage, move resolutions, duration); resdsrv prints it as the
+// boot banner and holds /healthz at 503 until replay finishes.
+// BenchmarkWALOverhead (BENCH_wal.json) prices the buffered machinery
+// against the WAL-off baseline, with the batch-fsync figure recorded as
+// the physical durable floor.
 //
 // # Observability
 //

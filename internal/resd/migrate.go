@@ -192,6 +192,7 @@ func (s *Service) executeMove(mv rebal.Move) (applied, aborted bool, err error) 
 	in := request{
 		kind: opMigrateIn, id: id, tenant: mv.Resv.Tenant,
 		ready: mv.Resv.Start, dur: mv.Resv.Dur, q: mv.Resv.Procs,
+		peer: mv.From,
 	}
 	if _, err := tgt.do(in); err != nil {
 		if errors.Is(err, ErrClosed) {
@@ -205,7 +206,7 @@ func (s *Service) executeMove(mv rebal.Move) (applied, aborted bool, err error) 
 	// copy makes it wait out the move. There is no instant at which a
 	// legitimate Cancel can miss the reservation.
 	s.moved.Store(id, mv.To)
-	if _, err := src.do(request{kind: opMigrateOut, id: id}); err != nil {
+	if _, err := src.do(request{kind: opMigrateOut, id: id, peer: mv.To}); err != nil {
 		if !errors.Is(err, ErrUnknownID) {
 			return false, false, err // closing; the books stay conservative
 		}
@@ -220,6 +221,11 @@ func (s *Service) executeMove(mv rebal.Move) (applied, aborted bool, err error) 
 	if _, err := tgt.do(request{kind: opMigrateCommit, id: id}); err != nil {
 		return false, false, err
 	}
+	// The commit is durable on the target: close the source's WAL
+	// open-out. The move is applied whatever happens here — a lost ack
+	// (service closing) just leaves a stale open-out the next recovery
+	// closes itself.
+	src.do(request{kind: opMigrateOutAck, id: id})
 	return true, false, nil
 }
 

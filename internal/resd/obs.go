@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // ObsConfig attaches a Service to the observability layer. Registry
@@ -81,6 +82,60 @@ func (s *Service) registerObs() {
 		reg.CounterFunc("resd_migrated_total",
 			"Reservations the rebalancer moved, by direction.",
 			sh.migratedOut.Load, lbl, obs.L("dir", "out"))
+		if wl := sh.wlog; wl != nil {
+			reg.CounterFunc("resd_wal_bytes_total",
+				"Bytes appended to the shard's write-ahead log.",
+				func() uint64 { return wl.Stats().Bytes }, lbl)
+			reg.CounterFunc("resd_wal_records_total",
+				"Records appended to the shard's write-ahead log.",
+				func() uint64 { return wl.Stats().Records }, lbl)
+			reg.CounterFunc("resd_wal_fsyncs_total",
+				"Group-commit fsyncs on the shard's log.",
+				func() uint64 { return wl.Stats().Fsyncs }, lbl)
+			reg.CounterFunc("resd_wal_snapshots_total",
+				"Completed snapshot writes (log truncations).",
+				func() uint64 { return wl.Stats().Snapshots }, lbl)
+			reg.CounterFunc("resd_wal_failures_total",
+				"WAL write failures (a failed log degrades the shard to non-durable).",
+				sh.walFailed.Load, lbl)
+			reg.GaugeFunc("resd_wal_generation",
+				"Log generation currently being appended to.",
+				func() float64 { return float64(wl.Stats().Gen) }, lbl)
+			reg.GaugeFunc("resd_wal_snapshot_age_seconds",
+				"Seconds since the shard's newest durable snapshot (since Open when none).",
+				func() float64 {
+					return time.Since(time.Unix(0, wl.Stats().LastSnapshot)).Seconds()
+				}, lbl)
+		}
+	}
+	if s.walInfo.Enabled {
+		// Handles captured here: the loop nils sh.wlog if the log fails,
+		// and scrapes must not race that write (the frozen telemetry of a
+		// degraded shard is still worth exposing).
+		wls := make([]*wal.Log, len(s.shards))
+		for i := range s.shards {
+			wls[i] = s.shards[i].wlog
+		}
+		reg.Collect(obs.KindSummary, "resd_wal_fsync_ns",
+			"Group-commit fsync latency on each shard's log, nanoseconds.",
+			func(e obs.Emitter) {
+				for i, wl := range wls {
+					if wl == nil {
+						continue
+					}
+					lbl := obs.L("shard", strconv.Itoa(i))
+					e.Emit(float64(wl.FsyncQuantile(0.5)), lbl, obs.L("quantile", "0.5"))
+					e.Emit(float64(wl.FsyncQuantile(0.9)), lbl, obs.L("quantile", "0.9"))
+					e.Emit(float64(wl.FsyncQuantile(0.99)), lbl, obs.L("quantile", "0.99"))
+					e.EmitSuffix("_count", float64(wl.FsyncCount()), lbl)
+				}
+			})
+		reg.GaugeFunc("resd_wal_replay_seconds",
+			"How long WAL recovery took when the service was built.",
+			s.walInfo.Replay.Seconds)
+		reg.GaugeFunc("resd_wal_replayed_records",
+			"Log records replay applied when the service was built.",
+			func() float64 { return float64(s.walInfo.Records) })
 	}
 	// Slack quantiles, published by each shard loop once per batch. A
 	// summary family assembled from the published atomics: the _count is

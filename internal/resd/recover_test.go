@@ -1,0 +1,494 @@
+package resd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/wal"
+)
+
+// walConfig is the recovery tests' base configuration: small machine,
+// multiple shards, deterministic placement so a reference service and a
+// WAL-backed one fed the same stream assign identical IDs and starts.
+func walConfig(backend, dir string, snapEvery int) Config {
+	return Config{
+		Shards: 4, M: 32, Backend: backend, Placement: "least-loaded",
+		WAL: &wal.Options{Dir: dir, Sync: wal.SyncNone, SnapEvery: snapEvery},
+	}
+}
+
+// driveBoth applies n deterministic admit/cancel operations to both
+// services in lockstep, asserting each decision (ID, shard, start) is
+// identical — the two histories must be the same history.
+func driveBoth(t *testing.T, ref, svc *Service, r *rng.PCG, n int, held *[]Reservation) {
+	t.Helper()
+	tenants := []string{"", "acme", "zeta"}
+	for i := 0; i < n; i++ {
+		if len(*held) > 0 && r.Bool(0.3) {
+			k := r.Intn(len(*held))
+			id := (*held)[k].ID
+			if err := ref.Cancel(id); err != nil {
+				t.Fatalf("op %d: reference Cancel: %v", i, err)
+			}
+			if err := svc.Cancel(id); err != nil {
+				t.Fatalf("op %d: wal Cancel: %v", i, err)
+			}
+			(*held)[k] = (*held)[len(*held)-1]
+			*held = (*held)[:len(*held)-1]
+			continue
+		}
+		req := Request{
+			Tenant:   tenants[r.Intn(len(tenants))],
+			Ready:    core.Time(r.Int63n(10000)),
+			Q:        r.IntRange(1, 8),
+			Dur:      core.Time(r.Int63Range(1, 50)),
+			Deadline: NoDeadline,
+		}
+		a, err := ref.Admit(req)
+		if err != nil {
+			t.Fatalf("op %d: reference Admit: %v", i, err)
+		}
+		b, err := svc.Admit(req)
+		if err != nil {
+			t.Fatalf("op %d: wal Admit: %v", i, err)
+		}
+		if a != b {
+			t.Fatalf("op %d: decisions diverged: reference %+v, wal %+v", i, a, b)
+		}
+		*held = append(*held, b)
+	}
+}
+
+// assertSameState compares the full recoverable surface of two services:
+// per-shard committed reservations (the Dump oracle), per-shard durable
+// counters, and per-tenant books (minus the process-lifetime slack
+// percentile, which recovery documents as reset).
+func assertSameState(t *testing.T, ref, svc *Service) {
+	t.Helper()
+	for i := 0; i < ref.Shards(); i++ {
+		want, err := ref.Dump(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := svc.Dump(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shard %d: dump differs:\n got %+v\nwant %+v", i, got, want)
+		}
+		wb, err := ref.TenantStats(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := svc.TenantStats(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name := range wb {
+			w, g := wb[name], gb[name]
+			w.SlackP99, g.SlackP99 = 0, 0
+			if g != w {
+				t.Fatalf("shard %d tenant %q: books differ: got %+v, want %+v", i, name, g, w)
+			}
+		}
+		if len(gb) != len(wb) {
+			t.Fatalf("shard %d: %d tenant books, want %d", i, len(gb), len(wb))
+		}
+	}
+	ws, gs := ref.Stats(), svc.Stats()
+	for i := range ws {
+		w, g := ws[i], gs[i]
+		if g.Active != w.Active || g.CommittedArea != w.CommittedArea ||
+			g.Admitted != w.Admitted || g.Cancelled != w.Cancelled ||
+			g.MigratedIn != w.MigratedIn || g.MigratedOut != w.MigratedOut {
+			t.Fatalf("shard %d: stats differ: got %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+// TestRecoveryOracle is the tentpole acceptance test: a WAL-backed
+// service killed (Close is a clean shutdown, but replay only believes
+// the log) and reopened over the same directory must hold exactly the
+// state of an uninterrupted reference service fed the identical stream
+// — same IDs, same placements, same books — and must keep agreeing as
+// both continue admitting. Runs on both capacity backends, with and
+// without snapshots anchoring the replay.
+func TestRecoveryOracle(t *testing.T) {
+	for _, backend := range []string{"array", "tree"} {
+		for _, snapEvery := range []int{0, 64} {
+			t.Run(fmt.Sprintf("%s/snapevery=%d", backend, snapEvery), func(t *testing.T) {
+				dir := t.TempDir()
+				ref, err := New(Config{Shards: 4, M: 32, Backend: backend, Placement: "least-loaded"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ref.Close()
+				svc, err := New(walConfig(backend, dir, snapEvery))
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := rng.New(0xFEED)
+				var held []Reservation
+				driveBoth(t, ref, svc, r, 400, &held)
+				assertSameState(t, ref, svc)
+				svc.Close()
+
+				svc, err = New(walConfig(backend, dir, snapEvery))
+				if err != nil {
+					t.Fatalf("reopen: %v", err)
+				}
+				defer svc.Close()
+				wi := svc.WALInfo()
+				if !wi.Enabled {
+					t.Fatal("WALInfo.Enabled false on a WAL service")
+				}
+				if snapEvery > 0 && wi.Snapshots == 0 {
+					t.Errorf("400 ops with SnapEvery=64 produced no snapshot anchor: %+v", wi)
+				}
+				if wi.Corrupt != 0 {
+					t.Errorf("clean shutdown read as corrupt: %+v", wi)
+				}
+				assertSameState(t, ref, svc)
+
+				// Both continue: recovered nextSeq must not re-mint old IDs.
+				driveBoth(t, ref, svc, r, 200, &held)
+				assertSameState(t, ref, svc)
+			})
+		}
+	}
+}
+
+// TestRecoveryTornTail crashes mid-frame: a half-written record at the
+// log tail is the normal crash signature and must roll back to the last
+// whole record, not poison the shard.
+func TestRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := New(walConfig("array", dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []ID
+	for i := 0; i < 40; i++ {
+		resv, err := svc.Admit(Request{Ready: core.Time(i), Q: 2, Dur: 10, Deadline: NoDeadline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, resv.ID)
+	}
+	before := make(map[int][]Reservation)
+	for i := 0; i < svc.Shards(); i++ {
+		before[i], _ = svc.Dump(i)
+	}
+	svc.Close()
+	// Tear every shard's newest log: append half of a valid frame.
+	frame := wal.AppendRecord(nil, wal.Record{Type: wal.TCancel, ID: uint64(ids[0])})
+	for i := 0; i < 4; i++ {
+		name, raw := newestLog(t, dir, i)
+		if err := os.WriteFile(name, append(raw, frame[:len(frame)/2]...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc, err = New(walConfig("array", dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	wi := svc.WALInfo()
+	if wi.Torn != 4 || wi.Corrupt != 0 {
+		t.Fatalf("WALInfo = %+v, want 4 torn shards and no corruption", wi)
+	}
+	for i := 0; i < svc.Shards(); i++ {
+		got, err := svc.Dump(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, before[i]) {
+			t.Fatalf("shard %d: torn tail changed state", i)
+		}
+	}
+	// The torn cancel never happened: cancelling for real must succeed.
+	if err := svc.Cancel(ids[0]); err != nil {
+		t.Fatalf("cancel after torn-tail recovery: %v", err)
+	}
+}
+
+// newestLog returns the path and contents of a shard's highest-
+// generation log file.
+func newestLog(t *testing.T, dir string, shard int) (string, []byte) {
+	t.Helper()
+	var best string
+	var bestGen uint64
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		var s int
+		var gen uint64
+		if n, _ := fmt.Sscanf(ent.Name(), "shard-%d.%d.wal", &s, &gen); n == 2 && s == shard && gen >= bestGen {
+			best, bestGen = filepath.Join(dir, ent.Name()), gen
+		}
+	}
+	if best == "" {
+		t.Fatalf("no log for shard %d in %s", shard, dir)
+	}
+	raw, err := os.ReadFile(best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return best, raw
+}
+
+// writeShardLog fabricates a crash state: raw framed records as one
+// shard's generation-1 log.
+func writeShardLog(t *testing.T, dir string, shard int, recs ...wal.Record) {
+	t.Helper()
+	var buf []byte
+	for _, r := range recs {
+		buf = wal.AppendRecord(buf, r)
+	}
+	name := filepath.Join(dir, fmt.Sprintf("shard-%d.1.wal", shard))
+	if err := os.WriteFile(name, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryResolvesMoves covers the two-phase migration crash
+// points. The protocol's durability order is: migrate-in durable on the
+// target before the source sends its record, migrate-out durable on the
+// source before the commit is sent. A pending in therefore commits iff
+// the source's open-out names the target, and aborts otherwise.
+func TestRecoveryResolvesMoves(t *testing.T) {
+	id := makeID(0, 0)
+	admit := wal.Record{Type: wal.TAdmit, ID: uint64(id), Ready: 0, Procs: 2, Dur: 10, Deadline: int64(NoDeadline), Start: 0}
+	in := wal.Record{Type: wal.TMigrateIn, ID: uint64(id), Peer: 0, Start: 0, Dur: 10, Procs: 2}
+
+	t.Run("commit", func(t *testing.T) {
+		// Crash after the source's out was durable: the move completes.
+		dir := t.TempDir()
+		writeShardLog(t, dir, 0, admit, wal.Record{Type: wal.TMigrateOut, ID: uint64(id), Peer: 1})
+		writeShardLog(t, dir, 1, in)
+		svc, err := New(walConfig("array", dir, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Close()
+		if wi := svc.WALInfo(); wi.MovesCommitted != 1 || wi.MovesAborted != 0 {
+			t.Fatalf("WALInfo = %+v, want 1 committed move", wi)
+		}
+		assertHolder(t, svc, id, 1)
+		if err := svc.Cancel(id); err != nil {
+			t.Fatalf("cancel %#x after recovery: %v", uint64(id), err)
+		}
+	})
+
+	t.Run("abort", func(t *testing.T) {
+		// Crash before the source's out was durable: the source still
+		// holds the reservation, so the target's tentative copy dies.
+		dir := t.TempDir()
+		writeShardLog(t, dir, 0, admit)
+		writeShardLog(t, dir, 1, in)
+		svc, err := New(walConfig("array", dir, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Close()
+		if wi := svc.WALInfo(); wi.MovesCommitted != 0 || wi.MovesAborted != 1 {
+			t.Fatalf("WALInfo = %+v, want 1 aborted move", wi)
+		}
+		assertHolder(t, svc, id, 0)
+		if err := svc.Cancel(id); err != nil {
+			t.Fatalf("cancel %#x after recovery: %v", uint64(id), err)
+		}
+	})
+
+	t.Run("stale-open-out", func(t *testing.T) {
+		// Crash after the target committed but before the source's ack:
+		// the open-out is stale. Recovery must close it durably — and a
+		// second crash-recovery cycle must not resurrect the move.
+		dir := t.TempDir()
+		writeShardLog(t, dir, 0, admit, wal.Record{Type: wal.TMigrateOut, ID: uint64(id), Peer: 1})
+		writeShardLog(t, dir, 1, in, wal.Record{Type: wal.TMigrateCommit, ID: uint64(id)})
+		for round := 0; round < 2; round++ {
+			svc, err := New(walConfig("array", dir, 0))
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			if wi := svc.WALInfo(); wi.MovesCommitted != 0 || wi.MovesAborted != 0 {
+				t.Fatalf("round %d: WALInfo = %+v, want no mid-flight moves", round, wi)
+			}
+			assertHolder(t, svc, id, 1)
+			svc.Close()
+		}
+		// Routing still works: a final reopen cancels through the
+		// rebuilt moved overlay.
+		svc, err := New(walConfig("array", dir, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Close()
+		if err := svc.Cancel(id); err != nil {
+			t.Fatalf("cancel %#x after recovery: %v", uint64(id), err)
+		}
+	})
+}
+
+// assertHolder checks exactly one shard — holder — has id. It does not
+// mutate the service: callers needing a routing check cancel afterwards.
+func assertHolder(t *testing.T, svc *Service, id ID, holder int) {
+	t.Helper()
+	for i := 0; i < svc.Shards(); i++ {
+		dump, err := svc.Dump(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var has bool
+		for _, r := range dump {
+			if r.ID == id {
+				has = true
+			}
+		}
+		if has != (i == holder) {
+			t.Fatalf("shard %d: holds %#x = %v, want holder %d", i, uint64(id), has, holder)
+		}
+	}
+}
+
+// TestRecoveryAfterRebalance round-trips a migrated state: the WAL of a
+// service whose rebalancer moved reservations across shards must replay
+// to the post-migration placement, moved-ID forwarding included.
+func TestRecoveryAfterRebalance(t *testing.T) {
+	dir := t.TempDir()
+	cfg := walConfig("array", dir, 0)
+	cfg.Placement = "first-fit" // park everything on shard 0
+	cfg.RebalanceThreshold = 0.01
+	cfg.RebalanceMaxMoves = 64
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	var ids []ID
+	for i := 0; i < 64; i++ {
+		resv, err := svc.Admit(Request{Ready: core.Time(1000 + r.Int63n(5000)), Q: 2, Dur: 20, Deadline: NoDeadline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, resv.ID)
+	}
+	moved, err := svc.RebalanceAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Applied == 0 {
+		t.Fatal("rebalancer moved nothing; the test needs cross-shard state")
+	}
+	before := make(map[int][]Reservation)
+	for i := 0; i < svc.Shards(); i++ {
+		before[i], _ = svc.Dump(i)
+	}
+	svc.Close()
+
+	svc, err = New(walConfig("array", dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for i := 0; i < svc.Shards(); i++ {
+		got, err := svc.Dump(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, before[i]) {
+			t.Fatalf("shard %d: post-rebalance state did not survive recovery:\n got %+v\nwant %+v", i, got, before[i])
+		}
+	}
+	// Every ID cancels, including ones living away from their minting
+	// shard (the rebuilt moved overlay must forward them).
+	for _, id := range ids {
+		if err := svc.Cancel(id); err != nil {
+			t.Fatalf("cancel %#x: %v", uint64(id), err)
+		}
+	}
+}
+
+// TestRecoveryCorruptMidLog injects damage before the tail: replay must
+// keep the proven prefix, count the corruption, and come up serving.
+func TestRecoveryCorruptMidLog(t *testing.T) {
+	dir := t.TempDir()
+	cfg := walConfig("array", dir, 0)
+	cfg.Shards = 1
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := svc.Admit(Request{Ready: core.Time(i * 100), Q: 1, Dur: 10, Deadline: NoDeadline}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Close()
+	// Flip a payload byte of the 6th frame: a CRC failure before the
+	// tail, which must read as damage rather than a crash artifact. The
+	// frame walk uses the on-disk layout (u32 length, u32 CRC, payload).
+	name, raw := newestLog(t, dir, 0)
+	off := 0
+	for i := 0; i < 5; i++ {
+		off += 8 + int(binary.LittleEndian.Uint32(raw[off:]))
+	}
+	raw[off+8] ^= 0x20
+	if err := os.WriteFile(name, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	wi := svc.WALInfo()
+	if wi.Corrupt != 1 || wi.DroppedBytes == 0 {
+		t.Fatalf("WALInfo = %+v, want one corrupt shard with dropped bytes", wi)
+	}
+	dump, err := svc.Dump(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump) == 0 || len(dump) >= 10 {
+		t.Fatalf("recovered %d of 10 reservations, want a proper non-empty prefix", len(dump))
+	}
+	// The service keeps admitting, and new IDs never collide with
+	// recovered ones.
+	seen := map[ID]bool{}
+	for _, r := range dump {
+		seen[r.ID] = true
+	}
+	for i := 0; i < 5; i++ {
+		resv, err := svc.Admit(Request{Ready: 0, Q: 1, Dur: 5, Deadline: NoDeadline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[resv.ID] {
+			t.Fatalf("recovered service re-minted live ID %#x", uint64(resv.ID))
+		}
+	}
+}
+
+// TestRecoveryReplayIsCorruptionNotPanic: records that are CRC-clean
+// but semantically impossible (cancel of an unknown ID) must surface as
+// ErrCorrupt from New, never as a panic or silent misstate.
+func TestRecoveryRejectsContradictoryLog(t *testing.T) {
+	dir := t.TempDir()
+	writeShardLog(t, dir, 0, wal.Record{Type: wal.TCancel, ID: uint64(makeID(0, 5))})
+	cfg := walConfig("array", dir, 0)
+	if _, err := New(cfg); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("New over a contradictory log: err = %v, want wal.ErrCorrupt", err)
+	}
+}

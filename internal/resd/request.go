@@ -1,0 +1,126 @@
+package resd
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tenant"
+)
+
+// Request is one admission request: the single argument of Admit, and
+// the canonical unit the WAL serializes — an admit log record is this
+// struct plus the assigned ID and start, nothing else.
+type Request struct {
+	// Tenant is the accounting identity the admission is charged to
+	// ("" = the default tenant).
+	Tenant string
+	// Ready is the earliest admissible start time.
+	Ready core.Time
+	// Q is the requested width (processors).
+	Q int
+	// Dur is the reservation length.
+	Dur core.Time
+	// Deadline is the latest admissible start. It is literal — the zero
+	// value is a deadline of tick 0, which rejects anything that cannot
+	// start immediately. Set NoDeadline (the usual choice) to disable
+	// the check.
+	Deadline core.Time
+}
+
+// Admit admits a reservation of req.Q processors for req.Dur ticks at
+// the earliest admissible start >= req.Ready on a shard chosen by the
+// placement policy, subject to the α head-room rule, req.Deadline, and
+// req.Tenant's quota (when Config.Quotas is set). It blocks until the
+// routed shard's event loop has committed — and, with a WAL, durably
+// logged — the batch containing the request.
+//
+// When every shard's earliest feasible start lies after the deadline
+// the request fails with ErrDeadline and no capacity is consumed: a
+// deadline rejection is an explicit accept/reject answer, not a silent
+// push-back. A hard-mode budget exhaustion fails with ErrQuota and, the
+// budgets being global, is returned without trying further shards.
+func (s *Service) Admit(req Request) (Reservation, error) {
+	if req.Ready < 0 || req.Q < 1 || req.Dur < 1 || req.Deadline < 0 {
+		return Reservation{}, fmt.Errorf("%w: Admit(%q, ready=%v, q=%d, dur=%v, deadline=%v)",
+			ErrBadRequest, req.Tenant, req.Ready, req.Q, req.Dur, req.Deadline)
+	}
+	if len(req.Tenant) > tenant.MaxNameLen {
+		return Reservation{}, fmt.Errorf("%w: tenant name %d bytes long (max %d)",
+			ErrBadRequest, len(req.Tenant), tenant.MaxNameLen)
+	}
+	ten := req.Tenant
+	if ten == "" {
+		ten = tenant.DefaultTenant
+	}
+	rec := s.tracer.maybe(ten)
+	if req.Q+s.floor > s.cfg.M {
+		s.tracer.finish(rec, TraceRejectedCapacity, 0)
+		return Reservation{}, fmt.Errorf("%w: q=%d with α-floor %d exceeds m=%d", ErrNeverFits, req.Q, s.floor, s.cfg.M)
+	}
+	// A deadline before the ready time is statically doomed (every start
+	// is >= ready), but it still takes the shard path below: the shards
+	// are where deadline rejections are counted, and a fast path here
+	// would make ShardStats.RejectedDeadline undercount what callers see.
+	//
+	// A shard that rejects for the deadline or the α rule is not the last
+	// word: another partition may be idle enough to start in time, so the
+	// placement order is tried to the end. A deadline rejection is
+	// remembered in preference to ErrNeverFits — it tells the caller the
+	// request was feasible, just not soon enough. A quota rejection, by
+	// contrast, ends the walk at once: the budget is service-wide, so no
+	// other shard can answer differently.
+	var firstErr error
+	order := s.place.order(s.shards, ten, req.Q, req.Dur)
+	if rec != nil {
+		rec.Route = time.Since(rec.Arrival)
+	}
+	for _, si := range order {
+		if rec != nil {
+			rec.Shard = si
+			rec.Enqueue = time.Since(rec.Arrival)
+		}
+		resp, err := s.shards[si].do(request{kind: opReserve, tenant: ten, ready: req.Ready, q: req.Q, dur: req.Dur, deadline: req.Deadline, trace: rec})
+		if err == nil {
+			s.tracer.finish(rec, TraceAdmitted, resp.resv.Start)
+			return resp.resv, nil
+		}
+		if errors.Is(err, ErrQuota) {
+			s.tracer.finish(rec, TraceRejectedQuota, 0)
+			return Reservation{}, err
+		}
+		if !errors.Is(err, ErrNeverFits) && !errors.Is(err, ErrDeadline) {
+			s.tracer.finish(rec, TraceError, 0)
+			return Reservation{}, err
+		}
+		if firstErr == nil || (errors.Is(err, ErrDeadline) && !errors.Is(firstErr, ErrDeadline)) {
+			firstErr = err
+		}
+	}
+	s.tracer.finish(rec, classifyTraceErr(firstErr), 0)
+	return Reservation{}, firstErr
+}
+
+// Reserve admits q processors for dur ticks at the earliest admissible
+// start >= ready, accounted to the default tenant with no deadline.
+//
+// Deprecated: use Admit with a Request.
+func (s *Service) Reserve(ready core.Time, q int, dur core.Time) (Reservation, error) {
+	return s.Admit(Request{Ready: ready, Q: q, Dur: dur, Deadline: NoDeadline})
+}
+
+// ReserveBy is Reserve with an SLA deadline on the start time (pass
+// NoDeadline to disable the check).
+//
+// Deprecated: use Admit with a Request.
+func (s *Service) ReserveBy(ready core.Time, q int, dur core.Time, deadline core.Time) (Reservation, error) {
+	return s.Admit(Request{Ready: ready, Q: q, Dur: dur, Deadline: deadline})
+}
+
+// ReserveFor is ReserveBy on behalf of a tenant.
+//
+// Deprecated: use Admit with a Request.
+func (s *Service) ReserveFor(ten string, ready core.Time, q int, dur core.Time, deadline core.Time) (Reservation, error) {
+	return s.Admit(Request{Tenant: ten, Ready: ready, Q: q, Dur: dur, Deadline: deadline})
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/profile"
 	"repro/internal/tenant"
+	"repro/internal/wal"
 
 	// Ensure the "tree" capacity backend is registered so services can be
 	// configured with Backend: "tree".
@@ -145,6 +146,15 @@ type Config struct {
 	// registration at New and sampled admission tracing (see ObsConfig).
 	// Nil disables both — the hot path then pays only dead nil checks.
 	Obs *ObsConfig
+	// WAL, when non-nil, makes every shard durable: admission decisions
+	// are written to a per-shard write-ahead log in WAL.Dir (group-
+	// committed with the batch turn, one fsync per batch under the
+	// default sync mode) and New replays whatever the directory holds,
+	// rebuilding the exact pre-crash state — IDs, placements, books and
+	// quota charges included — before serving. See internal/wal and this
+	// package's doc.go for the format and the recovery invariants. Nil
+	// keeps the service purely in-memory.
+	WAL *wal.Options
 }
 
 // Rebalancer defaults, applied by Config.normalize when the fields are
@@ -198,6 +208,13 @@ func (c Config) normalize() (Config, error) {
 	if c.RebalanceMaxMoves == 0 {
 		c.RebalanceMaxMoves = DefaultRebalanceMaxMoves
 	}
+	if c.WAL != nil {
+		w, err := c.WAL.Normalize()
+		if err != nil {
+			return c, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		c.WAL = &w
+	}
 	return c, nil
 }
 
@@ -227,9 +244,13 @@ type Service struct {
 	// freely; only rounds exclude each other).
 	balMu sync.Mutex
 
-	// tracer samples ReserveFor calls into a bounded ring (nil when
+	// tracer samples Admit calls into a bounded ring (nil when
 	// Config.Obs leaves tracing off).
 	tracer *tracer
+
+	// walInfo records what WAL recovery found and did at New (zero when
+	// the service runs without a WAL).
+	walInfo WALInfo
 
 	// Rebalancer telemetry, published for obs scrapes: cumulative round
 	// and per-outcome move counters, the imbalance scores around the last
@@ -244,7 +265,12 @@ type Service struct {
 }
 
 // New builds the shards (each pre-loaded with cfg.Pre), starts their event
-// loops, and returns the running service.
+// loops, and returns the running service. With Config.WAL set, New first
+// recovers whatever the log directory holds — replaying every shard's
+// snapshot and records, resolving moves the crash left mid-flight, and
+// re-charging the quota registry — so the returned service is the
+// pre-crash service, continued. Recovery runs to completion before New
+// returns; a server should not report ready until it does.
 func New(cfg Config) (*Service, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
@@ -260,16 +286,44 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	seeds, walInfo, err := recoverShards(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.walInfo = walInfo
 	for i := 0; i < cfg.Shards; i++ {
-		sh, err := newShard(i, cfg, s.floor, s.quit)
+		var seed *shardSeed
+		if seeds != nil {
+			seed = seeds[i]
+		}
+		sh, err := newShard(i, cfg, s.floor, s.quit, seed)
 		if err != nil {
 			close(s.quit)
 			for _, prev := range s.shards {
-				prev.wait()
+				prev.wait() // each loop seals its own log on exit
+			}
+			if seeds != nil {
+				for _, sd := range seeds[i:] { // loops never started: seal here
+					if sd.log != nil {
+						sd.log.Close()
+					}
+				}
 			}
 			return nil, err
 		}
 		s.shards = append(s.shards, sh)
+	}
+	// A recovered reservation keeps its original ID, whose shard bits
+	// name the admitting shard — rebuild the forwarding overlay for the
+	// ones a pre-crash rebalance left living elsewhere.
+	if seeds != nil {
+		for i, sd := range seeds {
+			for id := range sd.live {
+				if id.Shard() != i {
+					s.moved.Store(id, i)
+				}
+			}
+		}
 	}
 	if cfg.Obs != nil {
 		s.registerObs()
@@ -291,91 +345,6 @@ func (s *Service) Floor() int { return s.floor }
 
 // Placement returns the routing policy's name.
 func (s *Service) Placement() string { return s.place.name() }
-
-// Reserve admits a reservation of q processors for dur ticks at the
-// earliest admissible start >= ready on a shard chosen by the placement
-// policy. It blocks until the routed shard's event loop has committed the
-// batch containing the request. The admission is accounted to the default
-// tenant.
-func (s *Service) Reserve(ready core.Time, q int, dur core.Time) (Reservation, error) {
-	return s.ReserveFor("", ready, q, dur, NoDeadline)
-}
-
-// ReserveBy is Reserve with an SLA deadline on the start time: the
-// reservation is admitted only if some shard can start it at or before
-// deadline. When every shard's earliest feasible start on its α-prefix
-// lies after the deadline, the request fails with ErrDeadline and no
-// capacity is consumed — a deadline rejection is an explicit accept/reject
-// answer, not a silent push-back. Pass NoDeadline to disable the check.
-func (s *Service) ReserveBy(ready core.Time, q int, dur core.Time, deadline core.Time) (Reservation, error) {
-	return s.ReserveFor("", ready, q, dur, deadline)
-}
-
-// ReserveFor is ReserveBy on behalf of a tenant: the admission is charged
-// against the named tenant's quota (when Config.Quotas is set) and
-// counted in its per-shard stats. The empty name means the default
-// tenant, which is where the tenantless entry points and version-1 wire
-// frames land. A hard-mode budget exhaustion fails with ErrQuota and, the
-// budgets being global, is returned without trying further shards.
-func (s *Service) ReserveFor(ten string, ready core.Time, q int, dur core.Time, deadline core.Time) (Reservation, error) {
-	if ready < 0 || q < 1 || dur < 1 || deadline < 0 {
-		return Reservation{}, fmt.Errorf("%w: ReserveFor(%q, ready=%v, q=%d, dur=%v, deadline=%v)",
-			ErrBadRequest, ten, ready, q, dur, deadline)
-	}
-	if len(ten) > tenant.MaxNameLen {
-		return Reservation{}, fmt.Errorf("%w: tenant name %d bytes long (max %d)",
-			ErrBadRequest, len(ten), tenant.MaxNameLen)
-	}
-	if ten == "" {
-		ten = tenant.DefaultTenant
-	}
-	rec := s.tracer.maybe(ten)
-	if q+s.floor > s.cfg.M {
-		s.tracer.finish(rec, TraceRejectedCapacity, 0)
-		return Reservation{}, fmt.Errorf("%w: q=%d with α-floor %d exceeds m=%d", ErrNeverFits, q, s.floor, s.cfg.M)
-	}
-	// A deadline before the ready time is statically doomed (every start
-	// is >= ready), but it still takes the shard path below: the shards
-	// are where deadline rejections are counted, and a fast path here
-	// would make ShardStats.RejectedDeadline undercount what callers see.
-	//
-	// A shard that rejects for the deadline or the α rule is not the last
-	// word: another partition may be idle enough to start in time, so the
-	// placement order is tried to the end. A deadline rejection is
-	// remembered in preference to ErrNeverFits — it tells the caller the
-	// request was feasible, just not soon enough. A quota rejection, by
-	// contrast, ends the walk at once: the budget is service-wide, so no
-	// other shard can answer differently.
-	var firstErr error
-	order := s.place.order(s.shards, ten, q, dur)
-	if rec != nil {
-		rec.Route = time.Since(rec.Arrival)
-	}
-	for _, si := range order {
-		if rec != nil {
-			rec.Shard = si
-			rec.Enqueue = time.Since(rec.Arrival)
-		}
-		resp, err := s.shards[si].do(request{kind: opReserve, tenant: ten, ready: ready, q: q, dur: dur, deadline: deadline, trace: rec})
-		if err == nil {
-			s.tracer.finish(rec, TraceAdmitted, resp.resv.Start)
-			return resp.resv, nil
-		}
-		if errors.Is(err, ErrQuota) {
-			s.tracer.finish(rec, TraceRejectedQuota, 0)
-			return Reservation{}, err
-		}
-		if !errors.Is(err, ErrNeverFits) && !errors.Is(err, ErrDeadline) {
-			s.tracer.finish(rec, TraceError, 0)
-			return Reservation{}, err
-		}
-		if firstErr == nil || (errors.Is(err, ErrDeadline) && !errors.Is(firstErr, ErrDeadline)) {
-			firstErr = err
-		}
-	}
-	s.tracer.finish(rec, classifyTraceErr(firstErr), 0)
-	return Reservation{}, firstErr
-}
 
 // Quotas returns the quota registry the service enforces, or nil when
 // quotas are disabled.
@@ -554,6 +523,31 @@ func (s *Service) TenantTotals() (map[string]TenantStats, error) {
 			}
 			out[name] = tot
 		}
+	}
+	return out, nil
+}
+
+// WALInfo reports what WAL recovery found and did when the service was
+// built (Enabled false when the service runs without a WAL).
+func (s *Service) WALInfo() WALInfo { return s.walInfo }
+
+// Dump returns every committed reservation currently live on one shard,
+// sorted by ID. The list is consistent (served from inside the shard's
+// event loop between batches); a copy mid-way through a two-phase move
+// is excluded until the move commits. It is the recovery oracle's view:
+// a service restarted over its WAL must Dump identically to the service
+// that wrote it.
+func (s *Service) Dump(shard int) ([]Reservation, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil, fmt.Errorf("%w: shard %d of %d", ErrBadRequest, shard, len(s.shards))
+	}
+	resp, err := s.shards[shard].do(request{kind: opMigratable, ready: 0})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Reservation, 0, len(resp.cands))
+	for _, c := range resp.cands {
+		out = append(out, Reservation{ID: ID(c.ID), Shard: shard, Start: c.Start, Dur: c.Dur, Procs: c.Procs})
 	}
 	return out, nil
 }

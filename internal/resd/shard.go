@@ -3,6 +3,7 @@ package resd
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/rebal"
 	"repro/internal/tenant"
+	"repro/internal/wal"
 )
 
 // opKind discriminates shard requests.
@@ -39,6 +41,9 @@ const (
 	opMigrateOut
 	opMigrateCommit
 	opMigrateAbort
+	// opMigrateOutAck closes the source's WAL open-out after the target
+	// committed: pure durability bookkeeping, a no-op without a WAL.
+	opMigrateOutAck
 )
 
 // errMigratePending is the internal answer to a Cancel that reaches a
@@ -56,6 +61,7 @@ type request struct {
 	dur      core.Time    // Reserve length
 	deadline core.Time    // Reserve: latest admissible start (NoDeadline = unbounded)
 	id       ID           // Cancel target
+	peer     int          // two-phase move: the other shard (in: source, out: target)
 	trace    *TraceRecord // sampled admission trace, nil for the unsampled majority
 	reply    chan response
 }
@@ -84,6 +90,7 @@ type active struct {
 	tenant     string
 	statKey    string
 	pending    bool
+	from       int // pending only: the move's source shard (WAL recovery)
 }
 
 // OverflowTenant is the per-shard book that absorbs tenant names beyond
@@ -162,6 +169,20 @@ type shard struct {
 	slackP50 atomic.Int64
 	slackP90 atomic.Int64
 	turnNs   *obs.Histogram
+
+	// Durability. wlog is the shard's write-ahead log (nil = in-memory
+	// service); every state-changing op appends its record during apply
+	// and the loop group-commits once per batch, before the replies are
+	// released. openOuts tracks migrate-outs the peer has not durably
+	// committed yet (loop-owned, persisted in snapshots). A WAL write
+	// failure degrades the shard to non-durable (walFailed counts it)
+	// rather than taking admissions down with the disk.
+	wlog      *wal.Log
+	snapEvery int
+	openOuts  map[ID]int
+	snapBusy  atomic.Bool
+	snapWG    sync.WaitGroup
+	walFailed atomic.Uint64
 }
 
 // tenAreaCell returns the shard's atomic area mirror for one tenant book,
@@ -187,8 +208,12 @@ func (sh *shard) tenantArea(name string) int64 {
 // newShard builds the partition's index (with the Pre reservations
 // committed) and starts its event loop. floor is the service-computed
 // α head-room, passed in so the Reserve pre-check in Service and the
-// enforcement here can never disagree.
-func newShard(id int, cfg Config, floor int, quit <-chan struct{}) (*shard, error) {
+// enforcement here can never disagree. seed, when non-nil, is the
+// shard's recovered pre-crash state (WAL replay): it is re-committed
+// to the fresh index — placements land on the exact pre-crash profile
+// — before the loop starts, and a boot snapshot anchors the new log
+// generation so the replayed generations can be truncated.
+func newShard(id int, cfg Config, floor int, quit <-chan struct{}, seed *shardSeed) (*shard, error) {
 	idx, err := profile.IndexFromReservations(cfg.Backend, cfg.M, cfg.Pre)
 	if err != nil {
 		return nil, fmt.Errorf("resd: shard %d: %w", id, err)
@@ -213,8 +238,68 @@ func newShard(id int, cfg Config, floor int, quit <-chan struct{}) (*shard, erro
 			"Event-loop turn latency (apply+publish of one batch), nanoseconds.",
 			obs.L("shard", strconv.Itoa(id)))
 	}
+	if seed != nil {
+		if err := sh.adoptSeed(cfg, seed); err != nil {
+			return nil, err
+		}
+	}
 	go sh.loop()
 	return sh, nil
+}
+
+// adoptSeed installs recovered state before the loop starts: log handle,
+// sequence counter, books, counters, and every surviving reservation
+// committed back onto the index. The pre-crash state was legal against
+// the same Pre and M, so a commit failure here means the configuration
+// shrank under the recovered load — an error, not a panic.
+func (sh *shard) adoptSeed(cfg Config, seed *shardSeed) error {
+	sh.wlog = seed.log
+	sh.snapEvery = cfg.WAL.SnapEvery
+	sh.openOuts = seed.openOuts
+	sh.nextSeq = seed.nextSeq
+	sh.admitted.Store(seed.admitted)
+	sh.cancelled.Store(seed.cancelled)
+	sh.migratedIn.Store(seed.migratedIn)
+	sh.migratedOut.Store(seed.migratedOut)
+	sh.tstats = seed.books
+	ids := make([]ID, 0, len(seed.live))
+	for id := range seed.live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		a := seed.live[id]
+		if err := sh.idx.Commit(a.start, a.dur, a.q); err != nil {
+			return fmt.Errorf("resd: shard %d: recovered reservation %#x (start=%v dur=%v q=%d) no longer fits: %w",
+				sh.id, uint64(id), a.start, a.dur, a.q, err)
+		}
+		sh.live[id] = a
+		sh.area += int64(a.dur) * int64(a.q)
+	}
+	for name, ts := range sh.tstats {
+		if ts.CommittedArea != 0 {
+			sh.tenAreaCell(name).Store(ts.CommittedArea)
+		}
+	}
+	sh.activeCount.Store(int64(len(sh.live)))
+	sh.committedArea.Store(sh.area)
+	// Anchor a snapshot of the recovered state so the generations replay
+	// just consumed can be deleted. The boot generation may already hold
+	// recovery's fixup records, whose effects this state includes, so the
+	// snapshot anchors the generation after them (rotate first). Written
+	// synchronously: by the time New returns, recovery is complete and
+	// the old logs are gone. Skipped for a state-free boot (nothing to
+	// anchor) and when snapshots are disabled.
+	if sh.snapEvery > 0 && (len(sh.live) > 0 || len(sh.tstats) > 0 || seed.admitted > 0) {
+		gen, err := sh.wlog.Rotate()
+		if err != nil {
+			return fmt.Errorf("resd: shard %d: boot snapshot: %w", sh.id, err)
+		}
+		if err := sh.wlog.WriteSnapshot(seed.bootSnapshot(sh.id, gen)); err != nil {
+			return fmt.Errorf("resd: shard %d: boot snapshot: %w", sh.id, err)
+		}
+	}
+	return nil
 }
 
 // do submits one request and blocks for its response. It never blocks past
@@ -251,6 +336,16 @@ func (sh *shard) wait() { <-sh.done }
 // under load while keeping single-request latency at one handoff.
 func (sh *shard) loop() {
 	defer close(sh.done)
+	// Runs before done closes (LIFO): wait out any in-flight snapshot
+	// write, then seal the log so the final generation is complete.
+	defer func() {
+		sh.snapWG.Wait()
+		if sh.wlog != nil {
+			if err := sh.wlog.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "resd: shard %d: wal close: %v\n", sh.id, err)
+			}
+		}
+	}()
 	pending := make([]request, 0, sh.batch)
 	results := make([]response, 0, sh.batch)
 	for {
@@ -295,6 +390,15 @@ func (sh *shard) loop() {
 			}
 			results = append(results, sh.apply(r))
 		}
+		// The group-commit durability point: every record the batch
+		// appended is flushed (and fsynced, under SyncBatch) in one call
+		// before any reply is released — callers never observe a success
+		// the log could forget.
+		if sh.wlog != nil {
+			if err := sh.wlog.Commit(); err != nil {
+				sh.walFail("commit", err)
+			}
+		}
 		sh.publish(len(pending))
 		if sh.obsOn {
 			sh.turnNs.Observe(time.Since(turnStart).Nanoseconds())
@@ -302,6 +406,7 @@ func (sh *shard) loop() {
 		for i, r := range pending {
 			r.reply <- results[i]
 		}
+		sh.maybeSnapshot()
 	}
 }
 
@@ -388,6 +493,8 @@ func (sh *shard) apply(r request) response {
 		return sh.migrateCommit(r)
 	case opMigrateAbort:
 		return sh.migrateAbort(r)
+	case opMigrateOutAck:
+		return sh.migrateOutAck(r)
 	default:
 		return response{err: fmt.Errorf("%w: unknown op %d", ErrBadRequest, r.kind)}
 	}
@@ -438,6 +545,11 @@ func (sh *shard) reserve(r request) response {
 	}
 	id := makeID(sh.id, sh.nextSeq)
 	sh.nextSeq++
+	sh.walAppend(wal.Record{
+		Type: wal.TAdmit, ID: uint64(id), Tenant: r.tenant,
+		Ready: int64(r.ready), Procs: r.q, Dur: int64(r.dur),
+		Deadline: int64(r.deadline), Start: int64(start),
+	})
 	sh.live[id] = active{start: start, dur: r.dur, q: r.q, tenant: r.tenant, statKey: statKey}
 	sh.area += area
 	ts := sh.tstats[statKey]
@@ -476,6 +588,7 @@ func (sh *shard) cancel(r request) response {
 	if err := sh.idx.Release(a.start, a.dur, a.q); err != nil {
 		return response{err: fmt.Errorf("resd: shard %d release: %w", sh.id, err)}
 	}
+	sh.walAppend(wal.Record{Type: wal.TCancel, ID: uint64(r.id)})
 	delete(sh.live, r.id)
 	area := int64(a.dur) * int64(a.q)
 	sh.area -= area
@@ -526,9 +639,13 @@ func (sh *shard) migrateIn(r request) response {
 	if err := sh.idx.Commit(r.ready, r.dur, r.q); err != nil {
 		return response{err: fmt.Errorf("resd: shard %d migrate-in commit: %w", sh.id, err)}
 	}
+	sh.walAppend(wal.Record{
+		Type: wal.TMigrateIn, ID: uint64(r.id), Peer: uint32(r.peer),
+		Start: int64(r.ready), Dur: int64(r.dur), Procs: r.q, Tenant: r.tenant,
+	})
 	sh.live[r.id] = active{
 		start: r.ready, dur: r.dur, q: r.q,
-		tenant: r.tenant, statKey: sh.tstatKey(r.tenant), pending: true,
+		tenant: r.tenant, statKey: sh.tstatKey(r.tenant), pending: true, from: r.peer,
 	}
 	return response{}
 }
@@ -544,6 +661,10 @@ func (sh *shard) migrateOut(r request) response {
 	}
 	if err := sh.idx.Release(a.start, a.dur, a.q); err != nil {
 		return response{err: fmt.Errorf("resd: shard %d migrate-out release: %w", sh.id, err)}
+	}
+	if sh.wlog != nil {
+		sh.walAppend(wal.Record{Type: wal.TMigrateOut, ID: uint64(r.id), Peer: uint32(r.peer)})
+		sh.openOuts[r.id] = r.peer
 	}
 	delete(sh.live, r.id)
 	area := int64(a.dur) * int64(a.q)
@@ -566,7 +687,9 @@ func (sh *shard) migrateCommit(r request) response {
 	if !ok || !a.pending {
 		return response{err: fmt.Errorf("%w: no pending migrate-in for %#x on shard %d", ErrBadRequest, uint64(r.id), sh.id)}
 	}
+	sh.walAppend(wal.Record{Type: wal.TMigrateCommit, ID: uint64(r.id)})
 	a.pending = false
+	a.from = 0
 	sh.live[r.id] = a
 	area := int64(a.dur) * int64(a.q)
 	sh.area += area
@@ -591,7 +714,21 @@ func (sh *shard) migrateAbort(r request) response {
 	if err := sh.idx.Release(a.start, a.dur, a.q); err != nil {
 		return response{err: fmt.Errorf("resd: shard %d migrate-abort release: %w", sh.id, err)}
 	}
+	sh.walAppend(wal.Record{Type: wal.TMigrateAbort, ID: uint64(r.id)})
 	delete(sh.live, r.id)
+	return response{}
+}
+
+// migrateOutAck closes the shard's open-out for a move the target has
+// durably committed. Idempotent, and a no-op without a WAL: the open-out
+// set exists only for crash recovery.
+func (sh *shard) migrateOutAck(r request) response {
+	if sh.wlog != nil {
+		if _, open := sh.openOuts[r.id]; open {
+			sh.walAppend(wal.Record{Type: wal.TMigrateOutAck, ID: uint64(r.id)})
+			delete(sh.openOuts, r.id)
+		}
+	}
 	return response{}
 }
 

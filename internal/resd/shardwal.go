@@ -1,0 +1,66 @@
+package resd
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/wal"
+)
+
+// walAppend buffers one record on the shard's log (durable at the
+// batch's Commit). A no-op when the shard runs without a WAL or has
+// degraded after a log failure.
+func (sh *shard) walAppend(rec wal.Record) {
+	if sh.wlog == nil {
+		return
+	}
+	if err := sh.wlog.Append(rec); err != nil {
+		sh.walFail("append", err)
+	}
+}
+
+// walFail degrades the shard to non-durable after a log write failure:
+// admissions keep flowing (availability over durability — the in-memory
+// state is still correct), the log is sealed, and the failure is
+// counted (resd_wal_failures_total) and reported once. Runs only on the
+// loop goroutine, like every other wlog access.
+func (sh *shard) walFail(op string, err error) {
+	sh.walFailed.Add(1)
+	fmt.Fprintf(os.Stderr, "resd: shard %d: wal %s failed, shard now non-durable: %v\n", sh.id, op, err)
+	sh.snapWG.Wait()
+	sh.wlog.Close()
+	sh.wlog = nil
+}
+
+// maybeSnapshot rotates the log and kicks off a background snapshot
+// write once enough records have accumulated since the last one. The
+// state capture and the rotation run in-loop (cheap copies); only the
+// file write leaves the loop, and at most one write is in flight.
+func (sh *shard) maybeSnapshot() {
+	if sh.wlog == nil || sh.snapEvery <= 0 ||
+		sh.wlog.SinceSnapshot() < sh.snapEvery || sh.snapBusy.Load() {
+		return
+	}
+	gen, err := sh.wlog.Rotate()
+	if err != nil {
+		sh.walFail("rotate", err)
+		return
+	}
+	snap := buildSnapshot(sh.id, gen, sh.nextSeq,
+		sh.admitted.Load(), sh.cancelled.Load(), sh.migratedIn.Load(), sh.migratedOut.Load(),
+		sh.tstats, sh.live, sh.openOuts)
+	wl := sh.wlog
+	sh.snapBusy.Store(true)
+	sh.snapWG.Add(1)
+	go func() {
+		defer sh.snapWG.Done()
+		defer sh.snapBusy.Store(false)
+		if err := wl.WriteSnapshot(snap); err != nil {
+			// Not fatal and not degrading: the rotated logs still hold
+			// every record, so recovery just replays more. The next
+			// trigger retries.
+			sh.walFailed.Add(1)
+			fmt.Fprintf(os.Stderr, "resd: shard %d: wal snapshot: %v\n", sh.id, err)
+		}
+	}()
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/profile"
@@ -16,6 +17,12 @@ import (
 // ErrClientClosed reports a call on a closed client (or one whose
 // connection died mid-call; the underlying cause is wrapped).
 var ErrClientClosed = errors.New("reswire: client closed")
+
+// ErrTimeout reports a call that exceeded Options.CallTimeout. The
+// connection stays usable — the abandoned request's late response is
+// discarded when it arrives — but the operation may still have executed
+// on the server (a timed-out Reserve can still have admitted).
+var ErrTimeout = errors.New("reswire: call timeout")
 
 // Options parameterises Dial.
 type Options struct {
@@ -30,6 +37,10 @@ type Options struct {
 	// Window caps in-flight requests per connection when pipelining
 	// (default 256; forced to 1 when Pipeline is false).
 	Window int
+	// CallTimeout bounds each call — window admission, write, and the
+	// wait for the response — failing it with ErrTimeout when exceeded.
+	// 0 (the default) waits forever.
+	CallTimeout time.Duration
 	// Metrics attaches wire instrumentation (side "client"): per-op
 	// latency, in-flight window, socket bytes, frame errors, response
 	// codes. Nil leaves instrumentation off.
@@ -49,21 +60,26 @@ func (o Options) normalize() (Options, error) {
 	if o.Window < 1 {
 		return o, fmt.Errorf("reswire: Window=%d, need >= 1", o.Window)
 	}
+	if o.CallTimeout < 0 {
+		return o, fmt.Errorf("reswire: CallTimeout=%v, need >= 0", o.CallTimeout)
+	}
 	if !o.Pipeline {
 		o.Window = 1
 	}
 	return o, nil
 }
 
-// Client is the remote face of a resd.Service: Reserve/ReserveBy, Cancel,
-// Query, Snapshot, Stats and Ping with the same signatures and the same
-// typed errors (errors.Is(err, resd.ErrDeadline) works on both sides of
-// the wire). All methods are safe for concurrent use; concurrent callers
+// Client is the remote face of a resd.Service: Admit, Cancel, Query,
+// Snapshot, Stats and Ping with the same signatures and the same typed
+// errors (errors.Is(err, resd.ErrDeadline) works on both sides of the
+// wire). All methods are safe for concurrent use; concurrent callers
 // are multiplexed over the configured connections and, when pipelining,
-// their requests share flushes.
+// their requests share flushes. After Close every method returns
+// ErrClientClosed.
 type Client struct {
-	conns []*clientConn
-	rr    atomic.Uint64
+	conns  []*clientConn
+	rr     atomic.Uint64
+	closed atomic.Bool
 }
 
 // Dial connects to a reswire server.
@@ -79,14 +95,15 @@ func Dial(addr string, opts Options) (*Client, error) {
 			c.Close()
 			return nil, fmt.Errorf("reswire: dial %s: %w", addr, err)
 		}
-		c.conns = append(c.conns, newClientConn(nc, opts.Window, opts.Metrics))
+		c.conns = append(c.conns, newClientConn(nc, opts, opts.Metrics))
 	}
 	return c, nil
 }
 
-// Close tears down every connection. In-flight calls fail with
-// ErrClientClosed.
+// Close tears down every connection. In-flight and subsequent calls
+// fail with ErrClientClosed.
 func (c *Client) Close() error {
+	c.closed.Store(true)
 	for _, cc := range c.conns {
 		cc.close(ErrClientClosed)
 	}
@@ -100,6 +117,9 @@ func (c *Client) pick() *clientConn {
 
 // call performs one round trip and maps the response code to an error.
 func (c *Client) call(req Request) (Response, error) {
+	if c.closed.Load() {
+		return Response{}, ErrClientClosed
+	}
 	resp, err := c.pick().call(req)
 	if err != nil {
 		return Response{}, err
@@ -113,28 +133,39 @@ func (c *Client) call(req Request) (Response, error) {
 	return resp, nil
 }
 
-// Reserve admits a reservation at the earliest admissible start, exactly
-// like resd.Service.Reserve but over the wire.
-func (c *Client) Reserve(ready core.Time, q int, dur core.Time) (resd.Reservation, error) {
-	return c.ReserveBy(ready, q, dur, resd.NoDeadline)
-}
-
-// ReserveBy is Reserve with an SLA deadline on the start time; a
-// REJECTED_DEADLINE response surfaces as resd.ErrDeadline.
-func (c *Client) ReserveBy(ready core.Time, q int, dur core.Time, deadline core.Time) (resd.Reservation, error) {
-	return c.ReserveFor("", ready, q, dur, deadline)
-}
-
-// ReserveFor is ReserveBy on behalf of a tenant: the admission is charged
-// against the named tenant's quota on the server ("" = the default
-// tenant). A REJECTED_QUOTA response surfaces as tenant.ErrQuota (equally
-// resd.ErrQuota), exactly as an in-process caller would see it.
-func (c *Client) ReserveFor(ten string, ready core.Time, q int, dur core.Time, deadline core.Time) (resd.Reservation, error) {
-	resp, err := c.call(Request{Op: OpReserve, Tenant: ten, Ready: ready, Procs: q, Dur: dur, Deadline: deadline})
+// Admit admits a reservation exactly like resd.Service.Admit but over
+// the wire: same resd.Request, same typed errors (a REJECTED_DEADLINE
+// response surfaces as resd.ErrDeadline, REJECTED_QUOTA as
+// tenant.ErrQuota). Remember req.Deadline is literal — set
+// resd.NoDeadline to disable the deadline check.
+func (c *Client) Admit(req resd.Request) (resd.Reservation, error) {
+	resp, err := c.call(Request{Op: OpReserve, Tenant: req.Tenant, Ready: req.Ready, Procs: req.Q, Dur: req.Dur, Deadline: req.Deadline})
 	if err != nil {
 		return resd.Reservation{}, err
 	}
 	return resp.Resv, nil
+}
+
+// Reserve admits a reservation at the earliest admissible start,
+// accounted to the default tenant with no deadline.
+//
+// Deprecated: use Admit with a resd.Request.
+func (c *Client) Reserve(ready core.Time, q int, dur core.Time) (resd.Reservation, error) {
+	return c.Admit(resd.Request{Ready: ready, Q: q, Dur: dur, Deadline: resd.NoDeadline})
+}
+
+// ReserveBy is Reserve with an SLA deadline on the start time.
+//
+// Deprecated: use Admit with a resd.Request.
+func (c *Client) ReserveBy(ready core.Time, q int, dur core.Time, deadline core.Time) (resd.Reservation, error) {
+	return c.Admit(resd.Request{Ready: ready, Q: q, Dur: dur, Deadline: deadline})
+}
+
+// ReserveFor is ReserveBy on behalf of a tenant.
+//
+// Deprecated: use Admit with a resd.Request.
+func (c *Client) ReserveFor(ten string, ready core.Time, q int, dur core.Time, deadline core.Time) (resd.Reservation, error) {
+	return c.Admit(resd.Request{Tenant: ten, Ready: ready, Q: q, Dur: dur, Deadline: deadline})
 }
 
 // QuotaGet reads one tenant's quota state from the server's registry ("" =
@@ -244,26 +275,33 @@ type clientConn struct {
 	nc      net.Conn
 	wc      net.Conn // nc behind the byte counters when instrumented
 	m       *Metrics
+	timeout time.Duration // 0 = wait forever
 	sem     chan struct{} // in-flight window
 	writeCh chan []byte
 
 	mu      sync.Mutex
 	pending map[uint64]chan Response
-	nextID  uint64
+	// stale holds ids of timed-out calls whose response has not arrived:
+	// the reader discards those instead of treating them as protocol
+	// violations.
+	stale  map[uint64]struct{}
+	nextID uint64
 
 	closeOnce sync.Once
 	closed    chan struct{}
 	errv      atomic.Value // error: why the connection died
 }
 
-func newClientConn(nc net.Conn, window int, m *Metrics) *clientConn {
+func newClientConn(nc net.Conn, opts Options, m *Metrics) *clientConn {
 	cc := &clientConn{
 		nc:      nc,
 		wc:      m.wrap(nc),
 		m:       m,
-		sem:     make(chan struct{}, window),
-		writeCh: make(chan []byte, window),
+		timeout: opts.CallTimeout,
+		sem:     make(chan struct{}, opts.Window),
+		writeCh: make(chan []byte, opts.Window),
 		pending: make(map[uint64]chan Response),
+		stale:   make(map[uint64]struct{}),
 		closed:  make(chan struct{}),
 	}
 	go cc.writeLoop()
@@ -298,12 +336,21 @@ func (cc *clientConn) deadErr() error {
 	return fmt.Errorf("%w: %v", ErrClientClosed, cause)
 }
 
-// call sends one request and blocks for its response.
+// call sends one request and blocks for its response, bounded by the
+// connection's call timeout when one is configured.
 func (cc *clientConn) call(req Request) (Response, error) {
+	var timeoutCh <-chan time.Time
+	if cc.timeout > 0 {
+		timer := time.NewTimer(cc.timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
 	select {
 	case cc.sem <- struct{}{}:
 	case <-cc.closed:
 		return Response{}, cc.deadErr()
+	case <-timeoutCh:
+		return Response{}, fmt.Errorf("%w: no window slot within %v", ErrTimeout, cc.timeout)
 	}
 	defer func() { <-cc.sem }()
 	start := cc.m.begin()
@@ -330,22 +377,58 @@ func (cc *clientConn) call(req Request) (Response, error) {
 	case <-cc.closed:
 		cc.forget(req.ID)
 		return Response{}, cc.deadErr()
+	case <-timeoutCh:
+		cc.forget(req.ID)
+		return Response{}, fmt.Errorf("%w: %s not written within %v", ErrTimeout, req.Op, cc.timeout)
 	}
-	resp, ok := <-ch
-	if !ok {
-		return Response{}, cc.deadErr()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return Response{}, cc.deadErr()
+		}
+		cc.m.observe(req.Op, start, resp.Code)
+		return resp, nil
+	case <-timeoutCh:
+		if cc.abandon(req.ID) {
+			return Response{}, fmt.Errorf("%w: no %s response within %v", ErrTimeout, req.Op, cc.timeout)
+		}
+		// The response won the race: the reader has already taken the id
+		// off pending, so the buffered send (or the close) is imminent.
+		resp, ok := <-ch
+		if !ok {
+			return Response{}, cc.deadErr()
+		}
+		cc.m.observe(req.Op, start, resp.Code)
+		return resp, nil
 	}
-	cc.m.observe(req.Op, start, resp.Code)
-	return resp, nil
 }
 
-// forget drops a pending slot after a local failure.
+// forget drops a pending slot after a local failure (nothing was sent,
+// so no response will ever arrive for the id).
 func (cc *clientConn) forget(id uint64) {
 	cc.mu.Lock()
 	if cc.pending != nil {
 		delete(cc.pending, id)
 	}
 	cc.mu.Unlock()
+}
+
+// abandon gives up on an in-flight request at timeout: the id moves to
+// the stale set so the reader discards its late response. Reports false
+// when the request is no longer pending — its response already arrived
+// (buffered on the slot) or the connection died.
+func (cc *clientConn) abandon(id uint64) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.pending == nil {
+		return false
+	}
+	if _, ok := cc.pending[id]; !ok {
+		return false
+	}
+	delete(cc.pending, id)
+	cc.stale[id] = struct{}{}
+	return true
 }
 
 // writeLoop drains queued frames and flushes once per batch (the
@@ -398,6 +481,12 @@ func (cc *clientConn) readLoop() {
 		ch, ok := cc.pending[resp.ID]
 		if ok {
 			delete(cc.pending, resp.ID)
+		} else if _, timedOut := cc.stale[resp.ID]; timedOut {
+			// The caller gave up on this one: drop the late response and
+			// keep the connection.
+			delete(cc.stale, resp.ID)
+			cc.mu.Unlock()
+			continue
 		}
 		cc.mu.Unlock()
 		if !ok {

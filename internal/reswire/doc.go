@@ -81,4 +81,21 @@
 // BENCH_reswire.json) measures the gap: pipelining is the difference
 // between paying one round trip per admission and amortising the wire
 // across a batch.
+//
+// Client.Admit mirrors resd.Service.Admit field for field: the one
+// resd.Request struct is the admission vocabulary on both sides of the
+// socket, and callers migrating from the deprecated
+// Reserve/ReserveBy/ReserveFor triplet change nothing but the call
+// site (each wrapper fills the Request its old signature implied; the
+// on-wire frames are unchanged, so mixed-version deployments are
+// unaffected).
+//
+// Options.CallTimeout bounds every call end to end — waiting for a
+// window slot, getting the frame onto the socket, and waiting for the
+// response — failing with ErrTimeout. A timed-out call releases its
+// window slot
+// immediately and marks its request id stale; if the response arrives
+// late, the reader discards it and keeps the connection, so one slow
+// request degrades to one failed call, not a poisoned connection. Zero
+// means no timeout. After Close every call fails with ErrClientClosed.
 package reswire

@@ -208,7 +208,7 @@ func (s *Server) handle(req Request) Response {
 	}
 	switch req.Op {
 	case OpReserve:
-		resv, err := s.svc.ReserveFor(req.Tenant, req.Ready, req.Procs, req.Dur, req.Deadline)
+		resv, err := s.svc.Admit(resd.Request{Tenant: req.Tenant, Ready: req.Ready, Q: req.Procs, Dur: req.Dur, Deadline: req.Deadline})
 		if err != nil {
 			return fail(err)
 		}

@@ -1,0 +1,93 @@
+// Package wal is the durability layer under internal/resd: an
+// append-only, CRC-framed, per-shard log of admission-affecting
+// decisions, group-committed with the shard's batch turn so one fsync
+// covers a whole batch, plus periodic snapshots that truncate the log
+// and a recovery scanner that rebuilds the pre-crash record stream.
+//
+// The package is deliberately mechanism, not policy: it knows how to
+// frame, sync, rotate, snapshot and re-read records, while the meaning
+// of each record — how an admit changes a capacity index, when a
+// pending migrate-in commits — lives with the service that owns the
+// state (internal/resd). That keeps the format free of resd types and
+// testable in isolation.
+//
+// # File layout
+//
+// Every shard owns a generation-numbered family of files in the WAL
+// directory:
+//
+//	shard-<shard>.<gen>.wal    log segment (append-only records)
+//	shard-<shard>.<gen>.snap   snapshot of the state at gen's start
+//
+// Generations increase monotonically. A snapshot at generation G
+// captures the effect of every record in generations < G, so recovery
+// is: load the newest valid snapshot (gen G), then replay every log
+// segment with gen >= G in ascending order. Segments older than a
+// durable snapshot are deleted by the snapshot writer.
+//
+// Rotation order makes non-final segments complete by construction:
+// the current segment is flushed and fsynced before the next
+// generation's file is created. An invalid frame in the final segment
+// is therefore a torn tail (crash mid-write, ReplayInfo.Torn) and the
+// valid prefix is kept; an invalid frame in an earlier segment is real
+// corruption (ReplayInfo.Corrupt) and replay stops there rather than
+// guessing at the suffix.
+//
+// # Record framing
+//
+// Each record is one length-prefixed, checksummed frame:
+//
+//	uint32  payload length (little endian)
+//	uint32  CRC-32 (IEEE) of the payload (little endian)
+//	payload
+//
+// The payload starts with a one-byte record type and the reservation
+// ID as a uvarint, followed by type-specific fields (varint/uvarint
+// encoded, strings length-prefixed):
+//
+//	admit           (1)  tenant, ready, procs, dur, deadline, start
+//	cancel          (2)  —
+//	migrate-in      (3)  peer (source shard), start, dur, procs, tenant
+//	migrate-out     (4)  peer (target shard)
+//	migrate-commit  (5)  —
+//	migrate-abort   (6)  —
+//	migrate-out-ack (7)  —
+//
+// The admit payload's tenant/ready/procs/dur/deadline fields are the
+// canonical serialization of resd.Request — the unified admission
+// argument — followed by the decision (the assigned start time).
+//
+// # Two-phase moves in the log
+//
+// A migration writes to both shards' logs: migrate-in (pending copy
+// held) on the target, then migrate-out on the source, then
+// migrate-commit on the target, and finally migrate-out-ack back on
+// the source. The ack closes the source's "open out" — the durable
+// marker that distinguishes "the source released this reservation to
+// shard T" from "the reservation was cancelled" after snapshots have
+// truncated the raw history (snapshots persist the open-out set).
+// Recovery resolves a pending migrate-in to commit exactly when the
+// source's recovered open-out names the target, and to abort
+// otherwise; a crash at any point between the phases therefore lands
+// on commit-or-abort, never a duplicate and never a lost reservation.
+//
+// # Snapshot format
+//
+// A snapshot file is a single checksummed blob:
+//
+//	uint32  magic "RSNP" (0x504e5352 little endian)
+//	uint8   version (1)
+//	uvarint shard, gen, nextSeq
+//	uvarint admitted, cancelled, migratedIn, migratedOut (counters)
+//	books:    uvarint count, then per book: tenant, active, area,
+//	          admitted, cancelled, rejectedQuota, migratedIn, migratedOut
+//	live:     uvarint count, then per entry: id, start, dur, procs,
+//	          pending, from (peer shard when pending), tenant
+//	openOuts: uvarint count, then per entry: id, to
+//	uint32  CRC-32 (IEEE) of everything above (little endian)
+//
+// Snapshots are written to a temporary file, fsynced, renamed into
+// place and the directory fsynced, so a crash mid-snapshot leaves
+// either the previous snapshot or a complete new one — never a
+// half-written file that recovery could mistake for state.
+package wal

@@ -1,0 +1,265 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Type discriminates log records. The values are the on-disk encoding
+// and must never be renumbered.
+type Type uint8
+
+const (
+	// TAdmit records one admission: the canonical serialization of the
+	// resd.Request that was admitted, plus the assigned ID and start.
+	TAdmit Type = 1
+	// TCancel records the release of an admitted reservation.
+	TCancel Type = 2
+	// TMigrateIn records a tentative migrated-in copy (two-phase move,
+	// target side): capacity held, invisible until TMigrateCommit.
+	TMigrateIn Type = 3
+	// TMigrateOut records the source releasing a migrating reservation
+	// to the peer shard. It opens the source's "open out" for the ID.
+	TMigrateOut Type = 4
+	// TMigrateCommit finalises a pending migrate-in on the target.
+	TMigrateCommit Type = 5
+	// TMigrateAbort rolls a pending migrate-in back on the target.
+	TMigrateAbort Type = 6
+	// TMigrateOutAck closes the source's open out after the target
+	// committed — pure recovery bookkeeping, no capacity effect.
+	TMigrateOutAck Type = 7
+)
+
+func (t Type) String() string {
+	switch t {
+	case TAdmit:
+		return "admit"
+	case TCancel:
+		return "cancel"
+	case TMigrateIn:
+		return "migrate-in"
+	case TMigrateOut:
+		return "migrate-out"
+	case TMigrateCommit:
+		return "migrate-commit"
+	case TMigrateAbort:
+		return "migrate-abort"
+	case TMigrateOutAck:
+		return "migrate-out-ack"
+	default:
+		return fmt.Sprintf("wal.Type(%d)", uint8(t))
+	}
+}
+
+// Record is one logged decision. Which fields are meaningful depends on
+// Type (see the package documentation's record table); the rest stay
+// zero and are not encoded.
+type Record struct {
+	Type Type
+	// ID is the service-wide reservation identity.
+	ID uint64
+	// Peer is the other shard of a two-phase move: the source for
+	// TMigrateIn, the target for TMigrateOut.
+	Peer uint32
+	// Start is the admitted (or migrated-to) start time.
+	Start int64
+	// Ready, Dur, Deadline and Procs echo the admission request
+	// (TAdmit; TMigrateIn carries Dur and Procs).
+	Ready, Dur, Deadline int64
+	Procs                int
+	// Tenant is the accounting identity (TAdmit, TMigrateIn).
+	Tenant string
+}
+
+// Framing and decoding errors.
+var (
+	// ErrCorrupt reports a frame that is structurally present but
+	// invalid: CRC mismatch, impossible length, or a malformed payload.
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// errShort reports a frame cut off mid-write — the torn-tail signal
+	// recovery treats as the crash point, not as corruption. Internal:
+	// Recover folds it into ReplayInfo.
+	errShort = errors.New("wal: short frame")
+)
+
+// maxPayload bounds a single record payload. The largest legal record
+// is an admit with a 255-byte tenant name — well under this; anything
+// bigger is corruption, not data.
+const maxPayload = 1 << 16
+
+// frameHeader is the fixed prefix of every frame: payload length and
+// payload CRC, both little-endian uint32.
+const frameHeader = 8
+
+// appendUvarint / appendVarint wrap binary's appenders for symmetry.
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendRecord appends r's framed encoding to buf and returns the
+// extended slice.
+func AppendRecord(buf []byte, r Record) []byte {
+	head := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	buf = append(buf, byte(r.Type))
+	buf = appendUvarint(buf, r.ID)
+	switch r.Type {
+	case TAdmit:
+		buf = appendString(buf, r.Tenant)
+		buf = appendVarint(buf, r.Ready)
+		buf = appendUvarint(buf, uint64(r.Procs))
+		buf = appendVarint(buf, r.Dur)
+		buf = appendVarint(buf, r.Deadline)
+		buf = appendVarint(buf, r.Start)
+	case TMigrateIn:
+		buf = appendUvarint(buf, uint64(r.Peer))
+		buf = appendVarint(buf, r.Start)
+		buf = appendVarint(buf, r.Dur)
+		buf = appendUvarint(buf, uint64(r.Procs))
+		buf = appendString(buf, r.Tenant)
+	case TMigrateOut:
+		buf = appendUvarint(buf, uint64(r.Peer))
+	case TCancel, TMigrateCommit, TMigrateAbort, TMigrateOutAck:
+		// ID only.
+	}
+	payload := buf[head+frameHeader:]
+	binary.LittleEndian.PutUint32(buf[head:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[head+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// decodeRecord reads one frame from b. It returns the record, the
+// number of bytes consumed, and an error: errShort when b ends before
+// the frame does (torn tail), ErrCorrupt when the frame is invalid.
+func decodeRecord(b []byte) (Record, int, error) {
+	if len(b) < frameHeader {
+		return Record{}, 0, errShort
+	}
+	n := binary.LittleEndian.Uint32(b)
+	sum := binary.LittleEndian.Uint32(b[4:])
+	if n == 0 || n > maxPayload {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d", ErrCorrupt, n)
+	}
+	if len(b) < frameHeader+int(n) {
+		return Record{}, 0, errShort
+	}
+	payload := b[frameHeader : frameHeader+int(n)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Record{}, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	r, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return r, frameHeader + int(n), nil
+}
+
+// payloadReader walks a checksummed payload; any decoding error poisons
+// the rest so callers check once at the end.
+type payloadReader struct {
+	b   []byte
+	err error
+}
+
+func (p *payloadReader) fail(what string) {
+	if p.err == nil {
+		p.err = fmt.Errorf("%w: bad %s", ErrCorrupt, what)
+	}
+}
+
+func (p *payloadReader) byte(what string) byte {
+	if p.err != nil {
+		return 0
+	}
+	if len(p.b) == 0 {
+		p.fail(what)
+		return 0
+	}
+	v := p.b[0]
+	p.b = p.b[1:]
+	return v
+}
+
+func (p *payloadReader) uvarint(what string) uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.b)
+	if n <= 0 {
+		p.fail(what)
+		return 0
+	}
+	p.b = p.b[n:]
+	return v
+}
+
+func (p *payloadReader) varint(what string) int64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(p.b)
+	if n <= 0 {
+		p.fail(what)
+		return 0
+	}
+	p.b = p.b[n:]
+	return v
+}
+
+func (p *payloadReader) str(what string) string {
+	n := p.uvarint(what)
+	if p.err != nil {
+		return ""
+	}
+	if n > uint64(len(p.b)) {
+		p.fail(what)
+		return ""
+	}
+	v := string(p.b[:n])
+	p.b = p.b[n:]
+	return v
+}
+
+func (p *payloadReader) done(what string) error {
+	if p.err != nil {
+		return p.err
+	}
+	if len(p.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in %s", ErrCorrupt, len(p.b), what)
+	}
+	return nil
+}
+
+func decodePayload(payload []byte) (Record, error) {
+	p := &payloadReader{b: payload}
+	var r Record
+	r.Type = Type(p.byte("type"))
+	r.ID = p.uvarint("id")
+	switch r.Type {
+	case TAdmit:
+		r.Tenant = p.str("tenant")
+		r.Ready = p.varint("ready")
+		r.Procs = int(p.uvarint("procs"))
+		r.Dur = p.varint("dur")
+		r.Deadline = p.varint("deadline")
+		r.Start = p.varint("start")
+	case TMigrateIn:
+		r.Peer = uint32(p.uvarint("peer"))
+		r.Start = p.varint("start")
+		r.Dur = p.varint("dur")
+		r.Procs = int(p.uvarint("procs"))
+		r.Tenant = p.str("tenant")
+	case TMigrateOut:
+		r.Peer = uint32(p.uvarint("peer"))
+	case TCancel, TMigrateCommit, TMigrateAbort, TMigrateOutAck:
+	default:
+		return Record{}, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, r.Type)
+	}
+	return r, p.done(r.Type.String())
+}

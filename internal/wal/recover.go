@@ -1,0 +1,179 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ReplayInfo describes what recovery found.
+type ReplayInfo struct {
+	// Records is how many log records were replayed (after the chosen
+	// snapshot).
+	Records int
+	// Gens is how many log generations were read.
+	Gens int
+	// HasSnapshot reports whether a valid snapshot anchored the replay;
+	// SnapshotGen is its generation.
+	HasSnapshot bool
+	SnapshotGen uint64
+	// BadSnapshots counts snapshot files that failed validation and
+	// were skipped in favour of an older generation.
+	BadSnapshots int
+	// Torn reports a truncated final frame in the newest generation —
+	// the normal signature of a crash mid-write. TornBytes is how many
+	// trailing bytes were dropped.
+	Torn      bool
+	TornBytes int64
+	// Corrupt reports an invalid frame before the final generation's
+	// tail: real damage, not a crash artifact. Replay keeps everything
+	// before the bad frame and drops the rest (DroppedBytes, including
+	// any later generations).
+	Corrupt      bool
+	DroppedBytes int64
+}
+
+// genFiles records which files exist for one generation.
+type genFiles struct {
+	gen     uint64
+	hasLog  bool
+	hasSnap bool
+}
+
+// listGens scans dir for one shard's files, sorted by ascending
+// generation.
+func listGens(dir string, shard int) ([]genFiles, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	prefix := fmt.Sprintf("shard-%d.", shard)
+	byGen := map[uint64]*genFiles{}
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rest := name[len(prefix):]
+		var isLog bool
+		switch {
+		case strings.HasSuffix(rest, ".wal"):
+			isLog = true
+			rest = strings.TrimSuffix(rest, ".wal")
+		case strings.HasSuffix(rest, ".snap"):
+			rest = strings.TrimSuffix(rest, ".snap")
+		default:
+			continue
+		}
+		gen, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			continue // not ours (e.g. a temp file)
+		}
+		g := byGen[gen]
+		if g == nil {
+			g = &genFiles{gen: gen}
+			byGen[gen] = g
+		}
+		if isLog {
+			g.hasLog = true
+		} else {
+			g.hasSnap = true
+		}
+	}
+	out := make([]genFiles, 0, len(byGen))
+	for _, g := range byGen {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].gen < out[j].gen })
+	return out, nil
+}
+
+// Recover reads one shard's durable state from dir: the newest valid
+// snapshot (nil when none) and every log record after it, in append
+// order. The caller replays the records onto the snapshot's state —
+// the semantics live with the caller; this scanner only proves which
+// bytes survived. A missing directory is an empty log, not an error.
+func Recover(dir string, shard int) (*Snapshot, []Record, ReplayInfo, error) {
+	var info ReplayInfo
+	gens, err := listGens(dir, shard)
+	if err != nil || len(gens) == 0 {
+		return nil, nil, info, err
+	}
+
+	// Newest decodable snapshot wins; a bad one (crash mid-write before
+	// the rename, or disk damage) falls back to the previous generation,
+	// whose log files still exist because truncation happens only after
+	// a snapshot is durable.
+	var snap *Snapshot
+	for i := len(gens) - 1; i >= 0 && snap == nil; i-- {
+		if !gens[i].hasSnap {
+			continue
+		}
+		raw, err := os.ReadFile(snapName(dir, shard, gens[i].gen))
+		if err != nil {
+			return nil, nil, info, fmt.Errorf("wal: %w", err)
+		}
+		s, err := decodeSnapshot(raw)
+		if err != nil {
+			info.BadSnapshots++
+			continue
+		}
+		if s.Shard != shard || s.Gen != gens[i].gen {
+			info.BadSnapshots++
+			continue
+		}
+		snap = s
+		info.HasSnapshot = true
+		info.SnapshotGen = s.Gen
+	}
+
+	var recs []Record
+	for i, g := range gens {
+		if !g.hasLog || (snap != nil && g.gen < snap.Gen) {
+			continue
+		}
+		raw, err := os.ReadFile(logName(dir, shard, g.gen))
+		if err != nil {
+			return nil, nil, info, fmt.Errorf("wal: %w", err)
+		}
+		info.Gens++
+		off := 0
+		for off < len(raw) {
+			rec, n, err := decodeRecord(raw[off:])
+			if err == nil {
+				recs = append(recs, rec)
+				info.Records++
+				off += n
+				continue
+			}
+			rest := int64(len(raw) - off)
+			last := i == len(gens)-1
+			if last && errors.Is(err, errShort) {
+				// Crash mid-frame: the valid prefix is the durable truth.
+				info.Torn = true
+				info.TornBytes = rest
+				return snap, recs, info, nil
+			}
+			// An invalid frame anywhere else is damage. Keep the records
+			// proven good, drop the suspect suffix (this file's remainder
+			// plus any later generations), and tell the caller.
+			info.Corrupt = true
+			info.DroppedBytes = rest
+			for _, later := range gens[i+1:] {
+				if later.hasLog {
+					if fi, serr := os.Stat(logName(dir, shard, later.gen)); serr == nil {
+						info.DroppedBytes += fi.Size()
+					}
+				}
+			}
+			return snap, recs, info, nil
+		}
+	}
+	return snap, recs, info, nil
+}

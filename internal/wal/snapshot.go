@@ -1,0 +1,177 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// snapMagic opens every snapshot file ("RSNP", little endian).
+const snapMagic = 0x504e5352
+
+// snapVersion is the current snapshot encoding version.
+const snapVersion = 1
+
+// TenantBook is one tenant's cumulative per-shard ledger, persisted so
+// TenantStats survives a restart.
+type TenantBook struct {
+	Tenant                             string
+	Active                             int64
+	Area                               int64
+	Admitted, Cancelled, RejectedQuota uint64
+	MigratedIn, MigratedOut            uint64
+}
+
+// Live is one admitted reservation in a snapshot. Pending marks a
+// tentative migrated-in copy whose two-phase move had not resolved at
+// snapshot time; From names the move's source shard.
+type Live struct {
+	ID         uint64
+	Start, Dur int64
+	Procs      int
+	Tenant     string
+	Pending    bool
+	From       uint32
+}
+
+// OpenOut is an unacknowledged migrate-out: the shard durably released
+// ID to shard To, and has not yet heard that the target committed.
+type OpenOut struct {
+	ID uint64
+	To uint32
+}
+
+// Snapshot is one shard's full durable state at a generation boundary:
+// replaying it plus every log generation >= Gen reproduces the shard.
+type Snapshot struct {
+	Shard   int
+	Gen     uint64
+	NextSeq uint64
+	// Shard-lifetime operation counters (the process-local rejection
+	// counters are deliberately not persisted; see resd's doc.go).
+	Admitted, Cancelled, MigratedIn, MigratedOut uint64
+	Books                                        []TenantBook
+	Live                                         []Live
+	OpenOuts                                     []OpenOut
+}
+
+// encodeSnapshot renders s to its on-disk form (sorted, checksummed).
+func encodeSnapshot(s *Snapshot) []byte {
+	sort.Slice(s.Books, func(i, j int) bool { return s.Books[i].Tenant < s.Books[j].Tenant })
+	sort.Slice(s.Live, func(i, j int) bool { return s.Live[i].ID < s.Live[j].ID })
+	sort.Slice(s.OpenOuts, func(i, j int) bool { return s.OpenOuts[i].ID < s.OpenOuts[j].ID })
+
+	b := make([]byte, 0, 64+len(s.Live)*24+len(s.Books)*48)
+	b = binary.LittleEndian.AppendUint32(b, snapMagic)
+	b = append(b, snapVersion)
+	b = appendUvarint(b, uint64(s.Shard))
+	b = appendUvarint(b, s.Gen)
+	b = appendUvarint(b, s.NextSeq)
+	b = appendUvarint(b, s.Admitted)
+	b = appendUvarint(b, s.Cancelled)
+	b = appendUvarint(b, s.MigratedIn)
+	b = appendUvarint(b, s.MigratedOut)
+	b = appendUvarint(b, uint64(len(s.Books)))
+	for _, bk := range s.Books {
+		b = appendString(b, bk.Tenant)
+		b = appendVarint(b, bk.Active)
+		b = appendVarint(b, bk.Area)
+		b = appendUvarint(b, bk.Admitted)
+		b = appendUvarint(b, bk.Cancelled)
+		b = appendUvarint(b, bk.RejectedQuota)
+		b = appendUvarint(b, bk.MigratedIn)
+		b = appendUvarint(b, bk.MigratedOut)
+	}
+	b = appendUvarint(b, uint64(len(s.Live)))
+	for _, lv := range s.Live {
+		b = appendUvarint(b, lv.ID)
+		b = appendVarint(b, lv.Start)
+		b = appendVarint(b, lv.Dur)
+		b = appendUvarint(b, uint64(lv.Procs))
+		pending := byte(0)
+		if lv.Pending {
+			pending = 1
+		}
+		b = append(b, pending)
+		b = appendUvarint(b, uint64(lv.From))
+		b = appendString(b, lv.Tenant)
+	}
+	b = appendUvarint(b, uint64(len(s.OpenOuts)))
+	for _, oo := range s.OpenOuts {
+		b = appendUvarint(b, oo.ID)
+		b = appendUvarint(b, uint64(oo.To))
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// decodeSnapshot parses and verifies one snapshot blob.
+func decodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < 4+1+4 {
+		return nil, fmt.Errorf("%w: snapshot truncated (%d bytes)", ErrCorrupt, len(b))
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: snapshot CRC mismatch", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint32(body) != snapMagic {
+		return nil, fmt.Errorf("%w: snapshot magic %#x", ErrCorrupt, binary.LittleEndian.Uint32(body))
+	}
+	p := &payloadReader{b: body[4:]}
+	if v := p.byte("version"); v != snapVersion && p.err == nil {
+		return nil, fmt.Errorf("%w: snapshot version %d (want %d)", ErrCorrupt, v, snapVersion)
+	}
+	s := &Snapshot{}
+	s.Shard = int(p.uvarint("shard"))
+	s.Gen = p.uvarint("gen")
+	s.NextSeq = p.uvarint("nextSeq")
+	s.Admitted = p.uvarint("admitted")
+	s.Cancelled = p.uvarint("cancelled")
+	s.MigratedIn = p.uvarint("migratedIn")
+	s.MigratedOut = p.uvarint("migratedOut")
+	nBooks := p.uvarint("books count")
+	if p.err == nil && nBooks > uint64(len(p.b)) { // each book is >= 1 byte
+		return nil, fmt.Errorf("%w: %d books in %d bytes", ErrCorrupt, nBooks, len(p.b))
+	}
+	for i := uint64(0); i < nBooks && p.err == nil; i++ {
+		var bk TenantBook
+		bk.Tenant = p.str("book tenant")
+		bk.Active = p.varint("book active")
+		bk.Area = p.varint("book area")
+		bk.Admitted = p.uvarint("book admitted")
+		bk.Cancelled = p.uvarint("book cancelled")
+		bk.RejectedQuota = p.uvarint("book rejectedQuota")
+		bk.MigratedIn = p.uvarint("book migratedIn")
+		bk.MigratedOut = p.uvarint("book migratedOut")
+		s.Books = append(s.Books, bk)
+	}
+	nLive := p.uvarint("live count")
+	if p.err == nil && nLive > uint64(len(p.b)) {
+		return nil, fmt.Errorf("%w: %d live entries in %d bytes", ErrCorrupt, nLive, len(p.b))
+	}
+	for i := uint64(0); i < nLive && p.err == nil; i++ {
+		var lv Live
+		lv.ID = p.uvarint("live id")
+		lv.Start = p.varint("live start")
+		lv.Dur = p.varint("live dur")
+		lv.Procs = int(p.uvarint("live procs"))
+		lv.Pending = p.byte("live pending") != 0
+		lv.From = uint32(p.uvarint("live from"))
+		lv.Tenant = p.str("live tenant")
+		s.Live = append(s.Live, lv)
+	}
+	nOut := p.uvarint("openOuts count")
+	if p.err == nil && nOut > uint64(len(p.b)) {
+		return nil, fmt.Errorf("%w: %d open outs in %d bytes", ErrCorrupt, nOut, len(p.b))
+	}
+	for i := uint64(0); i < nOut && p.err == nil; i++ {
+		var oo OpenOut
+		oo.ID = p.uvarint("openOut id")
+		oo.To = uint32(p.uvarint("openOut to"))
+		s.OpenOuts = append(s.OpenOuts, oo)
+	}
+	if err := p.done("snapshot"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

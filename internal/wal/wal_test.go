@@ -1,0 +1,517 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// sampleRecords is one of every record type, with every meaningful
+// field populated (negative times included: the varint coding's sign
+// path is part of the format).
+func sampleRecords() []Record {
+	return []Record{
+		{Type: TAdmit, ID: 0x70001, Tenant: "acme", Ready: -3, Procs: 8, Dur: 40, Deadline: 1 << 40, Start: 150},
+		{Type: TAdmit, ID: 0x70002, Tenant: "", Ready: 0, Procs: 1, Dur: 1, Deadline: 0, Start: 0},
+		{Type: TCancel, ID: 0x70001},
+		{Type: TMigrateIn, ID: 0x30005, Peer: 3, Start: 99, Dur: 12, Procs: 2, Tenant: "zeta"},
+		{Type: TMigrateOut, ID: 0x30005, Peer: 1},
+		{Type: TMigrateCommit, ID: 0x30005},
+		{Type: TMigrateAbort, ID: 0x30006},
+		{Type: TMigrateOutAck, ID: 0x30005},
+	}
+}
+
+func TestRecordRoundtrip(t *testing.T) {
+	var buf []byte
+	recs := sampleRecords()
+	for _, r := range recs {
+		buf = AppendRecord(buf, r)
+	}
+	off := 0
+	for i, want := range recs {
+		got, n, err := decodeRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("record %d roundtrip: got %+v, want %+v", i, got, want)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("decoded %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestRecordDamage(t *testing.T) {
+	frame := AppendRecord(nil, sampleRecords()[0])
+	// Any single flipped payload byte must fail the CRC.
+	for i := frameHeader; i < len(frame); i++ {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		if _, _, err := decodeRecord(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+	// Any truncation is a short frame — the torn-tail signal, never
+	// corruption.
+	for n := 0; n < len(frame); n++ {
+		if _, _, err := decodeRecord(frame[:n]); !errors.Is(err, errShort) {
+			t.Fatalf("truncated to %d: err = %v, want errShort", n, err)
+		}
+	}
+	// A zero or absurd length field is structural corruption.
+	zero := append([]byte(nil), frame...)
+	zero[0], zero[1], zero[2], zero[3] = 0, 0, 0, 0
+	if _, _, err := decodeRecord(zero); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero length: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	s := &Snapshot{
+		Shard: 2, Gen: 7, NextSeq: 41,
+		Admitted: 100, Cancelled: 40, MigratedIn: 3, MigratedOut: 5,
+		Books: []TenantBook{
+			{Tenant: "a", Active: 2, Area: 200, Admitted: 10, Cancelled: 8, RejectedQuota: 1, MigratedIn: 2, MigratedOut: 1},
+			{Tenant: "b", Active: 1, Area: 50, Admitted: 5, Cancelled: 4},
+		},
+		Live: []Live{
+			{ID: 0x20001, Start: 10, Dur: 20, Procs: 4, Tenant: "a"},
+			{ID: 0x20002, Start: 30, Dur: 5, Procs: 1, Tenant: "b", Pending: true, From: 3},
+		},
+		OpenOuts: []OpenOut{{ID: 0x20009, To: 1}},
+	}
+	enc := encodeSnapshot(s)
+	got, err := decodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("roundtrip:\n got %+v\nwant %+v", got, s)
+	}
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x10
+		if _, err := decodeSnapshot(bad); err == nil {
+			t.Fatalf("flip at %d decoded cleanly", i)
+		}
+	}
+	for n := 0; n < len(enc); n++ {
+		if _, err := decodeSnapshot(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d decoded cleanly", n)
+		}
+	}
+}
+
+// writeLog appends framed records straight to one generation's file,
+// bypassing Log — the tests' way of fabricating crash states.
+func writeLog(t *testing.T, dir string, shard int, gen uint64, raw []byte) {
+	t.Helper()
+	if err := os.WriteFile(logName(dir, shard, gen), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func frames(recs ...Record) []byte {
+	var buf []byte
+	for _, r := range recs {
+		buf = AppendRecord(buf, r)
+	}
+	return buf
+}
+
+func TestLogAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(0, Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, got, info, err := Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatalf("unexpected snapshot %+v", snap)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("recovered %+v, want %+v", got, recs)
+	}
+	if info.Torn || info.Corrupt || info.Records != len(recs) {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestRecoverEmptyAndMissingDir(t *testing.T) {
+	snap, recs, info, err := Recover(t.TempDir()+"/nonexistent", 3)
+	if err != nil || snap != nil || recs != nil {
+		t.Fatalf("missing dir: %v %v %v", snap, recs, err)
+	}
+	if info != (ReplayInfo{}) {
+		t.Fatalf("missing dir info = %+v", info)
+	}
+}
+
+func TestTornTailKeepsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords()
+	raw := frames(recs...)
+	// Cut the final frame in half: the crash signature.
+	lastLen := len(frames(recs[len(recs)-1]))
+	cut := raw[:len(raw)-lastLen/2]
+	writeLog(t, dir, 0, 1, cut)
+	snap, got, info, err := Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatalf("unexpected snapshot")
+	}
+	if want := recs[:len(recs)-1]; !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered %d records, want the %d-record prefix", len(got), len(want))
+	}
+	if !info.Torn || info.Corrupt {
+		t.Fatalf("info = %+v, want Torn and not Corrupt", info)
+	}
+	if wantDropped := int64(len(cut) - len(frames(recs[:len(recs)-1]...))); info.TornBytes != wantDropped {
+		t.Fatalf("TornBytes = %d, want %d", info.TornBytes, wantDropped)
+	}
+}
+
+func TestCorruptMidLogDropsSuffixAndLaterGens(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords()
+	raw := frames(recs[:4]...)
+	// Flip one payload byte of the third frame: records 0-1 survive,
+	// everything after (including generation 2) is suspect.
+	third := len(frames(recs[:2]...))
+	raw[third+frameHeader] ^= 0x01
+	writeLog(t, dir, 0, 1, raw)
+	gen2 := frames(recs[4:]...)
+	writeLog(t, dir, 0, 2, gen2)
+	_, got, info, err := Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := recs[:2]; !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered %+v, want the 2-record prefix", got)
+	}
+	if !info.Corrupt || info.Torn {
+		t.Fatalf("info = %+v, want Corrupt and not Torn", info)
+	}
+	if wantDropped := int64(len(raw)-third) + int64(len(gen2)); info.DroppedBytes != wantDropped {
+		t.Fatalf("DroppedBytes = %d, want %d", info.DroppedBytes, wantDropped)
+	}
+}
+
+// A torn tail anywhere but the newest generation is not a crash
+// artifact — generation N was complete before N+1 was created — so it
+// must read as corruption.
+func TestTornOlderGenIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords()
+	raw := frames(recs[:2]...)
+	writeLog(t, dir, 0, 1, raw[:len(raw)-3])
+	writeLog(t, dir, 0, 2, frames(recs[2:]...))
+	_, got, info, err := Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("recovered %d records, want 1", len(got))
+	}
+	if !info.Corrupt || info.Torn {
+		t.Fatalf("info = %+v, want Corrupt and not Torn", info)
+	}
+}
+
+func TestSnapshotAnchorsReplay(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords()
+	writeLog(t, dir, 0, 1, frames(recs[:4]...)) // covered by the snapshot: must not replay
+	writeLog(t, dir, 0, 2, frames(recs[4:]...))
+	s := &Snapshot{Shard: 0, Gen: 2, NextSeq: 9}
+	if err := os.WriteFile(snapName(dir, 0, 2), encodeSnapshot(s), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, got, info, err := Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Gen != 2 || snap.NextSeq != 9 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if !reflect.DeepEqual(got, recs[4:]) {
+		t.Fatalf("replayed %+v, want only generation-2 records", got)
+	}
+	if !info.HasSnapshot || info.SnapshotGen != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+// A snapshot newer than every log generation is legal (crash between
+// snapshot rename and the next append): state is the snapshot alone.
+func TestSnapshotNewerThanLogs(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 0, 1, frames(sampleRecords()...))
+	s := &Snapshot{Shard: 0, Gen: 5, NextSeq: 17}
+	if err := os.WriteFile(snapName(dir, 0, 5), encodeSnapshot(s), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, got, _, err := Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.NextSeq != 17 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if len(got) != 0 {
+		t.Fatalf("replayed %d records from generations the snapshot covers", len(got))
+	}
+}
+
+func TestBadSnapshotFallsBackOlder(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords()
+	old := &Snapshot{Shard: 0, Gen: 1, NextSeq: 3}
+	if err := os.WriteFile(snapName(dir, 0, 1), encodeSnapshot(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeLog(t, dir, 0, 1, frames(recs[:4]...))
+	// Newest snapshot damaged (crash mid-write before rename would
+	// normally prevent this; this is disk damage).
+	bad := encodeSnapshot(&Snapshot{Shard: 0, Gen: 2, NextSeq: 9})
+	bad[len(bad)-1] ^= 0xFF
+	if err := os.WriteFile(snapName(dir, 0, 2), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeLog(t, dir, 0, 2, frames(recs[4:]...))
+	snap, got, info, err := Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Gen != 1 {
+		t.Fatalf("snapshot = %+v, want the generation-1 fallback", snap)
+	}
+	if info.BadSnapshots != 1 {
+		t.Fatalf("BadSnapshots = %d, want 1", info.BadSnapshots)
+	}
+	// With the older anchor, both generations replay.
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("replayed %d records, want all %d", len(got), len(recs))
+	}
+}
+
+// A snapshot claiming the wrong shard or generation is as bad as a
+// CRC failure: it must not anchor replay.
+func TestMisdirectedSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 0, 1, frames(sampleRecords()...))
+	wrong := &Snapshot{Shard: 3, Gen: 1}
+	if err := os.WriteFile(snapName(dir, 0, 1), encodeSnapshot(wrong), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, got, info, err := Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatalf("adopted a shard-3 snapshot as shard 0's")
+	}
+	if info.BadSnapshots != 1 || len(got) != len(sampleRecords()) {
+		t.Fatalf("info = %+v, records = %d", info, len(got))
+	}
+}
+
+func TestRotateAndSnapshotTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(0, Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	recs := sampleRecords()
+	for _, r := range recs[:4] {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.SinceSnapshot() != 4 {
+		t.Fatalf("SinceSnapshot = %d, want 4", l.SinceSnapshot())
+	}
+	gen, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.SinceSnapshot() != 0 {
+		t.Fatalf("SinceSnapshot after rotate = %d", l.SinceSnapshot())
+	}
+	for _, r := range recs[4:] {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot generation gen: the rotated-away generation must vanish.
+	if err := l.WriteSnapshot(&Snapshot{Shard: 0, Gen: gen, NextSeq: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(logName(dir, 0, gen-1)); !os.IsNotExist(err) {
+		t.Fatalf("generation %d survived truncation: %v", gen-1, err)
+	}
+	snap, got, _, err := Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.NextSeq != 42 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if !reflect.DeepEqual(got, recs[4:]) {
+		t.Fatalf("recovered %+v, want the post-rotation records", got)
+	}
+	if st := l.Stats(); st.Snapshots != 1 || st.Records != uint64(len(recs)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A snapshot addressed to another shard's log must be refused.
+	if err := l.WriteSnapshot(&Snapshot{Shard: 1, Gen: gen}); err == nil {
+		t.Fatal("cross-shard snapshot accepted")
+	}
+}
+
+func TestOpenSkipsExistingGenerations(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 0, 3, frames(sampleRecords()[:2]...))
+	l, err := Open(0, Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if g := l.Stats().Gen; g != 4 {
+		t.Fatalf("Open landed on generation %d, want 4 (one past the newest)", g)
+	}
+	if err := l.Append(sampleRecords()[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, _, err := Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("recovered %d records across generations, want 3", len(got))
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	if _, err := (Options{}).Normalize(); err == nil {
+		t.Fatal("empty Dir accepted")
+	}
+	o, err := (Options{Dir: "x"}).Normalize()
+	if err != nil || o.Sync != SyncBatch {
+		t.Fatalf("defaults: %+v, %v", o, err)
+	}
+	if _, err := (Options{Dir: "x", Sync: "flush"}).Normalize(); err == nil {
+		t.Fatal("unknown sync mode accepted")
+	}
+	if _, err := (Options{Dir: "x", SnapEvery: -1}).Normalize(); err == nil {
+		t.Fatal("negative SnapEvery accepted")
+	}
+}
+
+// FuzzWALReplay checks the scanner against an in-memory oracle: a
+// record script is framed to disk, the file is cut at an arbitrary
+// point, and Recover must return exactly the longest whole-frame
+// prefix — torn only when the cut split a frame, corrupt never (a cut
+// never fabricates a valid-looking frame, it only shortens one).
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{}, uint32(0))
+	f.Add([]byte{1, 9, 4, 'a', 'b', 2, 9}, uint32(11))
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 6, 7, 4, 1, 1, 7, 1}, uint32(6))
+	f.Fuzz(func(t *testing.T, script []byte, cut uint32) {
+		// Decode the script into records: each byte run picks a type and
+		// fills fields from subsequent bytes. Deterministic, total.
+		var recs []Record
+		for i := 0; i < len(script); {
+			r := Record{Type: Type(script[i]%7 + 1), ID: uint64(script[i]) << 3}
+			i++
+			take := func() int64 {
+				if i >= len(script) {
+					return 0
+				}
+				v := int64(script[i]) - 128
+				i++
+				return v
+			}
+			switch r.Type {
+			case TAdmit:
+				r.Ready, r.Dur, r.Deadline, r.Start = take(), take(), take(), take()
+				r.Procs = int(uint8(take()))
+				n := int(uint8(take())) % 8
+				if n > len(script)-i {
+					n = len(script) - i
+				}
+				r.Tenant = string(script[i : i+n])
+				i += n
+			case TMigrateIn:
+				r.Peer = uint32(uint8(take()))
+				r.Start, r.Dur = take(), take()
+				r.Procs = int(uint8(take()))
+			case TMigrateOut:
+				r.Peer = uint32(uint8(take()))
+			}
+			recs = append(recs, r)
+		}
+		raw := frames(recs...)
+		// Oracle: which records survive a cut at offset cut%(len+1)?
+		off := int(cut) % (len(raw) + 1)
+		var keep int
+		var consumed int
+		for keep < len(recs) {
+			n := len(frames(recs[keep]))
+			if consumed+n > off {
+				break
+			}
+			consumed += n
+			keep++
+		}
+		dir := t.TempDir()
+		writeLog(t, dir, 0, 1, raw[:off])
+		snap, got, info, err := Recover(dir, 0)
+		if err != nil {
+			t.Fatalf("Recover: %v", err)
+		}
+		if snap != nil {
+			t.Fatal("snapshot from nowhere")
+		}
+		if len(got) != keep {
+			t.Fatalf("cut %d: recovered %d records, oracle says %d", off, len(got), keep)
+		}
+		if keep > 0 && !reflect.DeepEqual(got, recs[:keep]) {
+			t.Fatalf("cut %d: recovered records differ from the oracle prefix", off)
+		}
+		if wantTorn := off > consumed; info.Torn != wantTorn {
+			t.Fatalf("cut %d: Torn = %v, oracle says %v (%+v)", off, info.Torn, wantTorn, info)
+		}
+		if info.Corrupt {
+			t.Fatalf("cut %d: a truncation read as corruption (%+v)", off, info)
+		}
+	})
+}
