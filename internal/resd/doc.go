@@ -182,10 +182,15 @@
 //     pre-crash one — same IDs, same placements, same tenant books — on
 //     either backend, with or without a snapshot anchor, and new
 //     admissions never re-mint a recovered ID.
-//   - Torn tails are silent: a crash mid-write truncates the partial
-//     final record (WALInfo.Torn counts it). Any damage earlier than
-//     the tail — a CRC mismatch, a torn frame in a pre-rotation
-//     generation — keeps the longest intact prefix and surfaces in
+//   - Torn tails are silent: a crash mid-write (a cut frame or a
+//     zero-filled tail) truncates the partial final record off the
+//     disk, not just out of the replay (WALInfo.Torn counts it) — so
+//     the verdict is stable across restarts and the tail can never be
+//     reread as mid-log corruption after newer generations hold
+//     acknowledged records. Any damage earlier than the tail — a CRC
+//     mismatch, a torn frame in a pre-rotation generation — keeps the
+//     longest intact prefix, repairs the directory to match (suffix
+//     truncated, later generations quarantined), and surfaces in
 //     WALInfo.Corrupt/DroppedBytes instead of failing the boot; a log
 //     that contradicts itself (a cancel for an ID never admitted) does
 //     fail New, because it means the writer, not the disk, was wrong.

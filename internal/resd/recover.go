@@ -237,8 +237,8 @@ func resolvePending(seeds []*shardSeed) (committed, aborted int) {
 		for _, id := range ids {
 			a := sd.live[id]
 			src := a.from
-			if src >= 0 && src < len(seeds) && seeds[src].openOuts[id] == t {
-				if _, open := seeds[src].openOuts[id]; open {
+			if src >= 0 && src < len(seeds) {
+				if to, open := seeds[src].openOuts[id]; open && to == t {
 					sd.commitPending(id, a)
 					sd.fixups = append(sd.fixups, wal.Record{Type: wal.TMigrateCommit, ID: uint64(id)})
 					delete(seeds[src].openOuts, id)

@@ -220,6 +220,74 @@ func TestRecoveryTornTail(t *testing.T) {
 	}
 }
 
+// TestRecoveryTornTailThenRestart is the double-restart sequence that
+// used to drop acknowledged records: a torn generation is benign on the
+// first recovery, but unless that recovery truncates the torn bytes off
+// disk, the second recovery — by which point newer generations hold
+// acknowledged admissions — rereads the same tail as mid-log corruption
+// and silently discards everything after it.
+func TestRecoveryTornTailThenRestart(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := New(walConfig("array", dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := svc.Admit(Request{Ready: core.Time(i), Q: 2, Dur: 10, Deadline: NoDeadline}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Close()
+	// Crash signature: every shard's newest log ends mid-frame.
+	frame := wal.AppendRecord(nil, wal.Record{Type: wal.TCancel, ID: 1})
+	for i := 0; i < 4; i++ {
+		name, raw := newestLog(t, dir, i)
+		if err := os.WriteFile(name, append(raw, frame[:len(frame)/2]...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First restart: recovery rolls the torn frames back, then the
+	// service acknowledges a fresh batch into the next generations.
+	svc, err = New(walConfig("array", dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wi := svc.WALInfo(); wi.Torn != 4 || wi.Corrupt != 0 {
+		t.Fatalf("first restart: WALInfo = %+v, want 4 torn shards", wi)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := svc.Admit(Request{Ready: core.Time(100 + i), Q: 2, Dur: 10, Deadline: NoDeadline}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := make(map[int][]Reservation)
+	for i := 0; i < svc.Shards(); i++ {
+		before[i], _ = svc.Dump(i)
+	}
+	svc.Close()
+	// Second restart: every acknowledged admission — including the whole
+	// post-repair batch — must still be there, and the once-torn
+	// generation must not reread as corruption.
+	svc, err = New(walConfig("array", dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if wi := svc.WALInfo(); wi.Corrupt != 0 {
+		t.Fatalf("second restart: repaired tail read as corruption: %+v", wi)
+	}
+	for i := 0; i < svc.Shards(); i++ {
+		got, err := svc.Dump(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, before[i]) {
+			t.Fatalf("shard %d: acknowledged records lost across the second restart: got %d reservations, want %d",
+				i, len(got), len(before[i]))
+		}
+	}
+}
+
 // newestLog returns the path and contents of a shard's highest-
 // generation log file.
 func newestLog(t *testing.T, dir string, shard int) (string, []byte) {

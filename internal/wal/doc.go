@@ -28,10 +28,20 @@
 // Rotation order makes non-final segments complete by construction:
 // the current segment is flushed and fsynced before the next
 // generation's file is created. An invalid frame in the final segment
-// is therefore a torn tail (crash mid-write, ReplayInfo.Torn) and the
-// valid prefix is kept; an invalid frame in an earlier segment is real
-// corruption (ReplayInfo.Corrupt) and replay stops there rather than
-// guessing at the suffix.
+// is therefore a torn tail (crash mid-write — a cut frame or an
+// all-zero tail from a zero-extending filesystem, ReplayInfo.Torn) and
+// the valid prefix is kept; an invalid frame in an earlier segment is
+// real corruption (ReplayInfo.Corrupt) and replay stops there rather
+// than guessing at the suffix.
+//
+// Recovery repairs what it judges: a torn tail is truncated off the
+// segment, and past a corrupt frame the segment is truncated at the
+// last good record with later segments quarantined under a ".corrupt"
+// suffix. The repair is what makes the torn/corrupt distinction stable
+// across restarts — a torn tail left on disk would stop being "the
+// final segment's tail" as soon as the reopened log appends a newer
+// generation, and the next recovery would then misread it as mid-log
+// corruption and drop the acknowledged records that followed it.
 //
 // # Record framing
 //

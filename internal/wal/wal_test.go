@@ -192,6 +192,95 @@ func TestTornTailKeepsPrefix(t *testing.T) {
 	}
 }
 
+// TestTornTailRepairSurvivesLaterGenerations is the sequence that used
+// to lose acknowledged records: a torn tail in generation G is benign on
+// the first recovery, but G is no longer the newest generation once the
+// restarted process appends to G+1 — so unless recovery truncates the
+// torn bytes off the disk, the next recovery rereads them as mid-log
+// corruption and drops every later generation, fsynced records included.
+func TestTornTailRepairSurvivesLaterGenerations(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords()
+	raw := frames(recs[:4]...)
+	lastLen := len(frames(recs[3]))
+	writeLog(t, dir, 0, 0, raw[:len(raw)-lastLen/2])
+	_, got, info, err := Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Torn || len(got) != 3 {
+		t.Fatalf("first recovery: info = %+v, %d records", info, len(got))
+	}
+	// The repair must be on disk, not just in the verdict.
+	onDisk, err := os.ReadFile(logName(dir, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := frames(recs[:3]...); !reflect.DeepEqual(onDisk, want) {
+		t.Fatalf("torn tail survived on disk: %d bytes, want %d", len(onDisk), len(want))
+	}
+	// The restarted process acknowledges new records in the next generation.
+	l, err := Open(0, Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[4:] {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The next recovery must replay every durable record — the 3-record
+	// prefix of the torn generation plus everything acknowledged after it.
+	_, got, info, err = Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]Record(nil), recs[:3]...), recs[4:]...)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after restart: recovered %d records, want %d (acknowledged records dropped)", len(got), len(want))
+	}
+	if info.Torn || info.Corrupt {
+		t.Fatalf("after repair: info = %+v, want neither torn nor corrupt", info)
+	}
+}
+
+// A zero-filled tail is how several filesystems leave a file that was
+// being extended at the crash: classify it as the crash artifact it is,
+// not as real damage.
+func TestZeroFilledTailIsTorn(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords()
+	raw := frames(recs...)
+	writeLog(t, dir, 0, 0, append(raw, make([]byte, 64)...))
+	snap, got, info, err := Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatal("unexpected snapshot")
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("recovered %d records, want all %d", len(got), len(recs))
+	}
+	if !info.Torn || info.Corrupt || info.TornBytes != 64 {
+		t.Fatalf("info = %+v, want Torn (64 bytes) and not Corrupt", info)
+	}
+	// Zeros followed by junk is not the crash shape: that stays corrupt.
+	junk := append(append(frames(recs...), make([]byte, 16)...), 0xAB)
+	dir2 := t.TempDir()
+	writeLog(t, dir2, 0, 0, junk)
+	_, _, info, err = Recover(dir2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Corrupt || info.Torn {
+		t.Fatalf("zeros+junk: info = %+v, want Corrupt", info)
+	}
+}
+
 func TestCorruptMidLogDropsSuffixAndLaterGens(t *testing.T) {
 	dir := t.TempDir()
 	recs := sampleRecords()
@@ -215,6 +304,25 @@ func TestCorruptMidLogDropsSuffixAndLaterGens(t *testing.T) {
 	}
 	if wantDropped := int64(len(raw)-third) + int64(len(gen2)); info.DroppedBytes != wantDropped {
 		t.Fatalf("DroppedBytes = %d, want %d", info.DroppedBytes, wantDropped)
+	}
+	// The verdict is repaired onto disk: the damaged file is truncated at
+	// the last good frame and the later generation quarantined, so a
+	// second recovery reaches the same answer with no damage left to find.
+	if onDisk, err := os.ReadFile(logName(dir, 0, 1)); err != nil || len(onDisk) != third {
+		t.Fatalf("corrupt generation not truncated: %d bytes, want %d (%v)", len(onDisk), third, err)
+	}
+	if _, err := os.Stat(logName(dir, 0, 2)); !os.IsNotExist(err) {
+		t.Fatalf("generation 2 not quarantined: %v", err)
+	}
+	if q, err := os.ReadFile(logName(dir, 0, 2) + ".corrupt"); err != nil || !reflect.DeepEqual(q, gen2) {
+		t.Fatalf("quarantined generation 2 bytes lost: %v", err)
+	}
+	_, got, info, err = Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs[:2]) || info.Corrupt || info.Torn {
+		t.Fatalf("second recovery: %d records, info = %+v, want the clean 2-record prefix", len(got), info)
 	}
 }
 
