@@ -115,6 +115,7 @@ func BenchmarkResdThroughput(b *testing.B) {
 				svc := resdLoadedService(b, backend, shards)
 				var seq uint64
 				b.SetParallelism(32)
+				b.ReportAllocs()
 				b.ResetTimer()
 				b.RunParallel(func(pb *testing.PB) {
 					resdSvcMu.Lock()
@@ -143,11 +144,12 @@ func TestEmitResdBenchJSON(t *testing.T) {
 		t.Skip("set REPRO_EMIT_BENCH=1 to measure the service and write BENCH_resd.json")
 	}
 	type row struct {
-		Backend    string  `json:"backend"`
-		Shards     int     `json:"shards"`
-		NsPerOp    float64 `json:"ns_per_op"`
-		OpsPerSec  float64 `json:"ops_per_sec"`
-		SpeedupVs1 float64 `json:"speedup_vs_1_shard"`
+		Backend     string  `json:"backend"`
+		Shards      int     `json:"shards"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+		OpsPerSec   float64 `json:"ops_per_sec"`
+		SpeedupVs1  float64 `json:"speedup_vs_1_shard"`
 	}
 	out := struct {
 		Benchmark string `json:"benchmark"`
@@ -168,7 +170,7 @@ func TestEmitResdBenchJSON(t *testing.T) {
 		GoVersion: runtime.Version(),
 		MaxProcs:  runtime.GOMAXPROCS(0),
 	}
-	measure := func(backend string, shards int) float64 {
+	measure := func(backend string, shards int) (float64, float64) {
 		svc := resdLoadedService(t, backend, shards)
 		var seq uint64
 		res := testing.Benchmark(func(b *testing.B) {
@@ -186,19 +188,20 @@ func TestEmitResdBenchJSON(t *testing.T) {
 				}
 			})
 		})
-		return float64(res.NsPerOp())
+		return float64(res.NsPerOp()), float64(res.AllocsPerOp())
 	}
 	base := map[string]float64{}
 	for _, backend := range []string{"array", "tree"} {
 		for _, shards := range resdBenchShards {
-			ns := measure(backend, shards)
+			ns, allocs := measure(backend, shards)
 			if shards == 1 {
 				base[backend] = ns
 			}
 			out.Rows = append(out.Rows, row{
 				Backend: backend, Shards: shards, NsPerOp: ns,
-				OpsPerSec:  1e9 / ns,
-				SpeedupVs1: base[backend] / ns,
+				AllocsPerOp: allocs,
+				OpsPerSec:   1e9 / ns,
+				SpeedupVs1:  base[backend] / ns,
 			})
 		}
 	}

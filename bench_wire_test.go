@@ -102,6 +102,7 @@ func runWireBench(b *testing.B, clients int, pipeline bool) {
 		b.Fatal(err)
 	}
 	defer c.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var wg sync.WaitGroup
 	for g := 0; g < clients; g++ {
@@ -157,6 +158,7 @@ func TestEmitWireBenchJSON(t *testing.T) {
 		Clients         int     `json:"clients"`
 		Pipeline        string  `json:"pipeline"`
 		NsPerOp         float64 `json:"ns_per_op"`
+		AllocsPerOp     float64 `json:"allocs_per_op"`
 		OpsPerSec       float64 `json:"ops_per_sec"`
 		PipelineSpeedup float64 `json:"pipeline_speedup,omitempty"`
 	}
@@ -181,19 +183,19 @@ func TestEmitWireBenchJSON(t *testing.T) {
 		GoVersion: runtime.Version(),
 		MaxProcs:  runtime.GOMAXPROCS(0),
 	}
-	measure := func(clients int, pipeline bool) float64 {
+	measure := func(clients int, pipeline bool) (float64, float64) {
 		res := testing.Benchmark(func(b *testing.B) {
 			runWireBench(b, clients, pipeline)
 		})
-		return float64(res.NsPerOp())
+		return float64(res.NsPerOp()), float64(res.AllocsPerOp())
 	}
 	unpipelined := map[int]float64{}
 	for _, clients := range wireBenchClients {
 		for _, pipeline := range []bool{false, true} {
-			ns := measure(clients, pipeline)
+			ns, allocs := measure(clients, pipeline)
 			r := row{
 				Clients: clients, Pipeline: onoff(pipeline),
-				NsPerOp: ns, OpsPerSec: 1e9 / ns,
+				NsPerOp: ns, AllocsPerOp: allocs, OpsPerSec: 1e9 / ns,
 			}
 			if pipeline {
 				r.PipelineSpeedup = unpipelined[clients] / ns

@@ -16,10 +16,17 @@
 //	    -reswire BENCH_reswire.json -tenant BENCH_tenant.json -rebal BENCH_rebal.json \
 //	    -obs BENCH_obs.json -wal BENCH_wal.json -threshold 2
 //
+// Baselines that record allocs_per_op (the wire and resd throughput
+// matrices) are additionally held to that allocation count at the same
+// threshold: allocation regressions are machine-independent and often
+// invisible to the ns gate on a fast runner.
+//
 // The -obs baseline carries a second, much tighter gate on top of the
-// absolute figures: the measured on/off ratio — two numbers from the same
-// run, immune to machine speed — must stay within the max_overhead budget
-// recorded in BENCH_obs.json (the "observability costs <5%" claim).
+// absolute figures: the measured on/off and watch/off ratios — numbers
+// from the same run, immune to machine speed — must stay within the
+// max_overhead budget recorded in BENCH_obs.json (the "observability
+// costs <5%, even while a live Watch subscriber streams telemetry"
+// claim).
 //
 // The -wal baseline works the same way: the wal=off and wal=buffered rows
 // are gated absolutely, and the measured buffered/off ratio is held to the
@@ -50,14 +57,40 @@ import (
 // benchLine matches one benchmark result line, e.g.
 //
 //	BenchmarkCapacityIndex/backend=tree/n=10000-8   175087   6587 ns/op
+//	BenchmarkWireThroughput/clients=1/pipeline=off  45872   26884 ns/op   512 B/op   12 allocs/op
 //
 // The trailing -N (GOMAXPROCS) is optional: Go omits it when procs is 1.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// A #NN tag before it is the suffix Go appends when a benchmark runs the
+// same sub-benchmark name several times (BenchmarkObsOverhead's
+// interleaved rounds do); it is stripped, so the rounds average under
+// the base name. The B/op + allocs/op tail appears when the benchmark
+// calls b.ReportAllocs (or the run passes -benchmem).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:#\d+)?(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
-// parseBench extracts name → ns/op from `go test -bench` output. Names
-// keep their sub-benchmark path but drop the -GOMAXPROCS suffix.
-func parseBench(r io.Reader) (map[string]float64, error) {
-	out := map[string]float64{}
+// measurement is one parsed benchmark result. allocs is only meaningful
+// when hasAllocs is set — a benchmark without ReportAllocs prints no
+// allocs/op column at all, which is different from measuring zero.
+type measurement struct {
+	ns        float64
+	allocs    float64
+	hasAllocs bool
+}
+
+// parseBench extracts name → measurement from `go test -bench` output.
+// Names keep their sub-benchmark path but drop the -GOMAXPROCS and #NN
+// repeat suffixes. Repeated lines for the same name (-count N, in-bench
+// interleaved rounds, or the same filter run several times) are averaged: the ratio gates divide figures measured
+// minutes apart, and averaging over repeated interleaved runs is what
+// keeps a drifting CI machine from minting fake overhead on whichever
+// sub-benchmark ran last. hasAllocs holds only if every repeat reported
+// the allocs column.
+func parseBench(r io.Reader) (map[string]measurement, error) {
+	type acc struct {
+		ns, allocs float64
+		n, nAllocs int
+	}
+	sums := map[string]*acc{}
+	var order []string
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -68,15 +101,47 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
 		}
-		out[m[1]] = ns
+		a := sums[m[1]]
+		if a == nil {
+			a = &acc{}
+			sums[m[1]] = a
+			order = append(order, m[1])
+		}
+		a.ns += ns
+		a.n++
+		if m[4] != "" {
+			allocs, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			a.allocs += allocs
+			a.nAllocs++
+		}
 	}
-	return out, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]measurement, len(sums))
+	for _, name := range order {
+		a := sums[name]
+		meas := measurement{ns: a.ns / float64(a.n)}
+		if a.nAllocs == a.n {
+			meas.allocs, meas.hasAllocs = a.allocs/float64(a.nAllocs), true
+		}
+		out[name] = meas
+	}
+	return out, nil
 }
 
-// baseline is one expected benchmark with its recorded figure.
+// baseline is one expected benchmark with its recorded figures. allocs
+// is gated only when positive: an alloc regression (a buffer suddenly
+// escaping per request, a pool dropped from a hot path) is as real as a
+// speed one but invisible to the ns gate on a fast machine, so rows that
+// record allocs_per_op get both checks.
 type baseline struct {
-	name string
-	ns   float64
+	name   string
+	ns     float64
+	allocs float64
 }
 
 // restreeBaselines loads the tree-backend rows of BENCH_restree.json as
@@ -106,9 +171,10 @@ func restreeBaselines(path string) ([]baseline, error) {
 func resdBaselines(path string) ([]baseline, error) {
 	var doc struct {
 		Rows []struct {
-			Backend string  `json:"backend"`
-			Shards  int     `json:"shards"`
-			NsPerOp float64 `json:"ns_per_op"`
+			Backend     string  `json:"backend"`
+			Shards      int     `json:"shards"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
 		} `json:"rows"`
 	}
 	if err := readJSON(path, &doc); err != nil {
@@ -120,8 +186,9 @@ func resdBaselines(path string) ([]baseline, error) {
 			continue
 		}
 		out = append(out, baseline{
-			name: fmt.Sprintf("BenchmarkResdThroughput/backend=tree/shards=%d", r.Shards),
-			ns:   r.NsPerOp,
+			name:   fmt.Sprintf("BenchmarkResdThroughput/backend=tree/shards=%d", r.Shards),
+			ns:     r.NsPerOp,
+			allocs: r.AllocsPerOp,
 		})
 	}
 	return out, nil
@@ -134,9 +201,10 @@ func resdBaselines(path string) ([]baseline, error) {
 func reswireBaselines(path string) ([]baseline, error) {
 	var doc struct {
 		Rows []struct {
-			Clients  int     `json:"clients"`
-			Pipeline string  `json:"pipeline"`
-			NsPerOp  float64 `json:"ns_per_op"`
+			Clients     int     `json:"clients"`
+			Pipeline    string  `json:"pipeline"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
 		} `json:"rows"`
 	}
 	if err := readJSON(path, &doc); err != nil {
@@ -145,8 +213,9 @@ func reswireBaselines(path string) ([]baseline, error) {
 	var out []baseline
 	for _, r := range doc.Rows {
 		out = append(out, baseline{
-			name: fmt.Sprintf("BenchmarkWireThroughput/clients=%d/pipeline=%s", r.Clients, r.Pipeline),
-			ns:   r.NsPerOp,
+			name:   fmt.Sprintf("BenchmarkWireThroughput/clients=%d/pipeline=%s", r.Clients, r.Pipeline),
+			ns:     r.NsPerOp,
+			allocs: r.AllocsPerOp,
 		})
 	}
 	return out, nil
@@ -234,21 +303,33 @@ func obsBaselines(path string) ([]baseline, float64, error) {
 
 // gateObsRatio checks the instrumentation-cost budget: the measured
 // obs=on figure may exceed the measured obs=off figure by at most
-// maxOverhead. Missing sub-benchmarks are already reported by the
-// baseline gate, so this adds nothing for them.
-func gateObsRatio(measured map[string]float64, maxOverhead float64) (report []string, ok bool) {
+// maxOverhead, and so may obs=watch — the same workload with a live
+// Watch subscriber streaming telemetry, which must ride the published
+// atomics rather than tax the admission path. Missing sub-benchmarks
+// are already reported by the baseline gate, so this adds nothing for
+// them.
+func gateObsRatio(measured map[string]measurement, maxOverhead float64) (report []string, ok bool) {
 	off, okOff := measured["BenchmarkObsOverhead/obs=off"]
-	on, okOn := measured["BenchmarkObsOverhead/obs=on"]
-	if !okOff || !okOn {
+	if !okOff {
 		return nil, true
 	}
-	ratio := on / off
-	if ratio > maxOverhead {
-		return []string{fmt.Sprintf("FAIL    obs overhead: on/off = %.0f/%.0f ns/op = %.3f× > %.2f× budget",
-			on, off, ratio, maxOverhead)}, false
+	ok = true
+	for _, variant := range []string{"on", "watch"} {
+		got, found := measured["BenchmarkObsOverhead/obs="+variant]
+		if !found {
+			continue
+		}
+		ratio := got.ns / off.ns
+		if ratio > maxOverhead {
+			report = append(report, fmt.Sprintf("FAIL    obs overhead: %s/off = %.0f/%.0f ns/op = %.3f× > %.2f× budget",
+				variant, got.ns, off.ns, ratio, maxOverhead))
+			ok = false
+			continue
+		}
+		report = append(report, fmt.Sprintf("ok      obs overhead: %s/off = %.0f/%.0f ns/op = %.3f× (budget %.2f×)",
+			variant, got.ns, off.ns, ratio, maxOverhead))
 	}
-	return []string{fmt.Sprintf("ok      obs overhead: on/off = %.0f/%.0f ns/op = %.3f× (budget %.2f×)",
-		on, off, ratio, maxOverhead)}, true
+	return report, ok
 }
 
 // walBaselines loads BENCH_wal.json: the wal=off and wal=buffered rows
@@ -289,7 +370,7 @@ func walBaselines(path string) ([]baseline, float64, error) {
 // figure may exceed the measured wal=off figure by at most maxOverhead.
 // It also requires the wal=fsync row to have run at all — the only check
 // that row gets.
-func gateWalRatio(measured map[string]float64, maxOverhead float64) (report []string, ok bool) {
+func gateWalRatio(measured map[string]measurement, maxOverhead float64) (report []string, ok bool) {
 	off, okOff := measured["BenchmarkWALOverhead/wal=off"]
 	buffered, okBuf := measured["BenchmarkWALOverhead/wal=buffered"]
 	fsync, okFsync := measured["BenchmarkWALOverhead/wal=fsync"]
@@ -298,19 +379,19 @@ func gateWalRatio(measured map[string]float64, maxOverhead float64) (report []st
 		report = append(report, "MISSING BenchmarkWALOverhead/wal=fsync (durable path not measured)")
 		ok = false
 	} else {
-		report = append(report, fmt.Sprintf("ok      wal fsync: %.0f ns/op (recorded, not gated)", fsync))
+		report = append(report, fmt.Sprintf("ok      wal fsync: %.0f ns/op (recorded, not gated)", fsync.ns))
 	}
 	if !okOff || !okBuf {
 		return report, ok
 	}
-	ratio := buffered / off
+	ratio := buffered.ns / off.ns
 	if ratio > maxOverhead {
 		report = append(report, fmt.Sprintf("FAIL    wal overhead: buffered/off = %.0f/%.0f ns/op = %.3f× > %.2f× budget",
-			buffered, off, ratio, maxOverhead))
+			buffered.ns, off.ns, ratio, maxOverhead))
 		return report, false
 	}
 	report = append(report, fmt.Sprintf("ok      wal overhead: buffered/off = %.0f/%.0f ns/op = %.3f× (budget %.2f×)",
-		buffered, off, ratio, maxOverhead))
+		buffered.ns, off.ns, ratio, maxOverhead))
 	return report, ok
 }
 
@@ -326,8 +407,13 @@ func readJSON(path string, v any) error {
 }
 
 // gate compares measured figures against baselines and returns one line
-// per baseline plus the verdict.
-func gate(measured map[string]float64, baselines []baseline, threshold float64) (report []string, ok bool) {
+// per baseline plus the verdict. A baseline that records allocs_per_op
+// additionally holds the measured allocation count to the same threshold
+// factor (plus a +2 absolute floor so near-zero baselines cannot flap on
+// a single stray allocation) — and requires the benchmark to have
+// reported allocations at all, so dropping b.ReportAllocs cannot
+// silently retire the check.
+func gate(measured map[string]measurement, baselines []baseline, threshold float64) (report []string, ok bool) {
 	ok = true
 	for _, b := range baselines {
 		got, found := measured[b.name]
@@ -335,13 +421,34 @@ func gate(measured map[string]float64, baselines []baseline, threshold float64) 
 		case !found:
 			report = append(report, fmt.Sprintf("MISSING %s (baseline %.0f ns/op, not in bench output)", b.name, b.ns))
 			ok = false
-		case got > b.ns*threshold:
+			continue
+		case got.ns > b.ns*threshold:
 			report = append(report, fmt.Sprintf("FAIL    %s: %.0f ns/op vs baseline %.0f (%.2f× > %.2f×)",
-				b.name, got, b.ns, got/b.ns, threshold))
+				b.name, got.ns, b.ns, got.ns/b.ns, threshold))
 			ok = false
 		default:
 			report = append(report, fmt.Sprintf("ok      %s: %.0f ns/op vs baseline %.0f (%.2f×)",
-				b.name, got, b.ns, got/b.ns))
+				b.name, got.ns, b.ns, got.ns/b.ns))
+		}
+		if b.allocs <= 0 {
+			continue
+		}
+		limit := b.allocs * threshold
+		if floor := b.allocs + 2; limit < floor {
+			limit = floor
+		}
+		switch {
+		case !got.hasAllocs:
+			report = append(report, fmt.Sprintf("MISSING %s allocs/op (baseline %.1f, bench output has no allocs column)",
+				b.name, b.allocs))
+			ok = false
+		case got.allocs > limit:
+			report = append(report, fmt.Sprintf("FAIL    %s: %.1f allocs/op vs baseline %.1f (limit %.1f)",
+				b.name, got.allocs, b.allocs, limit))
+			ok = false
+		default:
+			report = append(report, fmt.Sprintf("ok      %s: %.1f allocs/op vs baseline %.1f",
+				b.name, got.allocs, b.allocs))
 		}
 	}
 	return report, ok

@@ -72,6 +72,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -198,14 +199,24 @@ func run() error {
 
 	// The observability listener comes up before the service so /healthz
 	// is reachable — and answering 503 — for however long WAL replay
-	// takes. ready flips only once the wire listener is accepting.
+	// takes. ready flips only once the wire listener is accepting, and
+	// the warn hook reports WAL damage once the service exists (replay
+	// losses, shards whose log died at runtime) as a 200-with-warning
+	// body: the process serves, but its durability is degraded.
 	var ready atomic.Bool
+	var warnSvc atomic.Pointer[resd.Service]
 	if metrics != nil {
 		oln, err := net.Listen("tcp", *obsAddr)
 		if err != nil {
 			return err
 		}
-		hsrv := &http.Server{Handler: obs.Handler(metrics, ready.Load)}
+		warn := func() string {
+			if svc := warnSvc.Load(); svc != nil {
+				return walWarning(svc)
+			}
+			return ""
+		}
+		hsrv := &http.Server{Handler: obs.HandlerWithWarn(metrics, ready.Load, warn)}
 		go hsrv.Serve(oln)
 		defer hsrv.Close()
 		fmt.Printf("resdsrv: observability on http://%s/metrics (+/healthz, /debug/pprof)\n", oln.Addr())
@@ -225,6 +236,7 @@ func run() error {
 		return err
 	}
 	defer svc.Close()
+	warnSvc.Store(svc)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -286,6 +298,31 @@ func finalLine(svc *resd.Service) string {
 	}
 	return fmt.Sprintf("resdsrv: final: admitted=%d cancelled=%d rejected=%d (deadline=%d quota=%d) batches=%d ops=%d traces=%d",
 		admitted, cancelled, rejected, deadline, quota, batches, ops, len(svc.Traces(0)))
+}
+
+// walWarning summarises the service's WAL damage for the /healthz warn
+// hook: replay losses found at startup plus shards whose log has died at
+// runtime. Empty when the WAL is healthy (or disabled).
+func walWarning(svc *resd.Service) string {
+	wi := svc.WALInfo()
+	if !wi.Enabled {
+		return ""
+	}
+	var parts []string
+	if wi.Torn > 0 || wi.Corrupt > 0 {
+		parts = append(parts, fmt.Sprintf("replay dropped %d torn + %d corrupt records (%dB)",
+			wi.Torn, wi.Corrupt, wi.DroppedBytes))
+	}
+	failed := 0
+	for _, w := range svc.WALStats() {
+		if w.Failed > 0 {
+			failed++
+		}
+	}
+	if failed > 0 {
+		parts = append(parts, fmt.Sprintf("%d shard log(s) stopped after write failures", failed))
+	}
+	return strings.Join(parts, "; ")
 }
 
 // slowLine renders one slow sampled admission for the stderr log.

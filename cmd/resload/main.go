@@ -27,7 +27,10 @@
 // expected). -statsevery prints a live one-line progress row (cumulative
 // admissions, rejections, errors, p99 latency and achieved rate) to
 // stderr at that period while the stream runs, so long runs are
-// observable before the summary lands.
+// observable before the summary lands. Against a remote server the rows
+// come from a v5 Watch subscription instead: the server pushes its own
+// cumulative shard counters every period, so the live view is the
+// server's (queue depths included) and costs zero Stats round trips.
 //
 // With -tenants N the stream is attributed to N tenants, spread
 // uniformly or — production-shaped — by a zipf(1.1) popularity law
@@ -48,6 +51,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -148,6 +152,7 @@ func run() error {
 
 	var target admitter
 	var svc *resd.Service
+	statsPeriod := *statsevery
 	if *addr != "" {
 		if ignored := serverSideFlagsSet(); len(ignored) > 0 {
 			fmt.Fprintf(os.Stderr,
@@ -167,6 +172,29 @@ func run() error {
 		}
 		fmt.Printf("resload: %d requests against %s (%d conns, %s), %d clients\n",
 			len(reqs), *addr, *conns, mode, *clients)
+		if statsPeriod > 0 {
+			// Remote runs get their live rows pushed by the server: one
+			// Watch subscription delivers the cumulative shard counters
+			// every period without a single Stats poll on the request
+			// path. The local ticker is disabled — the server's view is
+			// the one that can also show queue depths and trace totals.
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			ch, err := client.Watch(ctx, reswire.WatchOptions{
+				Interval: statsPeriod,
+				Mask:     reswire.WatchShards | reswire.WatchTraces,
+			})
+			if err != nil {
+				return err
+			}
+			go func() {
+				start := time.Now()
+				for tel := range ch {
+					fmt.Fprintln(os.Stderr, watchLine(time.Since(start), tel))
+				}
+			}()
+			statsPeriod = 0
+		}
 	} else {
 		var pre []core.Reservation
 		if *nres > 0 {
@@ -203,7 +231,7 @@ func run() error {
 		}
 	}
 
-	res := replay(target, reqs, names, *clients, *rate, *cancelfrac, *seed, *statsevery)
+	res := replay(target, reqs, names, *clients, *rate, *cancelfrac, *seed, statsPeriod)
 
 	totalRej := res.rejectedAlpha + res.rejectedDeadline + res.rejectedQuota
 	fmt.Printf("\n%d admitted, %d rejected (%d α-rule, %d deadline, %d quota), %d errors in %v (%.0f req/s achieved",
@@ -556,6 +584,30 @@ func (p *progress) line(elapsed time.Duration) string {
 		elapsed.Round(10*time.Millisecond), p.admitted.Load(), p.rejected.Load(), p.errored.Load(),
 		time.Duration(p.lat.Quantile(0.99)).Round(time.Microsecond),
 		float64(done)/elapsed.Seconds())
+}
+
+// watchLine renders one server-pushed telemetry frame as a progress row:
+// the remote-mode counterpart of progress.line, except every number is
+// the server's own cumulative view (including work from other load
+// generators) and queue depth is visible. seq/drop expose the
+// subscription itself — drop>0 means this process read frames too
+// slowly and the server coalesced.
+func watchLine(elapsed time.Duration, t reswire.Telemetry) string {
+	var admitted, cancelled, rejected uint64
+	var active, queued int
+	for i := range t.Shards {
+		st := &t.Shards[i]
+		admitted += st.Admitted
+		cancelled += st.Cancelled
+		rejected += st.Rejected + st.RejectedDeadline + st.RejectedQuota
+		active += st.Active
+		if i < len(t.Queue) {
+			queued += t.Queue[i]
+		}
+	}
+	return fmt.Sprintf("resload: %8v  server: %d admitted, %d cancelled, %d rejected, %d active, %d queued, %d traced (seq=%d drop=%d)",
+		elapsed.Round(10*time.Millisecond), admitted, cancelled, rejected,
+		active, queued, t.TracesSampled, t.Seq, t.Dropped)
 }
 
 // replay pushes the request stream through the admitter from the given

@@ -15,6 +15,17 @@ import (
 // handler is what `resdsrv -obs ADDR` serves; tests mount it on
 // httptest servers to scrape in-process.
 func Handler(reg *Registry, ready func() bool) http.Handler {
+	return HandlerWithWarn(reg, ready, nil)
+}
+
+// HandlerWithWarn is Handler with a degraded state between healthy and
+// unready: while ready() holds but warn() reports a message, /healthz
+// still answers 200 (the process serves; restarting it would not help)
+// with the message as the body instead of "ok", so probes and humans see
+// the degradation. resdsrv wires WAL damage (a shard that logged
+// corruption or stopped logging) through warn. A nil warn behaves like
+// Handler.
+func HandlerWithWarn(reg *Registry, ready func() bool, warn func() string) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", ContentType)
@@ -29,6 +40,12 @@ func Handler(reg *Registry, ready func() bool) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if warn != nil {
+			if msg := warn(); msg != "" {
+				w.Write([]byte("warning: " + msg + "\n"))
+				return
+			}
+		}
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -58,3 +58,40 @@ func TestHandlerSurface(t *testing.T) {
 		t.Errorf("/debug/pprof/ index = %d", code)
 	}
 }
+
+// TestHandlerWithWarn checks the degraded state: ready + warning answers
+// 200 with the warning body (serving, but impaired); unready still wins
+// with 503; an empty warning is plain "ok".
+func TestHandlerWithWarn(t *testing.T) {
+	r := NewRegistry()
+	var ready atomic.Bool
+	ready.Store(true)
+	var msg atomic.Value
+	msg.Store("")
+	srv := httptest.NewServer(HandlerWithWarn(r, ready.Load, func() string {
+		return msg.Load().(string)
+	}))
+	defer srv.Close()
+
+	get := func() (int, string) {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get(); code != 200 || body != "ok\n" {
+		t.Errorf("healthy = %d %q", code, body)
+	}
+	msg.Store("wal: replay dropped 1 torn + 0 corrupt records (12B)")
+	if code, body := get(); code != 200 || body != "warning: wal: replay dropped 1 torn + 0 corrupt records (12B)\n" {
+		t.Errorf("degraded = %d %q", code, body)
+	}
+	ready.Store(false)
+	if code, _ := get(); code != http.StatusServiceUnavailable {
+		t.Errorf("draining while degraded = %d, want 503", code)
+	}
+}

@@ -254,9 +254,35 @@
 //	tenant_quota_admitted_total{tenant}    counter  admissions
 //	tenant_quota_rejected_total{tenant}    counter  hard-mode quota rejections
 //
+// A durable service (Config.WAL) adds the write-ahead-log families: the
+// per-shard log counters, the fsync-latency summary, and the replay
+// report — the gauges are WALInfo frozen at New, so a scrape or an
+// alert sees a restart that found damage without anyone reading the
+// boot banner:
+//
+//	resd_wal_bytes_total{shard}            counter  log bytes appended
+//	resd_wal_records_total{shard}          counter  log records appended
+//	resd_wal_fsyncs_total{shard}           counter  group-commit fsyncs
+//	resd_wal_snapshots_total{shard}        counter  snapshot writes (log truncations)
+//	resd_wal_failures_total{shard}         counter  write failures (shard degraded to non-durable)
+//	resd_wal_generation{shard}             gauge    log generation being appended to
+//	resd_wal_snapshot_age_seconds{shard}   gauge    age of the newest durable snapshot
+//	resd_wal_fsync_ns{shard,quantile}      summary  group-commit fsync latency p50/p90/p99
+//	resd_wal_replay_seconds                gauge    how long boot replay took
+//	resd_wal_replayed_records              gauge    records replay applied
+//	resd_wal_replayed_snapshots            gauge    snapshots replay loaded
+//	resd_wal_torn_tails                    gauge    torn mid-write tails discarded
+//	resd_wal_corrupt_records               gauge    checksum-failed records replay stopped at
+//	resd_wal_dropped_bytes                 gauge    bytes replay could not apply
+//	resd_wal_replayed_moves{outcome}       gauge    outcome ∈ committed|aborted
+//
 // The reswire server and client add their own families (reswire_*; see
 // internal/reswire), and resdsrv serves the whole set plus net/http/pprof
-// on its -obs listener.
+// on its -obs listener. The same published atomics the scrape families
+// read also feed the wire protocol's Watch op (protocol v5): a
+// subscriber gets server-pushed per-shard/tenant/WAL/trace telemetry
+// frames at its chosen interval without polling Stats — see
+// internal/reswire's package doc for the subscription semantics.
 //
 // The package is exercised three ways: a determinism test replays a
 // request stream serially through one shard and checks the placements are

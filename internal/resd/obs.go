@@ -136,6 +136,30 @@ func (s *Service) registerObs() {
 		reg.GaugeFunc("resd_wal_replayed_records",
 			"Log records replay applied when the service was built.",
 			func() float64 { return float64(s.walInfo.Records) })
+		// Recovery damage report: what replay found wrong with the logs
+		// when the service was built. All constants after New, but exposed
+		// as families so a scrape (or an alert) sees a restart that lost
+		// data without anyone reading the startup banner.
+		reg.GaugeFunc("resd_wal_replayed_snapshots",
+			"Snapshots replay loaded when the service was built.",
+			func() float64 { return float64(s.walInfo.Snapshots) })
+		reg.GaugeFunc("resd_wal_torn_tails",
+			"Torn (mid-write crash) record tails replay discarded across shards.",
+			func() float64 { return float64(s.walInfo.Torn) })
+		reg.GaugeFunc("resd_wal_corrupt_records",
+			"Corrupt (checksum-failed) records replay stopped at across shards.",
+			func() float64 { return float64(s.walInfo.Corrupt) })
+		reg.GaugeFunc("resd_wal_dropped_bytes",
+			"Log bytes replay could not apply (torn tails and corrupt suffixes).",
+			func() float64 { return float64(s.walInfo.DroppedBytes) })
+		reg.GaugeFunc("resd_wal_replayed_moves",
+			"Migration intents replay resolved, by outcome.",
+			func() float64 { return float64(s.walInfo.MovesCommitted) },
+			obs.L("outcome", "committed"))
+		reg.GaugeFunc("resd_wal_replayed_moves",
+			"Migration intents replay resolved, by outcome.",
+			func() float64 { return float64(s.walInfo.MovesAborted) },
+			obs.L("outcome", "aborted"))
 	}
 	// Slack quantiles, published by each shard loop once per batch. A
 	// summary family assembled from the published atomics: the _count is

@@ -27,6 +27,15 @@ type Request struct {
 	// start immediately. Set NoDeadline (the usual choice) to disable
 	// the check.
 	Deadline core.Time
+	// ClientSend, when nonzero, is the caller's own send instant in unix
+	// nanoseconds (v5 Reserve frames carry it across the wire). If the
+	// admission is sampled, its TraceRecord gains the client-send→
+	// server-arrival span. Transient: not part of the WAL record.
+	ClientSend int64
+	// Trace forces this admission into the trace ring regardless of the
+	// sampling rate (a no-op when tracing is disabled). Transient: not
+	// part of the WAL record.
+	Trace bool
 }
 
 // Admit admits a reservation of req.Q processors for req.Dur ticks at
@@ -54,7 +63,7 @@ func (s *Service) Admit(req Request) (Reservation, error) {
 	if ten == "" {
 		ten = tenant.DefaultTenant
 	}
-	rec := s.tracer.maybe(ten)
+	rec := s.tracer.maybe(ten, req.ClientSend, req.Trace)
 	if req.Q+s.floor > s.cfg.M {
 		s.tracer.finish(rec, TraceRejectedCapacity, 0)
 		return Reservation{}, fmt.Errorf("%w: q=%d with α-floor %d exceeds m=%d", ErrNeverFits, req.Q, s.floor, s.cfg.M)

@@ -252,6 +252,13 @@ type Service struct {
 	// the service runs without a WAL).
 	walInfo WALInfo
 
+	// walLogs holds each shard's log handle as it was at New, for
+	// scrape/watch reads: the loop nils sh.wlog when the log fails, and
+	// readers outside the loop must not race that write (a degraded
+	// shard's frozen counters are still worth exposing). Index i is
+	// shard i; nil when the service runs without a WAL.
+	walLogs []*wal.Log
+
 	// Rebalancer telemetry, published for obs scrapes: cumulative round
 	// and per-outcome move counters, the imbalance scores around the last
 	// round (Float64bits), and the background loop's current backoff.
@@ -323,6 +330,12 @@ func New(cfg Config) (*Service, error) {
 					s.moved.Store(id, i)
 				}
 			}
+		}
+	}
+	if s.walInfo.Enabled {
+		s.walLogs = make([]*wal.Log, len(s.shards))
+		for i := range s.shards {
+			s.walLogs[i] = s.shards[i].wlog
 		}
 	}
 	if cfg.Obs != nil {
@@ -530,6 +543,74 @@ func (s *Service) TenantTotals() (map[string]TenantStats, error) {
 // WALInfo reports what WAL recovery found and did when the service was
 // built (Enabled false when the service runs without a WAL).
 func (s *Service) WALInfo() WALInfo { return s.walInfo }
+
+// QueueDepths returns every shard's instantaneous event-loop queue
+// length (index i is shard i) — a channel-length read, no event-loop
+// round trip. The live-telemetry view of admission back-pressure.
+func (s *Service) QueueDepths() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = len(sh.reqs)
+	}
+	return out
+}
+
+// WALShardStats is one shard's live write-ahead-log counters, as
+// WALStats reports them for scrapes and Watch subscribers.
+type WALShardStats struct {
+	// Shard is the partition index.
+	Shard int
+	// Gen is the log generation currently being appended to.
+	Gen uint64
+	// Bytes and Records count appends since the log opened.
+	Bytes, Records uint64
+	// Fsyncs counts group-commit fsyncs; Snapshots counts completed
+	// snapshot writes (log truncations).
+	Fsyncs, Snapshots uint64
+	// FsyncP99 is the 99th-percentile fsync latency in nanoseconds.
+	FsyncP99 int64
+	// Failed counts WAL write failures (a failed log degrades the shard
+	// to non-durable; its other counters freeze at that point).
+	Failed uint64
+}
+
+// WALStats returns every durable shard's live log counters, read from
+// published atomics (nil when the service runs without a WAL). A shard
+// that degraded after a log failure keeps reporting its frozen counters
+// with Failed > 0.
+func (s *Service) WALStats() []WALShardStats {
+	if s.walLogs == nil {
+		return nil
+	}
+	out := make([]WALShardStats, 0, len(s.walLogs))
+	for i, wl := range s.walLogs {
+		if wl == nil {
+			continue
+		}
+		st := wl.Stats()
+		out = append(out, WALShardStats{
+			Shard:     i,
+			Gen:       st.Gen,
+			Bytes:     st.Bytes,
+			Records:   st.Records,
+			Fsyncs:    st.Fsyncs,
+			Snapshots: st.Snapshots,
+			FsyncP99:  wl.FsyncQuantile(0.99),
+			Failed:    s.shards[i].walFailed.Load(),
+		})
+	}
+	return out
+}
+
+// TraceCounts returns the admission-tracing counters: how many requests
+// were sampled into the trace ring and how many of those met the slow
+// threshold. Zero when tracing is disabled.
+func (s *Service) TraceCounts() (sampled, slow uint64) {
+	if s.tracer == nil {
+		return 0, 0
+	}
+	return s.tracer.sampled.Load(), s.tracer.slowSeen.Load()
+}
 
 // Dump returns every committed reservation currently live on one shard,
 // sorted by ID. The list is consistent (served from inside the shard's

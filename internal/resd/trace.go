@@ -57,6 +57,13 @@ func (o TraceOutcome) String() string {
 // earlier stages means the request walked many shards. Shard is the
 // shard that produced the final answer (−1 if none was tried), and
 // Start is the admitted start time when Outcome is TraceAdmitted.
+//
+// ClientSend is the cross-wire span: how long before Arrival the caller
+// stamped the request on its side of the wire (Request.ClientSend,
+// carried by v5 Reserve frames). Zero for in-process callers and
+// pre-v5 clients; the two clocks are the caller's and the server's, so
+// skew can make the span inexact (even negative) — it is an
+// observability figure, not a synchronized timestamp.
 type TraceRecord struct {
 	Seq                                  uint64
 	Tenant                               string
@@ -64,6 +71,7 @@ type TraceRecord struct {
 	Outcome                              TraceOutcome
 	Start                                core.Time
 	Arrival                              time.Time
+	ClientSend                           time.Duration
 	Route, Enqueue, BatchStart, Decision time.Duration
 }
 
@@ -105,22 +113,29 @@ func newTracer(cfg *ObsConfig) *tracer {
 	}
 }
 
-// maybe decides whether this request is sampled; nil means no. Safe on a
-// nil tracer (tracing disabled).
-func (t *tracer) maybe(tenant string) *TraceRecord {
+// maybe decides whether this request is sampled; nil means no. force
+// bypasses the 1-in-N rate (a caller-requested trace, Request.Trace);
+// clientSend, when nonzero, is the caller's send stamp in unix
+// nanoseconds and becomes the record's ClientSend span. Safe on a nil
+// tracer (tracing disabled — force included).
+func (t *tracer) maybe(tenant string, clientSend int64, force bool) *TraceRecord {
 	if t == nil {
 		return nil
 	}
-	if c := t.n.Add(1); t.sample > 1 && (c-1)%t.sample != 0 {
+	if c := t.n.Add(1); !force && t.sample > 1 && (c-1)%t.sample != 0 {
 		return nil
 	}
 	t.sampled.Add(1)
-	return &TraceRecord{
+	rec := &TraceRecord{
 		Seq:     t.seq.Add(1),
 		Tenant:  tenant,
 		Shard:   -1,
 		Arrival: time.Now(),
 	}
+	if clientSend != 0 {
+		rec.ClientSend = rec.Arrival.Sub(time.Unix(0, clientSend))
+	}
+	return rec
 }
 
 // finish stamps the decision, classifies the outcome, publishes the

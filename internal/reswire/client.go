@@ -2,6 +2,7 @@ package reswire
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -77,9 +78,11 @@ func (o Options) normalize() (Options, error) {
 // their requests share flushes. After Close every method returns
 // ErrClientClosed.
 type Client struct {
+	addr   string
 	conns  []*clientConn
 	rr     atomic.Uint64
 	closed atomic.Bool
+	done   chan struct{} // closed by Close; ends Watch streams
 }
 
 // Dial connects to a reswire server.
@@ -88,7 +91,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{}
+	c := &Client{addr: addr, done: make(chan struct{})}
 	for i := 0; i < opts.Conns; i++ {
 		nc, err := net.Dial("tcp", addr)
 		if err != nil {
@@ -100,10 +103,12 @@ func Dial(addr string, opts Options) (*Client, error) {
 	return c, nil
 }
 
-// Close tears down every connection. In-flight and subsequent calls
-// fail with ErrClientClosed.
+// Close tears down every connection and ends every Watch stream.
+// In-flight and subsequent calls fail with ErrClientClosed.
 func (c *Client) Close() error {
-	c.closed.Store(true)
+	if c.closed.CompareAndSwap(false, true) {
+		close(c.done)
+	}
 	for _, cc := range c.conns {
 		cc.close(ErrClientClosed)
 	}
@@ -138,12 +143,31 @@ func (c *Client) call(req Request) (Response, error) {
 // response surfaces as resd.ErrDeadline, REJECTED_QUOTA as
 // tenant.ErrQuota). Remember req.Deadline is literal — set
 // resd.NoDeadline to disable the deadline check.
+//
+// Every frame carries the client's send stamp (v5), so when the server
+// samples the admission its TraceRecord shows the true cross-wire span
+// (TraceRecord.ClientSend). Set req.Trace to force the sample — see
+// AdmitTraced.
 func (c *Client) Admit(req resd.Request) (resd.Reservation, error) {
-	resp, err := c.call(Request{Op: OpReserve, Tenant: req.Tenant, Ready: req.Ready, Procs: req.Q, Dur: req.Dur, Deadline: req.Deadline})
+	stamp := req.ClientSend
+	if stamp == 0 {
+		stamp = time.Now().UnixNano()
+	}
+	resp, err := c.call(Request{Op: OpReserve, Tenant: req.Tenant, Ready: req.Ready, Procs: req.Q, Dur: req.Dur, Deadline: req.Deadline,
+		Stamp: stamp, Traced: req.Trace})
 	if err != nil {
 		return resd.Reservation{}, err
 	}
 	return resp.Resv, nil
+}
+
+// AdmitTraced is Admit with the trace flag set: the server records the
+// admission in its trace ring regardless of the sampling rate (a no-op
+// on servers running with tracing disabled), and the record carries
+// this call's send stamp as the cross-wire span. Requires protocol v5.
+func (c *Client) AdmitTraced(req resd.Request) (resd.Reservation, error) {
+	req.Trace = true
+	return c.Admit(req)
 }
 
 // Reserve admits a reservation at the earliest admissible start,
@@ -225,6 +249,158 @@ func (c *Client) Traces(max int) ([]resd.TraceRecord, error) {
 		return nil, err
 	}
 	return resp.Traces, nil
+}
+
+// WatchOptions parameterises Client.Watch.
+type WatchOptions struct {
+	// Interval is the requested push period (default 1s). The server
+	// clamps it into [MinWatchInterval, MaxWatchInterval].
+	Interval time.Duration
+	// Mask selects the telemetry families (0 = WatchAll).
+	Mask uint32
+	// Buffer is the capacity of the returned channel (default 16). A
+	// consumer that stops draining eventually back-pressures through
+	// TCP; the server then drops frames and marks the gap in the next
+	// delivered frame's Dropped count rather than blocking anything.
+	Buffer int
+}
+
+// watchRedialDelay paces resubscription attempts after a Watch stream's
+// connection dies.
+const watchRedialDelay = 100 * time.Millisecond
+
+// Watch subscribes to server-pushed telemetry and returns the stream.
+// Each received frame is one Telemetry snapshot of the families
+// opts.Mask selected, pushed by the server every opts.Interval without
+// the client issuing any polls. The subscription rides its own
+// connection; if that connection dies the stream redials and
+// resubscribes transparently until ctx is cancelled or the client is
+// closed (the channel then closes). After a resubscribe the frame Seq
+// and Dropped counters restart — the telemetry counters themselves are
+// cumulative on the server, so consumer-side deltas stay monotone
+// across reconnects. Requires protocol v5.
+func (c *Client) Watch(ctx context.Context, opts WatchOptions) (<-chan Telemetry, error) {
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	if opts.Interval < 0 {
+		return nil, fmt.Errorf("reswire: watch interval %v negative", opts.Interval)
+	}
+	if opts.Interval == 0 {
+		opts.Interval = time.Second
+	}
+	if opts.Mask == 0 {
+		opts.Mask = WatchAll
+	}
+	if !validWatchMask(opts.Mask) {
+		return nil, fmt.Errorf("reswire: watch mask %#x", opts.Mask)
+	}
+	if opts.Buffer <= 0 {
+		opts.Buffer = 16
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// The first subscription happens synchronously so the caller learns
+	// about an unreachable server immediately, not as a silent
+	// redial-forever stream.
+	nc, err := c.watchDial(opts)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan Telemetry, opts.Buffer)
+	go c.watchStream(ctx, nc, opts, ch)
+	return ch, nil
+}
+
+// watchDial opens a dedicated connection and writes the subscribe frame.
+func (c *Client) watchDial(opts WatchOptions) (net.Conn, error) {
+	nc, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("reswire: watch dial %s: %w", c.addr, err)
+	}
+	buf, err := AppendRequest(nil, Request{ID: 1, Op: OpWatch, Interval: opts.Interval, Mask: opts.Mask})
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if _, err := nc.Write(buf); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("reswire: watch subscribe %s: %w", c.addr, err)
+	}
+	return nc, nil
+}
+
+// watchStream pumps one Watch subscription, redialling and resubscribing
+// when its connection dies, until ctx is cancelled, the client closes,
+// or the server refuses the subscription outright.
+func (c *Client) watchStream(ctx context.Context, nc net.Conn, opts WatchOptions, ch chan<- Telemetry) {
+	defer close(ch)
+	for {
+		if !c.watchRead(ctx, nc, ch) {
+			return
+		}
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-c.done:
+				return
+			case <-time.After(watchRedialDelay):
+			}
+			var err error
+			if nc, err = c.watchDial(opts); err == nil {
+				break
+			}
+		}
+	}
+}
+
+// watchRead forwards one connection's telemetry frames into ch until the
+// connection dies. It reports whether the stream should resubscribe:
+// true after a transport failure, false on cancellation or a server
+// refusal (which a retry cannot fix).
+func (c *Client) watchRead(ctx context.Context, nc net.Conn, ch chan<- Telemetry) bool {
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		// Unblock the read below when the stream is cancelled.
+		select {
+		case <-ctx.Done():
+		case <-c.done:
+		case <-stop:
+		}
+		nc.Close()
+	}()
+	cancelled := func() bool {
+		select {
+		case <-ctx.Done():
+			return true
+		case <-c.done:
+			return true
+		default:
+			return false
+		}
+	}
+	br := bufio.NewReaderSize(nc, 64<<10)
+	for {
+		resp, err := ReadResponse(br)
+		if err != nil {
+			return !cancelled()
+		}
+		if resp.Op != OpWatch || resp.Code != CodeOK || resp.Telemetry == nil {
+			// The server refused the subscription (or broke protocol);
+			// resubscribing would only repeat the answer.
+			return false
+		}
+		select {
+		case ch <- *resp.Telemetry:
+		case <-ctx.Done():
+			return false
+		case <-c.done:
+			return false
+		}
+	}
 }
 
 // Snapshot fetches one shard's capacity profile and rebuilds it as a

@@ -50,6 +50,37 @@
 // shape — so the bump is op-only: down-level frames decode exactly as
 // before, and a Trace op smuggled into a pre-v4 frame fails the frame.
 //
+// Revision 5 added live telemetry and cross-wire tracing. The Watch op
+// turns a request into a subscription: the body names a push interval
+// (clamped into [MinWatchInterval, MaxWatchInterval]) and a family mask
+// (WatchShards | WatchTenants | WatchWAL | WatchTraces), and the server
+// answers with an open-ended stream of Telemetry frames — sequence-
+// numbered snapshots of per-shard load and queue depth, per-tenant
+// budget usage, write-ahead-log state and trace-ring counters. Frames
+// are assembled from the same published atomics a /metrics scrape
+// reads, so a subscriber never touches a shard event loop; a slow
+// subscriber (full write queue, stalled socket) has frames dropped and
+// marked — Seq stays monotone and the next delivered frame's Dropped
+// field counts the gap — rather than ever back-pressuring the server.
+// Subscriptions are capped per connection (CodeBadRequest past the
+// limit). The same revision gives Reserve bodies an optional tail — the
+// client's send stamp and a force-trace flag — and Trace entries the
+// matching ClientSend span, so a sampled admission's timing breakdown
+// starts at the caller's send instant instead of the server's accept.
+// The negotiation rule is unchanged: the server answers at the arrival
+// revision, so a v4 Trace reader gets the entry layout it knows and
+// simply cannot see the client-send span, and a Watch op smuggled into
+// a pre-v5 frame fails the frame.
+//
+// Client.Watch is the subscription's client face: it runs each
+// subscription on its own dedicated connection (pushed frames never
+// contend with the request/response window) and, when the transport
+// fails, redials and resubscribes transparently until its context is
+// cancelled or the client closes. Frame Seq restarts after a
+// resubscribe, so a consumer that must distinguish "my stream bounced"
+// from "the counters moved" watches for the restart — cmd/obscheck's
+// -watch mode treats it as a failed check.
+//
 // # Instrumentation
 //
 // Both sides can carry obs instrumentation: NewMetrics builds the

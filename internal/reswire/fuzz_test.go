@@ -38,6 +38,11 @@ func FuzzWireCodec(f *testing.F) {
 		{ID: 11, Op: OpReserve, Version: VersionV2, Ready: 10, Procs: 4, Dur: 20, Deadline: int64Max, Tenant: "acme"},
 		{ID: 12, Op: OpTrace, Limit: 16},
 		{ID: 13, Op: OpTrace, Limit: -1},
+		{ID: 14, Op: OpWatch, Interval: time.Second, Mask: WatchAll},
+		{ID: 15, Op: OpWatch, Interval: 0, Mask: WatchShards | WatchTraces},
+		{ID: 16, Op: OpReserve, Ready: 10, Procs: 4, Dur: 20, Deadline: int64Max, Tenant: "acme",
+			Stamp: 1_700_000_000_000_000_000, Traced: true},
+		{ID: 17, Op: OpReserve, Version: VersionV4, Ready: 10, Procs: 4, Dur: 20, Deadline: int64Max, Tenant: "acme"},
 	} {
 		frame, err := AppendRequest(nil, req)
 		if err != nil {
@@ -68,6 +73,22 @@ func FuzzWireCodec(f *testing.F) {
 			Decision: 800,
 		}}},
 		{ID: 13, Op: OpTrace, Code: CodeOK},
+		{ID: 14, Op: OpTrace, Code: CodeOK, Traces: []resd.TraceRecord{{
+			Seq: 5, Tenant: "acme", Shard: 0, Outcome: resd.TraceAdmitted, Start: 50,
+			Arrival: time.Unix(0, 1_700_000_000_000_000_000), ClientSend: 125_000,
+			Route: 100, Enqueue: 250, BatchStart: 900, Decision: 1500,
+		}}},
+		{ID: 15, Op: OpWatch, Code: CodeOK, Telemetry: &Telemetry{
+			Seq: 3, Dropped: 1, Mask: WatchAll, M: 64, Floor: 16,
+			Queue:         []int{2, 0},
+			Shards:        []resd.ShardStats{{Active: 1, Admitted: 2, SlackP99: 63}, {Admitted: 4}},
+			Tenants:       []TenantTelemetry{{Tenant: "acme", Budget: 100, Used: 40, Inflight: 2}},
+			WAL:           []WALTelemetry{{Shard: 1, Gen: 2, Bytes: 4096, Records: 7, Fsyncs: 3, Snapshots: 1, FsyncP99: 90_000}},
+			TracesSampled: 9, TracesSlow: 2,
+		}},
+		{ID: 16, Op: OpWatch, Code: CodeOK, Telemetry: &Telemetry{
+			Mask: WatchShards, M: 8, Queue: []int{0}, Shards: []resd.ShardStats{{}},
+		}},
 	} {
 		frame, err := AppendResponse(nil, resp)
 		if err != nil {
@@ -77,13 +98,24 @@ func FuzzWireCodec(f *testing.F) {
 	}
 	// Hostile shapes: truncation, bad magic, bad versions, huge length,
 	// v2-only ops smuggled into v1 frames, NaN share bits.
-	f.Add([]byte{0, 0, 0, 0})                                                // truncated length prefix
-	f.Add([]byte{0, 0, 0, 0, 16, 'X', 'X', 1, 1})                            // bad magic
-	f.Add([]byte{1, 0, 0, 0, 16, 'R', 'W', 9, 1})                            // bad version
-	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 0, 1})                            // version 0 on the wire
-	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 5, 1})                            // version one past current
-	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 3, 1})                            // v3 frame with a truncated body
-	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 4, 9})                            // v4 Trace with a truncated body
+	f.Add([]byte{0, 0, 0, 0})                                             // truncated length prefix
+	f.Add([]byte{0, 0, 0, 0, 16, 'X', 'X', 1, 1})                         // bad magic
+	f.Add([]byte{1, 0, 0, 0, 16, 'R', 'W', 9, 1})                         // bad version
+	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 0, 1})                         // version 0 on the wire
+	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 6, 1})                         // version one past current
+	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 3, 1})                         // v3 frame with a truncated body
+	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 4, 9})                         // v4 Trace with a truncated body
+	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 5, 1})                         // v5 Reserve with a truncated stamp tail
+	f.Add([]byte{0, 0, 0, 0, 16, 'R', 'W', 4, 10})                        // Watch inside a v4 frame
+	f.Add([]byte{0, 0, 0, 0, 24, 'R', 'W', 5, 10, 0, 0, 0, 0, 0, 0, 0, 1, // Watch with an empty mask
+		0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 0, 24, 'R', 'W', 5, 10, 0, 0, 0, 0, 0, 0, 0, 1, // Watch with unknown mask bits
+		0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 0, 24, 'R', 'W', 5, 10, 0, 0, 0, 0, 0, 0, 0, 1, // Watch with a negative interval
+		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 1})
+	f.Add([]byte{1, 0, 0, 0, 33, 'R', 'W', 5, 10, 0, 0, 0, 0, 0, 0, 0, 1, 0, // Telemetry claiming 2^24 shards
+		0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 16, 0, 0, 0, 2,
+		1, 0, 0, 0})
 	f.Add([]byte{0, 0, 0, 0, 13, 'R', 'W', 3, 9, 0, 0, 0, 0, 0, 0, 0, 1, 0}) // Trace inside a v3 frame
 	f.Add([]byte{1, 0, 0, 0, 17, 'R', 'W', 4, 9, 0, 0, 0, 0, 0, 0, 0, 1, 0,  // Trace response claiming 2^24 records
 		1, 0, 0, 0})
@@ -153,6 +185,22 @@ func normalise(r Response) Response {
 	}
 	if len(r.Traces) == 0 {
 		r.Traces = nil
+	}
+	if r.Telemetry != nil {
+		t := *r.Telemetry
+		if len(t.Queue) == 0 {
+			t.Queue = nil
+		}
+		if len(t.Shards) == 0 {
+			t.Shards = nil
+		}
+		if len(t.Tenants) == 0 {
+			t.Tenants = nil
+		}
+		if len(t.WAL) == 0 {
+			t.WAL = nil
+		}
+		r.Telemetry = &t
 	}
 	return r
 }

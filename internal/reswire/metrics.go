@@ -24,7 +24,7 @@ import (
 // commit), the client times send-to-receive (service time plus the wire).
 // All methods are safe on a nil *Metrics, which disables instrumentation.
 type Metrics struct {
-	opNS     [OpTrace + 1]*obs.Histogram
+	opNS     [OpWatch + 1]*obs.Histogram
 	inflight *obs.Gauge
 	rx, tx   *obs.Counter
 	frame    *obs.Counter
@@ -40,7 +40,7 @@ func NewMetrics(reg *obs.Registry, side string) *Metrics {
 	}
 	m := &Metrics{}
 	s := obs.L("side", side)
-	for op := OpReserve; op <= OpTrace; op++ {
+	for op := OpReserve; op <= OpWatch; op++ {
 		m.opNS[op] = reg.NewHistogram("reswire_op_ns",
 			"Wire op latency in nanoseconds, as observed by this side.",
 			s, obs.L("op", op.String()))

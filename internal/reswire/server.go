@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/resd"
 )
@@ -20,6 +21,15 @@ var ErrServerClosed = errors.New("reswire: server closed")
 // back-pressures through TCP instead of growing a goroutine per frame
 // without bound.
 const maxConnInFlight = 1024
+
+// Watch subscription bounds: the server clamps a subscriber's interval
+// into [MinWatchInterval, MaxWatchInterval] rather than refusing it, and
+// caps how many live subscriptions one connection may hold.
+const (
+	MinWatchInterval = 10 * time.Millisecond
+	MaxWatchInterval = time.Minute
+	maxConnWatches   = 16
+)
 
 // Server fronts a resd.Service with the wire protocol: it decodes request
 // frames, dispatches each into the service (where the shard event loops
@@ -133,11 +143,40 @@ func (s *Server) serveConn(nc net.Conn) {
 
 	sem := make(chan struct{}, maxConnInFlight)
 	var hwg sync.WaitGroup
+	connDone := make(chan struct{}) // closed when the reader exits; ends this conn's watchers
+	watches := 0
 	for {
 		req, err := ReadRequest(br)
 		if err != nil {
 			s.metrics.frameError(err)
 			break
+		}
+		if req.Op == OpWatch {
+			// A Watch is a subscription, not a round trip: its goroutine
+			// pushes telemetry frames into the connection's writer until
+			// the connection closes. It reads only published atomics and
+			// sends non-blockingly (drop-and-mark), so a stalled
+			// subscriber never holds a shard loop, a handler, or the
+			// reader hostage.
+			start := s.metrics.begin()
+			resp := Response{ID: req.ID, Op: OpWatch, Version: req.Version}
+			if watches >= maxConnWatches {
+				resp.Code = CodeBadRequest
+				resp.Detail = fmt.Sprintf("reswire: %d watch subscriptions on one connection (max %d)", watches+1, maxConnWatches)
+			}
+			s.metrics.observe(req.Op, start, resp.Code)
+			s.metrics.end()
+			if resp.Code != CodeOK {
+				out <- resp
+				continue
+			}
+			watches++
+			hwg.Add(1)
+			go func(req Request) {
+				defer hwg.Done()
+				s.watchLoop(req, out, connDone)
+			}(req)
+			continue
 		}
 		sem <- struct{}{}
 		hwg.Add(1)
@@ -151,9 +190,91 @@ func (s *Server) serveConn(nc net.Conn) {
 			<-sem
 		}(req)
 	}
+	close(connDone)
 	hwg.Wait()
 	close(out)
 	<-writerDone
+}
+
+// watchLoop is one Watch subscription: every interval it assembles a
+// Telemetry snapshot from the service's published counters and offers
+// it to the connection's writer. A full writer queue (slow consumer,
+// stuck socket) drops the frame and counts it in the next delivered
+// frame's Dropped field — the subscription never blocks, and the shard
+// loops never see it at all. The first frame is pushed immediately so a
+// subscriber has a baseline before the first interval elapses.
+func (s *Server) watchLoop(req Request, out chan<- Response, done <-chan struct{}) {
+	interval := req.Interval
+	if interval < MinWatchInterval {
+		interval = MinWatchInterval
+	}
+	if interval > MaxWatchInterval {
+		interval = MaxWatchInterval
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var seq, dropped uint64
+	push := func() {
+		t := s.telemetry(req.Mask)
+		t.Seq = seq + 1
+		t.Dropped = dropped
+		select {
+		case out <- Response{ID: req.ID, Op: OpWatch, Version: req.Version, Telemetry: t}:
+			seq++
+		default:
+			dropped++
+		}
+	}
+	push()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+			push()
+		}
+	}
+}
+
+// telemetry assembles one Watch frame from the service's published
+// atomics and channel lengths — the same no-event-loop contract as a
+// /metrics scrape.
+func (s *Server) telemetry(mask uint32) *Telemetry {
+	t := &Telemetry{Mask: mask, M: s.svc.M(), Floor: s.svc.Floor()}
+	if mask&WatchShards != 0 {
+		t.Shards = s.svc.Stats()
+		t.Queue = s.svc.QueueDepths()
+	}
+	if mask&WatchTenants != 0 {
+		if reg := s.svc.Quotas(); reg != nil {
+			for _, u := range reg.Tenants() {
+				t.Tenants = append(t.Tenants, TenantTelemetry{
+					Tenant:   u.Tenant,
+					Budget:   u.Budget,
+					Used:     u.Used,
+					Inflight: u.Inflight,
+				})
+			}
+		}
+	}
+	if mask&WatchWAL != 0 {
+		for _, w := range s.svc.WALStats() {
+			t.WAL = append(t.WAL, WALTelemetry{
+				Shard:     w.Shard,
+				Gen:       w.Gen,
+				Bytes:     w.Bytes,
+				Records:   w.Records,
+				Fsyncs:    w.Fsyncs,
+				Snapshots: w.Snapshots,
+				FsyncP99:  w.FsyncP99,
+				Failed:    w.Failed,
+			})
+		}
+	}
+	if mask&WatchTraces != 0 {
+		t.TracesSampled, t.TracesSlow = s.svc.TraceCounts()
+	}
+	return t
 }
 
 // writeLoop encodes and writes responses, coalescing each wakeup's batch
@@ -208,7 +329,8 @@ func (s *Server) handle(req Request) Response {
 	}
 	switch req.Op {
 	case OpReserve:
-		resv, err := s.svc.Admit(resd.Request{Tenant: req.Tenant, Ready: req.Ready, Q: req.Procs, Dur: req.Dur, Deadline: req.Deadline})
+		resv, err := s.svc.Admit(resd.Request{Tenant: req.Tenant, Ready: req.Ready, Q: req.Procs, Dur: req.Dur, Deadline: req.Deadline,
+			ClientSend: req.Stamp, Trace: req.Traced})
 		if err != nil {
 			return fail(err)
 		}

@@ -94,7 +94,7 @@ func TestHostileVersionsRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range []byte{0, 5, 6, 0x7F, 0xFF} {
+	for _, v := range []byte{0, 6, 7, 0x7F, 0xFF} {
 		frame := bytes.Clone(valid)
 		frame[6] = v // version byte: after length prefix (4) + magic (2)
 		if _, err := ReadRequest(bufio.NewReader(bytes.NewReader(frame))); !errors.Is(err, ErrVersion) {
@@ -102,8 +102,8 @@ func TestHostileVersionsRejected(t *testing.T) {
 		}
 	}
 	// Encoding at a revision the protocol never had must also fail.
-	if _, err := AppendRequest(nil, Request{Op: OpPing, Version: 5}); !errors.Is(err, ErrVersion) {
-		t.Errorf("encode at version 5 err = %v, want ErrVersion", err)
+	if _, err := AppendRequest(nil, Request{Op: OpPing, Version: 6}); !errors.Is(err, ErrVersion) {
+		t.Errorf("encode at version 6 err = %v, want ErrVersion", err)
 	}
 }
 

@@ -32,18 +32,24 @@ import (
 // Version 3 added the rebalancing observability fields to Stats entries
 // (MigratedIn, MigratedOut, SlackP99). Version 4 added the Trace op,
 // which reads the server's sampled admission-trace ring; Stats entries
-// are unchanged (their layout is frozen at the v3 shape). A v4 server
-// still accepts v1..v3 frames — a v1 Reserve is accounted to the default
-// tenant, a v2 Stats answer carries the v2 layout — and answers each
-// request at the version it arrived with, so down-level clients keep
-// working unchanged. Frames from any other revision are refused rather
-// than guessed at.
+// are unchanged (their layout is frozen at the v3 shape). Version 5
+// added the Watch op (server-pushed telemetry frames), an optional
+// client send stamp + trace flag on the tail of Reserve bodies, and the
+// ClientSend span on Trace entries. A v5 server still accepts v1..v4
+// frames — a v1 Reserve is accounted to the default tenant, a v2 Stats
+// answer carries the v2 layout — and answers each request at the
+// version it arrived with, so down-level clients keep working
+// unchanged. Frames from any other revision are refused rather than
+// guessed at.
 const (
 	// Magic is the first two payload bytes of every frame ("RW").
 	Magic uint16 = 0x5257
 	// Version is the current protocol revision, the one the client
 	// speaks.
-	Version uint8 = 4
+	Version uint8 = 5
+	// VersionV4 is the tracing revision (Trace op) without the Watch op
+	// and without the Reserve client-stamp tail.
+	VersionV4 uint8 = 4
 	// VersionV3 is the rebalancing-observability revision (v3 Stats
 	// fields) without the Trace op.
 	VersionV3 uint8 = 3
@@ -70,9 +76,50 @@ const (
 	// traceEntryLen is the fixed part of one wire trace record: seq (8),
 	// arrival unix-nanos (8), four stage offsets (32), start (8), shard
 	// (4), outcome (1) and the tenant-name length byte (1); the name
-	// itself is variable.
+	// itself is variable. At v5 each entry additionally carries the
+	// ClientSend span (8), so the fixed part grows by traceV5Extra.
 	traceEntryLen = 8 + 8 + 32 + 8 + 4 + 1 + 1
+	traceV5Extra  = 8
+	// maxTenants bounds the tenant vector of a Watch telemetry frame
+	// during decoding, like maxShards bounds the shard vectors.
+	maxTenants = 1 << 16
+	// watchShardEntryLen is the fixed size of one per-shard telemetry
+	// entry: queue depth (4) plus the frozen v3 Stats entry layout (96).
+	watchShardEntryLen = 4 + 96
+	// watchTenantEntryLen is the minimum size of one per-tenant telemetry
+	// entry: the name length byte (1) plus budget/used/inflight (24).
+	watchTenantEntryLen = 1 + 24
+	// watchWALEntryLen is the fixed size of one per-shard WAL telemetry
+	// entry: shard (4), gen/bytes/records/fsyncs/snapshots (40),
+	// fsync-p99 (8) and failures (8).
+	watchWALEntryLen = 4 + 40 + 8 + 8
 )
+
+// Watch family mask bits: a Watch subscription names the telemetry
+// families it wants pushed. The zero mask is invalid — an explicit
+// choice beats a silent default on the wire — and unknown bits fail the
+// frame rather than round-tripping into future revisions' semantics.
+const (
+	// WatchShards selects per-shard load/capacity: queue depth plus the
+	// full ShardStats counter set.
+	WatchShards uint32 = 1 << iota
+	// WatchTenants selects per-tenant budget usage from the quota
+	// registry (empty on servers running without quotas).
+	WatchTenants
+	// WatchWAL selects per-shard write-ahead-log counters (empty on
+	// in-memory servers).
+	WatchWAL
+	// WatchTraces selects the admission-tracing counters.
+	WatchTraces
+	// WatchAll selects every family.
+	WatchAll = WatchShards | WatchTenants | WatchWAL | WatchTraces
+)
+
+// validWatchMask reports whether mask names at least one known family
+// and nothing else.
+func validWatchMask(mask uint32) bool {
+	return mask != 0 && mask&^WatchAll == 0
+}
 
 // Op enumerates the protocol operations.
 type Op uint8
@@ -97,11 +144,16 @@ const (
 	OpQuotaSet
 	// OpTrace reads the newest sampled admission traces (v4).
 	OpTrace
+	// OpWatch subscribes to server-pushed telemetry frames (v5). The
+	// request names an interval and a family mask; every subsequent
+	// response frame with the request's id carries one Telemetry
+	// snapshot. The subscription lives as long as the connection.
+	OpWatch
 )
 
 // validFor reports whether the op exists at the given protocol revision:
-// the quota ops arrived with v2, Trace with v4, everything else predates
-// versioning.
+// the quota ops arrived with v2, Trace with v4, Watch with v5,
+// everything else predates versioning.
 func (op Op) validFor(v uint8) bool {
 	switch {
 	case op >= OpReserve && op <= OpStats:
@@ -110,6 +162,8 @@ func (op Op) validFor(v uint8) bool {
 		return v >= 2
 	case op == OpTrace:
 		return v >= 4
+	case op == OpWatch:
+		return v >= 5
 	default:
 		return false
 	}
@@ -136,6 +190,8 @@ func (op Op) String() string {
 		return "QuotaSet"
 	case OpTrace:
 		return "Trace"
+	case OpWatch:
+		return "Watch"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(op))
 	}
@@ -258,11 +314,12 @@ var (
 )
 
 // Request is one decoded client→server message. Fields beyond ID and Op
-// are meaningful per op: Reserve uses Ready/Procs/Dur/Deadline/Tenant,
-// Cancel uses Resv, Query uses Ready as the probe instant, Snapshot uses
-// Shard, QuotaGet uses Tenant, QuotaSet uses Tenant and Share, Trace
-// uses Limit (how many of the newest records to return; <= 0 means the
-// server's whole ring).
+// are meaningful per op: Reserve uses Ready/Procs/Dur/Deadline/Tenant
+// (and, since v5, Stamp/Traced), Cancel uses Resv, Query uses Ready as
+// the probe instant, Snapshot uses Shard, QuotaGet uses Tenant, QuotaSet
+// uses Tenant and Share, Trace uses Limit (how many of the newest
+// records to return; <= 0 means the server's whole ring), Watch uses
+// Interval and Mask.
 //
 // Version records the protocol revision the frame used, with 0 meaning
 // the current Version — so the zero Request encodes at the current
@@ -281,6 +338,21 @@ type Request struct {
 	Limit    int
 	Tenant   string
 	Share    float64
+	// Stamp is the client's own send instant in unix nanoseconds (v5
+	// Reserve tail; 0 = no stamp). A sampled admission whose frame
+	// carried a stamp gains the client-send→server-route span in its
+	// TraceRecord.
+	Stamp int64
+	// Traced asks the server to force-sample this admission into the
+	// trace ring regardless of its 1-in-N sampling rate (v5 Reserve
+	// tail; a no-op on servers running with tracing disabled).
+	Traced bool
+	// Interval is the requested push period of a Watch subscription
+	// (the server clamps unreasonably small values).
+	Interval time.Duration
+	// Mask selects the telemetry families of a Watch subscription
+	// (WatchShards | WatchTenants | WatchWAL | WatchTraces).
+	Mask uint32
 }
 
 // Segment is one constant piece of a snapshot's capacity step function:
@@ -303,25 +375,83 @@ type QuotaInfo struct {
 	Admitted, Cancelled, Rejected uint64
 }
 
+// TenantTelemetry is one tenant's budget usage inside a Telemetry frame:
+// the quota-registry view a remote router needs to weigh placements.
+type TenantTelemetry struct {
+	Tenant   string
+	Budget   int64
+	Used     int64
+	Inflight int64
+}
+
+// WALTelemetry is one shard's live write-ahead-log counters inside a
+// Telemetry frame. FsyncP99 is the shard's 99th-percentile group-commit
+// fsync latency in nanoseconds; Failed counts WAL write failures (a
+// failed log degrades the shard to non-durable).
+type WALTelemetry struct {
+	Shard     int
+	Gen       uint64
+	Bytes     uint64
+	Records   uint64
+	Fsyncs    uint64
+	Snapshots uint64
+	FsyncP99  int64
+	Failed    uint64
+}
+
+// Telemetry is one server-pushed Watch frame: a snapshot of the
+// families the subscription's mask selected, assembled from the
+// server's published atomics (cumulative counters — consumers diff
+// successive frames for rates). Seq numbers the frames this subscriber
+// actually received; Dropped counts the frames the server discarded
+// because the subscriber's connection could not drain fast enough
+// (drop-and-mark: a gap is visible, never blocking).
+type Telemetry struct {
+	Seq     uint64
+	Dropped uint64
+	Mask    uint32
+	// M and Floor frame the capacity context: every shard holds M
+	// processors and keeps Floor of them free of reservations (the α
+	// rule), so M−Floor is the reservable width behind the per-shard
+	// committed areas below.
+	M     int
+	Floor int
+	// Queue[i] is shard i's instantaneous event-loop queue depth;
+	// Shards[i] is its published counter set (WatchShards).
+	Queue  []int
+	Shards []resd.ShardStats
+	// Tenants is the per-tenant budget usage (WatchTenants; empty when
+	// the server runs without quotas).
+	Tenants []TenantTelemetry
+	// WAL is the per-shard log telemetry (WatchWAL; empty on in-memory
+	// servers).
+	WAL []WALTelemetry
+	// TracesSampled and TracesSlow are the admission-tracing counters
+	// (WatchTraces).
+	TracesSampled uint64
+	TracesSlow    uint64
+}
+
 // Response is one decoded server→client message. Code discriminates
 // success; on success the op-specific field is set (Resv for Reserve,
 // Free for Query, M+Segs for Snapshot, Stats for Stats, Quota for
-// QuotaGet, Traces for Trace). Version follows the same 0-means-current
-// convention as Request.Version; the server answers every request at the
-// revision it arrived with.
+// QuotaGet, Traces for Trace, Telemetry for Watch). Version follows the
+// same 0-means-current convention as Request.Version; the server
+// answers every request at the revision it arrived with.
 type Response struct {
-	ID      uint64
-	Op      Op
-	Version uint8
-	Code    Code
-	Detail  string
-	Resv    resd.Reservation
-	Free    []int
-	M       int
-	Segs    []Segment
-	Stats   []resd.ShardStats
-	Quota   QuotaInfo
-	Traces  []resd.TraceRecord
+	ID        uint64
+	Op        Op
+	Version   uint8
+	Code      Code
+	Detail    string
+	Resv      resd.Reservation
+	Free      []int
+	M         int
+	Segs      []Segment
+	Stats     []resd.ShardStats
+	Quota     QuotaInfo
+	Traces    []resd.TraceRecord
+	Telemetry *Telemetry
 }
 
 // resolveVersion maps the 0-means-current convention onto the concrete
@@ -400,6 +530,9 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 	if v < 2 && req.Tenant != "" {
 		return nil, fmt.Errorf("%w: tenant %q needs revision 2, encoding at %d", ErrFrame, req.Tenant, v)
 	}
+	if v < 5 && (req.Stamp != 0 || req.Traced) {
+		return nil, fmt.Errorf("%w: client stamp/trace flag needs revision 5, encoding at %d", ErrFrame, v)
+	}
 	base := len(dst)
 	dst = append(dst, 0, 0, 0, 0)
 	dst = appendHeader(dst, v, req.Op, req.ID)
@@ -413,6 +546,14 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 			if dst, err = appendName(dst, req.Tenant); err != nil {
 				return nil, err
 			}
+		}
+		if v >= 5 {
+			dst = appendI64(dst, req.Stamp)
+			var flag byte
+			if req.Traced {
+				flag = 1
+			}
+			dst = append(dst, flag)
 		}
 	case OpCancel:
 		dst = binary.BigEndian.AppendUint64(dst, req.Resv)
@@ -434,6 +575,15 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(req.Share))
 	case OpTrace:
 		dst = appendI32(dst, int32(req.Limit))
+	case OpWatch:
+		if req.Interval < 0 {
+			return nil, fmt.Errorf("%w: watch interval %v negative", ErrFrame, req.Interval)
+		}
+		if !validWatchMask(req.Mask) {
+			return nil, fmt.Errorf("%w: watch mask %#x", ErrFrame, req.Mask)
+		}
+		dst = appendI64(dst, int64(req.Interval))
+		dst = binary.BigEndian.AppendUint32(dst, req.Mask)
 	case OpPing, OpStats:
 		// header only
 	}
@@ -560,6 +710,11 @@ func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 			}
 			dst = binary.BigEndian.AppendUint64(dst, tr.Seq)
 			dst = appendI64(dst, tr.Arrival.UnixNano())
+			if v >= 5 {
+				// The cross-wire span arrived with v5; a v4 reader gets
+				// the layout it knows and cannot see the client stamp.
+				dst = appendI64(dst, int64(tr.ClientSend))
+			}
 			dst = appendI64(dst, int64(tr.Route))
 			dst = appendI64(dst, int64(tr.Enqueue))
 			dst = appendI64(dst, int64(tr.BatchStart))
@@ -570,6 +725,87 @@ func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 			if dst, err = appendName(dst, tr.Tenant); err != nil {
 				return nil, err
 			}
+		}
+	case OpWatch:
+		t := resp.Telemetry
+		if t == nil {
+			return nil, fmt.Errorf("%w: watch response without telemetry", ErrFrame)
+		}
+		if !validWatchMask(t.Mask) {
+			return nil, fmt.Errorf("%w: telemetry mask %#x", ErrFrame, t.Mask)
+		}
+		if t.M < 0 || t.M > 1<<31-1 || t.Floor < 0 || t.Floor > 1<<31-1 {
+			return nil, fmt.Errorf("%w: telemetry capacity exceeds int32 range", ErrFrame)
+		}
+		dst = binary.BigEndian.AppendUint64(dst, t.Seq)
+		dst = binary.BigEndian.AppendUint64(dst, t.Dropped)
+		dst = binary.BigEndian.AppendUint32(dst, t.Mask)
+		dst = appendI32(dst, int32(t.M))
+		dst = appendI32(dst, int32(t.Floor))
+		if t.Mask&WatchShards != 0 {
+			if len(t.Shards) > maxShards {
+				return nil, fmt.Errorf("%w: %d shards in telemetry", ErrFrame, len(t.Shards))
+			}
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(t.Shards)))
+			for i, st := range t.Shards {
+				var q int
+				if i < len(t.Queue) {
+					q = t.Queue[i]
+				}
+				if q < -1<<31 || q > 1<<31-1 {
+					return nil, fmt.Errorf("%w: queue depth exceeds int32 range", ErrFrame)
+				}
+				dst = appendI32(dst, int32(q))
+				dst = appendI64(dst, int64(st.Active))
+				dst = appendI64(dst, st.CommittedArea)
+				dst = binary.BigEndian.AppendUint64(dst, st.Admitted)
+				dst = binary.BigEndian.AppendUint64(dst, st.Cancelled)
+				dst = binary.BigEndian.AppendUint64(dst, st.Rejected)
+				dst = binary.BigEndian.AppendUint64(dst, st.RejectedDeadline)
+				dst = binary.BigEndian.AppendUint64(dst, st.RejectedQuota)
+				dst = binary.BigEndian.AppendUint64(dst, st.MigratedIn)
+				dst = binary.BigEndian.AppendUint64(dst, st.MigratedOut)
+				dst = appendTime(dst, st.SlackP99)
+				dst = binary.BigEndian.AppendUint64(dst, st.Batches)
+				dst = binary.BigEndian.AppendUint64(dst, st.Ops)
+			}
+		}
+		if t.Mask&WatchTenants != 0 {
+			if len(t.Tenants) > maxTenants {
+				return nil, fmt.Errorf("%w: %d tenants in telemetry", ErrFrame, len(t.Tenants))
+			}
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(t.Tenants)))
+			for _, tt := range t.Tenants {
+				if dst, err = appendName(dst, tt.Tenant); err != nil {
+					return nil, err
+				}
+				dst = appendI64(dst, tt.Budget)
+				dst = appendI64(dst, tt.Used)
+				dst = appendI64(dst, tt.Inflight)
+			}
+		}
+		if t.Mask&WatchWAL != 0 {
+			if len(t.WAL) > maxShards {
+				return nil, fmt.Errorf("%w: %d WAL entries in telemetry", ErrFrame, len(t.WAL))
+			}
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(t.WAL)))
+			for _, w := range t.WAL {
+				if w.Shard < -1<<31 || w.Shard > 1<<31-1 {
+					return nil, fmt.Errorf("%w: WAL shard exceeds int32 range", ErrFrame)
+				}
+				dst = appendI32(dst, int32(w.Shard))
+				dst = binary.BigEndian.AppendUint64(dst, w.Gen)
+				dst = binary.BigEndian.AppendUint64(dst, w.Bytes)
+				dst = binary.BigEndian.AppendUint64(dst, w.Records)
+				dst = binary.BigEndian.AppendUint64(dst, w.Fsyncs)
+				dst = binary.BigEndian.AppendUint64(dst, w.Snapshots)
+				dst = appendI64(dst, w.FsyncP99)
+				dst = binary.BigEndian.AppendUint64(dst, w.Failed)
+			}
+		}
+		if t.Mask&WatchTraces != 0 {
+			dst = binary.BigEndian.AppendUint64(dst, t.TracesSampled)
+			dst = binary.BigEndian.AppendUint64(dst, t.TracesSlow)
 		}
 	case OpCancel, OpPing, OpQuotaSet:
 		// header + code only
@@ -712,6 +948,14 @@ func DecodeRequest(payload []byte) (Request, error) {
 		if v >= 2 {
 			req.Tenant = r.name()
 		}
+		if v >= 5 {
+			req.Stamp = r.i64()
+			flag := r.u8()
+			if r.err == nil && flag > 1 {
+				r.err = fmt.Errorf("%w: trace flag %d", ErrFrame, flag)
+			}
+			req.Traced = flag == 1
+		}
 	case OpCancel:
 		req.Resv = r.u64()
 	case OpQuery:
@@ -725,6 +969,15 @@ func DecodeRequest(payload []byte) (Request, error) {
 		req.Share = r.share()
 	case OpTrace:
 		req.Limit = int(r.i32())
+	case OpWatch:
+		req.Interval = time.Duration(r.i64())
+		if r.err == nil && req.Interval < 0 {
+			r.err = fmt.Errorf("%w: watch interval %v negative", ErrFrame, req.Interval)
+		}
+		req.Mask = r.u32()
+		if r.err == nil && !validWatchMask(req.Mask) {
+			r.err = fmt.Errorf("%w: watch mask %#x", ErrFrame, req.Mask)
+		}
 	case OpPing, OpStats:
 	}
 	if err := r.done(); err != nil {
@@ -841,7 +1094,11 @@ func DecodeResponse(payload []byte) (Response, error) {
 		resp.Quota.Rejected = r.u64()
 	case OpTrace:
 		n := int(r.u32())
-		if n > maxTraces || (r.err == nil && traceEntryLen*n > len(r.b)-r.off) {
+		entry := traceEntryLen
+		if v >= 5 {
+			entry += traceV5Extra // ClientSend joined the layout at v5
+		}
+		if n > maxTraces || (r.err == nil && entry*n > len(r.b)-r.off) {
 			r.fail()
 			break
 		}
@@ -850,6 +1107,9 @@ func DecodeResponse(payload []byte) (Response, error) {
 			tr := &resp.Traces[i]
 			tr.Seq = r.u64()
 			tr.Arrival = time.Unix(0, r.i64())
+			if v >= 5 {
+				tr.ClientSend = time.Duration(r.i64())
+			}
 			tr.Route = time.Duration(r.i64())
 			tr.Enqueue = time.Duration(r.i64())
 			tr.BatchStart = time.Duration(r.i64())
@@ -862,6 +1122,82 @@ func DecodeResponse(payload []byte) (Response, error) {
 			}
 			tr.Tenant = r.name()
 		}
+	case OpWatch:
+		t := &Telemetry{}
+		t.Seq = r.u64()
+		t.Dropped = r.u64()
+		t.Mask = r.u32()
+		if r.err == nil && !validWatchMask(t.Mask) {
+			return Response{}, fmt.Errorf("%w: telemetry mask %#x", ErrFrame, t.Mask)
+		}
+		t.M = int(r.i32())
+		t.Floor = int(r.i32())
+		if r.err == nil && (t.M < 0 || t.Floor < 0) {
+			return Response{}, fmt.Errorf("%w: negative telemetry capacity", ErrFrame)
+		}
+		if t.Mask&WatchShards != 0 {
+			n := int(r.u32())
+			if n > maxShards || (r.err == nil && watchShardEntryLen*n > len(r.b)-r.off) {
+				r.fail()
+				break
+			}
+			t.Queue = make([]int, n)
+			t.Shards = make([]resd.ShardStats, n)
+			for i := range t.Shards {
+				t.Queue[i] = int(r.i32())
+				st := &t.Shards[i]
+				st.Active = int(r.i64())
+				st.CommittedArea = r.i64()
+				st.Admitted = r.u64()
+				st.Cancelled = r.u64()
+				st.Rejected = r.u64()
+				st.RejectedDeadline = r.u64()
+				st.RejectedQuota = r.u64()
+				st.MigratedIn = r.u64()
+				st.MigratedOut = r.u64()
+				st.SlackP99 = r.time()
+				st.Batches = r.u64()
+				st.Ops = r.u64()
+			}
+		}
+		if t.Mask&WatchTenants != 0 {
+			n := int(r.u32())
+			if n > maxTenants || (r.err == nil && watchTenantEntryLen*n > len(r.b)-r.off) {
+				r.fail()
+				break
+			}
+			t.Tenants = make([]TenantTelemetry, n)
+			for i := range t.Tenants {
+				t.Tenants[i].Tenant = r.name()
+				t.Tenants[i].Budget = r.i64()
+				t.Tenants[i].Used = r.i64()
+				t.Tenants[i].Inflight = r.i64()
+			}
+		}
+		if t.Mask&WatchWAL != 0 {
+			n := int(r.u32())
+			if n > maxShards || (r.err == nil && watchWALEntryLen*n > len(r.b)-r.off) {
+				r.fail()
+				break
+			}
+			t.WAL = make([]WALTelemetry, n)
+			for i := range t.WAL {
+				w := &t.WAL[i]
+				w.Shard = int(r.i32())
+				w.Gen = r.u64()
+				w.Bytes = r.u64()
+				w.Records = r.u64()
+				w.Fsyncs = r.u64()
+				w.Snapshots = r.u64()
+				w.FsyncP99 = r.i64()
+				w.Failed = r.u64()
+			}
+		}
+		if t.Mask&WatchTraces != 0 {
+			t.TracesSampled = r.u64()
+			t.TracesSlow = r.u64()
+		}
+		resp.Telemetry = t
 	case OpCancel, OpPing, OpQuotaSet:
 	}
 	if err := r.done(); err != nil {
