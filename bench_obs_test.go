@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/obs"
 	"repro/internal/resd"
 	"repro/internal/reswire"
@@ -31,7 +32,7 @@ import (
 // the production-shaped setting (sampled, not exhaustive).
 const obsBenchTraceSample = 64
 
-// obsServices memoizes the two preloaded services ("off", "on"), exactly
+// obsServices memoizes the preloaded per-mode services, exactly
 // as resdServices does: preloading is seconds of work and the measured
 // loop restores its own state.
 var (
@@ -44,7 +45,12 @@ var (
 // mirrors resdLoadedService so the measured op sees the same blocking
 // segments in both variants. The "watch" mode service is instrumented
 // exactly like "on" — the live Watch subscriber is attached per run by
-// attachObsWatcher, not here.
+// attachObsWatcher, not here. The "flight" mode additionally arms the
+// flight recorder (journal hooks, per-turn heartbeat stamps, and the
+// watchdog polling shard probes at the default cadence), pricing the
+// black-box layer's hot-path footprint. Bundles stay disabled (no
+// directory): a healthy benchmark never captures one, and the figure
+// priced here is the always-on cost, not anomaly handling.
 func obsLoadedService(tb testing.TB, mode string) *resd.Service {
 	tb.Helper()
 	obsSvcMu.Lock()
@@ -61,6 +67,13 @@ func obsLoadedService(tb testing.TB, mode string) *resd.Service {
 			Registry:    obs.NewRegistry(),
 			TraceSample: obsBenchTraceSample,
 		}
+	}
+	if mode == "flight" {
+		rec, err := flight.New(flight.Config{Registry: cfg.Obs.Registry})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		cfg.Obs.Flight = rec
 	}
 	svc, err := resd.New(cfg)
 	if err != nil {
@@ -125,17 +138,18 @@ func attachObsWatcher(tb testing.TB, svc *resd.Service) (stop func()) {
 }
 
 // BenchmarkObsOverhead measures the admission path with the obs layer
-// off, on, and on with a live Watch subscriber streaming telemetry at
-// the protocol's minimum interval. The sub-benchmarks run the identical
-// workload; the on/off and watch/off ratios are the whole cost of
-// metrics, sampled tracing, and a tailing dashboard.
+// off, on, on with a live Watch subscriber streaming telemetry at the
+// protocol's minimum interval, and on with the flight recorder armed
+// (journal, heartbeats, watchdog). The sub-benchmarks run the identical
+// workload; the per-mode/off ratios are the whole cost of metrics,
+// sampled tracing, a tailing dashboard, and the black-box layer.
 func BenchmarkObsOverhead(b *testing.B) {
 	// Build every mode's service before measuring any of them: the
 	// recorded figures are ratios, and lazily preloading inside each
 	// sub-benchmark would measure "off" with one retained service on the
 	// heap and "watch" with three — a systematic GC handicap on the later
 	// modes that repetition cannot average away.
-	for _, mode := range []string{"off", "on", "watch"} {
+	for _, mode := range []string{"off", "on", "watch", "flight"} {
 		obsLoadedService(b, mode)
 	}
 	// Three interleaved rounds of the mode triple: the figures this
@@ -146,7 +160,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 	// Go suffixes the repeated names (#01, #02); benchgate strips the
 	// suffix and averages the rounds.
 	for round := 0; round < 3; round++ {
-		for _, mode := range []string{"off", "on", "watch"} {
+		for _, mode := range []string{"off", "on", "watch", "flight"} {
 			b.Run("obs="+mode, func(b *testing.B) {
 				svc := obsLoadedService(b, mode)
 				if mode == "watch" {
@@ -173,11 +187,13 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 }
 
-// TestEmitObsBenchJSON records the off/on/watch figures and their ratios
-// as BENCH_obs.json at the repository root. Opt-in (REPRO_EMIT_BENCH=1).
-// It also enforces the design claim directly: full instrumentation must
-// cost less than 5% of admission throughput — even with a live Watch
-// subscriber streaming telemetry while the measurement runs.
+// TestEmitObsBenchJSON records the off/on/watch/flight figures and their
+// ratios as BENCH_obs.json at the repository root. Opt-in
+// (REPRO_EMIT_BENCH=1). It also enforces the design claim directly: full
+// instrumentation must cost less than 5% of admission throughput — even
+// with a live Watch subscriber streaming telemetry while the measurement
+// runs, and even with the flight recorder's heartbeats and watchdog
+// armed.
 func TestEmitObsBenchJSON(t *testing.T) {
 	if os.Getenv("REPRO_EMIT_BENCH") == "" {
 		t.Skip("set REPRO_EMIT_BENCH=1 to measure the obs overhead and write BENCH_obs.json")
@@ -187,20 +203,21 @@ func TestEmitObsBenchJSON(t *testing.T) {
 		NsPerOp float64 `json:"ns_per_op"`
 	}
 	out := struct {
-		Benchmark     string  `json:"benchmark"`
-		M             int     `json:"m"`
-		Shards        int     `json:"shards"`
-		TotalRes      int     `json:"preloaded_reservations_total"`
-		TraceSample   int     `json:"trace_sample"`
-		Workload      string  `json:"workload"`
-		GoVersion     string  `json:"go_version"`
-		MaxProcs      int     `json:"gomaxprocs"`
-		Rows          []row   `json:"rows"`
-		Overhead      float64 `json:"overhead"`
-		WatchOverhead float64 `json:"watch_overhead"`
-		MaxOverhead   float64 `json:"max_overhead"`
+		Benchmark      string  `json:"benchmark"`
+		M              int     `json:"m"`
+		Shards         int     `json:"shards"`
+		TotalRes       int     `json:"preloaded_reservations_total"`
+		TraceSample    int     `json:"trace_sample"`
+		Workload       string  `json:"workload"`
+		GoVersion      string  `json:"go_version"`
+		MaxProcs       int     `json:"gomaxprocs"`
+		Rows           []row   `json:"rows"`
+		Overhead       float64 `json:"overhead"`
+		WatchOverhead  float64 `json:"watch_overhead"`
+		FlightOverhead float64 `json:"flight_overhead"`
+		MaxOverhead    float64 `json:"max_overhead"`
 	}{
-		Benchmark:   "obs instrumentation overhead: Reserve+Cancel with the metrics registry and sampled tracing off vs on vs on-with-live-Watch-subscriber",
+		Benchmark:   "obs instrumentation overhead: Reserve+Cancel with the metrics registry and sampled tracing off vs on vs on-with-live-Watch-subscriber vs on-with-flight-recorder",
 		M:           resdBenchM,
 		Shards:      4,
 		TotalRes:    resdBenchTotalRes,
@@ -243,7 +260,7 @@ func TestEmitObsBenchJSON(t *testing.T) {
 	// prebuilt for the same reason BenchmarkObsOverhead prebuilds them:
 	// every mode must see the identical retained heap.
 	const rounds = 3
-	modes := []string{"off", "on", "watch"}
+	modes := []string{"off", "on", "watch", "flight"}
 	for _, mode := range modes {
 		obsLoadedService(t, mode)
 	}
@@ -258,6 +275,7 @@ func TestEmitObsBenchJSON(t *testing.T) {
 	}
 	out.Overhead = ns["on"] / ns["off"]
 	out.WatchOverhead = ns["watch"] / ns["off"]
+	out.FlightOverhead = ns["flight"] / ns["off"]
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -265,13 +283,17 @@ func TestEmitObsBenchJSON(t *testing.T) {
 	if err := os.WriteFile("BENCH_obs.json", append(buf, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("obs off %.0f ns/op, on %.0f ns/op, watch %.0f ns/op: %.3f× / %.3f× overhead",
-		ns["off"], ns["on"], ns["watch"], out.Overhead, out.WatchOverhead)
+	t.Logf("obs off %.0f ns/op, on %.0f ns/op, watch %.0f ns/op, flight %.0f ns/op: %.3f× / %.3f× / %.3f× overhead",
+		ns["off"], ns["on"], ns["watch"], ns["flight"], out.Overhead, out.WatchOverhead, out.FlightOverhead)
 	if out.Overhead > out.MaxOverhead {
 		t.Errorf("obs overhead %.3f× exceeds the %.2f× budget", out.Overhead, out.MaxOverhead)
 	}
 	if out.WatchOverhead > out.MaxOverhead {
 		t.Errorf("obs overhead with a live watcher %.3f× exceeds the %.2f× budget",
 			out.WatchOverhead, out.MaxOverhead)
+	}
+	if out.FlightOverhead > out.MaxOverhead {
+		t.Errorf("obs overhead with the flight recorder armed %.3f× exceeds the %.2f× budget",
+			out.FlightOverhead, out.MaxOverhead)
 	}
 }

@@ -254,9 +254,10 @@ func TestBaselineLoaders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ob) != 3 || ob[0].name != "BenchmarkObsOverhead/obs=off" ||
+	if len(ob) != 4 || ob[0].name != "BenchmarkObsOverhead/obs=off" ||
 		ob[1].name != "BenchmarkObsOverhead/obs=on" ||
-		ob[2].name != "BenchmarkObsOverhead/obs=watch" || ob[0].ns <= 0 {
+		ob[2].name != "BenchmarkObsOverhead/obs=watch" ||
+		ob[3].name != "BenchmarkObsOverhead/obs=flight" || ob[0].ns <= 0 {
 		t.Fatalf("obs baselines: %+v", ob)
 	}
 	if budget <= 1 || budget > 1.1 {
@@ -276,12 +277,14 @@ func TestBaselineLoaders(t *testing.T) {
 
 func TestGateObsRatio(t *testing.T) {
 	within := map[string]measurement{
-		"BenchmarkObsOverhead/obs=off":   {ns: 7000},
-		"BenchmarkObsOverhead/obs=on":    {ns: 7200},
-		"BenchmarkObsOverhead/obs=watch": {ns: 7300},
+		"BenchmarkObsOverhead/obs=off":    {ns: 7000},
+		"BenchmarkObsOverhead/obs=on":     {ns: 7200},
+		"BenchmarkObsOverhead/obs=watch":  {ns: 7300},
+		"BenchmarkObsOverhead/obs=flight": {ns: 7250},
 	}
-	if report, ok := gateObsRatio(within, 1.05); !ok || len(report) != 2 ||
-		!strings.Contains(report[0], "ok") || !strings.Contains(report[1], "ok") {
+	if report, ok := gateObsRatio(within, 1.05); !ok || len(report) != 3 ||
+		!strings.Contains(report[0], "ok") || !strings.Contains(report[1], "ok") ||
+		!strings.Contains(report[2], "ok") {
 		t.Fatalf("within budget: ok=%v report=%v", ok, report)
 	}
 	over := map[string]measurement{
@@ -300,6 +303,15 @@ func TestGateObsRatio(t *testing.T) {
 	}
 	if report, ok := gateObsRatio(watchOver, 1.05); ok || !strings.Contains(strings.Join(report, "\n"), "FAIL") {
 		t.Fatalf("watch over budget: ok=%v report=%v", ok, report)
+	}
+	// The armed flight recorder is held to the same budget.
+	flightOver := map[string]measurement{
+		"BenchmarkObsOverhead/obs=off":    {ns: 7000},
+		"BenchmarkObsOverhead/obs=on":     {ns: 7200},
+		"BenchmarkObsOverhead/obs=flight": {ns: 8000},
+	}
+	if report, ok := gateObsRatio(flightOver, 1.05); ok || !strings.Contains(strings.Join(report, "\n"), "FAIL") {
+		t.Fatalf("flight over budget: ok=%v report=%v", ok, report)
 	}
 	// Missing sub-benchmarks are the baseline gate's finding, not a second
 	// failure here.

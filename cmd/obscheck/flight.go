@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// flightStatus mirrors the JSON /debug/flight serves (the fields the
+// checker needs; unknown fields are ignored).
+type flightStatus struct {
+	State   string            `json:"state"`
+	Warning string            `json:"warning"`
+	Counts  map[string]uint64 `json:"counts"`
+	Events  []flightEvent     `json:"events"`
+	Bundles []string          `json:"bundles"`
+}
+
+type flightEvent struct {
+	Seq    uint64         `json:"seq"`
+	Sev    string         `json:"sev"`
+	Subsys string         `json:"subsys"`
+	Shard  int            `json:"shard"`
+	Msg    string         `json:"msg"`
+	KV     []flightKVPair `json:"kv"`
+}
+
+type flightKVPair struct {
+	K string `json:"k"`
+	V string `json:"v"`
+}
+
+// runFlight fetches and validates the flight-recorder surface at base
+// (the observability listener's root URL). nostall fails the run on any
+// stall evidence — current state or a journaled transition to stalled.
+// capture additionally POSTs an on-demand bundle and validates what
+// came back: a manifest naming the bundle, a journal dump, and a
+// metrics snapshot this binary's own strict parser accepts.
+func runFlight(base string, timeout time.Duration, nostall, capture, verbose bool) error {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: timeout}
+
+	var status flightStatus
+	if err := getJSON(client, base+"/debug/flight?n=0", &status); err != nil {
+		return fmt.Errorf("obscheck: flight: %w", err)
+	}
+	if status.State == "" {
+		return fmt.Errorf("obscheck: flight: /debug/flight reports no state")
+	}
+	if verbose {
+		for _, ev := range status.Events {
+			fmt.Printf("journal %4d  %-5s %-8s shard=%-3d %s\n", ev.Seq, ev.Sev, ev.Subsys, ev.Shard, ev.Msg)
+		}
+	}
+	if nostall {
+		if status.State == "stalled" {
+			return fmt.Errorf("obscheck: flight: node is stalled: %s", status.Warning)
+		}
+		for _, ev := range status.Events {
+			if ev.Subsys != "flight" {
+				continue
+			}
+			for _, kv := range ev.KV {
+				if kv.K == "to" && kv.V == "stalled" {
+					return fmt.Errorf("obscheck: flight: journal records a stall (seq %d): %s", ev.Seq, ev.Msg)
+				}
+			}
+		}
+	}
+
+	if capture {
+		resp, err := client.Post(base+"/debug/flight/capture?reason=obscheck", "", nil)
+		if err != nil {
+			return fmt.Errorf("obscheck: flight: capture: %w", err)
+		}
+		body := json.NewDecoder(resp.Body)
+		var out struct {
+			Bundle string `json:"bundle"`
+		}
+		derr := body.Decode(&out)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("obscheck: flight: capture answered %s", resp.Status)
+		}
+		if derr != nil || out.Bundle == "" {
+			return fmt.Errorf("obscheck: flight: capture returned no bundle name (%v)", derr)
+		}
+		if err := checkBundle(client, base, out.Bundle, verbose); err != nil {
+			return err
+		}
+		fmt.Printf("obscheck: flight ok: state %s, %d journal events, bundle %s validated\n",
+			status.State, len(status.Events), out.Bundle)
+		return nil
+	}
+	fmt.Printf("obscheck: flight ok: state %s, %d journal events, %d bundles\n",
+		status.State, len(status.Events), len(status.Bundles))
+	return nil
+}
+
+// checkBundle validates one bundle's required files: the manifest names
+// the bundle and lists files, the journal dump is JSON, and the metrics
+// snapshot parses under the same strict parser -url scrapes use.
+func checkBundle(client *http.Client, base, name string, verbose bool) error {
+	fetch := func(file string) ([]byte, error) {
+		return getBytes(client, base+"/debug/flight/bundle/"+name+"/"+file)
+	}
+	raw, err := fetch("manifest.json")
+	if err != nil {
+		return fmt.Errorf("obscheck: flight: bundle %s: %w", name, err)
+	}
+	var man struct {
+		Name  string   `json:"name"`
+		Files []string `json:"files"`
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return fmt.Errorf("obscheck: flight: bundle %s: manifest: %w", name, err)
+	}
+	if man.Name != name {
+		return fmt.Errorf("obscheck: flight: bundle manifest names %q, fetched %q", man.Name, name)
+	}
+	raw, err = fetch("journal.json")
+	if err != nil {
+		return fmt.Errorf("obscheck: flight: bundle %s: %w", name, err)
+	}
+	var events []flightEvent
+	if err := json.Unmarshal(raw, &events); err != nil {
+		return fmt.Errorf("obscheck: flight: bundle %s: journal: %w", name, err)
+	}
+	if raw, err = fetch("metrics.prom"); err == nil {
+		if _, perr := obs.ParseExposition(raw); perr != nil {
+			return fmt.Errorf("obscheck: flight: bundle %s: metrics snapshot malformed: %w", name, perr)
+		}
+	}
+	if verbose {
+		fmt.Printf("bundle %s: %d files, %d journal events\n", name, len(man.Files), len(events))
+	}
+	return nil
+}
+
+func getBytes(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s answered %s", url, resp.Status)
+	}
+	return buf.Bytes(), nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	raw, err := getBytes(client, url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, v)
+}

@@ -19,6 +19,17 @@
 // so CI can assert the subscriber saw real traffic, not an idle server:
 //
 //	obscheck -watch 127.0.0.1:7433 -frames 5 -interval 200ms -min 1000
+//
+// With -flight it validates the flight-recorder surface instead: it
+// fetches /debug/flight from the observability base URL, checks the
+// reported health state and journal, -nostall fails the run when the
+// watchdog ever judged a shard loop stalled (state or journal
+// evidence), and -capture requests an on-demand diagnostic bundle and
+// validates its contents (manifest, journal, parseable metrics
+// snapshot):
+//
+//	obscheck -flight http://127.0.0.1:9090 -nostall
+//	obscheck -flight http://127.0.0.1:9090 -capture
 package main
 
 import (
@@ -45,10 +56,16 @@ func run() error {
 	frames := flag.Int("frames", 5, "telemetry frames that must arrive (with -watch)")
 	interval := flag.Duration("interval", 200*time.Millisecond, "requested push period (with -watch)")
 	minAdmitted := flag.Uint64("min", 0, "total admissions the final frame must have reached (with -watch)")
+	flightURL := flag.String("flight", "", "validate the flight-recorder surface at this observability base URL instead of scraping")
+	nostall := flag.Bool("nostall", false, "fail when the watchdog ever recorded a stall (with -flight)")
+	capture := flag.Bool("capture", false, "request an on-demand bundle and validate its contents (with -flight)")
 	flag.Parse()
 
 	if *watch != "" {
 		return runWatch(*watch, *interval, *frames, *minAdmitted, *verbose)
+	}
+	if *flightURL != "" {
+		return runFlight(*flightURL, *timeout, *nostall, *capture, *verbose)
 	}
 
 	var data []byte

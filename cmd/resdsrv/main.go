@@ -48,6 +48,16 @@
 //
 //	resdsrv -obs :9090 -trace 64 -slow 5ms    # metrics + sampled tracing
 //
+// With -obs (or -flightdir) the server also arms its flight recorder
+// (internal/flight): a bounded structured event journal fed by every
+// subsystem, a watchdog judging shard-loop heartbeats against stall and
+// queue budgets (resd_health_state, /healthz warnings), and — when
+// -flightdir names a directory — on-anomaly diagnostic bundles
+// (goroutines, heap, metrics, traces, journal, WAL state, config)
+// served at /debug/flight and validated by `obscheck -flight`.
+//
+//	resdsrv -obs :9090 -flightdir /var/lib/resd/flight   # black box armed
+//
 // With -waldir, every shard keeps a write-ahead log of its admission
 // decisions in that directory, group-committed with the shard's batch
 // turn (one fsync per batch under -walsync batch), snapshotted every
@@ -79,6 +89,7 @@ import (
 
 	"repro/internal/cliflag"
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/obs"
 	"repro/internal/resd"
 	"repro/internal/reswire"
@@ -110,6 +121,7 @@ func run() error {
 	trace := flag.Int("trace", 0, "sample 1 in N admissions into the trace ring (0 = tracing disabled)")
 	tracebuf := flag.Int("tracebuf", resd.DefaultTraceBuf, "admission trace ring capacity")
 	slow := flag.Duration("slow", 0, "log sampled admissions slower than this to stderr (0 = disabled)")
+	flightdir := flag.String("flightdir", "", "flight-recorder bundle directory: on-anomaly diagnostic bundles (empty = journal+watchdog only when -obs is set)")
 	waldir := flag.String("waldir", "", "write-ahead-log directory: durable shards, replayed on restart (empty = in-memory only)")
 	walsync := flag.String("walsync", "batch", "WAL commit durability: batch (one fsync per group commit) or none (OS flush only)")
 	snapevery := flag.Int("snapevery", 8192, "WAL records per shard between snapshots (0 = never snapshot; the log grows unbounded)")
@@ -183,12 +195,30 @@ func run() error {
 	var metrics *obs.Registry
 	if *obsAddr != "" {
 		metrics = obs.NewRegistry()
+		obs.RegisterRuntime(metrics, "")
 	}
+
+	// The flight recorder (journal + watchdog) runs whenever observability
+	// is on; -flightdir additionally arms on-anomaly diagnostic bundles.
+	var rec *flight.Recorder
+	if metrics != nil || *flightdir != "" {
+		if *flightdir != "" {
+			if err := cliflag.WritableDir("flightdir", *flightdir); err != nil {
+				return err
+			}
+		}
+		rec, err = flight.New(flight.Config{Registry: metrics, Dir: *flightdir})
+		if err != nil {
+			return err
+		}
+	}
+
 	var obsCfg *resd.ObsConfig
-	if metrics != nil || *trace > 0 {
+	if metrics != nil || *trace > 0 || rec != nil {
 		obsCfg = &resd.ObsConfig{
 			Registry: metrics, TraceSample: *trace, TraceBuf: *tracebuf,
 			SlowThreshold: *slow,
+			Flight:        rec,
 		}
 		if *slow > 0 {
 			obsCfg.SlowLog = func(tr resd.TraceRecord) {
@@ -211,15 +241,28 @@ func run() error {
 			return err
 		}
 		warn := func() string {
+			var parts []string
 			if svc := warnSvc.Load(); svc != nil {
-				return walWarning(svc)
+				if w := walWarning(svc); w != "" {
+					parts = append(parts, w)
+				}
 			}
-			return ""
+			if rec != nil && rec.State() != flight.Healthy {
+				parts = append(parts, fmt.Sprintf("%s: %s", rec.State(), rec.Warning()))
+			}
+			return strings.Join(parts, "; ")
 		}
-		hsrv := &http.Server{Handler: obs.HandlerWithWarn(metrics, ready.Load, warn)}
+		mux := http.NewServeMux()
+		if rec != nil {
+			fh := rec.Handler()
+			mux.Handle("/debug/flight", fh)
+			mux.Handle("/debug/flight/", fh)
+		}
+		mux.Handle("/", obs.HandlerWithWarn(metrics, ready.Load, warn))
+		hsrv := &http.Server{Handler: mux}
 		go hsrv.Serve(oln)
 		defer hsrv.Close()
-		fmt.Printf("resdsrv: observability on http://%s/metrics (+/healthz, /debug/pprof)\n", oln.Addr())
+		fmt.Printf("resdsrv: observability on http://%s/metrics (+/healthz, /debug/pprof, /debug/flight)\n", oln.Addr())
 	}
 
 	svc, err := resd.New(resd.Config{
@@ -244,6 +287,17 @@ func run() error {
 	}
 	srv := reswire.NewServer(svc)
 	srv.SetMetrics(reswire.NewMetrics(metrics, "server"))
+	if rec != nil {
+		srv.SetFlight(rec.Journal())
+		rec.SetConfigInfo(map[string]any{
+			"addr": *addr, "shards": *shards, "m": *m, "alpha": *alpha,
+			"backend": *backend, "placement": *placement, "batch": *batch,
+			"quotas": *quotas, "rebalance": (*rebalance).String(),
+			"trace": *trace, "slow": (*slow).String(),
+			"waldir": *waldir, "walsync": *walsync, "snapevery": *snapevery,
+			"flightdir": *flightdir, "obs": *obsAddr,
+		})
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -267,6 +321,14 @@ func run() error {
 	if *trace > 0 {
 		fmt.Printf("resdsrv: tracing 1 in %d admissions (ring %d, slow threshold %v)\n",
 			*trace, *tracebuf, *slow)
+	}
+	if rec != nil {
+		where := "bundles disabled"
+		if *flightdir != "" {
+			where = "bundles in " + *flightdir
+		}
+		fmt.Printf("resdsrv: flight recorder armed (journal %d events, watchdog %v checks, %s)\n",
+			flight.DefaultJournalSize, flight.DefaultCheckEvery, where)
 	}
 	if wi := svc.WALInfo(); wi.Enabled {
 		fmt.Printf("resdsrv: wal %s (sync=%s, snapevery=%d): replayed %d records, %d snapshots in %v (moves %d committed / %d aborted, torn=%d corrupt=%d dropped=%dB)\n",

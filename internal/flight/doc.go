@@ -1,0 +1,82 @@
+// Package flight is the node's black-box flight recorder: a bounded
+// structured event journal, a shard-loop health watchdog, and
+// on-anomaly diagnostic bundles. It exists because the service's other
+// observability (metrics, traces, Watch telemetry) describes the
+// workload; flight describes the service itself — whether the
+// single-writer loops the α-rule guarantees depend on are actually
+// making progress, and what the evidence was when they were not.
+//
+// # Journal
+//
+// The Journal is a fixed-size ring of typed Events: severity (info /
+// warn / error), a wall-clock stamp plus a monotonic offset, the
+// originating subsystem ("resd", "wal", "rebal", "reswire", "flight"),
+// the shard (-1 for node-wide), an optional tenant, a message, and
+// structured key/value pairs. Hook points across the service feed it:
+//
+//	resd     WAL replay verdicts, migration commits/aborts, quota
+//	         overflow-book activation, slow batch turns, WAL failures
+//	wal      log rotations, snapshot writes, snapshot failures
+//	rebal    round outcomes, balancer backoff changes
+//	reswire  frame errors, down-level clients, watch slow-consumer drops
+//	flight   health transitions, bundle captures
+//
+// Recording is one short mutex hold plus a few atomic adds; event
+// rates are operational, not per-request. Per-severity totals mirror
+// into the obs registry as flight_events_total{severity}, so an alert
+// can fire on error-rate without shipping the journal anywhere. All
+// journal methods are nil-receiver safe: hook sites record
+// unconditionally and a service without a recorder pays a nil check.
+//
+// # Watchdog
+//
+// Each shard loop publishes a heartbeat from its existing batch turn:
+// BusySince when a turn begins, LastTurn when it completes (two atomic
+// stores per batch, only when a recorder is attached). The monitor
+// goroutine samples those probes every Budgets.CheckEvery and judges
+// the node against configurable budgets:
+//
+//	stalled   a loop stuck inside one turn (or queued requests with no
+//	          turn) for longer than StallAfter
+//	degraded  a request queue at >= 3/4 capacity for QueueFullFor, a
+//	          WAL fsync p99 over FsyncP99, or more than FrameErrorBurst
+//	          reswire frame errors inside one check period
+//
+// The worst firing rule is the node state — healthy(0), degraded(1),
+// stalled(2) — published as the resd_health_state gauge, served on
+// /healthz's warn path (a 200 "warning: ..." body), and journaled on
+// every transition. Recovery (the condition clearing) transitions back
+// and is journaled too.
+//
+// # Bundles
+//
+// When the state worsens — or on demand via Capture or
+// POST /debug/flight/capture — the recorder writes a diagnostic bundle
+// into Config.Dir: a directory named flight-<unixms>-<seq> holding
+//
+//	manifest.json    name, reason, time, state, file list
+//	journal.json     the full journal tail at capture time
+//	goroutines.txt   goroutine dump (pprof debug=2)
+//	heap.pprof       heap profile
+//	metrics.prom     a full metrics exposition snapshot
+//	traces.json      the admission trace ring
+//	wal.json         WALInfo plus live per-shard log counters
+//	config.json      the effective service configuration
+//
+// Bundles are written into a hidden temp directory and renamed into
+// place, so any visible bundle is complete. Watchdog-triggered
+// captures are rate-limited to one per BundleMinInterval (a flapping
+// rule cannot fill the disk; suppressed captures are counted and
+// journaled); on-demand captures are not. Retention keeps the newest
+// BundleKeep bundles and deletes older ones.
+//
+// # Surfaces
+//
+// Handler serves GET /debug/flight (state, warning, journal tail,
+// bundle inventory), POST /debug/flight/capture, and bundle file
+// fetches. resdsrv mounts it next to /metrics when -flightdir or -obs
+// is set; `obscheck -flight` fetches and validates the whole surface.
+// The Queue type is the journal's bounded non-blocking dispatcher,
+// used by resd to run ObsConfig.SlowLog callbacks off the admission
+// path.
+package flight

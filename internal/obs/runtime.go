@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// runtimeStats caches one runtime.ReadMemStats capture so a scrape of
+// the whole runtime family pays a single stop-the-world read — and a
+// burst of scrapes (several gauges in one Gather) pays one per refresh
+// window, not one per gauge.
+type runtimeStats struct {
+	mu    sync.Mutex
+	at    time.Time
+	stats runtime.MemStats
+}
+
+// runtimeRefresh is how stale a cached MemStats capture may be before
+// the next reader refreshes it. One second is far below any scrape
+// interval, so every scrape sees fresh numbers while same-scrape
+// gauges share a capture.
+const runtimeRefresh = time.Second
+
+func (c *runtimeStats) read() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.at) >= runtimeRefresh {
+		runtime.ReadMemStats(&c.stats)
+		c.at = now
+	}
+	return &c.stats
+}
+
+// gcPauseP99 estimates the 99th-percentile GC pause from the MemStats
+// pause ring (the newest min(NumGC, 256) pauses), in seconds.
+func gcPauseP99(ms *runtime.MemStats) float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		pauses[i] = ms.PauseNs[(int(ms.NumGC)+len(ms.PauseNs)-1-i)%len(ms.PauseNs)]
+	}
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := (n*99 + 99) / 100
+	if idx > n {
+		idx = n
+	}
+	return float64(pauses[idx-1]) / 1e9
+}
+
+// RegisterRuntime registers the process self-metrics every service
+// binary should expose:
+//
+//	resd_build_info{version,go}   constant 1; the labels carry the build
+//	resd_uptime_seconds           seconds since registration
+//	resd_goroutines               live goroutine count
+//	resd_gc_pause_p99_seconds     p99 GC stop-the-world pause (pause ring)
+//	resd_heap_inuse_bytes         bytes in in-use heap spans
+//	resd_gc_total                 completed GC cycles
+//
+// version "" falls back to the main module's version from build info
+// ("devel" when unavailable). The MemStats-backed gauges share one
+// cached capture refreshed at most once per second, so scraping the
+// family costs one ReadMemStats, not five.
+func RegisterRuntime(reg *Registry, version string) {
+	if reg == nil {
+		return
+	}
+	if version == "" {
+		version = "devel"
+		if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+	}
+	start := time.Now()
+	cache := &runtimeStats{}
+	reg.GaugeFunc("resd_build_info",
+		"Build identity: constant 1, labelled with the binary's version and Go toolchain.",
+		func() float64 { return 1 },
+		L("version", version), L("go", runtime.Version()))
+	reg.GaugeFunc("resd_uptime_seconds",
+		"Seconds since the process registered its metrics.",
+		func() float64 { return time.Since(start).Seconds() })
+	reg.GaugeFunc("resd_goroutines",
+		"Live goroutine count.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("resd_gc_pause_p99_seconds",
+		"99th-percentile GC stop-the-world pause over the runtime's pause ring.",
+		func() float64 { return gcPauseP99(cache.read()) })
+	reg.GaugeFunc("resd_heap_inuse_bytes",
+		"Bytes in in-use heap spans.",
+		func() float64 { return float64(cache.read().HeapInuse) })
+	reg.CounterFunc("resd_gc_total",
+		"Completed GC cycles.",
+		func() uint64 { return uint64(cache.read().NumGC) })
+}

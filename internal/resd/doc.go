@@ -284,6 +284,34 @@
 // frames at its chosen interval without polling Stats — see
 // internal/reswire's package doc for the subscription semantics.
 //
+// # Heartbeats and node health
+//
+// ObsConfig.Flight arms the black-box flight recorder (internal/flight)
+// around the service. Each shard loop stamps two atomics per
+// group-commit turn — busy-since when a turn begins, last-beat when its
+// replies are released — and New hands the recorder a probe function
+// that snapshots those stamps, the loop queue depth, and the WAL fsync
+// p99 for every shard, all from published atomics; the watchdog's
+// monitor goroutine polls the probes on its own schedule and never
+// touches an event loop. A turn wedged past the stall budget (or a
+// backed-up queue no turn is draining) drives the node health
+// healthy → degraded → stalled, each transition journaled, surfaced on
+// /healthz as a warning and as the resd_health_state gauge, and — on
+// worsening — captured as an on-disk diagnostic bundle (goroutine dump,
+// heap profile, metrics snapshot, journal tail, WAL report, effective
+// config). A turn slower than 100ms journals a slow-turn warning with
+// its duration and batch size even when it never trips the watchdog.
+//
+// The same journal replaces the service's ad-hoc stderr prints: WAL
+// write failures and replay verdicts, migration commits and aborts,
+// rebalancer rounds and backoff, quota overflow-tenant activation all
+// become structured events (flight_events_total{severity}) an operator
+// reads from /debug/flight — see internal/flight's package doc for the
+// journal format and the watchdog's exact rules. An ObsConfig carrying
+// a SlowLog also gains resd_slow_log_dropped_total: the callback runs
+// on a bounded dispatch queue (see the SlowLog field's contract), and
+// the counter prices what a wedged or slow consumer missed.
+//
 // The package is exercised three ways: a determinism test replays a
 // request stream serially through one shard and checks the placements are
 // bit-for-bit the schedules sched.FCFS computes offline (with and without

@@ -1,0 +1,246 @@
+package resd
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/obs"
+)
+
+// fastBudgets are watchdog thresholds tight enough for a test to drive
+// transitions in milliseconds, with every rule but the stall detector
+// disabled so nothing else can fire.
+var fastBudgets = flight.Budgets{
+	CheckEvery:      2 * time.Millisecond,
+	StallAfter:      25 * time.Millisecond,
+	QueueFullFor:    -1,
+	FsyncP99:        -1,
+	FrameErrorBurst: -1,
+}
+
+func waitHealth(t *testing.T, rec *flight.Recorder, want flight.Health) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for rec.State() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("health = %v, want %v (warning %q)", rec.State(), want, rec.Warning())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWatchdogWedgedLoop wedges a real shard event loop (via the test
+// turn hook) and checks the whole detection surface: the watchdog
+// judges the node stalled, /healthz serves the warning, the
+// resd_health_state gauge reads 2, a diagnostic bundle lands in the
+// flight directory — and unwedging recovers everything.
+func TestWatchdogWedgedLoop(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	rec, err := flight.New(flight.Config{Registry: reg, Dir: dir, Budgets: fastBudgets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	var wedge atomic.Bool
+	s := mustNew(t, Config{
+		M:   8,
+		Obs: &ObsConfig{Registry: reg, Flight: rec},
+		turnHook: func(int) {
+			if wedge.Load() {
+				<-block
+			}
+		},
+	})
+
+	// Healthy first: the loop is beating.
+	if _, err := s.Reserve(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	waitHealth(t, rec, flight.Healthy)
+
+	// Wedge the loop inside one batch turn.
+	wedge.Store(true)
+	admitErr := make(chan error, 1)
+	go func() {
+		_, err := s.Reserve(0, 1, 1)
+		admitErr <- err
+	}()
+	waitHealth(t, rec, flight.Stalled)
+	if w := rec.Warning(); !strings.Contains(w, "shard 0") {
+		t.Errorf("warning %q does not name the wedged shard", w)
+	}
+
+	// The operator-facing surfaces agree: /healthz warns, the gauge is 2.
+	warn := func() string {
+		if rec.State() != flight.Healthy {
+			return rec.State().String() + ": " + rec.Warning()
+		}
+		return ""
+	}
+	hsrv := httptest.NewServer(obs.HandlerWithWarn(reg, nil, warn))
+	defer hsrv.Close()
+	resp, err := http.Get(hsrv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "warning: stalled") {
+		t.Errorf("/healthz = %d %q, want 200 with a stalled warning", resp.StatusCode, body)
+	}
+	resp, err = http.Get(hsrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	exp, err := obs.ParseExposition(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Value("resd_health_state", nil); !ok || v != 2 {
+		t.Errorf("resd_health_state = %v, %v, want 2", v, ok)
+	}
+
+	// The stall captured a bundle.
+	if got := rec.Bundles(); len(got) != 1 {
+		t.Errorf("stall captured %d bundles, want 1", len(got))
+	}
+
+	// Unwedge: the queued admission completes and health recovers.
+	wedge.Store(false)
+	close(block)
+	select {
+	case err := <-admitErr:
+		if err != nil {
+			t.Fatalf("admission after unwedge: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("admission never completed after unwedge")
+	}
+	waitHealth(t, rec, flight.Healthy)
+
+	// The journal holds the whole story.
+	var sawStall, sawRecover bool
+	for _, ev := range rec.Journal().Tail(0) {
+		if ev.Subsys != "flight" {
+			continue
+		}
+		for _, kv := range ev.KV {
+			if kv.K == "to" && kv.V == "stalled" {
+				sawStall = true
+			}
+			if kv.K == "to" && kv.V == "healthy" && sawStall {
+				sawRecover = true
+			}
+		}
+	}
+	if !sawStall || !sawRecover {
+		t.Errorf("journal: stall=%v recover=%v, want both", sawStall, sawRecover)
+	}
+}
+
+// TestWatchdogFlapBounded: a loop that wedges and recovers repeatedly
+// cannot write unbounded bundles — the rate limit holds captures to one
+// per BundleMinInterval however often the state flaps.
+func TestWatchdogFlapBounded(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := flight.New(flight.Config{
+		Dir:               dir,
+		Budgets:           fastBudgets,
+		BundleMinInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	var wedge atomic.Bool
+	s := mustNew(t, Config{
+		M:   8,
+		Obs: &ObsConfig{Flight: rec},
+		turnHook: func(int) {
+			if wedge.Load() {
+				<-block
+			}
+		},
+	})
+	for i := 0; i < 3; i++ {
+		wedge.Store(true)
+		admitErr := make(chan error, 1)
+		go func() {
+			_, err := s.Reserve(0, 1, 1)
+			admitErr <- err
+		}()
+		waitHealth(t, rec, flight.Stalled)
+		wedge.Store(false)
+		block <- struct{}{}
+		if err := <-admitErr; err != nil {
+			t.Fatal(err)
+		}
+		waitHealth(t, rec, flight.Healthy)
+	}
+	if got := rec.Bundles(); len(got) != 1 {
+		t.Errorf("3 flaps wrote %d bundles, want 1 (rate limit)", len(got))
+	}
+}
+
+// TestSlowLogBlockingCallback: a SlowLog callback that never returns
+// cannot stall admissions or shutdown — the queue drops (and counts)
+// excess records and Close returns without waiting for the callback.
+func TestSlowLogBlockingCallback(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	var fired atomic.Uint64
+	s, err := New(Config{M: 8, Obs: &ObsConfig{
+		TraceSample:   1,
+		SlowThreshold: time.Nanosecond, // every admission is "slow"
+		SlowLog: func(TraceRecord) {
+			fired.Add(1)
+			<-block // a hostile callback: wedges the dispatcher forever
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Far more slow records than the queue holds: admissions must all
+	// complete promptly even though the consumer is wedged on record 1.
+	const n = slowLogQueueDepth * 2
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			if _, err := s.Reserve(0, 1, 1); err != nil {
+				t.Errorf("Reserve %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("admissions stalled behind a blocking SlowLog callback")
+	}
+	if got := s.tracer.slowQ.Dropped(); got == 0 {
+		t.Error("no dropped slow-log records despite a wedged consumer")
+	}
+	if got := fired.Load(); got != 1 {
+		t.Errorf("callback fired %d times while wedged, want 1", got)
+	}
+
+	// Close must not wait for the wedged callback.
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close blocked on a wedged SlowLog callback")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/rebal"
 )
 
@@ -109,6 +110,15 @@ func (s *Service) rebalanceRound(now core.Time, trigger float64) (RebalanceRepor
 		s.balSkipped.Add(uint64(rep.Skipped))
 		s.balBefore.Store(math.Float64bits(rep.Before))
 		s.balAfter.Store(math.Float64bits(rep.After))
+		if rep.Planned > 0 {
+			s.journal.Record(flight.Info, "rebal", -1, "rebalance round",
+				flight.KV{K: "planned", V: fmt.Sprint(rep.Planned)},
+				flight.KV{K: "applied", V: fmt.Sprint(rep.Applied)},
+				flight.KV{K: "aborted", V: fmt.Sprint(rep.Aborted)},
+				flight.KV{K: "skipped", V: fmt.Sprint(rep.Skipped)},
+				flight.KV{K: "before", V: fmt.Sprintf("%.3f", rep.Before)},
+				flight.KV{K: "after", V: fmt.Sprintf("%.3f", rep.After)})
+		}
 	}()
 	areas := make([]int64, len(s.shards))
 	readAreas := func() {
@@ -216,6 +226,9 @@ func (s *Service) executeMove(mv rebal.Move) (applied, aborted bool, err error) 
 			return false, false, aerr
 		}
 		s.moved.Delete(id)
+		s.journal.Record(flight.Info, "rebal", mv.From, "migration aborted: reservation cancelled mid-move",
+			flight.KV{K: "id", V: fmt.Sprintf("%#x", uint64(id))},
+			flight.KV{K: "to", V: fmt.Sprint(mv.To)})
 		return false, true, nil
 	}
 	if _, err := tgt.do(request{kind: opMigrateCommit, id: id}); err != nil {
@@ -226,6 +239,10 @@ func (s *Service) executeMove(mv rebal.Move) (applied, aborted bool, err error) 
 	// (service closing) just leaves a stale open-out the next recovery
 	// closes itself.
 	src.do(request{kind: opMigrateOutAck, id: id})
+	s.journal.Record(flight.Info, "rebal", mv.From, "migration committed",
+		flight.KV{K: "id", V: fmt.Sprintf("%#x", uint64(id))},
+		flight.KV{K: "to", V: fmt.Sprint(mv.To)},
+		flight.KV{K: "tenant", V: mv.Resv.Tenant})
 	return true, false, nil
 }
 
@@ -269,7 +286,13 @@ func (s *Service) balanceLoop() {
 			if rep.Before > s.cfg.RebalanceThreshold && rep.Applied == 0 {
 				backoff = min(64, backoff*2+1)
 				skip = backoff
+				s.journal.Record(flight.Warn, "rebal", -1, "balancer backing off: imbalanced but no movable work",
+					flight.KV{K: "skip_ticks", V: fmt.Sprint(backoff)},
+					flight.KV{K: "imbalance", V: fmt.Sprintf("%.3f", rep.Before)})
 			} else {
+				if backoff > 0 {
+					s.journal.Record(flight.Info, "rebal", -1, "balancer backoff reset")
+				}
 				backoff = 0
 			}
 			s.balBackoff.Store(int64(backoff))

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/obs"
 	"repro/internal/wal"
 )
@@ -25,9 +26,26 @@ type ObsConfig struct {
 	// SlowThreshold marks a sampled request slow when its arrival-to-
 	// decision latency reaches the threshold (0 = no slow accounting).
 	SlowThreshold time.Duration
-	// SlowLog, when set, is called synchronously with each slow sampled
-	// request — the slow-request log hook. It must be cheap.
+	// SlowLog, when set, receives each slow sampled request — the
+	// slow-request log hook.
+	//
+	// Contract: the callback is invoked asynchronously, on a single
+	// dispatcher goroutine, through a bounded non-blocking queue — it
+	// may therefore be arbitrarily slow (write to a socket, take a
+	// lock) without ever stalling an admission. The cost of that
+	// safety is loss under burst: when slow requests arrive faster
+	// than the callback drains them, excess records are dropped and
+	// counted (resd_slow_log_dropped_total). Callbacks still in the
+	// queue when the service closes may run after Close returns, or
+	// not at all.
 	SlowLog func(TraceRecord)
+	// Flight attaches the node's flight recorder: the service journals
+	// operational events (replay verdicts, WAL damage, migrations,
+	// quota overflow, slow batch turns) through it, every shard loop
+	// publishes heartbeats from its batch turn, and New arms the
+	// recorder's watchdog with the service's probes (Close disarms
+	// it). Nil disables flight recording; see internal/flight.
+	Flight *flight.Recorder
 }
 
 // registerObs wires every layer's metrics into the registry. Called once
@@ -181,6 +199,11 @@ func (s *Service) registerObs() {
 			"Admissions sampled into the trace ring.", s.tracer.sampled.Load)
 		reg.CounterFunc("resd_slow_requests_total",
 			"Sampled admissions at or over the slow threshold.", s.tracer.slowSeen.Load)
+		if s.tracer.slowQ != nil {
+			reg.CounterFunc("resd_slow_log_dropped_total",
+				"Slow-request records dropped because the SlowLog callback queue was full.",
+				s.tracer.slowQ.Dropped)
+		}
 	}
 	if s.cfg.RebalanceNow != nil {
 		reg.GaugeFunc("resd_logical_clock_ticks",

@@ -167,11 +167,21 @@ func TestAdmissionTraces(t *testing.T) {
 			t.Errorf("zero arrival: %+v", tr)
 		}
 	}
-	mu.Lock()
-	nslow := len(slow)
-	mu.Unlock()
-	if nslow != 2 {
-		t.Errorf("slow log saw %d records, want 2", nslow)
+	// SlowLog is asynchronous by contract (a bounded dispatch queue), so
+	// wait for the two records rather than asserting instantly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		nslow := len(slow)
+		mu.Unlock()
+		if nslow == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("slow log saw %d records, want 2", nslow)
+			break
+		}
+		time.Sleep(time.Millisecond)
 	}
 	if got := s.Traces(1); len(got) != 1 || got[0].Seq != rej.Seq {
 		t.Errorf("Traces(1) = %+v, want just the newest", got)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/tenant"
 	"repro/internal/wal"
 )
@@ -282,6 +283,7 @@ func recoverShards(cfg Config) ([]*shardSeed, WALInfo, error) {
 	begin := time.Now()
 	info.Enabled = true
 	info.Dir = cfg.WAL.Dir
+	journal := cfg.WAL.Journal
 	seeds := make([]*shardSeed, cfg.Shards)
 	for i := range seeds {
 		snap, recs, ri, err := wal.Recover(cfg.WAL.Dir, i)
@@ -295,10 +297,15 @@ func recoverShards(cfg Config) ([]*shardSeed, WALInfo, error) {
 		if ri.Torn {
 			info.Torn++
 			info.DroppedBytes += ri.TornBytes
+			// The normal crash signature: an fsync interrupted mid-frame.
+			journal.Record(flight.Warn, "resd", i, "wal replay: torn tail dropped",
+				flight.KV{K: "bytes", V: fmt.Sprint(ri.TornBytes)})
 		}
 		if ri.Corrupt {
 			info.Corrupt++
 			info.DroppedBytes += ri.DroppedBytes
+			journal.Record(flight.Error, "resd", i, "wal replay: corrupt frame, suffix dropped",
+				flight.KV{K: "bytes", V: fmt.Sprint(ri.DroppedBytes)})
 		}
 		seeds[i], err = replayShard(i, snap, recs)
 		if err != nil {
@@ -306,6 +313,13 @@ func recoverShards(cfg Config) ([]*shardSeed, WALInfo, error) {
 		}
 	}
 	info.MovesCommitted, info.MovesAborted = resolvePending(seeds)
+	journal.Record(flight.Info, "resd", -1, "wal replay complete",
+		flight.KV{K: "records", V: fmt.Sprint(info.Records)},
+		flight.KV{K: "snapshots", V: fmt.Sprint(info.Snapshots)},
+		flight.KV{K: "torn", V: fmt.Sprint(info.Torn)},
+		flight.KV{K: "corrupt", V: fmt.Sprint(info.Corrupt)},
+		flight.KV{K: "moves_committed", V: fmt.Sprint(info.MovesCommitted)},
+		flight.KV{K: "moves_aborted", V: fmt.Sprint(info.MovesAborted)})
 	closeAll := func() {
 		for _, sd := range seeds {
 			if sd.log != nil {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/profile"
 	"repro/internal/tenant"
 	"repro/internal/wal"
@@ -146,6 +147,11 @@ type Config struct {
 	// registration at New and sampled admission tracing (see ObsConfig).
 	// Nil disables both — the hot path then pays only dead nil checks.
 	Obs *ObsConfig
+	// turnHook, when non-nil, is called by every shard loop at the top of
+	// each batch turn, after the heartbeat's busy stamp. Unexported: a
+	// test seam for wedging a loop deliberately (the watchdog tests), set
+	// before New so the loop goroutine reads it without a race.
+	turnHook func(shard int)
 	// WAL, when non-nil, makes every shard durable: admission decisions
 	// are written to a per-shard write-ahead log in WAL.Dir (group-
 	// committed with the batch turn, one fsync per batch under the
@@ -248,6 +254,13 @@ type Service struct {
 	// Config.Obs leaves tracing off).
 	tracer *tracer
 
+	// flight is the attached flight recorder and journal its event
+	// journal (both nil when ObsConfig.Flight is unset). New attaches the
+	// recorder's watchdog to the shard heartbeats; Close detaches it
+	// before the loops exit so the monitor never reads a dead service.
+	flight  *flight.Recorder
+	journal *flight.Journal
+
 	// walInfo records what WAL recovery found and did at New (zero when
 	// the service runs without a WAL).
 	walInfo WALInfo
@@ -288,6 +301,16 @@ func New(cfg Config) (*Service, error) {
 		floor:  int(cfg.Alpha * float64(cfg.M)),
 		quit:   make(chan struct{}),
 		tracer: newTracer(cfg.Obs),
+	}
+	if cfg.Obs != nil && cfg.Obs.Flight != nil {
+		s.flight = cfg.Obs.Flight
+		s.journal = s.flight.Journal()
+		if cfg.WAL != nil {
+			// Route the log layer's own events (rotation, snapshots,
+			// damage) into the same journal. normalize already gave the
+			// service a private Options copy, so this mutation is local.
+			cfg.WAL.Journal = s.journal
+		}
 	}
 	s.place, err = placementByName(cfg.Placement, cfg.Seed)
 	if err != nil {
@@ -344,7 +367,44 @@ func New(cfg Config) (*Service, error) {
 	if cfg.RebalanceEvery > 0 && cfg.Shards > 1 {
 		go s.balanceLoop()
 	}
+	if s.flight != nil {
+		s.flight.Attach(flight.Sources{
+			Shards: s.flightProbes,
+			Traces: func() any { return s.Traces(0) },
+			WAL: func() any {
+				return struct {
+					Info  WALInfo         `json:"info"`
+					Stats []WALShardStats `json:"stats,omitempty"`
+				}{s.WALInfo(), s.WALStats()}
+			},
+		})
+	}
 	return s, nil
+}
+
+// flightProbes snapshots every shard's heartbeat for the flight
+// watchdog: published atomics and a channel-length read, no event-loop
+// round trips — the monitor can probe a wedged loop.
+func (s *Service) flightProbes() []flight.ShardProbe {
+	out := make([]flight.ShardProbe, len(s.shards))
+	for i, sh := range s.shards {
+		p := flight.ShardProbe{
+			Shard:    i,
+			QueueLen: len(sh.reqs),
+			QueueCap: cap(sh.reqs),
+		}
+		if v := sh.lastBeat.Load(); v != 0 {
+			p.LastTurn = time.Unix(0, v)
+		}
+		if v := sh.busySince.Load(); v != 0 {
+			p.BusySince = time.Unix(0, v)
+		}
+		if s.walLogs != nil && s.walLogs[i] != nil {
+			p.FsyncP99 = time.Duration(s.walLogs[i].FsyncQuantile(0.99))
+		}
+		out[i] = p
+	}
+	return out
 }
 
 // Shards returns the number of partitions.
@@ -647,8 +707,14 @@ func (s *Service) Stats() []ShardStats {
 // Close stops every shard's event loop and waits for them to exit.
 // In-flight and subsequent requests fail with ErrClosed.
 func (s *Service) Close() {
+	if s.flight != nil {
+		// Stop the watchdog before the loops exit, so shutdown is never
+		// judged a stall.
+		s.flight.Detach()
+	}
 	close(s.quit)
 	for _, sh := range s.shards {
 		sh.wait()
 	}
+	s.tracer.close()
 }

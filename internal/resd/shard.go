@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/rebal"
@@ -101,12 +102,23 @@ type active struct {
 const OverflowTenant = "!overflow"
 
 // tstatKey resolves which per-tenant book a name lands in, bounding the
-// map like the registry bounds its accounts.
+// map like the registry bounds its accounts. The first time a shard
+// falls back to the overflow book it journals the degradation: from
+// that point per-name attribution is lossy, which an operator reading
+// TenantStats should know without diffing map sizes.
 func (sh *shard) tstatKey(name string) string {
 	if _, ok := sh.tstats[name]; ok {
 		return name
 	}
 	if len(sh.tstats) >= tenant.MaxAccounts {
+		if !sh.overflowed {
+			sh.overflowed = true
+			sh.journal.RecordEvent(flight.Event{
+				Sev: flight.Warn, Subsys: "resd", Shard: sh.id, Tenant: name,
+				Msg: "tenant book overflow activated: per-name attribution degraded",
+				KV:  []flight.KV{{K: "max_accounts", V: strconv.Itoa(tenant.MaxAccounts)}},
+			})
+		}
 		return OverflowTenant
 	}
 	return name
@@ -169,6 +181,21 @@ type shard struct {
 	slackP50 atomic.Int64
 	slackP90 atomic.Int64
 	turnNs   *obs.Histogram
+
+	// Flight recorder surface. journal is nil-safe (a shard without a
+	// recorder records into nothing); when flightOn the loop publishes
+	// its heartbeat — busySince on entering a turn, lastBeat on
+	// completing one, both unix nanoseconds — for the watchdog's
+	// lock-free stall probes, and journals turns slower than
+	// slowTurnThreshold. overflowed latches the tenant-book overflow
+	// event (loop-owned). turnHook, set only by tests via the
+	// unexported Config field, runs at the top of every turn.
+	journal    *flight.Journal
+	flightOn   bool
+	lastBeat   atomic.Int64
+	busySince  atomic.Int64
+	overflowed bool
+	turnHook   func(shard int)
 
 	// Durability. wlog is the shard's write-ahead log (nil = in-memory
 	// service); every state-changing op appends its record during apply
@@ -238,6 +265,15 @@ func newShard(id int, cfg Config, floor int, quit <-chan struct{}, seed *shardSe
 			"Event-loop turn latency (apply+publish of one batch), nanoseconds.",
 			obs.L("shard", strconv.Itoa(id)))
 	}
+	if cfg.Obs != nil && cfg.Obs.Flight != nil {
+		sh.flightOn = true
+		sh.journal = cfg.Obs.Flight.Journal()
+		// A fresh loop "beat" at creation: the watchdog's queued-but-no-
+		// turn rule measures from here, so an idle-since-boot shard that
+		// suddenly wedges is judged from boot, not from a zero time.
+		sh.lastBeat.Store(time.Now().UnixNano())
+	}
+	sh.turnHook = cfg.turnHook
 	if seed != nil {
 		if err := sh.adoptSeed(cfg, seed); err != nil {
 			return nil, err
@@ -342,7 +378,7 @@ func (sh *shard) loop() {
 		sh.snapWG.Wait()
 		if sh.wlog != nil {
 			if err := sh.wlog.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "resd: shard %d: wal close: %v\n", sh.id, err)
+				sh.report(flight.Error, "wal", fmt.Sprintf("wal close: %v", err))
 			}
 		}
 	}()
@@ -355,6 +391,12 @@ func (sh *shard) loop() {
 			sh.drainClosed()
 			return
 		case first = <-sh.reqs:
+		}
+		if sh.flightOn {
+			sh.busySince.Store(time.Now().UnixNano())
+		}
+		if sh.turnHook != nil {
+			sh.turnHook(sh.id)
 		}
 		pending = append(pending[:0], first)
 		// The send that delivered first also scheduled this goroutine to
@@ -406,8 +448,41 @@ func (sh *shard) loop() {
 		for i, r := range pending {
 			r.reply <- results[i]
 		}
+		if sh.flightOn {
+			sh.beat(len(pending))
+		}
 		sh.maybeSnapshot()
 	}
+}
+
+// slowTurnThreshold is the batch-turn anomaly budget: a turn that took
+// longer than this is journaled (the whole loop was unavailable for
+// the duration — every queued caller waited it out).
+const slowTurnThreshold = 100 * time.Millisecond
+
+// beat completes the loop's heartbeat for one turn: journal the turn
+// as an anomaly if it ran long, then publish "turn done, loop idle"
+// for the watchdog's stall probes.
+func (sh *shard) beat(ops int) {
+	now := time.Now()
+	if busy := sh.busySince.Load(); busy != 0 {
+		if d := now.Sub(time.Unix(0, busy)); d >= slowTurnThreshold {
+			sh.journal.Record(flight.Warn, "resd", sh.id, "slow batch turn",
+				flight.KV{K: "turn", V: d.String()}, flight.KV{K: "ops", V: strconv.Itoa(ops)})
+		}
+	}
+	sh.lastBeat.Store(now.UnixNano())
+	sh.busySince.Store(0)
+}
+
+// report journals an event, or falls back to stderr when the shard has
+// no recorder — the pre-flight behaviour for a bare service.
+func (sh *shard) report(sev flight.Severity, subsys, msg string, kv ...flight.KV) {
+	if sh.journal != nil {
+		sh.journal.Record(sev, subsys, sh.id, msg, kv...)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "resd: shard %d: %s\n", sh.id, msg)
 }
 
 // fairOrder is soft-mode weighted fair share at the group-commit point:

@@ -2,8 +2,8 @@ package resd
 
 import (
 	"fmt"
-	"os"
 
+	"repro/internal/flight"
 	"repro/internal/wal"
 )
 
@@ -26,7 +26,9 @@ func (sh *shard) walAppend(rec wal.Record) {
 // loop goroutine, like every other wlog access.
 func (sh *shard) walFail(op string, err error) {
 	sh.walFailed.Add(1)
-	fmt.Fprintf(os.Stderr, "resd: shard %d: wal %s failed, shard now non-durable: %v\n", sh.id, op, err)
+	sh.report(flight.Error, "wal",
+		fmt.Sprintf("wal %s failed, shard now non-durable: %v", op, err),
+		flight.KV{K: "op", V: op})
 	sh.snapWG.Wait()
 	sh.wlog.Close()
 	sh.wlog = nil
@@ -60,7 +62,8 @@ func (sh *shard) maybeSnapshot() {
 			// every record, so recovery just replays more. The next
 			// trigger retries.
 			sh.walFailed.Add(1)
-			fmt.Fprintf(os.Stderr, "resd: shard %d: wal snapshot: %v\n", sh.id, err)
+			sh.report(flight.Error, "wal", fmt.Sprintf("wal snapshot failed: %v", err),
+				flight.KV{K: "gen", V: fmt.Sprint(snap.Gen)})
 		}
 	}()
 }

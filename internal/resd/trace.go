@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 )
 
 // TraceOutcome classifies how a traced admission attempt ended.
@@ -83,6 +84,7 @@ type tracer struct {
 	sample   uint64
 	slow     time.Duration
 	slowLog  func(TraceRecord)
+	slowQ    *flight.Queue // dispatches slowLog off the admission path; nil iff slowLog is
 	n        atomic.Uint64
 	seq      atomic.Uint64
 	sampled  atomic.Uint64
@@ -97,6 +99,11 @@ type tracer struct {
 // DefaultTraceBuf is the ring capacity when ObsConfig.TraceBuf is zero.
 const DefaultTraceBuf = 256
 
+// slowLogQueueDepth bounds how many slow records can wait for the
+// SlowLog callback before further ones are dropped (counted in
+// resd_slow_log_dropped_total).
+const slowLogQueueDepth = 256
+
 func newTracer(cfg *ObsConfig) *tracer {
 	if cfg == nil || cfg.TraceSample <= 0 {
 		return nil
@@ -105,11 +112,24 @@ func newTracer(cfg *ObsConfig) *tracer {
 	if buf <= 0 {
 		buf = DefaultTraceBuf
 	}
-	return &tracer{
+	t := &tracer{
 		sample:  uint64(cfg.TraceSample),
 		slow:    cfg.SlowThreshold,
 		slowLog: cfg.SlowLog,
 		ring:    make([]TraceRecord, buf),
+	}
+	if t.slowLog != nil {
+		t.slowQ = flight.NewQueue(slowLogQueueDepth)
+	}
+	return t
+}
+
+// close stops the slow-log dispatcher. Queued callbacks may still run
+// after close returns; a callback wedged mid-run is abandoned rather
+// than waited for (ObsConfig.SlowLog's contract).
+func (t *tracer) close() {
+	if t != nil {
+		t.slowQ.Close()
 	}
 }
 
@@ -157,7 +177,12 @@ func (t *tracer) finish(rec *TraceRecord, outcome TraceOutcome, start core.Time)
 	if t.slow > 0 && rec.Decision >= t.slow {
 		t.slowSeen.Add(1)
 		if t.slowLog != nil {
-			t.slowLog(*rec)
+			// Asynchronous by contract: the callback runs on the queue's
+			// dispatcher goroutine, never on the admission path, and is
+			// dropped (counted) rather than waited for when the queue is
+			// full — a wedged callback costs records, not throughput.
+			cp := *rec
+			t.slowQ.Dispatch(func() { t.slowLog(cp) })
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/resd"
 )
 
@@ -39,6 +40,7 @@ const (
 type Server struct {
 	svc     *resd.Service
 	metrics *Metrics
+	journal *flight.Journal
 
 	mu     sync.Mutex
 	closed bool
@@ -61,6 +63,12 @@ func NewServer(svc *resd.Service) *Server {
 // called before Serve; connections accepted earlier are not instrumented.
 // A nil Metrics leaves instrumentation off.
 func (s *Server) SetMetrics(m *Metrics) { s.metrics = m }
+
+// SetFlight routes the server's wire anomalies (protocol refusals,
+// down-level clients, watch slow-consumer drops) into a flight-recorder
+// journal. Like SetMetrics it must be called before Serve; a nil
+// journal (the default) records nothing.
+func (s *Server) SetFlight(j *flight.Journal) { s.journal = j }
 
 // Serve accepts connections on ln until Close (then ErrServerClosed) or a
 // listener failure. It may be called concurrently on several listeners.
@@ -145,11 +153,30 @@ func (s *Server) serveConn(nc net.Conn) {
 	var hwg sync.WaitGroup
 	connDone := make(chan struct{}) // closed when the reader exits; ends this conn's watchers
 	watches := 0
+	downLevel := false
 	for {
 		req, err := ReadRequest(br)
 		if err != nil {
 			s.metrics.frameError(err)
+			if errors.Is(err, ErrFrame) || errors.Is(err, ErrVersion) {
+				// A protocol refusal, not a closing socket: the peer sent
+				// something this revision cannot parse, and the connection
+				// is about to be dropped as unrecoverable.
+				s.journal.Record(flight.Warn, "reswire", -1, "frame error, closing connection",
+					flight.KV{K: "remote", V: nc.RemoteAddr().String()},
+					flight.KV{K: "err", V: err.Error()})
+			}
 			break
+		}
+		if v := concrete(req.Version); !downLevel && v < Version {
+			// Once per connection: a live client negotiated down — worth a
+			// breadcrumb when diagnosing why v5-only telemetry is missing.
+			// (req.Version normalises the current revision to 0, so the
+			// concrete revision is the one to judge and journal.)
+			downLevel = true
+			s.journal.Record(flight.Info, "reswire", -1, "down-level client connected",
+				flight.KV{K: "remote", V: nc.RemoteAddr().String()},
+				flight.KV{K: "version", V: fmt.Sprint(v)})
 		}
 		if req.Op == OpWatch {
 			// A Watch is a subscription, not a round trip: its goroutine
@@ -222,6 +249,12 @@ func (s *Server) watchLoop(req Request, out chan<- Response, done <-chan struct{
 		case out <- Response{ID: req.ID, Op: OpWatch, Version: req.Version, Telemetry: t}:
 			seq++
 		default:
+			if dropped == 0 {
+				// First drop only: the subscriber's Dropped field carries
+				// the running count; the journal wants the onset.
+				s.journal.Record(flight.Warn, "reswire", -1, "watch subscriber slow, dropping frames",
+					flight.KV{K: "watch_id", V: fmt.Sprint(req.ID)})
+			}
 			dropped++
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/obs"
 )
 
@@ -35,6 +36,11 @@ type Options struct {
 	// rotation (0 disables snapshots; the log then grows unbounded and
 	// recovery replays it in full).
 	SnapEvery int
+	// Journal, when non-nil, receives the log's lifecycle events
+	// (rotations, snapshot completions) as flight-recorder entries.
+	// All Journal methods are nil-safe, so the zero value costs a nil
+	// check per event. resd sets this from its attached recorder.
+	Journal *flight.Journal
 }
 
 // Normalize fills defaults and validates.
@@ -86,6 +92,9 @@ type Log struct {
 	// until then), unix nanoseconds: the snapshot-age metric's anchor.
 	lastSnap atomic.Int64
 	fsyncNs  obs.Histogram
+
+	// journal receives lifecycle events (nil-safe; see Options.Journal).
+	journal *flight.Journal
 }
 
 // Open creates the next log generation for shard in o.Dir (one past
@@ -117,11 +126,12 @@ func Open(shard int, o Options) (*Log, error) {
 		return nil, err
 	}
 	l := &Log{
-		dir:   o.Dir,
-		shard: shard,
-		sync:  o.Sync == SyncBatch,
-		f:     f,
-		w:     bufio.NewWriterSize(f, 64<<10),
+		dir:     o.Dir,
+		shard:   shard,
+		sync:    o.Sync == SyncBatch,
+		f:       f,
+		w:       bufio.NewWriterSize(f, 64<<10),
+		journal: o.Journal,
 	}
 	l.gen.Store(gen)
 	l.lastSnap.Store(time.Now().UnixNano())
@@ -189,6 +199,8 @@ func (l *Log) Rotate() (uint64, error) {
 	l.w.Reset(f)
 	l.gen.Store(gen)
 	l.since = 0
+	l.journal.Record(flight.Info, "wal", l.shard, "log rotated",
+		flight.KV{K: "gen", V: fmt.Sprint(gen)})
 	return gen, nil
 }
 
@@ -241,6 +253,9 @@ func (l *Log) WriteSnapshot(s *Snapshot) error {
 	}
 	l.snaps.Add(1)
 	l.lastSnap.Store(time.Now().UnixNano())
+	l.journal.Record(flight.Info, "wal", l.shard, "snapshot written",
+		flight.KV{K: "gen", V: fmt.Sprint(s.Gen)},
+		flight.KV{K: "live", V: fmt.Sprint(len(s.Live))})
 	return nil
 }
 
