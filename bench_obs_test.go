@@ -15,6 +15,7 @@ import (
 	"repro/internal/resd"
 	"repro/internal/reswire"
 	"repro/internal/rng"
+	"repro/internal/slo"
 )
 
 // --- observability overhead (BENCH_obs.json) ---
@@ -74,6 +75,24 @@ func obsLoadedService(tb testing.TB, mode string) *resd.Service {
 			tb.Fatal(err)
 		}
 		cfg.Obs.Flight = rec
+	}
+	if mode == "slo" {
+		// A representative armed engine: one objective per signal kind, so
+		// the hot path pays every per-decision cost the engine can impose
+		// (the sloBook atomics and the service-wide slack histogram — the
+		// evaluation ticker itself runs off-path at its own period).
+		eng, err := slo.New(slo.Config{
+			Registry: cfg.Obs.Registry,
+			Spec: slo.Spec{Objectives: []slo.ObjectiveSpec{
+				{Name: "deadline", Signal: "deadline_attainment", Target: 0.99},
+				{Name: "slack", Signal: "slack", Target: 0.95, Bound: 1 << 12},
+				{Name: "success", Signal: "error_rate", Target: 0.999},
+			}},
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		cfg.Obs.SLO = eng
 	}
 	svc, err := resd.New(cfg)
 	if err != nil {
@@ -139,17 +158,19 @@ func attachObsWatcher(tb testing.TB, svc *resd.Service) (stop func()) {
 
 // BenchmarkObsOverhead measures the admission path with the obs layer
 // off, on, on with a live Watch subscriber streaming telemetry at the
-// protocol's minimum interval, and on with the flight recorder armed
-// (journal, heartbeats, watchdog). The sub-benchmarks run the identical
+// protocol's minimum interval, on with the flight recorder armed
+// (journal, heartbeats, watchdog), and on with the SLO engine counting
+// every admission decision. The sub-benchmarks run the identical
 // workload; the per-mode/off ratios are the whole cost of metrics,
-// sampled tracing, a tailing dashboard, and the black-box layer.
+// sampled tracing, a tailing dashboard, the black-box layer, and
+// burn-rate alerting.
 func BenchmarkObsOverhead(b *testing.B) {
 	// Build every mode's service before measuring any of them: the
 	// recorded figures are ratios, and lazily preloading inside each
 	// sub-benchmark would measure "off" with one retained service on the
 	// heap and "watch" with three — a systematic GC handicap on the later
 	// modes that repetition cannot average away.
-	for _, mode := range []string{"off", "on", "watch", "flight"} {
+	for _, mode := range []string{"off", "on", "watch", "flight", "slo"} {
 		obsLoadedService(b, mode)
 	}
 	// Three interleaved rounds of the mode triple: the figures this
@@ -160,7 +181,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 	// Go suffixes the repeated names (#01, #02); benchgate strips the
 	// suffix and averages the rounds.
 	for round := 0; round < 3; round++ {
-		for _, mode := range []string{"off", "on", "watch", "flight"} {
+		for _, mode := range []string{"off", "on", "watch", "flight", "slo"} {
 			b.Run("obs="+mode, func(b *testing.B) {
 				svc := obsLoadedService(b, mode)
 				if mode == "watch" {
@@ -215,9 +236,10 @@ func TestEmitObsBenchJSON(t *testing.T) {
 		Overhead       float64 `json:"overhead"`
 		WatchOverhead  float64 `json:"watch_overhead"`
 		FlightOverhead float64 `json:"flight_overhead"`
+		SLOOverhead    float64 `json:"slo_overhead"`
 		MaxOverhead    float64 `json:"max_overhead"`
 	}{
-		Benchmark:   "obs instrumentation overhead: Reserve+Cancel with the metrics registry and sampled tracing off vs on vs on-with-live-Watch-subscriber vs on-with-flight-recorder",
+		Benchmark:   "obs instrumentation overhead: Reserve+Cancel with the metrics registry and sampled tracing off vs on vs on-with-live-Watch-subscriber vs on-with-flight-recorder vs on-with-slo-engine",
 		M:           resdBenchM,
 		Shards:      4,
 		TotalRes:    resdBenchTotalRes,
@@ -260,7 +282,7 @@ func TestEmitObsBenchJSON(t *testing.T) {
 	// prebuilt for the same reason BenchmarkObsOverhead prebuilds them:
 	// every mode must see the identical retained heap.
 	const rounds = 3
-	modes := []string{"off", "on", "watch", "flight"}
+	modes := []string{"off", "on", "watch", "flight", "slo"}
 	for _, mode := range modes {
 		obsLoadedService(t, mode)
 	}
@@ -276,6 +298,7 @@ func TestEmitObsBenchJSON(t *testing.T) {
 	out.Overhead = ns["on"] / ns["off"]
 	out.WatchOverhead = ns["watch"] / ns["off"]
 	out.FlightOverhead = ns["flight"] / ns["off"]
+	out.SLOOverhead = ns["slo"] / ns["off"]
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -283,8 +306,9 @@ func TestEmitObsBenchJSON(t *testing.T) {
 	if err := os.WriteFile("BENCH_obs.json", append(buf, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("obs off %.0f ns/op, on %.0f ns/op, watch %.0f ns/op, flight %.0f ns/op: %.3f× / %.3f× / %.3f× overhead",
-		ns["off"], ns["on"], ns["watch"], ns["flight"], out.Overhead, out.WatchOverhead, out.FlightOverhead)
+	t.Logf("obs off %.0f ns/op, on %.0f ns/op, watch %.0f ns/op, flight %.0f ns/op, slo %.0f ns/op: %.3f× / %.3f× / %.3f× / %.3f× overhead",
+		ns["off"], ns["on"], ns["watch"], ns["flight"], ns["slo"],
+		out.Overhead, out.WatchOverhead, out.FlightOverhead, out.SLOOverhead)
 	if out.Overhead > out.MaxOverhead {
 		t.Errorf("obs overhead %.3f× exceeds the %.2f× budget", out.Overhead, out.MaxOverhead)
 	}
@@ -295,5 +319,9 @@ func TestEmitObsBenchJSON(t *testing.T) {
 	if out.FlightOverhead > out.MaxOverhead {
 		t.Errorf("obs overhead with the flight recorder armed %.3f× exceeds the %.2f× budget",
 			out.FlightOverhead, out.MaxOverhead)
+	}
+	if out.SLOOverhead > out.MaxOverhead {
+		t.Errorf("obs overhead with the SLO engine armed %.3f× exceeds the %.2f× budget",
+			out.SLOOverhead, out.MaxOverhead)
 	}
 }

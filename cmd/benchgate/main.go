@@ -305,9 +305,11 @@ func obsBaselines(path string) ([]baseline, float64, error) {
 // obs=on figure may exceed the measured obs=off figure by at most
 // maxOverhead, and so may obs=watch — the same workload with a live
 // Watch subscriber streaming telemetry, which must ride the published
-// atomics rather than tax the admission path — and obs=flight, the
+// atomics rather than tax the admission path — obs=flight, the
 // same workload with the flight recorder's journal, per-turn
-// heartbeats, and watchdog armed. Missing sub-benchmarks are already
+// heartbeats, and watchdog armed — and obs=slo, the same workload with
+// the SLO engine counting admission decisions and sampling cumulative
+// counters on its own ticker. Missing sub-benchmarks are already
 // reported by the baseline gate, so this adds nothing for them.
 func gateObsRatio(measured map[string]measurement, maxOverhead float64) (report []string, ok bool) {
 	off, okOff := measured["BenchmarkObsOverhead/obs=off"]
@@ -315,7 +317,7 @@ func gateObsRatio(measured map[string]measurement, maxOverhead float64) (report 
 		return nil, true
 	}
 	ok = true
-	for _, variant := range []string{"on", "watch", "flight"} {
+	for _, variant := range []string{"on", "watch", "flight", "slo"} {
 		got, found := measured["BenchmarkObsOverhead/obs="+variant]
 		if !found {
 			continue

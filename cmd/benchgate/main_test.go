@@ -254,10 +254,11 @@ func TestBaselineLoaders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ob) != 4 || ob[0].name != "BenchmarkObsOverhead/obs=off" ||
+	if len(ob) != 5 || ob[0].name != "BenchmarkObsOverhead/obs=off" ||
 		ob[1].name != "BenchmarkObsOverhead/obs=on" ||
 		ob[2].name != "BenchmarkObsOverhead/obs=watch" ||
-		ob[3].name != "BenchmarkObsOverhead/obs=flight" || ob[0].ns <= 0 {
+		ob[3].name != "BenchmarkObsOverhead/obs=flight" ||
+		ob[4].name != "BenchmarkObsOverhead/obs=slo" || ob[0].ns <= 0 {
 		t.Fatalf("obs baselines: %+v", ob)
 	}
 	if budget <= 1 || budget > 1.1 {
@@ -281,11 +282,16 @@ func TestGateObsRatio(t *testing.T) {
 		"BenchmarkObsOverhead/obs=on":     {ns: 7200},
 		"BenchmarkObsOverhead/obs=watch":  {ns: 7300},
 		"BenchmarkObsOverhead/obs=flight": {ns: 7250},
+		"BenchmarkObsOverhead/obs=slo":    {ns: 7280},
 	}
-	if report, ok := gateObsRatio(within, 1.05); !ok || len(report) != 3 ||
-		!strings.Contains(report[0], "ok") || !strings.Contains(report[1], "ok") ||
-		!strings.Contains(report[2], "ok") {
+	report, ok := gateObsRatio(within, 1.05)
+	if !ok || len(report) != 4 {
 		t.Fatalf("within budget: ok=%v report=%v", ok, report)
+	}
+	for i, line := range report {
+		if !strings.Contains(line, "ok") {
+			t.Fatalf("within budget: report[%d] = %q, want ok", i, line)
+		}
 	}
 	over := map[string]measurement{
 		"BenchmarkObsOverhead/obs=off": {ns: 7000},
@@ -312,6 +318,15 @@ func TestGateObsRatio(t *testing.T) {
 	}
 	if report, ok := gateObsRatio(flightOver, 1.05); ok || !strings.Contains(strings.Join(report, "\n"), "FAIL") {
 		t.Fatalf("flight over budget: ok=%v report=%v", ok, report)
+	}
+	// So is a live SLO engine.
+	sloOver := map[string]measurement{
+		"BenchmarkObsOverhead/obs=off": {ns: 7000},
+		"BenchmarkObsOverhead/obs=on":  {ns: 7200},
+		"BenchmarkObsOverhead/obs=slo": {ns: 8000},
+	}
+	if report, ok := gateObsRatio(sloOver, 1.05); ok || !strings.Contains(strings.Join(report, "\n"), "FAIL") {
+		t.Fatalf("slo over budget: ok=%v report=%v", ok, report)
 	}
 	// Missing sub-benchmarks are the baseline gate's finding, not a second
 	// failure here.

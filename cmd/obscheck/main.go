@@ -30,6 +30,15 @@
 //
 //	obscheck -flight http://127.0.0.1:9090 -nostall
 //	obscheck -flight http://127.0.0.1:9090 -capture
+//
+// With -slo the scrape check additionally asserts the SLO surface: the
+// resd_slo_* families an armed engine exports must be present, and the
+// worst resd_slo_alert_state gauge across objectives must match the
+// expectation — ok (0), warn (1), page (2), or any (armed, state free).
+// CI's burn-rate drill uses it to prove an alert both fires and clears:
+//
+//	obscheck -url http://127.0.0.1:9090/metrics -slo page
+//	obscheck -url http://127.0.0.1:9090/metrics -slo ok
 package main
 
 import (
@@ -59,6 +68,7 @@ func run() error {
 	flightURL := flag.String("flight", "", "validate the flight-recorder surface at this observability base URL instead of scraping")
 	nostall := flag.Bool("nostall", false, "fail when the watchdog ever recorded a stall (with -flight)")
 	capture := flag.Bool("capture", false, "request an on-demand bundle and validate its contents (with -flight)")
+	sloExpect := flag.String("slo", "", "additionally assert the SLO surface: resd_slo_* families present and worst alert state matching ok|warn|page|any")
 	flag.Parse()
 
 	if *watch != "" {
@@ -110,6 +120,11 @@ func run() error {
 		sort.Strings(missing)
 		return fmt.Errorf("obscheck: exposition parses but lacks required families: %s",
 			strings.Join(missing, ", "))
+	}
+	if *sloExpect != "" {
+		if err := checkSLO(exp, *sloExpect, *verbose); err != nil {
+			return err
+		}
 	}
 
 	samples := 0

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// sloFamilies are the metric families an armed SLO engine always
+// exports; -slo fails when any is absent, whatever state is expected.
+var sloFamilies = []string{
+	"resd_slo_attainment",
+	"resd_slo_error_budget_remaining",
+	"resd_slo_burn_rate",
+	"resd_slo_alert_state",
+	"resd_slo_alert_transitions_total",
+}
+
+// checkSLO asserts the scraped exposition carries the SLO surface and
+// that the worst resd_slo_alert_state gauge matches the expectation:
+// "ok" (no rule firing anywhere), "warn" (worst objective warns),
+// "page" (worst objective pages) or "any" (engine armed, state free).
+// The worst state is the check because that is exactly the severity an
+// alerting pipeline keyed on the gauge would route on.
+func checkSLO(exp *obs.Exposition, expect string, verbose bool) error {
+	want := -1.0
+	switch expect {
+	case "any":
+	case "ok":
+		want = 0
+	case "warn":
+		want = 1
+	case "page":
+		want = 2
+	default:
+		return fmt.Errorf("obscheck: -slo must be ok, warn, page or any, got %q", expect)
+	}
+
+	var missing []string
+	for _, name := range sloFamilies {
+		if exp.Family(name) == nil {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("obscheck: slo: exposition lacks SLO families (engine not armed?): %s",
+			strings.Join(missing, ", "))
+	}
+
+	states := exp.Family("resd_slo_alert_state")
+	if len(states.Samples) == 0 {
+		return fmt.Errorf("obscheck: slo: resd_slo_alert_state has no samples (spec declares no objectives?)")
+	}
+	worst, worstObj := -1.0, ""
+	for _, s := range states.Samples {
+		name := s.Labels["objective"]
+		if t := s.Labels["tenant"]; t != "" {
+			name += "{tenant=" + t + "}"
+		}
+		if verbose {
+			fmt.Printf("slo %-32s state=%.0f\n", name, s.Value)
+		}
+		if s.Value > worst {
+			worst, worstObj = s.Value, name
+		}
+	}
+	if want >= 0 && worst != want {
+		return fmt.Errorf("obscheck: slo: worst alert state is %.0f (objective %s), want %.0f (%s)",
+			worst, worstObj, want, expect)
+	}
+	fmt.Printf("obscheck: slo ok: %d objectives, worst alert state %.0f (want %s)\n",
+		len(states.Samples), worst, expect)
+	return nil
+}

@@ -58,6 +58,21 @@
 //
 //	resdsrv -obs :9090 -flightdir /var/lib/resd/flight   # black box armed
 //
+// With -slo, the server arms an SLO engine (internal/slo) over the same
+// observability surface: the JSON spec declares windowed objectives —
+// deadline attainment (service-wide or per tenant), start-time slack at
+// a percentile bound, admission success rate — and multi-window
+// multi-burn-rate alert rules in the Google-SRE style (the default:
+// 14.4× over 5m and 1h pages, 3× over 30m and 6h warns). The engine
+// samples the service's cumulative counters on a fixed period — never
+// touching a shard event loop — publishes the resd_slo_* metric
+// families, journals every alert transition into the flight recorder,
+// escalates /healthz to 200-with-warning while any rule fires, captures
+// a rate-limited diagnostic bundle on page transitions, and streams
+// per-objective states on the v5 Watch op's WatchSLO family.
+//
+//	resdsrv -obs :9090 -slo slo.json    # burn-rate alerting armed
+//
 // With -waldir, every shard keeps a write-ahead log of its admission
 // decisions in that directory, group-committed with the shard's batch
 // turn (one fsync per batch under -walsync batch), snapshotted every
@@ -83,6 +98,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -94,6 +110,7 @@ import (
 	"repro/internal/resd"
 	"repro/internal/reswire"
 	"repro/internal/rng"
+	"repro/internal/slo"
 	"repro/internal/tenant"
 	"repro/internal/wal"
 	"repro/internal/workload"
@@ -122,6 +139,7 @@ func run() error {
 	tracebuf := flag.Int("tracebuf", resd.DefaultTraceBuf, "admission trace ring capacity")
 	slow := flag.Duration("slow", 0, "log sampled admissions slower than this to stderr (0 = disabled)")
 	flightdir := flag.String("flightdir", "", "flight-recorder bundle directory: on-anomaly diagnostic bundles (empty = journal+watchdog only when -obs is set)")
+	sloPath := flag.String("slo", "", "SLO spec file (JSON): windowed objectives + multi-window burn-rate alert rules (empty = disabled)")
 	waldir := flag.String("waldir", "", "write-ahead-log directory: durable shards, replayed on restart (empty = in-memory only)")
 	walsync := flag.String("walsync", "batch", "WAL commit durability: batch (one fsync per group commit) or none (OS flush only)")
 	snapevery := flag.Int("snapevery", 8192, "WAL records per shard between snapshots (0 = never snapshot; the log grows unbounded)")
@@ -213,12 +231,36 @@ func run() error {
 		}
 	}
 
+	// The SLO engine evaluates the spec's objectives over the service's
+	// cumulative counters: built here so it shares the metrics registry
+	// and the flight recorder's journal, handed to resd.New below (which
+	// binds the sources and starts the ticker). Page transitions capture
+	// a rate-limited diagnostic bundle — the burn-rate alert is exactly
+	// the moment an operator wants the black box's evidence.
+	var eng *slo.Engine
+	if *sloPath != "" {
+		spec, err := slo.LoadSpec(*sloPath)
+		if err != nil {
+			return fmt.Errorf("%w: -slo: %w", cliflag.ErrFlag, err)
+		}
+		sloCfg := slo.Config{Spec: spec, Registry: metrics}
+		if rec != nil {
+			sloCfg.Journal = rec.Journal()
+			sloCfg.OnAlert = sloAlertHook(rec)
+		}
+		eng, err = slo.New(sloCfg)
+		if err != nil {
+			return fmt.Errorf("%w: -slo: %w", cliflag.ErrFlag, err)
+		}
+	}
+
 	var obsCfg *resd.ObsConfig
-	if metrics != nil || *trace > 0 || rec != nil {
+	if metrics != nil || *trace > 0 || rec != nil || eng != nil {
 		obsCfg = &resd.ObsConfig{
 			Registry: metrics, TraceSample: *trace, TraceBuf: *tracebuf,
 			SlowThreshold: *slow,
 			Flight:        rec,
+			SLO:           eng,
 		}
 		if *slow > 0 {
 			obsCfg.SlowLog = func(tr resd.TraceRecord) {
@@ -249,6 +291,11 @@ func run() error {
 			}
 			if rec != nil && rec.State() != flight.Healthy {
 				parts = append(parts, fmt.Sprintf("%s: %s", rec.State(), rec.Warning()))
+			}
+			if eng != nil {
+				if w := eng.Warning(); w != "" {
+					parts = append(parts, w)
+				}
 			}
 			return strings.Join(parts, "; ")
 		}
@@ -295,7 +342,7 @@ func run() error {
 			"quotas": *quotas, "rebalance": (*rebalance).String(),
 			"trace": *trace, "slow": (*slow).String(),
 			"waldir": *waldir, "walsync": *walsync, "snapevery": *snapevery,
-			"flightdir": *flightdir, "obs": *obsAddr,
+			"flightdir": *flightdir, "obs": *obsAddr, "slo": *sloPath,
 		})
 	}
 
@@ -329,6 +376,10 @@ func run() error {
 		}
 		fmt.Printf("resdsrv: flight recorder armed (journal %d events, watchdog %v checks, %s)\n",
 			flight.DefaultJournalSize, flight.DefaultCheckEvery, where)
+	}
+	if eng != nil {
+		fmt.Printf("resdsrv: slo engine: %d objectives, evaluated every %v, budget window %v\n",
+			len(eng.Objectives()), eng.Period(), eng.BudgetWindow())
 	}
 	if wi := svc.WALInfo(); wi.Enabled {
 		fmt.Printf("resdsrv: wal %s (sync=%s, snapevery=%d): replayed %d records, %d snapshots in %v (moves %d committed / %d aborted, torn=%d corrupt=%d dropped=%dB)\n",
@@ -385,6 +436,34 @@ func walWarning(svc *resd.Service) string {
 		parts = append(parts, fmt.Sprintf("%d shard log(s) stopped after write failures", failed))
 	}
 	return strings.Join(parts, "; ")
+}
+
+// sloAlertHook reacts to burn-rate transitions: every transition is
+// already journaled by the engine; this hook adds the operator-facing
+// stderr line and, on a transition into paging, a diagnostic bundle —
+// rate-limited like watchdog captures so a flapping objective cannot
+// fill the disk. Capture quietly refuses when -flightdir is unset.
+func sloAlertHook(rec *flight.Recorder) func(objective string, from, to slo.Severity, burn float64) {
+	var mu sync.Mutex
+	var last time.Time
+	return func(objective string, from, to slo.Severity, burn float64) {
+		fmt.Fprintf(os.Stderr, "resdsrv: slo: %q %s -> %s (burn %.2fx)\n", objective, from, to, burn)
+		if to != slo.SevPage {
+			return
+		}
+		mu.Lock()
+		limited := !last.IsZero() && time.Since(last) < flight.DefaultBundleMinInterval
+		if !limited {
+			last = time.Now()
+		}
+		mu.Unlock()
+		if limited {
+			return
+		}
+		if name, err := rec.Capture("slo page: " + objective); err == nil {
+			fmt.Fprintf(os.Stderr, "resdsrv: slo: bundle %s captured for %q\n", name, objective)
+		}
+	}
 }
 
 // slowLine renders one slow sampled admission for the stderr log.

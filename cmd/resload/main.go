@@ -47,7 +47,9 @@
 // pair it with -placement first-fit for a deliberately skewed baseline —
 // and the summary reports the migrations next to each shard's books. The
 // per-tenant table always includes p99 start-time slack (admitted start −
-// ready), the per-tenant SLO the service also surfaces in TenantStats.
+// ready) and, under -slack, the tenant's deadline attainment — admitted
+// over admitted + deadline-rejected, the same objective the server's SLO
+// engine (resdsrv -slo) tracks per tenant.
 package main
 
 import (
@@ -349,7 +351,7 @@ func tenantTable(names []string, res result) *stats.Table {
 		buckets[ti] = append(buckets[ti], lat)
 		slackBuckets[ti] = append(slackBuckets[ti], res.slacks[i])
 	}
-	tbl := stats.NewTable("tenant", "reqs", "admitted", "rej-α", "rej-dl", "rej-q", "errors", "p50", "p90", "p99", "slack-p99")
+	tbl := stats.NewTable("tenant", "reqs", "admitted", "rej-α", "rej-dl", "rej-q", "errors", "dl-att", "p50", "p90", "p99", "slack-p99")
 	for i, name := range names {
 		if name == "" {
 			name = tenant.DefaultTenant
@@ -367,8 +369,17 @@ func tenantTable(names []string, res result) *stats.Table {
 		if len(slackBuckets[i]) > 0 {
 			slackP99 = fmt.Sprintf("%.0f", stats.Percentile(slackBuckets[i], 99))
 		}
+		// dl-att is the tenant's deadline attainment — the fraction of its
+		// deadline-relevant decisions the service started in time, the same
+		// per-tenant objective the server's SLO engine tracks. Only deadline
+		// rejections count against it; α and quota rejections are different
+		// failure modes with their own columns.
+		dlAtt := "-"
+		if denom := tc.admitted + tc.rejDeadline; denom > 0 {
+			dlAtt = fmt.Sprintf("%.2f%%", 100*float64(tc.admitted)/float64(denom))
+		}
 		tbl.AddRow(name, tc.reqs, tc.admitted, tc.rejAlpha, tc.rejDeadline, tc.rejQuota, tc.errored,
-			p(50), p(90), p(99), slackP99)
+			dlAtt, p(50), p(90), p(99), slackP99)
 	}
 	return tbl
 }

@@ -224,6 +224,20 @@ func (h *Histogram) Observe(v int64) {
 // Count reads the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Snapshot copies the current bucket counters into dst and returns their
+// total — the raw material for windowed aggregation: two snapshots taken
+// over a stats.SnapRing delta to the exact observation counts between
+// them. Like Quantile it is a point-in-time read of the atomics, safe
+// against any number of concurrent Observes.
+func (h *Histogram) Snapshot(dst *[stats.ExpBuckets]uint64) (total uint64) {
+	for b := range h.buckets {
+		n := h.buckets[b].Load()
+		dst[b] = n
+		total += n
+	}
+	return total
+}
+
 // Quantile answers q from a point-in-time snapshot of the buckets; the
 // answer is a bucket upper bound, at least the true quantile and less
 // than twice it.

@@ -145,10 +145,15 @@
 //
 // Every admission records its start-time slack (admitted start − ready
 // time): how far the α rule pushed the work back. Shards keep O(1)
-// exponential histograms — shard-wide and per tenant — and surface the
-// 99th percentile as ShardStats.SlackP99 and TenantStats.SlackP99 (and
-// over the wire at protocol v3), so operators see per-tenant SLO
-// degradation directly rather than inferring it from rejection counts.
+// exponential histograms — an atomic shard-wide one readable off-loop
+// and loop-owned per-tenant ones — and surface the 99th percentile as
+// ShardStats.SlackP99 and TenantStats.SlackP99 (and over the wire at
+// protocol v3), so operators see per-tenant SLO degradation directly
+// rather than inferring it from rejection counts. The histograms are
+// cumulative over the process lifetime; an attached SLO engine
+// (ObsConfig.SLO) additionally answers windowed percentiles over its
+// budget window — resd_slack_ticks_window — so a burst an hour ago
+// stops dominating today's p99.
 //
 // # Durability and recovery
 //
@@ -276,12 +281,31 @@
 //	resd_wal_dropped_bytes                 gauge    bytes replay could not apply
 //	resd_wal_replayed_moves{outcome}       gauge    outcome ∈ committed|aborted
 //
+// An ObsConfig carrying an SLO engine (ObsConfig.SLO; see internal/slo
+// for objective and burn-rate-rule semantics) adds the alerting
+// families. The service counts each admission decision once — at the
+// Request level, on the caller's goroutine, because a single request's
+// placement walk can collect deadline rejections on several shards
+// before one admits it, so summing per-shard counters would over-count
+// — and binds those books plus the merged slack and loop-turn
+// histograms to the engine; the engine snapshots them on its own
+// ticker, never touching an event loop. Tenant-scoped objectives carry
+// a tenant label:
+//
+//	resd_slo_attainment{objective}               gauge    good fraction over the budget window
+//	resd_slo_error_budget_remaining{objective}   gauge    1 − errors/budget; negative = overspent
+//	resd_slo_burn_rate{objective,window}         gauge    budget-burn multiple per rule window
+//	resd_slo_alert_state{objective}              gauge    0 ok, 1 warn, 2 page
+//	resd_slo_alert_transitions_total{objective}  counter  alert state changes
+//	resd_slack_ticks_window{quantile}            summary  service-wide slack over the budget window
+//	resd_loop_turn_ns_window{quantile}           summary  loop-turn latency over the budget window
+//
 // The reswire server and client add their own families (reswire_*; see
 // internal/reswire), and resdsrv serves the whole set plus net/http/pprof
 // on its -obs listener. The same published atomics the scrape families
 // read also feed the wire protocol's Watch op (protocol v5): a
-// subscriber gets server-pushed per-shard/tenant/WAL/trace telemetry
-// frames at its chosen interval without polling Stats — see
+// subscriber gets server-pushed per-shard/tenant/WAL/trace/SLO
+// telemetry frames at its chosen interval without polling Stats — see
 // internal/reswire's package doc for the subscription semantics.
 //
 // # Heartbeats and node health

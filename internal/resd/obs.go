@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/flight"
 	"repro/internal/obs"
+	"repro/internal/slo"
 	"repro/internal/wal"
 )
 
@@ -46,6 +47,16 @@ type ObsConfig struct {
 	// recorder's watchdog with the service's probes (Close disarms
 	// it). Nil disables flight recording; see internal/flight.
 	Flight *flight.Recorder
+	// SLO, when non-nil, arms the error-budget engine against the
+	// service: New binds a CounterSource to every objective the spec
+	// declares (deadline_attainment service-wide and per named tenant,
+	// error_rate, slack under its bound), routes the slack and
+	// loop-turn histograms through the engine's snapshot ring for
+	// windowed percentiles, and starts the tick loop; Close stops it.
+	// The engine should be built over the same Registry and the flight
+	// recorder's journal so its families and transition events land
+	// beside the service's own. See internal/slo.
+	SLO *slo.Engine
 }
 
 // registerObs wires every layer's metrics into the registry. Called once

@@ -66,6 +66,7 @@ func (s *Service) Admit(req Request) (Reservation, error) {
 	rec := s.tracer.maybe(ten, req.ClientSend, req.Trace)
 	if req.Q+s.floor > s.cfg.M {
 		s.tracer.finish(rec, TraceRejectedCapacity, 0)
+		s.sloBook.reject(ten, false)
 		return Reservation{}, fmt.Errorf("%w: q=%d with α-floor %d exceeds m=%d", ErrNeverFits, req.Q, s.floor, s.cfg.M)
 	}
 	// A deadline before the ready time is statically doomed (every start
@@ -93,14 +94,21 @@ func (s *Service) Admit(req Request) (Reservation, error) {
 		resp, err := s.shards[si].do(request{kind: opReserve, tenant: ten, ready: req.Ready, q: req.Q, dur: req.Dur, deadline: req.Deadline, trace: rec})
 		if err == nil {
 			s.tracer.finish(rec, TraceAdmitted, resp.resv.Start)
+			s.sloBook.admit(ten, req.Deadline != NoDeadline)
 			return resp.resv, nil
 		}
 		if errors.Is(err, ErrQuota) {
 			s.tracer.finish(rec, TraceRejectedQuota, 0)
+			s.sloBook.reject(ten, false)
 			return Reservation{}, err
 		}
 		if !errors.Is(err, ErrNeverFits) && !errors.Is(err, ErrDeadline) {
 			s.tracer.finish(rec, TraceError, 0)
+			// A shutdown is not an admission decision; anything else
+			// (a backend fault) is an error the error-rate SLO counts.
+			if !errors.Is(err, ErrClosed) {
+				s.sloBook.reject(ten, false)
+			}
 			return Reservation{}, err
 		}
 		if firstErr == nil || (errors.Is(err, ErrDeadline) && !errors.Is(firstErr, ErrDeadline)) {
@@ -108,6 +116,10 @@ func (s *Service) Admit(req Request) (Reservation, error) {
 		}
 	}
 	s.tracer.finish(rec, classifyTraceErr(firstErr), 0)
+	// The walk's verdict is the request-level decision the SLO book
+	// counts: one rejection however many shards said no, a deadline
+	// rejection when ErrDeadline won the preference above.
+	s.sloBook.reject(ten, errors.Is(firstErr, ErrDeadline))
 	return Reservation{}, firstErr
 }
 

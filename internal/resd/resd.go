@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/flight"
 	"repro/internal/profile"
+	"repro/internal/slo"
 	"repro/internal/tenant"
 	"repro/internal/wal"
 
@@ -261,6 +262,15 @@ type Service struct {
 	flight  *flight.Recorder
 	journal *flight.Journal
 
+	// slo is the armed SLO engine and sloBook its request-level decision
+	// counters (both nil when ObsConfig.SLO is unset). New binds every
+	// objective and starts the engine; Close stops it. The book is
+	// written by Admit on caller goroutines — see internal/resd/slo.go
+	// for why the per-shard counters cannot serve the deadline
+	// objectives.
+	slo     *slo.Engine
+	sloBook *sloBook
+
 	// walInfo records what WAL recovery found and did at New (zero when
 	// the service runs without a WAL).
 	walInfo WALInfo
@@ -378,6 +388,12 @@ func New(cfg Config) (*Service, error) {
 				}{s.WALInfo(), s.WALStats()}
 			},
 		})
+	}
+	if cfg.Obs != nil && cfg.Obs.SLO != nil {
+		if err := s.attachSLO(cfg.Obs.SLO); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -707,6 +723,12 @@ func (s *Service) Stats() []ShardStats {
 // Close stops every shard's event loop and waits for them to exit.
 // In-flight and subsequent requests fail with ErrClosed.
 func (s *Service) Close() {
+	if s.slo != nil {
+		// Stop the SLO ticks first: the engine only reads published
+		// atomics, but a tick racing shutdown could journal a spurious
+		// transition from a half-drained service.
+		s.slo.Stop()
+	}
 	if s.flight != nil {
 		// Stop the watchdog before the loops exit, so shutdown is never
 		// judged a stall.

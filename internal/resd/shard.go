@@ -134,11 +134,15 @@ type shard struct {
 	batch  int
 	quotas *tenant.Registry // nil = quota enforcement disabled
 
-	idx     profile.CapacityIndex
-	live    map[ID]active
-	tstats  map[string]TenantStats // per-tenant books, loop-owned
-	slack   slackHist              // start-time slack of every admission, loop-owned
-	tslack  map[string]*slackHist  // per-tenant slack, keyed like tstats
+	idx    profile.CapacityIndex
+	live   map[ID]active
+	tstats map[string]TenantStats // per-tenant books, loop-owned
+	// slack records the start-time slack of every admission. An atomic
+	// obs.Histogram rather than a loop-owned slackHist so the SLO
+	// engine's snapshot ring can read cumulative buckets without an
+	// event-loop round trip; only the loop writes it.
+	slack   *obs.Histogram
+	tslack  map[string]*slackHist // per-tenant slack, keyed like tstats
 	nextSeq uint64
 	area    int64 // running processor-tick area of live reservations
 
@@ -254,6 +258,7 @@ func newShard(id int, cfg Config, floor int, quit <-chan struct{}, seed *shardSe
 		idx:    idx,
 		live:   make(map[ID]active),
 		tstats: make(map[string]TenantStats),
+		slack:  &obs.Histogram{},
 		tslack: make(map[string]*slackHist),
 		reqs:   make(chan request, cfg.Batch),
 		quit:   quit,
@@ -636,7 +641,7 @@ func (sh *shard) reserve(r request) response {
 	// Start-time slack — how far past its ready time the admission had to
 	// be pushed — is the per-admission SLO sample surfaced as p99 in
 	// ShardStats and per tenant in TenantStats.
-	sh.slack.add(start - r.ready)
+	sh.slack.Observe(int64(start - r.ready))
 	th := sh.tslack[statKey]
 	if th == nil {
 		th = new(slackHist)
@@ -812,10 +817,10 @@ func (sh *shard) migrateOutAck(r request) response {
 func (sh *shard) publish(n int) {
 	sh.activeCount.Store(int64(len(sh.live)))
 	sh.committedArea.Store(sh.area)
-	sh.slackP99.Store(int64(sh.slack.p99()))
+	sh.slackP99.Store(sh.slack.Quantile(0.99))
 	if sh.obsOn {
-		sh.slackP50.Store(int64(sh.slack.quantile(0.5)))
-		sh.slackP90.Store(int64(sh.slack.quantile(0.9)))
+		sh.slackP50.Store(sh.slack.Quantile(0.5))
+		sh.slackP90.Store(sh.slack.Quantile(0.9))
 	}
 	sh.batches.Add(1)
 	sh.ops.Add(uint64(n))

@@ -1,0 +1,163 @@
+package resd
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flight"
+	"repro/internal/obs"
+	"repro/internal/slo"
+)
+
+// sloDrillSpec is a second-scale spec for in-process drills: one page
+// rule per objective with windows small enough to fire and clear inside
+// a test.
+func sloDrillSpec() slo.Spec {
+	rules := []slo.RuleSpec{{Severity: "page", Burn: 2, Short: "40ms", Long: "120ms"}}
+	return slo.Spec{
+		Period:       "10ms",
+		BudgetWindow: "300ms",
+		Objectives: []slo.ObjectiveSpec{
+			{Name: "deadline", Signal: "deadline_attainment", Target: 0.9, Rules: rules},
+			{Name: "acme-deadline", Signal: "deadline_attainment", Tenant: "acme", Target: 0.9, Rules: rules},
+			{Name: "slack", Signal: "slack", Target: 0.5, Bound: 1 << 20, Rules: rules},
+			{Name: "success", Signal: "error_rate", Target: 0.9, Rules: rules},
+		},
+	}
+}
+
+func newSLOService(t *testing.T, shards int) (*Service, *slo.Engine, *flight.Recorder) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	rec, err := flight.New(flight.Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := slo.New(slo.Config{Spec: sloDrillSpec(), Registry: reg, Journal: rec.Journal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{Shards: shards, M: 4, Obs: &ObsConfig{Registry: reg, Flight: rec, SLO: eng}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc, eng, rec
+}
+
+// TestSLOBookCountsDecisionsOnce drives requests whose walk visits every
+// shard and asserts the book counted request-level decisions, not
+// per-shard attempts.
+func TestSLOBookCountsDecisionsOnce(t *testing.T) {
+	svc, _, _ := newSLOService(t, 4)
+	// Occupy tick 0 fully on every shard so a deadline-0 request is
+	// feasible (q=1 fits later) but never in time: every shard says
+	// ErrDeadline, and the walk's verdict is one deadline rejection.
+	for i := 0; i < 4; i++ {
+		if _, err := svc.Admit(Request{Q: 4, Dur: 10, Deadline: NoDeadline}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := svc.Admit(Request{Tenant: "acme", Q: 1, Dur: 1, Deadline: 0}); err == nil {
+			t.Fatal("deadline-0 request admitted on a full cluster")
+		}
+	}
+	b := svc.sloBook
+	if got := b.dlRejected.Load(); got != 3 {
+		t.Fatalf("dlRejected = %d, want 3 (one per request, not per shard)", got)
+	}
+	if got := b.rejected.Load(); got != 3 {
+		t.Fatalf("rejected = %d, want 3", got)
+	}
+	// The admissions above carried NoDeadline: counted for error_rate,
+	// not for deadline attainment.
+	if got := b.admitted.Load(); got != 4 {
+		t.Fatalf("admitted = %d, want 4", got)
+	}
+	if got := b.dlAdmitted.Load(); got != 0 {
+		t.Fatalf("dlAdmitted = %d, want 0", got)
+	}
+	good, total, ok := b.tenantAttainment("acme")
+	if !ok || good != 0 || total != 3 {
+		t.Fatalf("acme attainment = (%d, %d, %v), want (0, 3, true)", good, total, ok)
+	}
+	if _, _, ok := b.tenantAttainment("unnamed"); ok {
+		t.Fatal("tenantAttainment answered for a tenant no objective names")
+	}
+}
+
+// TestSLOEndToEndBurnAndClear is the in-process burn-rate drill: miss
+// deadlines hard, watch the page fire (states, /healthz warning,
+// journal), recover, watch it clear.
+func TestSLOEndToEndBurnAndClear(t *testing.T) {
+	svc, eng, rec := newSLOService(t, 1)
+	// Saturate far into the future so deadline-carrying requests miss.
+	if _, err := svc.Admit(Request{Q: 4, Dur: 1 << 20, Deadline: NoDeadline}); err != nil {
+		t.Fatal(err)
+	}
+	sevOf := func(name string) slo.Severity {
+		for _, st := range eng.States() {
+			if st.Name == name {
+				return st.Severity
+			}
+		}
+		t.Fatalf("objective %q missing from States", name)
+		return 0
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sevOf("deadline") != slo.SevPage {
+		if time.Now().After(deadline) {
+			t.Fatal("deadline objective never paged under sustained misses")
+		}
+		svc.Admit(Request{Tenant: "acme", Q: 1, Dur: 1, Deadline: 0})
+		time.Sleep(2 * time.Millisecond)
+	}
+	if sevOf("acme-deadline") != slo.SevPage {
+		t.Error("tenant-scoped objective did not page with the service-wide one")
+	}
+	if w := eng.Warning(); w == "" {
+		t.Error("Warning() empty while paging")
+	}
+	if n := rec.Journal().SubsysCount("slo", flight.Error); n == 0 {
+		t.Error("no slo page transition journaled")
+	}
+	// Recovery: stop the bad traffic and let the short window drain.
+	deadline = time.Now().Add(5 * time.Second)
+	for sevOf("deadline") != slo.OK {
+		if time.Now().After(deadline) {
+			t.Fatal("deadline objective never cleared after traffic stopped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSLOWindowedSlack asserts the engine answers windowed slack
+// percentiles from the service's merged shard histograms.
+func TestSLOWindowedSlack(t *testing.T) {
+	svc, eng, _ := newSLOService(t, 1)
+	// Fill tick 0 so the next admissions are pushed back: nonzero slack.
+	if _, err := svc.Admit(Request{Q: 4, Dur: 100, Deadline: NoDeadline}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := svc.Admit(Request{Q: 1, Dur: 1, Deadline: NoDeadline}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, n, ok := eng.WindowQuantile("resd_slack_ticks", 0.99)
+		if ok && n >= 9 {
+			if core.Time(v) < 100 {
+				t.Fatalf("windowed slack p99 = %d, want >= 100 (admissions pushed past the blocker)", v)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("windowed slack percentiles never became available")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

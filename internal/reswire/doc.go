@@ -53,10 +53,13 @@
 // Revision 5 added live telemetry and cross-wire tracing. The Watch op
 // turns a request into a subscription: the body names a push interval
 // (clamped into [MinWatchInterval, MaxWatchInterval]) and a family mask
-// (WatchShards | WatchTenants | WatchWAL | WatchTraces), and the server
-// answers with an open-ended stream of Telemetry frames — sequence-
-// numbered snapshots of per-shard load and queue depth, per-tenant
-// budget usage, write-ahead-log state and trace-ring counters. Frames
+// (WatchShards | WatchTenants | WatchWAL | WatchTraces | WatchSLO),
+// and the server answers with an open-ended stream of Telemetry frames
+// — sequence-numbered snapshots of per-shard load and queue depth,
+// per-tenant budget usage, write-ahead-log state, trace-ring counters
+// and evaluated SLO states (per-objective attainment, error-budget
+// remaining, peak burn rate and alert severity, empty on servers
+// running without an SLO engine — see internal/slo). Frames
 // are assembled from the same published atomics a /metrics scrape
 // reads, so a subscriber never touches a shard event loop; a slow
 // subscriber (full write queue, stalled socket) has frames dropped and

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/resd"
+	"repro/internal/slo"
 )
 
 // FuzzWireCodec drives the frame decoder with arbitrary bytes and checks
@@ -88,6 +89,15 @@ func FuzzWireCodec(f *testing.F) {
 		}},
 		{ID: 16, Op: OpWatch, Code: CodeOK, Telemetry: &Telemetry{
 			Mask: WatchShards, M: 8, Queue: []int{0}, Shards: []resd.ShardStats{{}},
+		}},
+		{ID: 17, Op: OpWatch, Code: CodeOK, Telemetry: &Telemetry{
+			Mask: WatchSLO, M: 8,
+			SLO: []SLOTelemetry{
+				{Name: "deadline", Signal: slo.DeadlineAttainment, Target: 0.99,
+					Attainment: 0.95, BudgetRemaining: -4, BurnMax: 14.5, State: slo.SevPage},
+				{Name: "acme-deadline", Tenant: "acme", Signal: slo.DeadlineAttainment,
+					Target: 0.9, Attainment: 1, BudgetRemaining: 1, BurnMax: 0, State: slo.OK},
+			},
 		}},
 	} {
 		frame, err := AppendResponse(nil, resp)
@@ -199,6 +209,9 @@ func normalise(r Response) Response {
 		}
 		if len(t.WAL) == 0 {
 			t.WAL = nil
+		}
+		if len(t.SLO) == 0 {
+			t.SLO = nil
 		}
 		r.Telemetry = &t
 	}

@@ -307,6 +307,22 @@ func (s *Server) telemetry(mask uint32) *Telemetry {
 	if mask&WatchTraces != 0 {
 		t.TracesSampled, t.TracesSlow = s.svc.TraceCounts()
 	}
+	if mask&WatchSLO != 0 {
+		if eng := s.svc.SLO(); eng != nil {
+			for _, st := range eng.States() {
+				t.SLO = append(t.SLO, SLOTelemetry{
+					Name:            st.Name,
+					Tenant:          st.Tenant,
+					Signal:          st.Signal,
+					Target:          st.Target,
+					Attainment:      st.Attainment,
+					BudgetRemaining: st.BudgetRemaining,
+					BurnMax:         st.BurnMax,
+					State:           st.Severity,
+				})
+			}
+		}
+	}
 	return t
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/resd"
+	"repro/internal/slo"
 	"repro/internal/tenant"
 )
 
@@ -86,6 +87,12 @@ func TestWatchTelemetryCodec(t *testing.T) {
 			{Shard: 0, Gen: 3, Bytes: 4096, Records: 17, Fsyncs: 9, Snapshots: 2, FsyncP99: 120000, Failed: 0},
 		},
 		TracesSampled: 11, TracesSlow: 1,
+		SLO: []SLOTelemetry{
+			{Name: "deadline", Signal: slo.DeadlineAttainment, Target: 0.99,
+				Attainment: 0.97, BudgetRemaining: -2, BurnMax: 14.5, State: slo.SevPage},
+			{Name: "acme-slack", Tenant: "acme", Signal: slo.Slack, Target: 0.9,
+				Attainment: 1, BudgetRemaining: 1, BurnMax: 0, State: slo.OK},
+		},
 	}
 	frame, err := AppendResponse(nil, Response{ID: 9, Op: OpWatch, Code: CodeOK, Telemetry: tel})
 	if err != nil {
@@ -601,6 +608,60 @@ func TestWatchClientValidation(t *testing.T) {
 	unreachable := &Client{addr: "127.0.0.1:1", done: make(chan struct{})}
 	if _, err := unreachable.Watch(context.Background(), WatchOptions{}); err == nil {
 		t.Error("Watch against an unreachable address returned a stream")
+	}
+}
+
+// TestWatchSLOOverLoopback runs a real engine behind a real server:
+// a WatchSLO subscription must deliver the evaluated objective states,
+// and a server without an engine must answer the same mask with an
+// empty family instead of failing.
+func TestWatchSLOOverLoopback(t *testing.T) {
+	eng, err := slo.New(slo.Config{Spec: slo.Spec{
+		Objectives: []slo.ObjectiveSpec{
+			{Name: "success", Signal: "error_rate", Target: 0.99},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, svc := startServer(t, resd.Config{M: 8, Obs: &resd.ObsConfig{SLO: eng}})
+	if _, err := svc.Admit(resd.Request{Q: 1, Dur: 1, Deadline: resd.NoDeadline}); err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, addr, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := c.Watch(ctx, WatchOptions{Interval: MinWatchInterval, Mask: WatchSLO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := <-ch
+	if len(tel.SLO) != 1 {
+		t.Fatalf("SLO entries = %d, want 1", len(tel.SLO))
+	}
+	o := tel.SLO[0]
+	if o.Name != "success" || o.Signal != slo.ErrorRate || o.Target != 0.99 || o.State != slo.OK {
+		t.Fatalf("SLO telemetry: %+v", o)
+	}
+
+	// Default mask (0 → WatchAll) includes the family too.
+	ch2, err := c.Watch(ctx, WatchOptions{Interval: MinWatchInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel := <-ch2; tel.Mask&WatchSLO == 0 || len(tel.SLO) != 1 {
+		t.Fatalf("WatchAll frame mask %#x with %d SLO entries", tel.Mask, len(tel.SLO))
+	}
+
+	// No engine: the family is empty, not an error.
+	bareAddr, _ := startServer(t, resd.Config{M: 8})
+	bc := dial(t, bareAddr, Options{})
+	bch, err := bc.Watch(ctx, WatchOptions{Interval: MinWatchInterval, Mask: WatchSLO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel := <-bch; len(tel.SLO) != 0 {
+		t.Fatalf("engine-less server pushed %d SLO entries", len(tel.SLO))
 	}
 }
 

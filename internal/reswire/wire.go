@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/resd"
+	"repro/internal/slo"
 	"repro/internal/tenant"
 )
 
@@ -93,6 +94,14 @@ const (
 	// entry: shard (4), gen/bytes/records/fsyncs/snapshots (40),
 	// fsync-p99 (8) and failures (8).
 	watchWALEntryLen = 4 + 40 + 8 + 8
+	// maxSLO bounds the SLO vector of a Watch telemetry frame during
+	// decoding — far above any sane objective count, low enough that a
+	// hostile count fails before allocation.
+	maxSLO = 1 << 10
+	// watchSLOEntryLen is the minimum size of one per-objective SLO
+	// telemetry entry: two name length bytes (2), signal (1), four
+	// float64s (32) and the alert state (1).
+	watchSLOEntryLen = 2 + 1 + 32 + 1
 )
 
 // Watch family mask bits: a Watch subscription names the telemetry
@@ -111,8 +120,12 @@ const (
 	WatchWAL
 	// WatchTraces selects the admission-tracing counters.
 	WatchTraces
+	// WatchSLO selects the evaluated SLO states: per-objective
+	// attainment, error-budget remaining, peak burn rate and alert
+	// state (empty on servers running without an SLO engine).
+	WatchSLO
 	// WatchAll selects every family.
-	WatchAll = WatchShards | WatchTenants | WatchWAL | WatchTraces
+	WatchAll = WatchShards | WatchTenants | WatchWAL | WatchTraces | WatchSLO
 )
 
 // validWatchMask reports whether mask names at least one known family
@@ -351,7 +364,7 @@ type Request struct {
 	// (the server clamps unreasonably small values).
 	Interval time.Duration
 	// Mask selects the telemetry families of a Watch subscription
-	// (WatchShards | WatchTenants | WatchWAL | WatchTraces).
+	// (WatchShards | WatchTenants | WatchWAL | WatchTraces | WatchSLO).
 	Mask uint32
 }
 
@@ -399,6 +412,43 @@ type WALTelemetry struct {
 	Failed    uint64
 }
 
+// SLOTelemetry is one objective's evaluated SLO condition inside a
+// Telemetry frame: the slo.State a remote watcher needs to mirror the
+// server's burn-rate alerting without scraping /metrics. Tenant is
+// empty for service-wide objectives.
+type SLOTelemetry struct {
+	Name            string
+	Tenant          string
+	Signal          slo.Signal
+	Target          float64
+	Attainment      float64
+	BudgetRemaining float64
+	BurnMax         float64
+	State           slo.Severity
+}
+
+// validSLOTelemetry guards the float fields crossing the wire, on both
+// encode and decode so a decoded frame always re-encodes: targets stay
+// strict fractions, fractions stay in range, the open-ended fields stay
+// finite, and NaN never round-trips (it cannot even compare equal).
+func validSLOTelemetry(o SLOTelemetry) error {
+	switch {
+	case o.Signal > slo.ErrorRate:
+		return fmt.Errorf("%w: unknown slo signal %d", ErrFrame, uint8(o.Signal))
+	case o.State > slo.SevPage:
+		return fmt.Errorf("%w: unknown slo alert state %d", ErrFrame, uint8(o.State))
+	case !(o.Target > 0 && o.Target < 1):
+		return fmt.Errorf("%w: slo target %v outside (0,1)", ErrFrame, o.Target)
+	case !(o.Attainment >= 0 && o.Attainment <= 1):
+		return fmt.Errorf("%w: slo attainment %v outside [0,1]", ErrFrame, o.Attainment)
+	case math.IsNaN(o.BudgetRemaining) || math.IsInf(o.BudgetRemaining, 0) || o.BudgetRemaining > 1:
+		return fmt.Errorf("%w: slo budget remaining %v invalid", ErrFrame, o.BudgetRemaining)
+	case !(o.BurnMax >= 0) || math.IsInf(o.BurnMax, 0):
+		return fmt.Errorf("%w: slo burn rate %v invalid", ErrFrame, o.BurnMax)
+	}
+	return nil
+}
+
 // Telemetry is one server-pushed Watch frame: a snapshot of the
 // families the subscription's mask selected, assembled from the
 // server's published atomics (cumulative counters — consumers diff
@@ -430,6 +480,9 @@ type Telemetry struct {
 	// (WatchTraces).
 	TracesSampled uint64
 	TracesSlow    uint64
+	// SLO is the per-objective evaluated SLO state (WatchSLO; empty on
+	// servers running without an SLO engine).
+	SLO []SLOTelemetry
 }
 
 // Response is one decoded server→client message. Code discriminates
@@ -806,6 +859,29 @@ func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 		if t.Mask&WatchTraces != 0 {
 			dst = binary.BigEndian.AppendUint64(dst, t.TracesSampled)
 			dst = binary.BigEndian.AppendUint64(dst, t.TracesSlow)
+		}
+		if t.Mask&WatchSLO != 0 {
+			if len(t.SLO) > maxSLO {
+				return nil, fmt.Errorf("%w: %d SLO entries in telemetry", ErrFrame, len(t.SLO))
+			}
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(t.SLO)))
+			for _, o := range t.SLO {
+				if err := validSLOTelemetry(o); err != nil {
+					return nil, err
+				}
+				if dst, err = appendName(dst, o.Name); err != nil {
+					return nil, err
+				}
+				if dst, err = appendName(dst, o.Tenant); err != nil {
+					return nil, err
+				}
+				dst = append(dst, byte(o.Signal))
+				dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(o.Target))
+				dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(o.Attainment))
+				dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(o.BudgetRemaining))
+				dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(o.BurnMax))
+				dst = append(dst, byte(o.State))
+			}
 		}
 	case OpCancel, OpPing, OpQuotaSet:
 		// header + code only
@@ -1196,6 +1272,30 @@ func DecodeResponse(payload []byte) (Response, error) {
 		if t.Mask&WatchTraces != 0 {
 			t.TracesSampled = r.u64()
 			t.TracesSlow = r.u64()
+		}
+		if t.Mask&WatchSLO != 0 {
+			n := int(r.u32())
+			if n > maxSLO || (r.err == nil && watchSLOEntryLen*n > len(r.b)-r.off) {
+				r.fail()
+				break
+			}
+			t.SLO = make([]SLOTelemetry, n)
+			for i := range t.SLO {
+				o := &t.SLO[i]
+				o.Name = r.name()
+				o.Tenant = r.name()
+				o.Signal = slo.Signal(r.u8())
+				o.Target = math.Float64frombits(r.u64())
+				o.Attainment = math.Float64frombits(r.u64())
+				o.BudgetRemaining = math.Float64frombits(r.u64())
+				o.BurnMax = math.Float64frombits(r.u64())
+				o.State = slo.Severity(r.u8())
+				if r.err == nil {
+					if err := validSLOTelemetry(*o); err != nil {
+						r.err = err
+					}
+				}
+			}
 		}
 		resp.Telemetry = t
 	case OpCancel, OpPing, OpQuotaSet:

@@ -1,0 +1,124 @@
+package slo
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parse(t *testing.T, src string) (Spec, error) {
+	t.Helper()
+	return ParseSpec(strings.NewReader(src))
+}
+
+func TestParseSpecValid(t *testing.T) {
+	s, err := parse(t, `{
+		"period": "5s",
+		"budget_window": "10m",
+		"objectives": [
+			{"name": "deadline", "signal": "deadline_attainment", "target": 0.99},
+			{"name": "acme-deadline", "signal": "deadline_attainment", "tenant": "acme", "target": 0.95,
+			 "rules": [{"severity": "warn", "burn": 2, "short": "30s", "long": "5m"}]},
+			{"name": "slack-p99", "signal": "slack", "target": 0.99, "bound": 4096},
+			{"name": "success", "signal": "error_rate", "target": 0.999}
+		]
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.period != 5*time.Second || r.budgetWindow != 10*time.Minute {
+		t.Fatalf("period/budget = %v/%v", r.period, r.budgetWindow)
+	}
+	if len(r.objectives) != 4 {
+		t.Fatalf("objectives: %d", len(r.objectives))
+	}
+	// The first objective got the default rule pair.
+	if len(r.objectives[0].Rules) != 2 || r.objectives[0].Rules[0].Burn != 14.4 {
+		t.Fatalf("default rules not applied: %+v", r.objectives[0].Rules)
+	}
+	if r.objectives[1].Tenant != "acme" || len(r.objectives[1].Rules) != 1 {
+		t.Fatalf("tenant objective: %+v", r.objectives[1])
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown field", `{"objectives": [], "perid": "5s"}`},
+		{"no objectives", `{"objectives": []}`},
+		{"empty name", `{"objectives": [{"signal": "error_rate", "target": 0.9}]}`},
+		{"bad signal", `{"objectives": [{"name": "x", "signal": "latency", "target": 0.9}]}`},
+		{"target zero", `{"objectives": [{"name": "x", "signal": "error_rate", "target": 0}]}`},
+		{"target one", `{"objectives": [{"name": "x", "signal": "error_rate", "target": 1}]}`},
+		{"duplicate name", `{"objectives": [
+			{"name": "x", "signal": "error_rate", "target": 0.9},
+			{"name": "x", "signal": "error_rate", "target": 0.9}]}`},
+		{"slack without bound", `{"objectives": [{"name": "x", "signal": "slack", "target": 0.9}]}`},
+		{"slack per tenant", `{"objectives": [{"name": "x", "signal": "slack", "tenant": "t", "target": 0.9, "bound": 10}]}`},
+		{"error_rate per tenant", `{"objectives": [{"name": "x", "signal": "error_rate", "tenant": "t", "target": 0.9}]}`},
+		{"bound on non-slack", `{"objectives": [{"name": "x", "signal": "error_rate", "target": 0.9, "bound": 10}]}`},
+		{"bad severity", `{"objectives": [{"name": "x", "signal": "error_rate", "target": 0.9,
+			"rules": [{"severity": "ok", "burn": 2, "short": "1m", "long": "5m"}]}]}`},
+		{"burn zero", `{"objectives": [{"name": "x", "signal": "error_rate", "target": 0.9,
+			"rules": [{"severity": "warn", "burn": 0, "short": "1m", "long": "5m"}]}]}`},
+		{"short >= long", `{"objectives": [{"name": "x", "signal": "error_rate", "target": 0.9,
+			"rules": [{"severity": "warn", "burn": 2, "short": "5m", "long": "5m"}]}]}`},
+		{"missing short", `{"objectives": [{"name": "x", "signal": "error_rate", "target": 0.9,
+			"rules": [{"severity": "warn", "burn": 2, "long": "5m"}]}]}`},
+		{"short under period", `{"period": "1m", "objectives": [{"name": "x", "signal": "error_rate", "target": 0.9,
+			"rules": [{"severity": "warn", "burn": 2, "short": "30s", "long": "5m"}]}]}`},
+		{"budget under period", `{"period": "1m", "budget_window": "30s",
+			"objectives": [{"name": "x", "signal": "error_rate", "target": 0.9}]}`},
+		{"ring explosion", `{"period": "1ms", "budget_window": "24h",
+			"objectives": [{"name": "x", "signal": "error_rate", "target": 0.9,
+			"rules": [{"severity": "warn", "burn": 2, "short": "10ms", "long": "24h"}]}]}`},
+		{"bad period", `{"period": "fast", "objectives": [{"name": "x", "signal": "error_rate", "target": 0.9}]}`},
+		{"negative period", `{"period": "-5s", "objectives": [{"name": "x", "signal": "error_rate", "target": 0.9}]}`},
+	}
+	for _, c := range cases {
+		if _, err := parse(t, c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		} else if !errors.Is(err, ErrConfig) {
+			t.Errorf("%s: error %v is not ErrConfig", c.name, err)
+		}
+	}
+}
+
+func TestParseRoundTripHelpers(t *testing.T) {
+	for _, s := range []Signal{DeadlineAttainment, Slack, ErrorRate} {
+		got, err := ParseSignal(s.String())
+		if err != nil || got != s {
+			t.Errorf("signal %v round trip: %v %v", s, got, err)
+		}
+	}
+	for _, s := range []Severity{SevWarn, SevPage} {
+		got, err := ParseSeverity(s.String())
+		if err != nil || got != s {
+			t.Errorf("severity %v round trip: %v %v", s, got, err)
+		}
+	}
+	if _, err := ParseSeverity("ok"); err == nil {
+		t.Error(`ParseSeverity("ok") accepted — clearing is not a rule severity`)
+	}
+}
+
+func TestDefaultRulesAreValid(t *testing.T) {
+	s := Spec{Objectives: []ObjectiveSpec{{Name: "x", Signal: "error_rate", Target: 0.999}}}
+	r, err := s.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := r.objectives[0].Rules
+	if len(rules) != 2 || rules[0].Severity != SevPage || rules[1].Severity != SevWarn {
+		t.Fatalf("default rules: %+v", rules)
+	}
+	if rules[0].Short != 5*time.Minute || rules[0].Long != time.Hour {
+		t.Fatalf("page rule windows: %+v", rules[0])
+	}
+}

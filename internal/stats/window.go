@@ -1,0 +1,140 @@
+package stats
+
+// SnapRing is a fixed-capacity ring of timestamped snapshots of a
+// cumulative counter vector — the windowed-aggregation primitive under
+// internal/slo. A producer (one goroutine; the ring is unsynchronized)
+// pushes a snapshot of its counters every period; the difference between
+// two snapshots is then the exact event counts for the span between
+// them, with no cooperation from the counter writers. That is what
+// makes windows scrape-safe here: the live counters stay lock-free
+// atomics bumped by the shard loops, and "the last 5 minutes" is pure
+// arithmetic over copies.
+//
+// The vector layout is the caller's business — slo packs objective
+// counters and histogram buckets side by side — the ring only requires
+// every Push to use the same width.
+type SnapRing struct {
+	slots []ringSnap
+	width int
+	n     int // valid entries
+	head  int // index of the newest entry, meaningful when n > 0
+}
+
+type ringSnap struct {
+	at  int64
+	vec []uint64
+}
+
+// NewSnapRing builds a ring of the given capacity (snapshots retained)
+// and vector width. Capacity below 2 is raised to 2 — a single retained
+// snapshot can never answer a window.
+func NewSnapRing(capacity, width int) *SnapRing {
+	if capacity < 2 {
+		capacity = 2
+	}
+	if width < 0 {
+		width = 0
+	}
+	r := &SnapRing{slots: make([]ringSnap, capacity), width: width}
+	for i := range r.slots {
+		r.slots[i].vec = make([]uint64, width)
+	}
+	return r
+}
+
+// Width returns the vector width every Push must match.
+func (r *SnapRing) Width() int { return r.width }
+
+// Len returns the number of retained snapshots.
+func (r *SnapRing) Len() int { return r.n }
+
+// Push records a snapshot of the cumulative vector taken at time at
+// (any monotone unit — the slo engine uses nanoseconds). The vector is
+// copied; the caller may reuse it. A timestamp that does not advance
+// past the newest retained snapshot — a duplicate tick or a clock that
+// stepped backwards — overwrites the newest slot in place instead of
+// appending, so the ring's timestamps stay strictly increasing and a
+// misbehaving clock degrades window resolution rather than corrupting
+// deltas. Push panics if len(vec) differs from the ring width.
+func (r *SnapRing) Push(at int64, vec []uint64) {
+	if len(vec) != r.width {
+		panic("stats: SnapRing.Push vector width mismatch")
+	}
+	if r.n > 0 && at <= r.slots[r.head].at {
+		copy(r.slots[r.head].vec, vec)
+		if at < r.slots[r.head].at {
+			r.slots[r.head].at = at
+			r.trimAfterRegression(at)
+		}
+		return
+	}
+	r.head = (r.head + 1) % len(r.slots)
+	r.slots[r.head].at = at
+	copy(r.slots[r.head].vec, vec)
+	if r.n < len(r.slots) {
+		r.n++
+	}
+}
+
+// trimAfterRegression drops retained snapshots whose timestamps are no
+// longer older than the (rewritten) newest one, restoring the strictly
+// increasing invariant after a backwards clock step.
+func (r *SnapRing) trimAfterRegression(at int64) {
+	for r.n > 1 {
+		prev := (r.head - 1 + len(r.slots)) % len(r.slots)
+		if r.slots[prev].at < at {
+			return
+		}
+		// prev is no older than the rewritten newest: drop it by swapping
+		// the newest into its slot (a swap, so every slot keeps owning a
+		// distinct backing vector).
+		r.slots[prev], r.slots[r.head] = r.slots[r.head], r.slots[prev]
+		r.head = prev
+		r.n--
+	}
+}
+
+// Delta writes into dst the per-element counter increments over
+// (approximately) the trailing window: newest snapshot minus the
+// youngest retained snapshot at least window old relative to the newest.
+// When no retained snapshot is that old — the process is young, or the
+// window is shorter than the snapshot period — the oldest available
+// snapshot anchors the delta instead, and the returned span (the actual
+// timestamp distance covered, in Push's units) tells the caller how
+// much history the numbers really cover; ratio-based consumers like
+// burn rates stay meaningful over a partial window. Elements that went
+// backwards between the two snapshots (a counter reset) clamp to 0.
+//
+// Delta reports ok=false — leaving dst untouched — while fewer than two
+// snapshots are retained: an empty window is "no data", never zeros
+// masquerading as a quiet period.
+func (r *SnapRing) Delta(window int64, dst []uint64) (span int64, ok bool) {
+	if len(dst) != r.width {
+		panic("stats: SnapRing.Delta vector width mismatch")
+	}
+	if r.n < 2 {
+		return 0, false
+	}
+	newest := &r.slots[r.head]
+	cutoff := newest.at - window
+	// Walk backwards from the second-newest: the first snapshot at or
+	// past the cutoff wins; the oldest retained is the fallback.
+	anchor := (r.head - 1 + len(r.slots)) % len(r.slots)
+	for i := 1; i < r.n; i++ {
+		idx := (r.head - i + len(r.slots)) % len(r.slots)
+		anchor = idx
+		if r.slots[idx].at <= cutoff {
+			break
+		}
+	}
+	old := &r.slots[anchor]
+	for i := range dst {
+		nv, ov := newest.vec[i], old.vec[i]
+		if nv < ov {
+			dst[i] = 0
+			continue
+		}
+		dst[i] = nv - ov
+	}
+	return newest.at - old.at, true
+}
